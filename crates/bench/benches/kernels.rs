@@ -1,0 +1,33 @@
+//! Native Criterion timings for every kernel in both sync modes (the raw
+//! measurements behind the `F1-native` figure at a fixed thread count).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use splash4_core::{Benchmark, BenchmarkExt as _, InputClass, SyncMode};
+
+fn bench_kernels(c: &mut Criterion) {
+    let threads = 2;
+    let mut g = c.benchmark_group("kernels");
+    for b in Benchmark::ALL {
+        for mode in SyncMode::ALL {
+            g.bench_with_input(
+                BenchmarkId::new(b.name(), mode.label()),
+                &(b, mode),
+                |bench, &(b, mode)| {
+                    bench.iter(|| {
+                        let r = b.execute(InputClass::Test, mode, threads);
+                        assert!(r.validated, "{b} {mode} failed validation");
+                        std::hint::black_box(r.checksum)
+                    });
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_kernels
+}
+criterion_main!(kernels);

@@ -1,0 +1,37 @@
+//! `F1-native`: native head-to-head timings per thread count.
+//!
+//! Each Criterion group id encodes `F1/<benchmark>/<suite>/<threads>`; the
+//! Splash-4 / Splash-3 ratio of the reported medians is the figure's series.
+//! (The `splash4-report --experiment F1-native` command prints the same
+//! comparison as a single table.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use splash4_bench::NATIVE_THREADS;
+use splash4_core::{Benchmark, BenchmarkExt as _, InputClass, SyncMode};
+
+fn bench_native_compare(c: &mut Criterion) {
+    let mut g = c.benchmark_group("F1");
+    for b in Benchmark::ALL {
+        for mode in SyncMode::ALL {
+            for &t in NATIVE_THREADS {
+                g.bench_with_input(
+                    BenchmarkId::new(format!("{}/{}", b.name(), mode.label()), t),
+                    &(b, mode, t),
+                    |bench, &(b, mode, t)| {
+                        bench.iter(|| {
+                            std::hint::black_box(b.execute(InputClass::Test, mode, t).checksum)
+                        });
+                    },
+                );
+            }
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = native_compare;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(1)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_native_compare
+}
+criterion_main!(native_compare);

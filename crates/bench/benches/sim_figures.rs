@@ -1,0 +1,46 @@
+//! Regenerates the simulated paper figures when `cargo bench` runs.
+//!
+//! `F2-sim-epyc`, `F3-sim-icelake`, `F4-scalability`, `F5-sync-breakdown`
+//! and `F6-ablation` are deterministic simulator outputs, not wall-clock
+//! measurements, so this target (`harness = false`) prints the tables
+//! directly instead of timing them with Criterion.
+//!
+//! Environment knobs: `SPLASH4_CLASS` (test|small|native, default test),
+//! `SPLASH4_SIM_THREADS` (comma list, default 1,2,4,8,16,32,64).
+
+use splash4_core::{run_experiment, ExperimentCtx, InputClass};
+
+fn main() {
+    let mut ctx = ExperimentCtx::default();
+    if let Ok(c) = std::env::var("SPLASH4_CLASS") {
+        if let Some(class) = InputClass::from_label(&c) {
+            ctx.class = class;
+        }
+    }
+    if let Ok(list) = std::env::var("SPLASH4_SIM_THREADS") {
+        let parsed: Option<Vec<usize>> = list
+            .split(',')
+            .map(|x| x.trim().parse::<usize>().ok().filter(|&v| v > 0))
+            .collect();
+        if let Some(v) = parsed {
+            if !v.is_empty() {
+                ctx.sim_threads = v;
+            }
+        }
+    }
+    for id in [
+        "F2-sim-epyc",
+        "F3-sim-icelake",
+        "F4-scalability",
+        "F5-sync-breakdown",
+        "F6-ablation",
+    ] {
+        match run_experiment(id, &ctx) {
+            Ok(report) => print!("{}", report.to_terminal()),
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! `F7-barrier-micro`: synchronization-primitive microbenchmarks.
+//!
+//! Times each primitive class under contention on the host: the three
+//! barrier implementations, the three lock implementations, the two `GETSUB`
+//! counters, the two reducers and the two task-queue back-ends. These are the
+//! suite-motivation numbers: the per-episode cost gap that the kernel-level
+//! figures integrate over.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use splash4_core::parmacs::{
+    AtomicCounter, AtomicReducer, Barrier, CondvarBarrier, IndexCounter, LockedCounter,
+    LockedQueue, RawLock, ReduceF64, SenseBarrier, SleepLock, SyncCounters, TasLock, TaskQueue,
+    TicketLock, TreeBarrier, TreiberStack,
+};
+use splash4_core::Team;
+use std::sync::Arc;
+
+const THREADS: &[usize] = &[1, 2, 4];
+const EPISODES: usize = 100;
+
+fn bench_barriers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("F7/barrier");
+    for &t in THREADS {
+        let stats = Arc::new(SyncCounters::new());
+        let mk: Vec<(&str, Arc<dyn Barrier>)> = vec![
+            ("condvar", Arc::new(CondvarBarrier::new(t, Arc::clone(&stats)))),
+            ("sense", Arc::new(SenseBarrier::new(t, Arc::clone(&stats)))),
+            ("tree", Arc::new(TreeBarrier::new(t, Arc::clone(&stats)))),
+        ];
+        for (name, barrier) in mk {
+            g.bench_with_input(BenchmarkId::new(name, t), &t, |b, &t| {
+                b.iter(|| {
+                    let barrier = Arc::clone(&barrier);
+                    Team::new(t).run(|ctx| {
+                        for _ in 0..EPISODES {
+                            barrier.wait(ctx.tid);
+                        }
+                    });
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_locks(c: &mut Criterion) {
+    let mut g = c.benchmark_group("F7/lock");
+    for &t in THREADS {
+        let stats = Arc::new(SyncCounters::new());
+        let mk: Vec<(&str, Arc<dyn RawLock>)> = vec![
+            ("sleep", Arc::new(SleepLock::new(Arc::clone(&stats)))),
+            ("ticket", Arc::new(TicketLock::new(Arc::clone(&stats)))),
+            ("tas", Arc::new(TasLock::new(Arc::clone(&stats)))),
+        ];
+        for (name, lock) in mk {
+            g.bench_with_input(BenchmarkId::new(name, t), &t, |b, &t| {
+                b.iter(|| {
+                    let lock = Arc::clone(&lock);
+                    Team::new(t).run(|_| {
+                        for _ in 0..EPISODES {
+                            lock.acquire();
+                            std::hint::black_box(());
+                            lock.release();
+                        }
+                    });
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_counters(c: &mut Criterion) {
+    let mut g = c.benchmark_group("F7/getsub");
+    for &t in THREADS {
+        for name in ["locked", "atomic"] {
+            g.bench_with_input(BenchmarkId::new(name, t), &t, |b, &t| {
+                b.iter(|| {
+                    let stats = Arc::new(SyncCounters::new());
+                    let counter: Arc<dyn IndexCounter> = match name {
+                        "locked" => Arc::new(LockedCounter::new(0..EPISODES * t, stats)),
+                        _ => Arc::new(AtomicCounter::new(0..EPISODES * t, stats)),
+                    };
+                    Team::new(t).run(|_| while counter.next().is_some() {});
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_reducers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("F7/reduce");
+    for &t in THREADS {
+        for name in ["locked", "atomic"] {
+            g.bench_with_input(BenchmarkId::new(name, t), &t, |b, &t| {
+                b.iter(|| {
+                    let stats = Arc::new(SyncCounters::new());
+                    let red: Arc<dyn ReduceF64> = match name {
+                        "locked" => Arc::new(splash4_core::parmacs::LockedReducer::new(stats)),
+                        _ => Arc::new(AtomicReducer::new(stats)),
+                    };
+                    Team::new(t).run(|_| {
+                        for i in 0..EPISODES {
+                            red.add(i as f64);
+                        }
+                    });
+                    std::hint::black_box(red.load());
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_queues(c: &mut Criterion) {
+    let mut g = c.benchmark_group("F7/queue");
+    for &t in THREADS {
+        for name in ["locked", "treiber"] {
+            g.bench_with_input(BenchmarkId::new(name, t), &t, |b, &t| {
+                b.iter(|| {
+                    let stats = Arc::new(SyncCounters::new());
+                    let q: Arc<dyn TaskQueue<usize>> = match name {
+                        "locked" => Arc::new(LockedQueue::new(stats)),
+                        _ => Arc::new(TreiberStack::new(stats)),
+                    };
+                    Team::new(t).run(|_| {
+                        for i in 0..EPISODES {
+                            q.push(i);
+                            std::hint::black_box(q.pop());
+                        }
+                    });
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = sync_micro;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(1)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_barriers, bench_locks, bench_counters, bench_reducers, bench_queues
+}
+criterion_main!(sync_micro);

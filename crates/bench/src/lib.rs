@@ -1,0 +1,11 @@
+//! Benchmark harness support for `splash4-bench`.
+//!
+//! The real content lives in `benches/`: `sync_micro` (the `F7`
+//! synchronization microbenchmarks), `kernels` and `native_compare` (native
+//! Criterion timings behind `F1`), and `sim_figures` (regenerates the
+//! simulated figures `F2`–`F6` when `cargo bench` runs).
+
+/// Thread counts exercised by the native Criterion benches. Chosen small:
+/// the reference host has few cores, and oversubscribed Criterion timings
+/// are noise; the simulator carries the high-core-count figures.
+pub const NATIVE_THREADS: &[usize] = &[1, 2, 4];

@@ -1,0 +1,164 @@
+//! `splash4-report` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! splash4-report --list
+//! splash4-report --experiment F2-sim-epyc [--class test|small|native]
+//! splash4-report --all [--json-out results.json]
+//! splash4-report --experiment F1-native --threads 1,2,4
+//! splash4-report --all --csv-dir results/csv
+//! ```
+
+use splash4_harness::{run_experiment, ExperimentCtx, ALL_EXPERIMENTS};
+use splash4_kernels::InputClass;
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "usage: splash4-report (--list | --all | --experiment <id>) \
+     [--class test|small|native] [--threads a,b,c] [--sim-threads a,b,c] \
+     [--snapshot-cores N] [--json-out FILE] [--csv-dir DIR]"
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut experiment: Option<String> = None;
+    let mut all = false;
+    let mut list = false;
+    let mut ctx = ExperimentCtx::default();
+    let mut json_out: Option<String> = None;
+    let mut csv_dir: Option<String> = None;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--list" => list = true,
+            "--all" => all = true,
+            "--experiment" | "-e" => {
+                experiment = it.next().cloned();
+                if experiment.is_none() {
+                    eprintln!("--experiment needs an id\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            }
+            "--class" | "-c" => {
+                let Some(c) = it.next().and_then(|s| InputClass::from_label(s)) else {
+                    eprintln!("--class needs test|small|native\n{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                ctx.class = c;
+            }
+            "--threads" | "-t" => {
+                let Some(list) = it.next().map(|s| parse_list(s)) else {
+                    eprintln!("--threads needs a comma list\n{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                match list {
+                    Some(v) if !v.is_empty() => ctx.native_threads = v,
+                    _ => {
+                        eprintln!("--threads needs positive integers\n{}", usage());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--sim-threads" => {
+                let Some(list) = it.next().map(|s| parse_list(s)) else {
+                    eprintln!("--sim-threads needs a comma list\n{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                match list {
+                    Some(v) if !v.is_empty() => ctx.sim_threads = v,
+                    _ => {
+                        eprintln!("--sim-threads needs positive integers\n{}", usage());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--snapshot-cores" => {
+                let Some(n) = it.next().and_then(|s| s.parse::<usize>().ok()) else {
+                    eprintln!("--snapshot-cores needs an integer\n{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                ctx.snapshot_cores = n.max(1);
+            }
+            "--json-out" => {
+                json_out = it.next().cloned();
+                if json_out.is_none() {
+                    eprintln!("--json-out needs a path\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            }
+            "--csv-dir" => {
+                csv_dir = it.next().cloned();
+                if csv_dir.is_none() {
+                    eprintln!("--csv-dir needs a directory\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument '{other}'\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if list {
+        for id in ALL_EXPERIMENTS {
+            println!("{id}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let ids: Vec<String> = if all {
+        ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect()
+    } else if let Some(e) = experiment {
+        vec![e]
+    } else {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+
+    let mut payloads = Vec::new();
+    for id in &ids {
+        match run_experiment(id, &ctx) {
+            Ok(report) => {
+                print!("{}", report.to_terminal());
+                if let Some(dir) = &csv_dir {
+                    if let Err(e) = std::fs::create_dir_all(dir).and_then(|()| {
+                        std::fs::write(format!("{dir}/{}.csv", report.id), &report.csv)
+                    }) {
+                        eprintln!("failed to write CSV for {}: {e}", report.id);
+                        return ExitCode::FAILURE;
+                    }
+                }
+                payloads.push(serde_json::json!({
+                    "id": report.id,
+                    "title": report.title,
+                    "data": report.json,
+                }));
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if let Some(path) = json_out {
+        let doc = serde_json::json!({ "experiments": payloads });
+        if let Err(e) = std::fs::write(&path, serde_json::to_string_pretty(&doc).unwrap()) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn parse_list(s: &str) -> Option<Vec<usize>> {
+    s.split(',')
+        .map(|x| x.trim().parse::<usize>().ok().filter(|&v| v > 0))
+        .collect()
+}

@@ -1,0 +1,545 @@
+//! The paper's experiment inventory: one function per table/figure.
+//!
+//! Experiment ids follow `DESIGN.md` §4. Each function returns a [`Report`]
+//! with an aligned text table (what the paper's figure/table shows) and a
+//! JSON payload for downstream plotting.
+
+use crate::registry::BenchmarkId;
+use crate::tables::{geomean, pct_change, Report, Table};
+use serde_json::json;
+use splash4_kernels::InputClass;
+use splash4_parmacs::{ConstructClass, SyncEnv, SyncMode, SyncPolicy, WorkModel};
+use splash4_sim::{simulate, MachineParams};
+
+/// Shared experiment parameters.
+#[derive(Debug, Clone)]
+pub struct ExperimentCtx {
+    /// Input class for kernel executions.
+    pub class: InputClass,
+    /// Thread counts for native (host) runs.
+    pub native_threads: Vec<usize>,
+    /// Core counts for simulated runs.
+    pub sim_threads: Vec<usize>,
+    /// Core count used for breakdown/ablation snapshots.
+    pub snapshot_cores: usize,
+}
+
+impl Default for ExperimentCtx {
+    fn default() -> ExperimentCtx {
+        ExperimentCtx {
+            class: InputClass::Test,
+            native_threads: vec![1, 2, 4],
+            sim_threads: vec![1, 2, 4, 8, 16, 32, 64],
+            snapshot_cores: 32,
+        }
+    }
+}
+
+/// All known experiment ids, in presentation order.
+pub const ALL_EXPERIMENTS: [&str; 10] = [
+    "T1-inputs",
+    "T2-changes",
+    "T3-syncops",
+    "F1-native",
+    "F2-sim-epyc",
+    "F3-sim-icelake",
+    "F4-scalability",
+    "F5-sync-breakdown",
+    "F6-ablation",
+    "S1-sensitivity",
+];
+
+/// Dispatch an experiment by id.
+///
+/// # Errors
+/// Returns an error message for unknown ids.
+pub fn run_experiment(id: &str, ctx: &ExperimentCtx) -> Result<Report, String> {
+    match id {
+        "T1-inputs" => Ok(t1_inputs(ctx)),
+        "T2-changes" => Ok(t2_changes(ctx)),
+        "T3-syncops" => Ok(t3_syncops(ctx)),
+        "F1-native" => Ok(f1_native(ctx)),
+        "F2-sim-epyc" => Ok(sim_normalized("F2-sim-epyc", MachineParams::epyc_like(), ctx)),
+        "F3-sim-icelake" => Ok(sim_normalized(
+            "F3-sim-icelake",
+            MachineParams::icelake_like(),
+            ctx,
+        )),
+        "F4-scalability" => Ok(f4_scalability(ctx)),
+        "F5-sync-breakdown" => Ok(f5_breakdown(ctx)),
+        "F6-ablation" => Ok(f6_ablation(ctx)),
+        "S1-sensitivity" => Ok(s1_sensitivity(ctx)),
+        _ => Err(format!(
+            "unknown experiment '{id}'; known: {}",
+            ALL_EXPERIMENTS.join(", ")
+        )),
+    }
+}
+
+/// Obtain a calibrated workload model for `b` (single lock-free run).
+pub fn work_model(b: BenchmarkId, class: InputClass) -> WorkModel {
+    let env = SyncEnv::new(SyncMode::LockFree, 1);
+    b.run(class, &env).work
+}
+
+/// `T1-inputs`: the suite/workload/input table.
+fn t1_inputs(ctx: &ExperimentCtx) -> Report {
+    let mut t = Table::new(vec!["benchmark", "test", "small", "native"]);
+    let mut rows = Vec::new();
+    for b in BenchmarkId::ALL {
+        let cells: Vec<String> = InputClass::ALL
+            .iter()
+            .map(|&c| b.input_description(c))
+            .collect();
+        rows.push(json!({
+            "benchmark": b.name(),
+            "test": cells[0], "small": cells[1], "native": cells[2],
+        }));
+        t.row(vec![
+            b.name().to_string(),
+            cells[0].clone(),
+            cells[1].clone(),
+            cells[2].clone(),
+        ]);
+    }
+    let _ = ctx;
+    Report {
+        id: "T1-inputs".into(),
+        title: "Workloads and input parameters per class".into(),
+        text: t.render(),
+        json: json!({ "rows": rows }),
+        csv: t.to_csv(),
+    }
+}
+
+/// `T2-changes`: per-benchmark summary of what the modernization replaces.
+fn t2_changes(ctx: &ExperimentCtx) -> Report {
+    let mut t = Table::new(vec![
+        "benchmark",
+        "locks(S3)",
+        "rmws(S4)",
+        "barriers",
+        "getsubs",
+        "queue-ops",
+        "reduces",
+    ]);
+    let mut rows = Vec::new();
+    for b in BenchmarkId::ALL {
+        let lb = b.run(ctx.class, &SyncEnv::new(SyncMode::LockBased, 2)).profile;
+        let lf = b.run(ctx.class, &SyncEnv::new(SyncMode::LockFree, 2)).profile;
+        t.row(vec![
+            b.name().to_string(),
+            lb.lock_acquires.to_string(),
+            lf.atomic_rmws.to_string(),
+            lf.barrier_waits.to_string(),
+            lf.getsub_calls.to_string(),
+            lf.queue_ops.to_string(),
+            lf.reduce_ops.to_string(),
+        ]);
+        rows.push(json!({
+            "benchmark": b.name(),
+            "splash3": lb, "splash4": lf,
+        }));
+    }
+    Report {
+        id: "T2-changes".into(),
+        title: "Dynamic sync constructs replaced by the modernization (2 threads)".into(),
+        text: t.render(),
+        json: json!({ "class": ctx.class.label(), "rows": rows }),
+        csv: t.to_csv(),
+    }
+}
+
+/// `T3-syncops`: full dynamic sync-operation counts, both modes.
+fn t3_syncops(ctx: &ExperimentCtx) -> Report {
+    let mut t = Table::new(vec![
+        "benchmark",
+        "mode",
+        "locks",
+        "contended",
+        "rmws",
+        "cas-retries",
+        "barriers",
+        "getsubs",
+        "reduces",
+        "queue-ops",
+        "flag-waits",
+    ]);
+    let mut rows = Vec::new();
+    for b in BenchmarkId::ALL {
+        for mode in SyncMode::ALL {
+            let p = b.run(ctx.class, &SyncEnv::new(mode, 4)).profile;
+            t.row(vec![
+                b.name().to_string(),
+                mode.label().to_string(),
+                p.lock_acquires.to_string(),
+                p.lock_contended.to_string(),
+                p.atomic_rmws.to_string(),
+                p.cas_failures.to_string(),
+                p.barrier_waits.to_string(),
+                p.getsub_calls.to_string(),
+                p.reduce_ops.to_string(),
+                p.queue_ops.to_string(),
+                p.flag_waits.to_string(),
+            ]);
+            rows.push(json!({ "benchmark": b.name(), "mode": mode.label(), "profile": p }));
+        }
+    }
+    Report {
+        id: "T3-syncops".into(),
+        title: "Dynamic synchronization operations (4 threads)".into(),
+        text: t.render(),
+        json: json!({ "class": ctx.class.label(), "rows": rows }),
+        csv: t.to_csv(),
+    }
+}
+
+/// `F1-native`: normalized execution time on the host.
+fn f1_native(ctx: &ExperimentCtx) -> Report {
+    let mut header = vec!["benchmark".to_string()];
+    for &p in &ctx.native_threads {
+        header.push(format!("t={p}"));
+    }
+    let mut t = Table::new(header);
+    let mut per_thread_ratios: Vec<Vec<f64>> = vec![Vec::new(); ctx.native_threads.len()];
+    let mut rows = Vec::new();
+    for b in BenchmarkId::ALL {
+        let mut cells = vec![b.name().to_string()];
+        let mut jrow = vec![];
+        for (i, &p) in ctx.native_threads.iter().enumerate() {
+            let lb = b.run(ctx.class, &SyncEnv::new(SyncMode::LockBased, p));
+            let lf = b.run(ctx.class, &SyncEnv::new(SyncMode::LockFree, p));
+            let ratio = lf.elapsed.as_secs_f64() / lb.elapsed.as_secs_f64().max(1e-12);
+            per_thread_ratios[i].push(ratio);
+            cells.push(format!("{ratio:.3}"));
+            jrow.push(json!({
+                "threads": p,
+                "splash3_ns": lb.elapsed_ns(),
+                "splash4_ns": lf.elapsed_ns(),
+                "ratio": ratio,
+            }));
+        }
+        t.row(cells);
+        rows.push(json!({ "benchmark": b.name(), "points": jrow }));
+    }
+    let mut mean_cells = vec!["geomean".to_string()];
+    for r in &per_thread_ratios {
+        mean_cells.push(format!("{:.3}", geomean(r)));
+    }
+    t.row(mean_cells);
+    Report {
+        id: "F1-native".into(),
+        title: format!(
+            "Normalized execution time (Splash-4 / Splash-3), host runs, class={}",
+            ctx.class.label()
+        ),
+        text: t.render(),
+        json: json!({ "class": ctx.class.label(), "rows": rows }),
+        csv: t.to_csv(),
+    }
+}
+
+/// `F2`/`F3`: normalized execution time on a simulated machine.
+fn sim_normalized(id: &str, machine: MachineParams, ctx: &ExperimentCtx) -> Report {
+    let mut header = vec!["benchmark".to_string()];
+    for &p in &ctx.sim_threads {
+        header.push(format!("p={p}"));
+    }
+    let mut t = Table::new(header);
+    let mut per_core_ratios: Vec<Vec<f64>> = vec![Vec::new(); ctx.sim_threads.len()];
+    let mut rows = Vec::new();
+    for b in BenchmarkId::ALL {
+        let work = work_model(b, ctx.class);
+        let mut cells = vec![b.name().to_string()];
+        let mut jrow = vec![];
+        for (i, &p) in ctx.sim_threads.iter().enumerate() {
+            let lb = simulate(&work, SyncMode::LockBased, p, &machine);
+            let lf = simulate(&work, SyncMode::LockFree, p, &machine);
+            let ratio = lf.total_ns as f64 / lb.total_ns.max(1) as f64;
+            per_core_ratios[i].push(ratio);
+            cells.push(format!("{ratio:.3}"));
+            jrow.push(json!({
+                "cores": p,
+                "splash3_ns": lb.total_ns,
+                "splash4_ns": lf.total_ns,
+                "ratio": ratio,
+            }));
+        }
+        t.row(cells);
+        rows.push(json!({ "benchmark": b.name(), "points": jrow }));
+    }
+    let mut mean_cells = vec!["geomean".to_string()];
+    let mut means = vec![];
+    for r in &per_core_ratios {
+        let g = geomean(r);
+        means.push(g);
+        mean_cells.push(format!("{g:.3}"));
+    }
+    t.row(mean_cells);
+    let headline = means.last().copied().unwrap_or(f64::NAN);
+    Report {
+        id: id.into(),
+        title: format!(
+            "Normalized execution time (Splash-4 / Splash-3) on {} — {} at {} cores",
+            machine.name,
+            pct_change(headline),
+            ctx.sim_threads.last().copied().unwrap_or(0),
+        ),
+        text: t.render(),
+        json: json!({
+            "machine": machine.name,
+            "class": ctx.class.label(),
+            "rows": rows,
+            "geomeans": means,
+        }),
+        csv: t.to_csv(),
+    }
+}
+
+/// `F4-scalability`: self-relative simulated speedup curves.
+fn f4_scalability(ctx: &ExperimentCtx) -> Report {
+    let machine = MachineParams::epyc_like();
+    let mut header = vec!["benchmark".to_string(), "suite".to_string()];
+    for &p in &ctx.sim_threads {
+        header.push(format!("p={p}"));
+    }
+    let mut t = Table::new(header);
+    let mut rows = Vec::new();
+    for b in BenchmarkId::ALL {
+        let work = work_model(b, ctx.class);
+        for mode in SyncMode::ALL {
+            let t1 = simulate(&work, mode, 1, &machine).total_ns as f64;
+            let mut cells = vec![b.name().to_string(), mode.label().to_string()];
+            let mut speeds = vec![];
+            for &p in &ctx.sim_threads {
+                let tp = simulate(&work, mode, p, &machine).total_ns as f64;
+                let s = t1 / tp.max(1.0);
+                speeds.push(s);
+                cells.push(format!("{s:.2}"));
+            }
+            t.row(cells);
+            rows.push(json!({ "benchmark": b.name(), "suite": mode.label(), "speedup": speeds }));
+        }
+    }
+    Report {
+        id: "F4-scalability".into(),
+        title: format!("Simulated self-relative speedup ({})", machine.name),
+        text: t.render(),
+        json: json!({ "machine": machine.name, "rows": rows }),
+        csv: t.to_csv(),
+    }
+}
+
+/// `F5-sync-breakdown`: where simulated core-time goes at the snapshot core
+/// count.
+fn f5_breakdown(ctx: &ExperimentCtx) -> Report {
+    let machine = MachineParams::epyc_like();
+    let p = ctx.snapshot_cores;
+    let mut t = Table::new(vec![
+        "benchmark",
+        "suite",
+        "compute%",
+        "service%",
+        "wait%",
+        "sync-local%",
+        "barrier%",
+    ]);
+    let mut rows = Vec::new();
+    for b in BenchmarkId::ALL {
+        let work = work_model(b, ctx.class);
+        for mode in SyncMode::ALL {
+            let res = simulate(&work, mode, p, &machine);
+            let (c, s, w, l, bar) = res.fractions();
+            t.row(vec![
+                b.name().to_string(),
+                mode.label().to_string(),
+                format!("{:.1}", c * 100.0),
+                format!("{:.1}", s * 100.0),
+                format!("{:.1}", w * 100.0),
+                format!("{:.1}", l * 100.0),
+                format!("{:.1}", bar * 100.0),
+            ]);
+            rows.push(json!({
+                "benchmark": b.name(), "suite": mode.label(),
+                "compute": c, "service": s, "wait": w, "sync_local": l, "barrier": bar,
+            }));
+        }
+    }
+    Report {
+        id: "F5-sync-breakdown".into(),
+        title: format!("Simulated time breakdown at {p} cores ({})", machine.name),
+        text: t.render(),
+        json: json!({ "machine": machine.name, "cores": p, "rows": rows }),
+        csv: t.to_csv(),
+    }
+}
+
+/// `F6-ablation`: modernize one construct class at a time.
+fn f6_ablation(ctx: &ExperimentCtx) -> Report {
+    let machine = MachineParams::epyc_like();
+    let p = ctx.snapshot_cores;
+    let classes = ConstructClass::ALL;
+    let mut header = vec!["benchmark".to_string()];
+    for c in classes {
+        header.push(format!("+{}", c.label()));
+    }
+    header.push("full".to_string());
+    let mut t = Table::new(header);
+    let mut rows = Vec::new();
+    let mut per_class: Vec<Vec<f64>> = vec![Vec::new(); classes.len() + 1];
+    for b in BenchmarkId::ALL {
+        let work = work_model(b, ctx.class);
+        let base = simulate(&work, SyncMode::LockBased, p, &machine).total_ns as f64;
+        let mut cells = vec![b.name().to_string()];
+        let mut jrow = vec![];
+        for (i, &c) in classes.iter().enumerate() {
+            let policy = SyncPolicy::uniform(SyncMode::LockBased).with(c, SyncMode::LockFree);
+            let tt = simulate(&work, policy, p, &machine).total_ns as f64;
+            let ratio = tt / base.max(1.0);
+            per_class[i].push(ratio);
+            cells.push(format!("{ratio:.3}"));
+            jrow.push(json!({ "class": c.label(), "ratio": ratio }));
+        }
+        let full =
+            simulate(&work, SyncMode::LockFree, p, &machine).total_ns as f64 / base.max(1.0);
+        per_class[classes.len()].push(full);
+        cells.push(format!("{full:.3}"));
+        t.row(cells);
+        rows.push(json!({ "benchmark": b.name(), "ablations": jrow, "full": full }));
+    }
+    let mut mean_cells = vec!["geomean".to_string()];
+    for r in &per_class {
+        mean_cells.push(format!("{:.3}", geomean(r)));
+    }
+    t.row(mean_cells);
+    Report {
+        id: "F6-ablation".into(),
+        title: format!(
+            "Per-construct modernization: time vs Splash-3 baseline at {p} cores ({})",
+            machine.name
+        ),
+        text: t.render(),
+        json: json!({ "machine": machine.name, "cores": p, "rows": rows }),
+        csv: t.to_csv(),
+    }
+}
+
+/// `S1-sensitivity` (extension): robustness of the headline result to the
+/// two calibrated machine parameters.
+///
+/// The convoy fraction and condvar wake cost were fitted once against the
+/// paper's two headline numbers (`DESIGN.md` §8). This experiment halves and
+/// doubles each and reports the 64-core suite geomean for every combination:
+/// the conclusion ("Splash-4 wins substantially at scale") should survive
+/// the entire grid.
+fn s1_sensitivity(ctx: &ExperimentCtx) -> Report {
+    let base = MachineParams::epyc_like();
+    let cores = *ctx.sim_threads.iter().max().unwrap_or(&64);
+    let works: Vec<WorkModel> = BenchmarkId::ALL
+        .iter()
+        .map(|&b| work_model(b, ctx.class))
+        .collect();
+    let scales = [0.5f64, 1.0, 2.0];
+    let mut t = Table::new(vec!["convoy×", "condvar×", "geomean ratio", "reduction"]);
+    let mut rows = Vec::new();
+    for &cs in &scales {
+        for &ws in &scales {
+            let mut m = base;
+            m.convoy_fraction = base.convoy_fraction * cs;
+            m.condvar_wake_ns = (base.condvar_wake_ns as f64 * ws).round() as u64;
+            let ratios: Vec<f64> = works
+                .iter()
+                .map(|w| {
+                    let lb = simulate(w, SyncMode::LockBased, cores, &m).total_ns as f64;
+                    let lf = simulate(w, SyncMode::LockFree, cores, &m).total_ns as f64;
+                    lf / lb.max(1.0)
+                })
+                .collect();
+            let g = geomean(&ratios);
+            t.row(vec![
+                format!("{cs}"),
+                format!("{ws}"),
+                format!("{g:.3}"),
+                pct_change(g),
+            ]);
+            rows.push(json!({ "convoy_scale": cs, "condvar_scale": ws, "geomean": g }));
+        }
+    }
+    Report {
+        id: "S1-sensitivity".into(),
+        title: format!(
+            "Headline sensitivity to calibrated parameters ({} cores, {})",
+            cores, base.name
+        ),
+        text: t.render(),
+        json: json!({ "cores": cores, "rows": rows }),
+        csv: t.to_csv(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_ctx() -> ExperimentCtx {
+        ExperimentCtx {
+            class: InputClass::Test,
+            native_threads: vec![1, 2],
+            sim_threads: vec![1, 8, 64],
+            snapshot_cores: 16,
+        }
+    }
+
+    #[test]
+    fn unknown_experiment_is_an_error() {
+        assert!(run_experiment("F9-nope", &quick_ctx()).is_err());
+    }
+
+    #[test]
+    fn t1_lists_all_benchmarks() {
+        let r = run_experiment("T1-inputs", &quick_ctx()).unwrap();
+        for b in BenchmarkId::ALL {
+            assert!(r.text.contains(b.name()), "missing {b}");
+        }
+    }
+
+    #[test]
+    fn sim_experiment_shows_splash4_winning_at_scale() {
+        let r = run_experiment("F2-sim-epyc", &quick_ctx()).unwrap();
+        let means = r.json["geomeans"].as_array().unwrap();
+        let at_1 = means[0].as_f64().unwrap();
+        let at_64 = means[2].as_f64().unwrap();
+        assert!(
+            (0.85..=1.1).contains(&at_1),
+            "single core should be near parity, got {at_1}"
+        );
+        assert!(at_64 < 0.8, "Splash-4 must win clearly at 64 cores, got {at_64}");
+        assert!(at_64 < at_1, "gap should widen with cores");
+    }
+
+    #[test]
+    fn sensitivity_grid_never_flips_the_conclusion() {
+        let r = run_experiment("S1-sensitivity", &quick_ctx()).unwrap();
+        for row in r.json["rows"].as_array().unwrap() {
+            let g = row["geomean"].as_f64().unwrap();
+            assert!(
+                g < 0.85,
+                "headline must survive parameter scaling, got {g} at {row}"
+            );
+        }
+    }
+
+    #[test]
+    fn epyc_gap_exceeds_icelake_gap() {
+        // Paper headline: −52% on EPYC vs −34% on Ice Lake at 64 threads.
+        let ctx = quick_ctx();
+        let epyc = run_experiment("F2-sim-epyc", &ctx).unwrap();
+        let ice = run_experiment("F3-sim-icelake", &ctx).unwrap();
+        let e = epyc.json["geomeans"].as_array().unwrap()[2].as_f64().unwrap();
+        let i = ice.json["geomeans"].as_array().unwrap()[2].as_f64().unwrap();
+        assert!(
+            e < i,
+            "EPYC-like preset should show the larger Splash-4 win: {e} vs {i}"
+        );
+    }
+}

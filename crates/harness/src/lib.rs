@@ -1,0 +1,16 @@
+//! Experiment driver for the splash4-rs suite.
+//!
+//! Regenerates every table and figure of the paper reconstruction (see
+//! `DESIGN.md` §4 for the experiment index) from the kernel registry, the
+//! native runner and the timing simulator. The `splash4-report` binary is the
+//! command-line front end.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod registry;
+pub mod tables;
+
+pub use experiments::{run_experiment, work_model, ExperimentCtx, ALL_EXPERIMENTS};
+pub use registry::BenchmarkId;
+pub use tables::{geomean, pct_change, Report, Table};

@@ -1,0 +1,202 @@
+//! The benchmark registry: one entry per suite workload.
+
+use serde::{Deserialize, Serialize};
+use splash4_kernels::{
+    barnes, cholesky, fft, fmm, lu, ocean, radiosity, radix, raytrace, volrend, water_nsq,
+    water_sp, InputClass, KernelResult,
+};
+use splash4_parmacs::SyncEnv;
+use std::fmt;
+
+/// Identifier of a suite workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum BenchmarkId {
+    Barnes,
+    Cholesky,
+    Fft,
+    Fmm,
+    Lu,
+    LuNoncont,
+    Ocean,
+    OceanNoncont,
+    Radiosity,
+    Radix,
+    Raytrace,
+    Volrend,
+    WaterNsquared,
+    WaterSpatial,
+}
+
+impl BenchmarkId {
+    /// All workloads in suite order.
+    pub const ALL: [BenchmarkId; 14] = [
+        BenchmarkId::Barnes,
+        BenchmarkId::Cholesky,
+        BenchmarkId::Fft,
+        BenchmarkId::Fmm,
+        BenchmarkId::Lu,
+        BenchmarkId::LuNoncont,
+        BenchmarkId::Ocean,
+        BenchmarkId::OceanNoncont,
+        BenchmarkId::Radiosity,
+        BenchmarkId::Radix,
+        BenchmarkId::Raytrace,
+        BenchmarkId::Volrend,
+        BenchmarkId::WaterNsquared,
+        BenchmarkId::WaterSpatial,
+    ];
+
+    /// Canonical suite name.
+    pub fn name(self) -> &'static str {
+        match self {
+            BenchmarkId::Barnes => "barnes",
+            BenchmarkId::Cholesky => "cholesky",
+            BenchmarkId::Fft => "fft",
+            BenchmarkId::Fmm => "fmm",
+            BenchmarkId::Lu => "lu",
+            BenchmarkId::LuNoncont => "lu-noncont",
+            BenchmarkId::Ocean => "ocean",
+            BenchmarkId::OceanNoncont => "ocean-noncont",
+            BenchmarkId::Radiosity => "radiosity",
+            BenchmarkId::Radix => "radix",
+            BenchmarkId::Raytrace => "raytrace",
+            BenchmarkId::Volrend => "volrend",
+            BenchmarkId::WaterNsquared => "water-nsquared",
+            BenchmarkId::WaterSpatial => "water-spatial",
+        }
+    }
+
+    /// Parse a suite name.
+    pub fn from_name(s: &str) -> Option<BenchmarkId> {
+        BenchmarkId::ALL.into_iter().find(|b| b.name() == s)
+    }
+
+    /// Human description of the configured input for `class` (the `T1-inputs`
+    /// table content).
+    pub fn input_description(self, class: InputClass) -> String {
+        match self {
+            BenchmarkId::Barnes => {
+                let c = barnes::BarnesConfig::class(class);
+                format!("{} bodies, {} steps, θ={}", c.n, c.steps, c.theta)
+            }
+            BenchmarkId::Cholesky => {
+                let c = cholesky::CholeskyConfig::class(class);
+                format!("{0}×{0} SPD matrix, {1}×{1} blocks", c.n, c.block)
+            }
+            BenchmarkId::Fft => {
+                let c = fft::FftConfig::class(class);
+                format!("{} complex points (√n={})", c.n(), c.m)
+            }
+            BenchmarkId::Fmm => {
+                let c = fmm::FmmConfig::class(class);
+                format!("{} particles, depth {}, p={}", c.n, c.levels, c.order)
+            }
+            BenchmarkId::Lu => {
+                let c = lu::LuConfig::class(class);
+                format!("{0}×{0} matrix, {1}×{1} blocks", c.n, c.block)
+            }
+            BenchmarkId::LuNoncont => {
+                let c = lu::LuConfig::class_noncont(class);
+                format!("{0}×{0} matrix, {1}×{1} blocks, row-major", c.n, c.block)
+            }
+            BenchmarkId::Ocean => {
+                let c = ocean::OceanConfig::class(class);
+                format!("{0}×{0} grid, tol {1:.0e}", c.n, c.tolerance)
+            }
+            BenchmarkId::OceanNoncont => {
+                let c = ocean::OceanConfig::class_noncont(class);
+                format!("{0}×{0} grid, tol {1:.0e}, row arrays", c.n, c.tolerance)
+            }
+            BenchmarkId::Radiosity => {
+                let c = radiosity::RadiosityConfig::class(class);
+                format!("{} patches (6 walls × {}²)", c.patches(), c.m)
+            }
+            BenchmarkId::Radix => {
+                let c = radix::RadixConfig::class(class);
+                format!("{} keys, radix {}", c.n, c.buckets())
+            }
+            BenchmarkId::Raytrace => {
+                let c = raytrace::RaytraceConfig::class(class);
+                format!("{0}×{0} image, depth {1}", c.size, c.max_depth)
+            }
+            BenchmarkId::Volrend => {
+                let c = volrend::VolrendConfig::class(class);
+                format!("{0}³ volume → {1}² image", c.volume, c.image)
+            }
+            BenchmarkId::WaterNsquared => {
+                let c = water_nsq::WaterNsqConfig::class(class);
+                format!("{} molecules, {} steps", c.n, c.steps)
+            }
+            BenchmarkId::WaterSpatial => {
+                let c = water_sp::WaterSpConfig::class(class);
+                format!("{} molecules, {} steps, cell lists", c.n, c.steps)
+            }
+        }
+    }
+
+    /// Run the workload at `class` under `env`.
+    pub fn run(self, class: InputClass, env: &SyncEnv) -> KernelResult {
+        match self {
+            BenchmarkId::Barnes => barnes::run(&barnes::BarnesConfig::class(class), env),
+            BenchmarkId::Cholesky => cholesky::run(&cholesky::CholeskyConfig::class(class), env),
+            BenchmarkId::Fft => fft::run(&fft::FftConfig::class(class), env),
+            BenchmarkId::Fmm => fmm::run(&fmm::FmmConfig::class(class), env),
+            BenchmarkId::Lu => lu::run(&lu::LuConfig::class(class), env),
+            BenchmarkId::LuNoncont => lu::run(&lu::LuConfig::class_noncont(class), env),
+            BenchmarkId::Ocean => ocean::run(&ocean::OceanConfig::class(class), env),
+            BenchmarkId::OceanNoncont => {
+                ocean::run(&ocean::OceanConfig::class_noncont(class), env)
+            }
+            BenchmarkId::Radiosity => {
+                radiosity::run(&radiosity::RadiosityConfig::class(class), env)
+            }
+            BenchmarkId::Radix => radix::run(&radix::RadixConfig::class(class), env),
+            BenchmarkId::Raytrace => raytrace::run(&raytrace::RaytraceConfig::class(class), env),
+            BenchmarkId::Volrend => volrend::run(&volrend::VolrendConfig::class(class), env),
+            BenchmarkId::WaterNsquared => {
+                water_nsq::run(&water_nsq::WaterNsqConfig::class(class), env)
+            }
+            BenchmarkId::WaterSpatial => water_sp::run(&water_sp::WaterSpConfig::class(class), env),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splash4_parmacs::SyncMode;
+
+    #[test]
+    fn names_round_trip() {
+        for b in BenchmarkId::ALL {
+            assert_eq!(BenchmarkId::from_name(b.name()), Some(b));
+        }
+        assert_eq!(BenchmarkId::from_name("doom"), None);
+    }
+
+    #[test]
+    fn descriptions_are_nonempty_for_all_classes() {
+        for b in BenchmarkId::ALL {
+            for c in InputClass::ALL {
+                assert!(!b.input_description(c).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn every_benchmark_runs_and_validates_at_test_class() {
+        for b in BenchmarkId::ALL {
+            let env = SyncEnv::new(SyncMode::LockFree, 2);
+            let r = b.run(InputClass::Test, &env);
+            assert!(r.validated, "{b} failed validation");
+            assert!(!r.work.phases.is_empty(), "{b} must export a work model");
+        }
+    }
+}

@@ -1,0 +1,350 @@
+//! Phase barriers (`BARRIER` in PARMACS).
+//!
+//! Three implementations:
+//!
+//! * [`CondvarBarrier`] — mutex + condition-variable generation barrier; the
+//!   pthreads expansion used by Splash-3. Threads *sleep* while waiting, so
+//!   every episode pays wake-up latency proportional to the scheduler.
+//! * [`SenseBarrier`] — central counter, sense-reversing, spin-with-backoff;
+//!   the atomic expansion used by Splash-4.
+//! * [`TreeBarrier`] — combining-tree variant (arity 4) provided as the
+//!   suite's scalability extension; reduces the O(N) contention of the central
+//!   counter to O(log N) for large thread counts.
+//!
+//! All barriers are reusable (cyclic) and instrumented through a shared
+//! [`SyncCounters`].
+
+use crate::stats::SyncCounters;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Number of spin iterations before a spinning waiter starts yielding to the
+/// scheduler. Keeps the lock-free barriers live on oversubscribed hosts while
+/// preserving spin behaviour when cores are plentiful.
+const SPINS_BEFORE_YIELD: u32 = 64;
+
+/// Spin-wait helper with progressive back-off: busy spin, then yield.
+#[inline]
+pub(crate) fn spin_wait(iteration: &mut u32) {
+    if *iteration < SPINS_BEFORE_YIELD {
+        std::hint::spin_loop();
+        *iteration += 1;
+    } else {
+        std::thread::yield_now();
+    }
+}
+
+/// A reusable (cyclic) phase barrier for a fixed set of participants.
+pub trait Barrier: Send + Sync + fmt::Debug {
+    /// Block until all `participants()` threads have called `wait` for the
+    /// current episode. `tid` is the calling thread's team index; central
+    /// barriers ignore it, tree barriers use it to pick a leaf.
+    fn wait(&self, tid: usize);
+
+    /// Number of threads that must arrive to release an episode.
+    fn participants(&self) -> usize;
+}
+
+/// Mutex + condvar generation barrier (the Splash-3 / pthreads expansion).
+pub struct CondvarBarrier {
+    n: usize,
+    state: Mutex<(usize, u64)>, // (arrived, generation)
+    cv: Condvar,
+    stats: Arc<SyncCounters>,
+}
+
+impl CondvarBarrier {
+    /// Barrier for `n` participants reporting into `stats`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, stats: Arc<SyncCounters>) -> CondvarBarrier {
+        assert!(n > 0, "barrier needs at least one participant");
+        CondvarBarrier {
+            n,
+            state: Mutex::new((0, 0)),
+            cv: Condvar::new(),
+            stats,
+        }
+    }
+}
+
+impl Barrier for CondvarBarrier {
+    fn wait(&self, _tid: usize) {
+        SyncCounters::bump(&self.stats.barrier_waits);
+        SyncCounters::timed(&self.stats.barrier_wait_ns, || {
+            let mut st = self.state.lock().expect("barrier mutex poisoned");
+            let gen = st.1;
+            st.0 += 1;
+            if st.0 == self.n {
+                st.0 = 0;
+                st.1 = st.1.wrapping_add(1);
+                self.cv.notify_all();
+            } else {
+                while st.1 == gen {
+                    st = self.cv.wait(st).expect("barrier mutex poisoned");
+                }
+            }
+        });
+    }
+
+    fn participants(&self) -> usize {
+        self.n
+    }
+}
+
+impl fmt::Debug for CondvarBarrier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CondvarBarrier").field("n", &self.n).finish()
+    }
+}
+
+/// Central sense-reversing atomic barrier (the Splash-4 expansion).
+///
+/// The classic per-thread "local sense" is replaced by an equivalent
+/// generation counter, which keeps the barrier free of per-thread state and
+/// therefore shareable behind `&self`.
+pub struct SenseBarrier {
+    n: usize,
+    arrived: AtomicUsize,
+    generation: AtomicU64,
+    stats: Arc<SyncCounters>,
+}
+
+impl SenseBarrier {
+    /// Barrier for `n` participants reporting into `stats`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, stats: Arc<SyncCounters>) -> SenseBarrier {
+        assert!(n > 0, "barrier needs at least one participant");
+        SenseBarrier {
+            n,
+            arrived: AtomicUsize::new(0),
+            generation: AtomicU64::new(0),
+            stats,
+        }
+    }
+}
+
+impl Barrier for SenseBarrier {
+    fn wait(&self, _tid: usize) {
+        SyncCounters::bump(&self.stats.barrier_waits);
+        SyncCounters::bump(&self.stats.atomic_rmws);
+        SyncCounters::timed(&self.stats.barrier_wait_ns, || {
+            let gen = self.generation.load(Ordering::Acquire);
+            if self.arrived.fetch_add(1, Ordering::AcqRel) == self.n - 1 {
+                // Last arriver: reset and release everyone.
+                self.arrived.store(0, Ordering::Relaxed);
+                self.generation.fetch_add(1, Ordering::AcqRel);
+            } else {
+                let mut spins = 0u32;
+                while self.generation.load(Ordering::Acquire) == gen {
+                    spin_wait(&mut spins);
+                }
+            }
+        });
+    }
+
+    fn participants(&self) -> usize {
+        self.n
+    }
+}
+
+impl fmt::Debug for SenseBarrier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SenseBarrier").field("n", &self.n).finish()
+    }
+}
+
+/// Combining-tree barrier: leaves of arity [`TreeBarrier::ARITY`] combine into
+/// parent nodes; the final arriver at the root bumps a generation everyone
+/// spins on.
+pub struct TreeBarrier {
+    n: usize,
+    /// `levels[0]` are the leaves. Each node counts arrivals from its subtree.
+    levels: Vec<Vec<CachePadded>>,
+    generation: AtomicU64,
+    stats: Arc<SyncCounters>,
+}
+
+/// Padded arrival counter so tree nodes do not false-share.
+#[repr(align(128))]
+#[derive(Debug, Default)]
+struct CachePadded {
+    count: AtomicUsize,
+}
+
+impl TreeBarrier {
+    /// Fan-in of each tree node.
+    pub const ARITY: usize = 4;
+
+    /// Barrier for `n` participants reporting into `stats`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, stats: Arc<SyncCounters>) -> TreeBarrier {
+        assert!(n > 0, "barrier needs at least one participant");
+        let mut levels = Vec::new();
+        let mut width = n;
+        loop {
+            let nodes = width.div_ceil(Self::ARITY);
+            levels.push((0..nodes).map(|_| CachePadded::default()).collect());
+            if nodes == 1 {
+                break;
+            }
+            width = nodes;
+        }
+        TreeBarrier {
+            n,
+            levels,
+            generation: AtomicU64::new(0),
+            stats,
+        }
+    }
+
+    /// Fan-in of node `idx` at `level`: the number of children it actually has
+    /// (the last node of a level may be partially filled).
+    fn fan_in(&self, level: usize, idx: usize) -> usize {
+        let width_below = if level == 0 {
+            self.n
+        } else {
+            self.levels[level - 1].len()
+        };
+        let full = Self::ARITY;
+        let start = idx * full;
+        (width_below - start).min(full)
+    }
+}
+
+impl Barrier for TreeBarrier {
+    fn wait(&self, tid: usize) {
+        SyncCounters::bump(&self.stats.barrier_waits);
+        SyncCounters::timed(&self.stats.barrier_wait_ns, || {
+            let gen = self.generation.load(Ordering::Acquire);
+            let mut idx = tid / Self::ARITY;
+            let mut level = 0usize;
+            loop {
+                SyncCounters::bump(&self.stats.atomic_rmws);
+                let node = &self.levels[level][idx];
+                let fan_in = self.fan_in(level, idx);
+                if node.count.fetch_add(1, Ordering::AcqRel) == fan_in - 1 {
+                    // Winner: reset this node for the next episode and ascend.
+                    node.count.store(0, Ordering::Relaxed);
+                    if level + 1 == self.levels.len() {
+                        self.generation.fetch_add(1, Ordering::AcqRel);
+                        return;
+                    }
+                    idx /= Self::ARITY;
+                    level += 1;
+                } else {
+                    let mut spins = 0u32;
+                    while self.generation.load(Ordering::Acquire) == gen {
+                        spin_wait(&mut spins);
+                    }
+                    return;
+                }
+            }
+        });
+    }
+
+    fn participants(&self) -> usize {
+        self.n
+    }
+}
+
+impl fmt::Debug for TreeBarrier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TreeBarrier")
+            .field("n", &self.n)
+            .field("levels", &self.levels.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64 as Au64;
+
+    fn exercise(make: impl Fn(usize, Arc<SyncCounters>) -> Arc<dyn Barrier>, n: usize) {
+        let stats = Arc::new(SyncCounters::new());
+        let barrier = make(n, Arc::clone(&stats));
+        const EPISODES: usize = 50;
+        let phase = Au64::new(0);
+        std::thread::scope(|s| {
+            for tid in 0..n {
+                let barrier = Arc::clone(&barrier);
+                let phase = &phase;
+                s.spawn(move || {
+                    for e in 0..EPISODES {
+                        // Everyone must observe the same completed phase count
+                        // before and after each episode.
+                        let before = phase.load(Ordering::SeqCst);
+                        assert!(before >= e as u64, "phase ran behind");
+                        barrier.wait(tid);
+                        if tid == 0 {
+                            phase.fetch_add(1, Ordering::SeqCst);
+                        }
+                        barrier.wait(tid);
+                        let after = phase.load(Ordering::SeqCst);
+                        assert!(
+                            after >= (e + 1) as u64,
+                            "barrier let a thread through early: episode {e}, after {after}"
+                        );
+                    }
+                });
+            }
+        });
+        assert_eq!(phase.load(Ordering::SeqCst), EPISODES as u64);
+        assert_eq!(
+            stats.snapshot().barrier_waits,
+            (n * EPISODES * 2) as u64,
+            "each thread crossing counts once"
+        );
+    }
+
+    #[test]
+    fn condvar_barrier_synchronizes_phases() {
+        for n in [1, 2, 3, 5] {
+            exercise(|n, s| Arc::new(CondvarBarrier::new(n, s)), n);
+        }
+    }
+
+    #[test]
+    fn sense_barrier_synchronizes_phases() {
+        for n in [1, 2, 3, 5] {
+            exercise(|n, s| Arc::new(SenseBarrier::new(n, s)), n);
+        }
+    }
+
+    #[test]
+    fn tree_barrier_synchronizes_phases() {
+        for n in [1, 2, 4, 5, 9] {
+            exercise(|n, s| Arc::new(TreeBarrier::new(n, s)), n);
+        }
+    }
+
+    #[test]
+    fn tree_barrier_levels_cover_participants() {
+        let stats = Arc::new(SyncCounters::new());
+        let b = TreeBarrier::new(17, stats);
+        // 17 -> 5 leaves -> 2 nodes -> 1 root
+        assert_eq!(b.levels.len(), 3);
+        assert_eq!(b.levels[0].len(), 5);
+        assert_eq!(b.levels[1].len(), 2);
+        assert_eq!(b.levels[2].len(), 1);
+        // Last leaf has a single child (tid 16).
+        assert_eq!(b.fan_in(0, 4), 1);
+        assert_eq!(b.fan_in(0, 0), 4);
+        assert_eq!(b.fan_in(1, 1), 1);
+        assert_eq!(b.fan_in(2, 0), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one participant")]
+    fn zero_participants_rejected() {
+        let _ = SenseBarrier::new(0, Arc::new(SyncCounters::new()));
+    }
+}

@@ -1,0 +1,265 @@
+//! Dynamic index distribution (`GETSUB` in PARMACS).
+//!
+//! The single most common Splash-3 → Splash-4 transformation: the loop
+//! ```c
+//! LOCK(gl->lock); i = gl->index++; UNLOCK(gl->lock);
+//! ```
+//! becomes `i = atomic_fetch_add(&gl->index, 1)`.
+//!
+//! [`IndexCounter`] is the common interface; [`LockedCounter`] and
+//! [`AtomicCounter`] are the two expansions. Both hand out each index of the
+//! configured range exactly once, across any number of threads, and then
+//! return `None`. Chunked grabs ([`IndexCounter::next_chunk`]) model the
+//! block-`GETSUB` variant some kernels use.
+
+use crate::lock::{RawLock, SleepLock};
+use crate::stats::SyncCounters;
+use std::fmt;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A work-index dispenser over a half-open range.
+pub trait IndexCounter: Send + Sync + fmt::Debug {
+    /// Grab the next undistributed index, or `None` when the range is
+    /// exhausted.
+    fn next(&self) -> Option<usize>;
+
+    /// Grab up to `chunk` consecutive indices; returns an empty range when
+    /// exhausted. `chunk` must be non-zero.
+    fn next_chunk(&self, chunk: usize) -> Range<usize>;
+
+    /// The range being distributed.
+    fn range(&self) -> Range<usize>;
+
+    /// Reset the dispenser to the start of its range.
+    ///
+    /// Callers must ensure no thread is concurrently grabbing (normally done
+    /// between barrier-separated phases, as in the original suite).
+    fn reset(&self);
+}
+
+/// Lock-protected counter (Splash-3 expansion of `GETSUB`).
+pub struct LockedCounter {
+    range: Range<usize>,
+    next: SleepLock,
+    value: std::cell::UnsafeCell<usize>,
+    stats: Arc<SyncCounters>,
+}
+
+// SAFETY: `value` is only accessed with `next` held (or from `reset`, whose
+// contract requires external quiescence).
+unsafe impl Sync for LockedCounter {}
+unsafe impl Send for LockedCounter {}
+
+impl LockedCounter {
+    /// Dispenser over `range` reporting into `stats`.
+    pub fn new(range: Range<usize>, stats: Arc<SyncCounters>) -> LockedCounter {
+        LockedCounter {
+            value: std::cell::UnsafeCell::new(range.start),
+            next: SleepLock::new(Arc::clone(&stats)),
+            range,
+            stats,
+        }
+    }
+}
+
+impl IndexCounter for LockedCounter {
+    fn next(&self) -> Option<usize> {
+        SyncCounters::bump(&self.stats.getsub_calls);
+        self.next.acquire();
+        // SAFETY: lock held.
+        let v = unsafe { &mut *self.value.get() };
+        let out = if *v < self.range.end {
+            let i = *v;
+            *v += 1;
+            Some(i)
+        } else {
+            None
+        };
+        self.next.release();
+        out
+    }
+
+    fn next_chunk(&self, chunk: usize) -> Range<usize> {
+        assert!(chunk > 0, "chunk must be non-zero");
+        SyncCounters::bump(&self.stats.getsub_calls);
+        self.next.acquire();
+        // SAFETY: lock held.
+        let v = unsafe { &mut *self.value.get() };
+        let start = *v;
+        let end = (start + chunk).min(self.range.end);
+        *v = end;
+        self.next.release();
+        start..end
+    }
+
+    fn range(&self) -> Range<usize> {
+        self.range.clone()
+    }
+
+    fn reset(&self) {
+        self.next.acquire();
+        // SAFETY: lock held.
+        unsafe { *self.value.get() = self.range.start };
+        self.next.release();
+    }
+}
+
+impl fmt::Debug for LockedCounter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LockedCounter")
+            .field("range", &self.range)
+            .finish_non_exhaustive()
+    }
+}
+
+/// `fetch_add` counter (Splash-4 expansion of `GETSUB`).
+pub struct AtomicCounter {
+    range: Range<usize>,
+    value: AtomicUsize,
+    stats: Arc<SyncCounters>,
+}
+
+impl AtomicCounter {
+    /// Dispenser over `range` reporting into `stats`.
+    pub fn new(range: Range<usize>, stats: Arc<SyncCounters>) -> AtomicCounter {
+        AtomicCounter {
+            value: AtomicUsize::new(range.start),
+            range,
+            stats,
+        }
+    }
+}
+
+impl IndexCounter for AtomicCounter {
+    fn next(&self) -> Option<usize> {
+        SyncCounters::bump(&self.stats.getsub_calls);
+        SyncCounters::bump(&self.stats.atomic_rmws);
+        let i = self.value.fetch_add(1, Ordering::Relaxed);
+        (i < self.range.end).then_some(i)
+    }
+
+    fn next_chunk(&self, chunk: usize) -> Range<usize> {
+        assert!(chunk > 0, "chunk must be non-zero");
+        SyncCounters::bump(&self.stats.getsub_calls);
+        SyncCounters::bump(&self.stats.atomic_rmws);
+        let start = self.value.fetch_add(chunk, Ordering::Relaxed);
+        let start = start.min(self.range.end);
+        let end = (start + chunk).min(self.range.end);
+        start..end
+    }
+
+    fn range(&self) -> Range<usize> {
+        self.range.clone()
+    }
+
+    fn reset(&self) {
+        self.value.store(self.range.start, Ordering::Release);
+    }
+}
+
+impl fmt::Debug for AtomicCounter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AtomicCounter")
+            .field("range", &self.range)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+
+    fn partition_exactly(counter: Arc<dyn IndexCounter>, threads: usize) {
+        let seen = Mutex::new(HashSet::new());
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let counter = Arc::clone(&counter);
+                let seen = &seen;
+                s.spawn(move || {
+                    let mut local = Vec::new();
+                    while let Some(i) = counter.next() {
+                        local.push(i);
+                    }
+                    let mut set = seen.lock().unwrap();
+                    for i in local {
+                        assert!(set.insert(i), "index {i} handed out twice");
+                    }
+                });
+            }
+        });
+        let set = seen.into_inner().unwrap();
+        let range = counter.range();
+        assert_eq!(set.len(), range.len());
+        for i in range {
+            assert!(set.contains(&i));
+        }
+    }
+
+    #[test]
+    fn locked_counter_partitions_range() {
+        let stats = Arc::new(SyncCounters::new());
+        partition_exactly(Arc::new(LockedCounter::new(5..205, stats)), 4);
+    }
+
+    #[test]
+    fn atomic_counter_partitions_range() {
+        let stats = Arc::new(SyncCounters::new());
+        partition_exactly(Arc::new(AtomicCounter::new(5..205, stats)), 4);
+    }
+
+    fn chunks_partition(counter: &dyn IndexCounter) {
+        let mut got = Vec::new();
+        loop {
+            let r = counter.next_chunk(7);
+            if r.is_empty() {
+                break;
+            }
+            got.extend(r);
+        }
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chunked_grabs_cover_range() {
+        let stats = Arc::new(SyncCounters::new());
+        chunks_partition(&LockedCounter::new(0..100, Arc::clone(&stats)));
+        chunks_partition(&AtomicCounter::new(0..100, stats));
+    }
+
+    #[test]
+    fn reset_restarts_distribution() {
+        let stats = Arc::new(SyncCounters::new());
+        let c = AtomicCounter::new(0..3, stats);
+        assert_eq!(c.next(), Some(0));
+        while c.next().is_some() {}
+        assert_eq!(c.next(), None);
+        c.reset();
+        assert_eq!(c.next(), Some(0));
+    }
+
+    #[test]
+    fn atomic_counter_counts_rmws() {
+        let stats = Arc::new(SyncCounters::new());
+        let c = AtomicCounter::new(0..10, Arc::clone(&stats));
+        while c.next().is_some() {}
+        let p = stats.snapshot();
+        assert_eq!(p.getsub_calls, 11);
+        assert_eq!(p.atomic_rmws, 11);
+        assert_eq!(p.lock_acquires, 0);
+    }
+
+    #[test]
+    fn locked_counter_takes_locks_not_rmws() {
+        let stats = Arc::new(SyncCounters::new());
+        let c = LockedCounter::new(0..10, Arc::clone(&stats));
+        while c.next().is_some() {}
+        let p = stats.snapshot();
+        assert_eq!(p.getsub_calls, 11);
+        assert_eq!(p.lock_acquires, 11);
+        assert_eq!(p.atomic_rmws, 0);
+    }
+}

@@ -1,0 +1,297 @@
+//! [`SyncEnv`]: the factory kernels use to materialize synchronization
+//! primitives according to the active [`SyncPolicy`].
+//!
+//! A kernel never names a concrete barrier or counter type; it asks the
+//! environment, and the environment consults the policy per construct class.
+//! That single indirection is the entire difference between running a kernel
+//! "as Splash-3" and "as Splash-4" — the algorithmic code is byte-identical.
+
+use crate::barrier::{Barrier, CondvarBarrier, SenseBarrier};
+use crate::counter::{AtomicCounter, IndexCounter, LockedCounter};
+use crate::flag::{AtomicFlag, CondvarFlag, PauseVar};
+use crate::lock::{RawLock, SleepLock};
+use crate::mode::{ConstructClass, SyncMode, SyncPolicy};
+use crate::queue::{LockedQueue, StealPool, TaskQueue, TicketDispenser, TreiberStack};
+use crate::reduce::{AtomicReducer, LockedReducer, ReduceF64, ReduceU64};
+use crate::stats::{SyncCounters, SyncProfile};
+use std::fmt;
+use std::ops::Range;
+use std::sync::Arc;
+
+/// Synchronization environment: policy + team size + shared instrumentation.
+#[derive(Clone)]
+pub struct SyncEnv {
+    policy: SyncPolicy,
+    nthreads: usize,
+    stats: Arc<SyncCounters>,
+}
+
+impl SyncEnv {
+    /// Environment for `nthreads` threads under `policy` (a plain
+    /// [`SyncMode`] converts into a uniform policy).
+    ///
+    /// # Panics
+    /// Panics if `nthreads == 0`.
+    pub fn new(policy: impl Into<SyncPolicy>, nthreads: usize) -> SyncEnv {
+        assert!(nthreads > 0, "environment needs at least one thread");
+        SyncEnv {
+            policy: policy.into(),
+            nthreads,
+            stats: Arc::new(SyncCounters::new()),
+        }
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> SyncPolicy {
+        self.policy
+    }
+
+    /// Team size this environment was built for.
+    pub fn nthreads(&self) -> usize {
+        self.nthreads
+    }
+
+    /// The back-end selected for `class`.
+    pub fn mode_for(&self, class: ConstructClass) -> SyncMode {
+        self.policy.mode_for(class)
+    }
+
+    /// `true` if fine-grained data updates should go through locks
+    /// (Splash-3) rather than atomic RMWs on the data itself (Splash-4).
+    /// Kernels branch on this for their force-accumulation / cell-insertion
+    /// inner loops.
+    pub fn data_locks(&self) -> bool {
+        self.mode_for(ConstructClass::DataLock) == SyncMode::LockBased
+    }
+
+    /// The shared instrumentation block.
+    pub fn stats(&self) -> &Arc<SyncCounters> {
+        &self.stats
+    }
+
+    /// Snapshot of all instrumentation counters.
+    pub fn profile(&self) -> SyncProfile {
+        self.stats.snapshot()
+    }
+
+    /// Record `n` atomic read-modify-writes performed directly by kernel code
+    /// (lock-free fine-grained updates that bypass the factory primitives).
+    pub fn note_rmws(&self, n: u64) {
+        SyncCounters::add(&self.stats.atomic_rmws, n);
+    }
+
+    /// A phase barrier for the full team, per the barrier-class policy.
+    pub fn barrier(&self) -> Arc<dyn Barrier> {
+        self.barrier_for(self.nthreads)
+    }
+
+    /// A phase barrier for `n` participants (sub-team barriers).
+    pub fn barrier_for(&self, n: usize) -> Arc<dyn Barrier> {
+        match self.mode_for(ConstructClass::Barrier) {
+            SyncMode::LockBased => Arc::new(CondvarBarrier::new(n, Arc::clone(&self.stats))),
+            SyncMode::LockFree => Arc::new(SenseBarrier::new(n, Arc::clone(&self.stats))),
+        }
+    }
+
+    /// A fine-grained data lock (always a sleeping lock: Splash-4 removes
+    /// these rather than replacing them — see [`SyncEnv::data_locks`]).
+    pub fn lock(&self) -> Arc<dyn RawLock> {
+        Arc::new(SleepLock::new(Arc::clone(&self.stats)))
+    }
+
+    /// An array of `n` data locks (the PARMACS `ALOCK` construct).
+    pub fn lock_array(&self, n: usize) -> Vec<Arc<dyn RawLock>> {
+        (0..n).map(|_| self.lock()).collect()
+    }
+
+    /// A `GETSUB` work-index dispenser over `range`, per the counter-class
+    /// policy. The `name` is documentation-only (mirrors the original code's
+    /// named global counters).
+    pub fn counter(&self, name: &str, range: Range<usize>) -> Arc<dyn IndexCounter> {
+        let _ = name;
+        match self.mode_for(ConstructClass::Counter) {
+            SyncMode::LockBased => Arc::new(LockedCounter::new(range, Arc::clone(&self.stats))),
+            SyncMode::LockFree => Arc::new(AtomicCounter::new(range, Arc::clone(&self.stats))),
+        }
+    }
+
+    /// A global floating-point reduction cell, per the reduction-class policy.
+    pub fn reducer_f64(&self) -> Arc<dyn ReduceF64> {
+        match self.mode_for(ConstructClass::Reduction) {
+            SyncMode::LockBased => Arc::new(LockedReducer::new(Arc::clone(&self.stats))),
+            SyncMode::LockFree => Arc::new(AtomicReducer::new(Arc::clone(&self.stats))),
+        }
+    }
+
+    /// A global integer reduction cell, per the reduction-class policy.
+    pub fn reducer_u64(&self) -> Arc<dyn ReduceU64> {
+        match self.mode_for(ConstructClass::Reduction) {
+            SyncMode::LockBased => Arc::new(LockedReducer::new(Arc::clone(&self.stats))),
+            SyncMode::LockFree => Arc::new(AtomicReducer::new(Arc::clone(&self.stats))),
+        }
+    }
+
+    /// A pause/flag variable, per the flag-class policy.
+    pub fn flag(&self) -> Arc<dyn PauseVar> {
+        match self.mode_for(ConstructClass::Flag) {
+            SyncMode::LockBased => Arc::new(CondvarFlag::new(Arc::clone(&self.stats))),
+            SyncMode::LockFree => Arc::new(AtomicFlag::new(Arc::clone(&self.stats))),
+        }
+    }
+
+    /// An array of `n` pause variables (per-column done flags, etc.).
+    pub fn flag_array(&self, n: usize) -> Vec<Arc<dyn PauseVar>> {
+        (0..n).map(|_| self.flag()).collect()
+    }
+
+    /// A dynamic MPMC task pool, per the queue-class policy.
+    pub fn task_queue<T: Send + 'static>(&self) -> Arc<dyn TaskQueue<T>> {
+        match self.mode_for(ConstructClass::Queue) {
+            SyncMode::LockBased => Arc::new(LockedQueue::new(Arc::clone(&self.stats))),
+            SyncMode::LockFree => Arc::new(TreiberStack::new(Arc::clone(&self.stats))),
+        }
+    }
+
+    /// A work-stealing pool with one queue per team thread, per the
+    /// queue-class policy (the distributed-queue structure of radiosity).
+    pub fn steal_pool<T: Send + 'static>(&self) -> StealPool<T> {
+        StealPool::new((0..self.nthreads).map(|_| self.task_queue()).collect())
+    }
+
+    /// A static work pool over a prebuilt task list, per the queue-class
+    /// policy: a locked FIFO in lock-based mode, an atomic ticket dispenser
+    /// in lock-free mode.
+    pub fn work_pool<T: Send + Sync + Clone + 'static>(&self, tasks: Vec<T>) -> WorkPool<T> {
+        match self.mode_for(ConstructClass::Queue) {
+            SyncMode::LockBased => {
+                let q = LockedQueue::new(Arc::clone(&self.stats));
+                for t in tasks {
+                    q.push(t);
+                }
+                WorkPool::Locked(q)
+            }
+            SyncMode::LockFree => {
+                WorkPool::Ticket(TicketDispenser::new(tasks, Arc::clone(&self.stats)))
+            }
+        }
+    }
+}
+
+impl fmt::Debug for SyncEnv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SyncEnv")
+            .field("policy", &self.policy.describe())
+            .field("nthreads", &self.nthreads)
+            .finish()
+    }
+}
+
+/// Static work pool over a prebuilt task list (see [`SyncEnv::work_pool`]).
+#[derive(Debug)]
+pub enum WorkPool<T> {
+    /// Lock-based back-end: mutex-guarded FIFO.
+    Locked(LockedQueue<T>),
+    /// Lock-free back-end: atomic ticket over the shared task array.
+    Ticket(TicketDispenser<T>),
+}
+
+impl<T: Send + Sync + Clone> WorkPool<T> {
+    /// Claim the next task, or `None` when the pool is exhausted.
+    pub fn claim(&self) -> Option<T> {
+        match self {
+            WorkPool::Locked(q) => q.pop(),
+            WorkPool::Ticket(d) => d.claim().cloned(),
+        }
+    }
+
+    /// Total number of tasks the pool was built with (ticket back-end) or
+    /// currently holds (locked back-end).
+    pub fn len(&self) -> usize {
+        match self {
+            WorkPool::Locked(q) => q.len(),
+            WorkPool::Ticket(d) => d.len(),
+        }
+    }
+
+    /// `true` when no tasks remain to claim (locked) or none were provided
+    /// (ticket).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::team::Team;
+
+    #[test]
+    fn lock_based_env_hands_out_lock_based_primitives() {
+        let env = SyncEnv::new(SyncMode::LockBased, 2);
+        let c = env.counter("x", 0..5);
+        while c.next().is_some() {}
+        let b = env.barrier();
+        Team::new(2).run(|ctx| b.wait(ctx.tid));
+        let r = env.reducer_f64();
+        r.add(1.0);
+        let p = env.profile();
+        assert!(p.lock_acquires > 0, "lock-based primitives must take locks");
+        assert_eq!(p.atomic_rmws, 0, "no atomic RMWs in pure lock-based mode");
+    }
+
+    #[test]
+    fn lock_free_env_takes_no_locks() {
+        let env = SyncEnv::new(SyncMode::LockFree, 2);
+        let c = env.counter("x", 0..5);
+        while c.next().is_some() {}
+        let b = env.barrier();
+        Team::new(2).run(|ctx| b.wait(ctx.tid));
+        let r = env.reducer_f64();
+        r.add(1.0);
+        let q = env.task_queue::<u32>();
+        q.push(1);
+        let _ = q.pop();
+        let p = env.profile();
+        assert_eq!(p.lock_acquires, 0, "lock-free mode must not acquire locks");
+        assert!(p.atomic_rmws > 0);
+    }
+
+    #[test]
+    fn ablation_policy_mixes_backends() {
+        let policy = SyncPolicy::uniform(SyncMode::LockBased)
+            .with(ConstructClass::Counter, SyncMode::LockFree);
+        let env = SyncEnv::new(policy, 1);
+        let c = env.counter("x", 0..3);
+        while c.next().is_some() {}
+        let p = env.profile();
+        assert_eq!(p.lock_acquires, 0);
+        assert_eq!(p.atomic_rmws, 4);
+        // Reductions still lock-based under this policy.
+        env.reducer_f64().add(1.0);
+        assert_eq!(env.profile().lock_acquires, 1);
+    }
+
+    #[test]
+    fn work_pool_distributes_all_tasks_in_both_modes() {
+        for mode in SyncMode::ALL {
+            let env = SyncEnv::new(mode, 3);
+            let pool = env.work_pool((0..30).collect::<Vec<u32>>());
+            assert_eq!(pool.len(), 30);
+            let got = std::sync::Mutex::new(Vec::new());
+            Team::new(3).run(|_| {
+                while let Some(t) = pool.claim() {
+                    got.lock().unwrap().push(t);
+                }
+            });
+            let mut got = got.into_inner().unwrap();
+            got.sort_unstable();
+            assert_eq!(got, (0..30).collect::<Vec<u32>>());
+        }
+    }
+
+    #[test]
+    fn data_locks_reflects_policy() {
+        assert!(SyncEnv::new(SyncMode::LockBased, 1).data_locks());
+        assert!(!SyncEnv::new(SyncMode::LockFree, 1).data_locks());
+    }
+}

@@ -1,0 +1,182 @@
+//! Pause variables (`PAUSE` / `SETPAUSE` / `CLEARPAUSE` in PARMACS).
+//!
+//! A pause variable is a one-way condition: producers `set` it, consumers
+//! `wait` until it is set. Splash-3 expands it to a mutex + condvar pair
+//! ([`CondvarFlag`]); Splash-4 to an atomic flag with acquire/release
+//! ordering ([`AtomicFlag`]). The `lu` and `cholesky` kernels use arrays of
+//! these as column/block "done" signals.
+
+use crate::stats::SyncCounters;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// One-way signalling flag.
+pub trait PauseVar: Send + Sync + fmt::Debug {
+    /// Signal the flag; wakes all current and future waiters.
+    fn set(&self);
+    /// Block until the flag is set. Returns immediately if already set.
+    fn wait(&self);
+    /// `true` if the flag is currently set (non-blocking).
+    fn is_set(&self) -> bool;
+    /// Reset to unset (between phases; requires external quiescence).
+    fn clear(&self);
+}
+
+/// Mutex + condvar pause variable (Splash-3).
+pub struct CondvarFlag {
+    set: Mutex<bool>,
+    cv: Condvar,
+    stats: Arc<SyncCounters>,
+}
+
+impl CondvarFlag {
+    /// New unset flag reporting into `stats`.
+    pub fn new(stats: Arc<SyncCounters>) -> CondvarFlag {
+        CondvarFlag {
+            set: Mutex::new(false),
+            cv: Condvar::new(),
+            stats,
+        }
+    }
+}
+
+impl PauseVar for CondvarFlag {
+    fn set(&self) {
+        let mut s = self.set.lock().expect("flag mutex poisoned");
+        *s = true;
+        drop(s);
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) {
+        let mut s = self.set.lock().expect("flag mutex poisoned");
+        if !*s {
+            SyncCounters::bump(&self.stats.flag_waits);
+            SyncCounters::timed(&self.stats.flag_wait_ns, || {
+                while !*s {
+                    s = self.cv.wait(s).expect("flag mutex poisoned");
+                }
+            });
+        }
+    }
+
+    fn is_set(&self) -> bool {
+        *self.set.lock().expect("flag mutex poisoned")
+    }
+
+    fn clear(&self) {
+        *self.set.lock().expect("flag mutex poisoned") = false;
+    }
+}
+
+impl fmt::Debug for CondvarFlag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CondvarFlag").finish_non_exhaustive()
+    }
+}
+
+/// Atomic pause variable (Splash-4): release store, acquire spin.
+pub struct AtomicFlag {
+    set: AtomicBool,
+    stats: Arc<SyncCounters>,
+}
+
+impl AtomicFlag {
+    /// New unset flag reporting into `stats`.
+    pub fn new(stats: Arc<SyncCounters>) -> AtomicFlag {
+        AtomicFlag {
+            set: AtomicBool::new(false),
+            stats,
+        }
+    }
+}
+
+impl PauseVar for AtomicFlag {
+    fn set(&self) {
+        self.set.store(true, Ordering::Release);
+    }
+
+    fn wait(&self) {
+        if !self.set.load(Ordering::Acquire) {
+            SyncCounters::bump(&self.stats.flag_waits);
+            SyncCounters::timed(&self.stats.flag_wait_ns, || {
+                let mut spins = 0u32;
+                while !self.set.load(Ordering::Acquire) {
+                    crate::barrier::spin_wait(&mut spins);
+                }
+            });
+        }
+    }
+
+    fn is_set(&self) -> bool {
+        self.set.load(Ordering::Acquire)
+    }
+
+    fn clear(&self) {
+        self.set.store(false, Ordering::Release);
+    }
+}
+
+impl fmt::Debug for AtomicFlag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AtomicFlag")
+            .field("set", &self.is_set())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    fn handoff(flag: Arc<dyn PauseVar>) {
+        let order = AtomicU32::new(0);
+        std::thread::scope(|s| {
+            let f2 = Arc::clone(&flag);
+            let order = &order;
+            s.spawn(move || {
+                f2.wait();
+                // The producer's write must be visible after wait().
+                assert_eq!(order.load(Ordering::Acquire), 1);
+                order.store(2, Ordering::Release);
+            });
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            order.store(1, Ordering::Release);
+            flag.set();
+        });
+        assert_eq!(order.load(Ordering::Acquire), 2);
+    }
+
+    #[test]
+    fn condvar_flag_hands_off() {
+        let stats = Arc::new(SyncCounters::new());
+        let flag: Arc<dyn PauseVar> = Arc::new(CondvarFlag::new(Arc::clone(&stats)));
+        handoff(flag);
+        assert_eq!(stats.snapshot().flag_waits, 1);
+    }
+
+    #[test]
+    fn atomic_flag_hands_off() {
+        let stats = Arc::new(SyncCounters::new());
+        let flag: Arc<dyn PauseVar> = Arc::new(AtomicFlag::new(Arc::clone(&stats)));
+        handoff(flag);
+        assert_eq!(stats.snapshot().flag_waits, 1);
+    }
+
+    #[test]
+    fn already_set_does_not_count_as_wait() {
+        for flag in [
+            Arc::new(CondvarFlag::new(Arc::new(SyncCounters::new()))) as Arc<dyn PauseVar>,
+            Arc::new(AtomicFlag::new(Arc::new(SyncCounters::new()))) as Arc<dyn PauseVar>,
+        ] {
+            assert!(!flag.is_set());
+            flag.set();
+            assert!(flag.is_set());
+            flag.wait(); // must not block
+            flag.clear();
+            assert!(!flag.is_set());
+        }
+    }
+}

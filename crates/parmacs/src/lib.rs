@@ -1,0 +1,78 @@
+//! PARMACS-style parallel runtime with interchangeable synchronization back-ends.
+//!
+//! The original Splash benchmarks are written against the ANL/PARMACS macro set
+//! (`CREATE`, `BARRIER`, `LOCK`/`UNLOCK`, `GETSUB`, `PAUSE`/`SETPAUSE`, …).
+//! Splash-3 expands those macros to pthreads mutexes, condition variables and
+//! condvar barriers; **Splash-4's contribution is to re-expand them to C11
+//! atomic (lock-free) constructs** without touching the algorithms.
+//!
+//! This crate is that macro layer as a library. Every synchronization class the
+//! suite uses has two interchangeable back-ends selected by [`SyncMode`]
+//! (or per-construct by [`SyncPolicy`] for ablation studies):
+//!
+//! | construct | lock-based (≙ Splash-3) | lock-free (≙ Splash-4) |
+//! |---|---|---|
+//! | barrier | mutex + condvar generation barrier | sense-reversing atomic barrier |
+//! | lock | sleeping mutex (futex-style) | — (locks are what gets removed) |
+//! | `GETSUB` index counter | lock-protected counter | `fetch_add` |
+//! | f64/u64 reduction | lock-protected accumulator | CAS-loop on atomic word |
+//! | pause/flag variable | mutex + condvar | atomic flag, acquire/release |
+//! | task queue | mutex + `VecDeque` | Treiber stack / atomic ticket |
+//!
+//! All primitives are instrumented: dynamic operation counts and (for the
+//! sleep-prone classes) nanoseconds are recorded into a shared
+//! [`stats::SyncCounters`], which the characterization harness turns into the
+//! paper's sync-op tables and time-breakdown figures.
+//!
+//! # Example
+//!
+//! ```
+//! use splash4_parmacs::{SyncMode, SyncEnv, Team};
+//! use std::sync::atomic::{AtomicU64, Ordering};
+//!
+//! let env = SyncEnv::new(SyncMode::LockFree, 4);
+//! let barrier = env.barrier();
+//! let counter = env.counter("work", 0..100);
+//! let sum = AtomicU64::new(0);
+//!
+//! Team::new(4).run(|ctx| {
+//!     // Distribute 100 work items dynamically, GETSUB-style.
+//!     while let Some(i) = counter.next() {
+//!         sum.fetch_add(i as u64, Ordering::Relaxed);
+//!     }
+//!     barrier.wait(ctx.tid);
+//! });
+//! assert_eq!(sum.load(Ordering::Relaxed), (0..100u64).sum());
+//! let profile = env.profile();
+//! assert_eq!(profile.getsub_calls, 104); // 100 grabs + 4 exhausted polls
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod barrier;
+pub mod counter;
+pub mod env;
+pub mod flag;
+pub mod lock;
+#[macro_use]
+pub mod macros;
+pub mod mode;
+pub mod queue;
+pub mod reduce;
+pub mod stats;
+pub mod team;
+pub mod workload;
+
+pub use barrier::{Barrier, CondvarBarrier, SenseBarrier, TreeBarrier};
+pub use counter::{AtomicCounter, IndexCounter, LockedCounter};
+pub use env::{SyncEnv, WorkPool};
+pub use flag::{AtomicFlag, CondvarFlag, PauseVar};
+pub use lock::{RawLock, SleepLock, TasLock, TicketLock};
+pub use mode::{ConstructClass, SyncMode, SyncPolicy};
+pub use queue::{LockedQueue, StealPool, TaskQueue, TicketDispenser, TreiberStack};
+pub use reduce::{AtomicF64, AtomicReducer, LockedReducer, ReduceF64, ReduceU64};
+pub use stats::{SyncCounters, SyncProfile};
+pub use team::{chunk_range, Team, TeamCtx};
+pub use workload::{Dispatch, PhaseSpec, WorkModel};

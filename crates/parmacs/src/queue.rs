@@ -1,0 +1,537 @@
+//! Task queues, work stacks and free lists.
+//!
+//! The task-parallel applications (cholesky, raytrace, volrend, radiosity)
+//! feed themselves from shared pools. Splash-3 guards a linked list or array
+//! with a lock ([`LockedQueue`]); Splash-4 replaces it with lock-free
+//! structures: a CAS-based [`TreiberStack`] for dynamic task sets and an
+//! atomic [`TicketDispenser`] for static ones (tiled images, prebuilt task
+//! arrays).
+//!
+//! The Treiber stack never frees a node before the stack itself is dropped
+//! (popped nodes go onto a retired list), which rules out both use-after-free
+//! on the lock-free `pop` path and ABA from allocator address reuse — at the
+//! cost of peak memory proportional to total pushes, which is bounded and
+//! small for the suite's workloads.
+
+use crate::lock::{RawLock, SleepLock};
+use crate::stats::SyncCounters;
+use std::collections::VecDeque;
+use std::fmt;
+use std::mem::ManuallyDrop;
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// An unordered MPMC pool of tasks. Ordering (LIFO vs FIFO) is an
+/// implementation property the suite's algorithms do not rely on.
+pub trait TaskQueue<T>: Send + Sync + fmt::Debug {
+    /// Add a task to the pool.
+    fn push(&self, task: T);
+    /// Remove some task, or `None` if the pool is currently empty.
+    fn pop(&self) -> Option<T>;
+    /// Approximate number of queued tasks (exact when quiescent).
+    fn len(&self) -> usize;
+    /// `true` when [`TaskQueue::len`] is zero.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Lock-protected FIFO queue (Splash-3).
+pub struct LockedQueue<T> {
+    lock: SleepLock,
+    items: std::cell::UnsafeCell<VecDeque<T>>,
+    stats: Arc<SyncCounters>,
+}
+
+// SAFETY: `items` is only accessed with `lock` held.
+unsafe impl<T: Send> Sync for LockedQueue<T> {}
+unsafe impl<T: Send> Send for LockedQueue<T> {}
+
+impl<T> LockedQueue<T> {
+    /// New empty queue reporting into `stats`.
+    pub fn new(stats: Arc<SyncCounters>) -> LockedQueue<T> {
+        LockedQueue {
+            lock: SleepLock::new(Arc::clone(&stats)),
+            items: std::cell::UnsafeCell::new(VecDeque::new()),
+            stats,
+        }
+    }
+}
+
+impl<T: Send> TaskQueue<T> for LockedQueue<T> {
+    fn push(&self, task: T) {
+        SyncCounters::bump(&self.stats.queue_ops);
+        self.lock.acquire();
+        // SAFETY: lock held.
+        unsafe { (*self.items.get()).push_back(task) };
+        self.lock.release();
+    }
+
+    fn pop(&self) -> Option<T> {
+        SyncCounters::bump(&self.stats.queue_ops);
+        self.lock.acquire();
+        // SAFETY: lock held.
+        let out = unsafe { (*self.items.get()).pop_front() };
+        self.lock.release();
+        out
+    }
+
+    fn len(&self) -> usize {
+        self.lock.acquire();
+        // SAFETY: lock held.
+        let n = unsafe { (*self.items.get()).len() };
+        self.lock.release();
+        n
+    }
+}
+
+impl<T> fmt::Debug for LockedQueue<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LockedQueue").finish_non_exhaustive()
+    }
+}
+
+struct Node<T> {
+    value: ManuallyDrop<T>,
+    next: *mut Node<T>,
+}
+
+/// Lock-free LIFO stack (Splash-4), Treiber's algorithm with
+/// retire-until-drop reclamation.
+pub struct TreiberStack<T> {
+    head: AtomicPtr<Node<T>>,
+    retired: AtomicPtr<Node<T>>,
+    len: AtomicUsize,
+    stats: Arc<SyncCounters>,
+}
+
+// SAFETY: nodes are heap-allocated and only the owning stack frees them; `T`
+// moves across threads through push/pop.
+unsafe impl<T: Send> Sync for TreiberStack<T> {}
+unsafe impl<T: Send> Send for TreiberStack<T> {}
+
+impl<T> TreiberStack<T> {
+    /// New empty stack reporting into `stats`.
+    pub fn new(stats: Arc<SyncCounters>) -> TreiberStack<T> {
+        TreiberStack {
+            head: AtomicPtr::new(ptr::null_mut()),
+            retired: AtomicPtr::new(ptr::null_mut()),
+            len: AtomicUsize::new(0),
+            stats,
+        }
+    }
+
+    fn retire(&self, node: *mut Node<T>) {
+        let mut cur = self.retired.load(Ordering::Relaxed);
+        loop {
+            // SAFETY: we exclusively own `node` after a successful pop.
+            unsafe { (*node).next = cur };
+            match self.retired.compare_exchange_weak(
+                cur,
+                node,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+}
+
+impl<T: Send> TaskQueue<T> for TreiberStack<T> {
+    fn push(&self, task: T) {
+        SyncCounters::bump(&self.stats.queue_ops);
+        let node = Box::into_raw(Box::new(Node {
+            value: ManuallyDrop::new(task),
+            next: ptr::null_mut(),
+        }));
+        let mut cur = self.head.load(Ordering::Relaxed);
+        loop {
+            // SAFETY: node not yet published; we own it.
+            unsafe { (*node).next = cur };
+            SyncCounters::bump(&self.stats.atomic_rmws);
+            match self
+                .head
+                .compare_exchange_weak(cur, node, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => break,
+                Err(actual) => {
+                    SyncCounters::bump(&self.stats.cas_failures);
+                    cur = actual;
+                }
+            }
+        }
+        self.len.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn pop(&self) -> Option<T> {
+        SyncCounters::bump(&self.stats.queue_ops);
+        let mut cur = self.head.load(Ordering::Acquire);
+        loop {
+            if cur.is_null() {
+                return None;
+            }
+            // SAFETY: nodes reachable from head are never freed while the
+            // stack is alive (retire-until-drop), so reading `next` from a
+            // stale head is safe even if another thread popped it first.
+            let next = unsafe { (*cur).next };
+            SyncCounters::bump(&self.stats.atomic_rmws);
+            match self
+                .head
+                .compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => {
+                    self.len.fetch_sub(1, Ordering::Relaxed);
+                    // SAFETY: successful CAS makes us the unique owner of
+                    // `cur`; the value is moved out exactly once.
+                    let value = unsafe { ManuallyDrop::take(&mut (*cur).value) };
+                    self.retire(cur);
+                    return Some(value);
+                }
+                Err(actual) => {
+                    SyncCounters::bump(&self.stats.cas_failures);
+                    cur = actual;
+                }
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+}
+
+impl<T> Drop for TreiberStack<T> {
+    fn drop(&mut self) {
+        // Live nodes: drop values and boxes.
+        let mut cur = *self.head.get_mut();
+        while !cur.is_null() {
+            // SAFETY: exclusive access in Drop; nodes were Box-allocated.
+            unsafe {
+                let mut boxed = Box::from_raw(cur);
+                ManuallyDrop::drop(&mut boxed.value);
+                cur = boxed.next;
+            }
+        }
+        // Retired nodes: values were already moved out; free boxes only.
+        let mut cur = *self.retired.get_mut();
+        while !cur.is_null() {
+            // SAFETY: as above; `value` must not be dropped again.
+            unsafe {
+                let boxed = Box::from_raw(cur);
+                cur = boxed.next;
+            }
+        }
+    }
+}
+
+impl<T> fmt::Debug for TreiberStack<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TreiberStack")
+            .field("len", &self.len.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// Atomic ticket dispenser over a prebuilt task array (Splash-4's replacement
+/// for lock-protected static work lists: tiles, rows, prebuilt task graphs).
+///
+/// `claim` hands out each slot exactly once via `fetch_add`; the task data
+/// itself stays shared and immutable.
+pub struct TicketDispenser<T> {
+    tasks: Vec<T>,
+    next: AtomicUsize,
+    stats: Arc<SyncCounters>,
+}
+
+impl<T: Sync> TicketDispenser<T> {
+    /// Dispenser over `tasks` reporting into `stats`.
+    pub fn new(tasks: Vec<T>, stats: Arc<SyncCounters>) -> TicketDispenser<T> {
+        TicketDispenser {
+            tasks,
+            next: AtomicUsize::new(0),
+            stats,
+        }
+    }
+
+    /// Claim the next task, or `None` when all are claimed.
+    pub fn claim(&self) -> Option<&T> {
+        SyncCounters::bump(&self.stats.queue_ops);
+        SyncCounters::bump(&self.stats.atomic_rmws);
+        let i = self.next.fetch_add(1, Ordering::Relaxed);
+        self.tasks.get(i)
+    }
+
+    /// Total number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// `true` if the dispenser was built with no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Reset so all tasks can be claimed again (between phases).
+    pub fn reset(&self) {
+        self.next.store(0, Ordering::Release);
+    }
+}
+
+impl<T> fmt::Debug for TicketDispenser<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TicketDispenser")
+            .field("total", &self.tasks.len())
+            .field("claimed", &self.next.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// Per-worker task queues with stealing — the distributed-queue structure of
+/// the original radiosity application. Each worker pushes and pops its own
+/// queue; an empty worker steals from the others round-robin. The per-queue
+/// back-end follows the queue-class policy (locked FIFOs vs Treiber stacks),
+/// so the Splash-3/Splash-4 transformation applies per queue.
+pub struct StealPool<T> {
+    queues: Vec<Arc<dyn TaskQueue<T>>>,
+}
+
+impl<T: Send + 'static> StealPool<T> {
+    /// Pool over the given per-worker queues.
+    ///
+    /// # Panics
+    /// Panics if `queues` is empty.
+    pub fn new(queues: Vec<Arc<dyn TaskQueue<T>>>) -> StealPool<T> {
+        assert!(!queues.is_empty(), "steal pool needs at least one queue");
+        StealPool { queues }
+    }
+
+    /// Number of worker queues.
+    pub fn workers(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Push a task onto `worker`'s own queue.
+    pub fn push(&self, worker: usize, task: T) {
+        self.queues[worker % self.queues.len()].push(task);
+    }
+
+    /// Pop for `worker`: own queue first, then steal round-robin.
+    pub fn pop(&self, worker: usize) -> Option<T> {
+        let n = self.queues.len();
+        let own = worker % n;
+        if let Some(t) = self.queues[own].pop() {
+            return Some(t);
+        }
+        for d in 1..n {
+            if let Some(t) = self.queues[(own + d) % n].pop() {
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    /// Total queued tasks across workers (approximate under concurrency).
+    pub fn len(&self) -> usize {
+        self.queues.iter().map(|q| q.len()).sum()
+    }
+
+    /// `true` when every queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> fmt::Debug for StealPool<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StealPool")
+            .field("workers", &self.queues.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+
+    fn mpmc_exercise(queue: Arc<dyn TaskQueue<usize>>, producers: usize, per: usize) {
+        let consumed = Mutex::new(HashSet::new());
+        std::thread::scope(|s| {
+            for p in 0..producers {
+                let queue = Arc::clone(&queue);
+                s.spawn(move || {
+                    for i in 0..per {
+                        queue.push(p * per + i);
+                    }
+                });
+            }
+            for _ in 0..producers {
+                let queue = Arc::clone(&queue);
+                let consumed = &consumed;
+                s.spawn(move || {
+                    let mut local = Vec::new();
+                    let mut misses = 0;
+                    while local.len() < per && misses < 1_000_000 {
+                        match queue.pop() {
+                            Some(v) => local.push(v),
+                            None => {
+                                misses += 1;
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                    let mut set = consumed.lock().unwrap();
+                    for v in local {
+                        assert!(set.insert(v), "task {v} consumed twice");
+                    }
+                });
+            }
+        });
+        let set = consumed.into_inner().unwrap();
+        assert_eq!(set.len(), producers * per, "all tasks consumed exactly once");
+        assert!(queue.is_empty());
+    }
+
+    #[test]
+    fn locked_queue_mpmc() {
+        let stats = Arc::new(SyncCounters::new());
+        mpmc_exercise(Arc::new(LockedQueue::new(stats)), 3, 200);
+    }
+
+    #[test]
+    fn treiber_stack_mpmc() {
+        let stats = Arc::new(SyncCounters::new());
+        mpmc_exercise(Arc::new(TreiberStack::new(stats)), 3, 200);
+    }
+
+    #[test]
+    fn treiber_stack_is_lifo_when_sequential() {
+        let stats = Arc::new(SyncCounters::new());
+        let s = TreiberStack::new(stats);
+        s.push(1);
+        s.push(2);
+        s.push(3);
+        assert_eq!(s.pop(), Some(3));
+        assert_eq!(s.pop(), Some(2));
+        assert_eq!(s.pop(), Some(1));
+        assert_eq!(s.pop(), None);
+    }
+
+    #[test]
+    fn treiber_stack_drops_unpopped_values() {
+        struct Canary(Arc<AtomicUsize>);
+        impl Drop for Canary {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        let stats = Arc::new(SyncCounters::new());
+        {
+            let s = TreiberStack::new(stats);
+            for _ in 0..5 {
+                s.push(Canary(Arc::clone(&drops)));
+            }
+            let popped = s.pop().unwrap();
+            drop(popped);
+            assert_eq!(drops.load(Ordering::SeqCst), 1);
+        }
+        // 1 popped + 4 left on the stack at drop time.
+        assert_eq!(drops.load(Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    fn ticket_dispenser_claims_each_once() {
+        let stats = Arc::new(SyncCounters::new());
+        let d = Arc::new(TicketDispenser::new((0..100).collect(), stats));
+        let seen = Mutex::new(HashSet::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let d = Arc::clone(&d);
+                let seen = &seen;
+                s.spawn(move || {
+                    let mut local = Vec::new();
+                    while let Some(&v) = d.claim() {
+                        local.push(v);
+                    }
+                    let mut set = seen.lock().unwrap();
+                    for v in local {
+                        assert!(set.insert(v));
+                    }
+                });
+            }
+        });
+        assert_eq!(seen.into_inner().unwrap().len(), 100);
+        d.reset();
+        assert_eq!(d.claim(), Some(&0));
+    }
+
+    #[test]
+    fn steal_pool_drains_all_tasks_from_any_worker() {
+        let stats = Arc::new(SyncCounters::new());
+        let queues: Vec<Arc<dyn TaskQueue<u32>>> = (0..3)
+            .map(|_| Arc::new(TreiberStack::new(Arc::clone(&stats))) as Arc<dyn TaskQueue<u32>>)
+            .collect();
+        let pool = StealPool::new(queues);
+        // All tasks land on worker 0's queue; workers 1 and 2 must steal.
+        for t in 0..90u32 {
+            pool.push(0, t);
+        }
+        assert_eq!(pool.len(), 90);
+        let drained = Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            for w in 0..3 {
+                let pool = &pool;
+                let drained = &drained;
+                s.spawn(move || {
+                    let mut local = Vec::new();
+                    while let Some(t) = pool.pop(w) {
+                        local.push(t);
+                    }
+                    drained.lock().unwrap().extend(local);
+                });
+            }
+        });
+        let mut got = drained.into_inner().unwrap();
+        got.sort_unstable();
+        assert_eq!(got, (0..90).collect::<Vec<u32>>());
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn steal_pool_prefers_own_queue() {
+        let stats = Arc::new(SyncCounters::new());
+        let queues: Vec<Arc<dyn TaskQueue<u32>>> = (0..2)
+            .map(|_| Arc::new(LockedQueue::new(Arc::clone(&stats))) as Arc<dyn TaskQueue<u32>>)
+            .collect();
+        let pool = StealPool::new(queues);
+        pool.push(0, 100);
+        pool.push(1, 200);
+        assert_eq!(pool.pop(1), Some(200), "own task first");
+        assert_eq!(pool.pop(1), Some(100), "then steal");
+        assert_eq!(pool.pop(1), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one queue")]
+    fn steal_pool_rejects_empty() {
+        let _: StealPool<u32> = StealPool::new(Vec::new());
+    }
+
+    #[test]
+    fn queue_ops_are_instrumented() {
+        let stats = Arc::new(SyncCounters::new());
+        let q = TreiberStack::new(Arc::clone(&stats));
+        q.push(1);
+        let _ = q.pop();
+        let _ = q.pop();
+        let p = stats.snapshot();
+        assert_eq!(p.queue_ops, 3);
+        assert!(p.atomic_rmws >= 2);
+        assert_eq!(p.lock_acquires, 0);
+    }
+}

@@ -1,0 +1,356 @@
+//! Global reductions (lock-protected accumulators in Splash-3, CAS-loop
+//! atomics in Splash-4).
+//!
+//! The suite's kernels accumulate global energies, residual errors and
+//! checksums from every thread each iteration. Splash-3 guards a shared
+//! `double` with a lock; Splash-4 performs a compare-exchange loop on the bit
+//! pattern (C11 `atomic_compare_exchange_weak` on a `_Atomic double` — here an
+//! [`AtomicU64`] holding `f64::to_bits`).
+
+use crate::lock::{RawLock, SleepLock};
+use crate::stats::SyncCounters;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A shared floating-point reduction cell.
+pub trait ReduceF64: Send + Sync + fmt::Debug {
+    /// Add `v` to the accumulator.
+    fn add(&self, v: f64);
+    /// Fold `v` into the accumulator with max.
+    fn max(&self, v: f64);
+    /// Fold `v` into the accumulator with min.
+    fn min(&self, v: f64);
+    /// Read the current value. Only well-defined between phases (after a
+    /// barrier), exactly as in the original suite.
+    fn load(&self) -> f64;
+    /// Reset to `v` (between phases).
+    fn store(&self, v: f64);
+}
+
+/// A shared integer reduction cell (sums only; used for histogram merges and
+/// global statistics counters).
+pub trait ReduceU64: Send + Sync + fmt::Debug {
+    /// Add `v` to the accumulator.
+    fn add(&self, v: u64);
+    /// Read the current value (between phases).
+    fn load(&self) -> u64;
+    /// Reset to `v` (between phases).
+    fn store(&self, v: u64);
+}
+
+/// Lock-protected accumulator (Splash-3).
+pub struct LockedReducer {
+    lock: SleepLock,
+    value: std::cell::UnsafeCell<f64>,
+    value_u: std::cell::UnsafeCell<u64>,
+    stats: Arc<SyncCounters>,
+}
+
+// SAFETY: both cells are only touched with `lock` held.
+unsafe impl Sync for LockedReducer {}
+unsafe impl Send for LockedReducer {}
+
+impl LockedReducer {
+    /// Zero-initialized reducer reporting into `stats`.
+    pub fn new(stats: Arc<SyncCounters>) -> LockedReducer {
+        LockedReducer {
+            lock: SleepLock::new(Arc::clone(&stats)),
+            value: std::cell::UnsafeCell::new(0.0),
+            value_u: std::cell::UnsafeCell::new(0),
+            stats,
+        }
+    }
+
+    fn update(&self, f: impl FnOnce(&mut f64, &mut u64)) {
+        SyncCounters::bump(&self.stats.reduce_ops);
+        self.lock.acquire();
+        // SAFETY: lock held.
+        unsafe { f(&mut *self.value.get(), &mut *self.value_u.get()) };
+        self.lock.release();
+    }
+}
+
+impl ReduceF64 for LockedReducer {
+    fn add(&self, v: f64) {
+        self.update(|x, _| *x += v);
+    }
+    fn max(&self, v: f64) {
+        self.update(|x, _| *x = x.max(v));
+    }
+    fn min(&self, v: f64) {
+        self.update(|x, _| *x = x.min(v));
+    }
+    fn load(&self) -> f64 {
+        self.lock.acquire();
+        // SAFETY: lock held.
+        let v = unsafe { *self.value.get() };
+        self.lock.release();
+        v
+    }
+    fn store(&self, v: f64) {
+        self.lock.acquire();
+        // SAFETY: lock held.
+        unsafe { *self.value.get() = v };
+        self.lock.release();
+    }
+}
+
+impl ReduceU64 for LockedReducer {
+    fn add(&self, v: u64) {
+        self.update(|_, x| *x += v);
+    }
+    fn load(&self) -> u64 {
+        self.lock.acquire();
+        // SAFETY: lock held.
+        let v = unsafe { *self.value_u.get() };
+        self.lock.release();
+        v
+    }
+    fn store(&self, v: u64) {
+        self.lock.acquire();
+        // SAFETY: lock held.
+        unsafe { *self.value_u.get() = v };
+        self.lock.release();
+    }
+}
+
+impl fmt::Debug for LockedReducer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LockedReducer").finish_non_exhaustive()
+    }
+}
+
+/// An `f64` stored in an [`AtomicU64`] with CAS-loop read-modify-write.
+///
+/// This is the building block the Splash-4 paper's "lock-free constructs"
+/// headline refers to for reductions. Exposed directly (not only through the
+/// [`ReduceF64`] trait) because several kernels use it for fine-grained
+/// per-element force/energy accumulation in data structures.
+pub struct AtomicF64 {
+    bits: AtomicU64,
+    stats: Arc<SyncCounters>,
+}
+
+impl AtomicF64 {
+    /// New cell holding `v`, reporting into `stats`.
+    pub fn new(v: f64, stats: Arc<SyncCounters>) -> AtomicF64 {
+        AtomicF64 {
+            bits: AtomicU64::new(v.to_bits()),
+            stats,
+        }
+    }
+
+    /// Apply `f` atomically via a compare-exchange loop.
+    pub fn fetch_update(&self, f: impl Fn(f64) -> f64) {
+        SyncCounters::bump(&self.stats.atomic_rmws);
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        loop {
+            let new = f(f64::from_bits(cur)).to_bits();
+            match self
+                .bits
+                .compare_exchange_weak(cur, new, Ordering::AcqRel, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(actual) => {
+                    SyncCounters::bump(&self.stats.cas_failures);
+                    SyncCounters::bump(&self.stats.atomic_rmws);
+                    cur = actual;
+                }
+            }
+        }
+    }
+
+    /// Atomic add.
+    pub fn add(&self, v: f64) {
+        self.fetch_update(|x| x + v);
+    }
+
+    /// Current value.
+    pub fn load(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Acquire))
+    }
+
+    /// Overwrite the value.
+    pub fn store(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Release);
+    }
+}
+
+impl fmt::Debug for AtomicF64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AtomicF64").field("value", &self.load()).finish()
+    }
+}
+
+/// CAS-loop reducer (Splash-4): an [`AtomicF64`] plus an integer cell.
+pub struct AtomicReducer {
+    float: AtomicF64,
+    int: AtomicU64,
+    stats: Arc<SyncCounters>,
+}
+
+impl AtomicReducer {
+    /// Zero-initialized reducer reporting into `stats`.
+    pub fn new(stats: Arc<SyncCounters>) -> AtomicReducer {
+        AtomicReducer {
+            float: AtomicF64::new(0.0, Arc::clone(&stats)),
+            int: AtomicU64::new(0),
+            stats,
+        }
+    }
+}
+
+impl ReduceF64 for AtomicReducer {
+    fn add(&self, v: f64) {
+        SyncCounters::bump(&self.stats.reduce_ops);
+        self.float.add(v);
+    }
+    fn max(&self, v: f64) {
+        SyncCounters::bump(&self.stats.reduce_ops);
+        self.float.fetch_update(|x| x.max(v));
+    }
+    fn min(&self, v: f64) {
+        SyncCounters::bump(&self.stats.reduce_ops);
+        self.float.fetch_update(|x| x.min(v));
+    }
+    fn load(&self) -> f64 {
+        self.float.load()
+    }
+    fn store(&self, v: f64) {
+        self.float.store(v);
+    }
+}
+
+impl ReduceU64 for AtomicReducer {
+    fn add(&self, v: u64) {
+        SyncCounters::bump(&self.stats.reduce_ops);
+        SyncCounters::bump(&self.stats.atomic_rmws);
+        self.int.fetch_add(v, Ordering::AcqRel);
+    }
+    fn load(&self) -> u64 {
+        self.int.load(Ordering::Acquire)
+    }
+    fn store(&self, v: u64) {
+        self.int.store(v, Ordering::Release);
+    }
+}
+
+impl fmt::Debug for AtomicReducer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AtomicReducer")
+            .field("float", &self.float.load())
+            .field("int", &self.int.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn concurrent_sum(r: Arc<dyn ReduceF64>, threads: usize, per: usize) -> f64 {
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let r = Arc::clone(&r);
+                s.spawn(move || {
+                    for i in 0..per {
+                        r.add((t * per + i) as f64);
+                    }
+                });
+            }
+        });
+        r.load()
+    }
+
+    #[test]
+    fn locked_reducer_sums_exactly() {
+        let stats = Arc::new(SyncCounters::new());
+        let r: Arc<dyn ReduceF64> = Arc::new(LockedReducer::new(stats));
+        let total = concurrent_sum(Arc::clone(&r), 4, 250);
+        assert_eq!(total, (0..1000).sum::<usize>() as f64);
+    }
+
+    #[test]
+    fn atomic_reducer_sums_exactly() {
+        // Integer-valued adds are exact in f64, so CAS-loop order cannot
+        // change the total.
+        let stats = Arc::new(SyncCounters::new());
+        let r: Arc<dyn ReduceF64> = Arc::new(AtomicReducer::new(stats));
+        let total = concurrent_sum(Arc::clone(&r), 4, 250);
+        assert_eq!(total, (0..1000).sum::<usize>() as f64);
+    }
+
+    #[test]
+    fn max_min_fold() {
+        let stats = Arc::new(SyncCounters::new());
+        for r in [
+            Arc::new(LockedReducer::new(Arc::clone(&stats))) as Arc<dyn ReduceF64>,
+            Arc::new(AtomicReducer::new(Arc::clone(&stats))) as Arc<dyn ReduceF64>,
+        ] {
+            r.store(f64::NEG_INFINITY);
+            std::thread::scope(|s| {
+                for t in 0..4 {
+                    let r = Arc::clone(&r);
+                    s.spawn(move || {
+                        for i in 0..100 {
+                            r.max((t * 100 + i) as f64);
+                        }
+                    });
+                }
+            });
+            assert_eq!(r.load(), 399.0);
+            r.store(f64::INFINITY);
+            r.min(-3.0);
+            r.min(5.0);
+            assert_eq!(r.load(), -3.0);
+        }
+    }
+
+    #[test]
+    fn u64_reduction() {
+        let stats = Arc::new(SyncCounters::new());
+        for r in [
+            Arc::new(LockedReducer::new(Arc::clone(&stats))) as Arc<dyn ReduceU64>,
+            Arc::new(AtomicReducer::new(Arc::clone(&stats))) as Arc<dyn ReduceU64>,
+        ] {
+            std::thread::scope(|s| {
+                for _ in 0..4 {
+                    let r = Arc::clone(&r);
+                    s.spawn(move || {
+                        for _ in 0..100 {
+                            r.add(3);
+                        }
+                    });
+                }
+            });
+            assert_eq!(r.load(), 1200);
+        }
+    }
+
+    #[test]
+    fn atomic_f64_fetch_update_applies() {
+        let stats = Arc::new(SyncCounters::new());
+        let a = AtomicF64::new(2.0, Arc::clone(&stats));
+        a.fetch_update(|x| x * 10.0);
+        assert_eq!(a.load(), 20.0);
+        assert!(stats.snapshot().atomic_rmws >= 1);
+    }
+
+    #[test]
+    fn backend_instrumentation_differs() {
+        let s3 = Arc::new(SyncCounters::new());
+        let r3 = LockedReducer::new(Arc::clone(&s3));
+        ReduceF64::add(&r3, 1.0);
+        let p3 = s3.snapshot();
+        assert_eq!(p3.lock_acquires, 1);
+        assert_eq!(p3.atomic_rmws, 0);
+
+        let s4 = Arc::new(SyncCounters::new());
+        let r4 = AtomicReducer::new(Arc::clone(&s4));
+        ReduceF64::add(&r4, 1.0);
+        let p4 = s4.snapshot();
+        assert_eq!(p4.lock_acquires, 0);
+        assert!(p4.atomic_rmws >= 1);
+    }
+}

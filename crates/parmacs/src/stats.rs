@@ -1,0 +1,241 @@
+//! Synchronization instrumentation.
+//!
+//! Every primitive handed out by a [`SyncEnv`](crate::env::SyncEnv) shares one
+//! [`SyncCounters`] block and bumps the relevant counters on each dynamic
+//! operation. Counting uses relaxed atomic increments (a few nanoseconds);
+//! wall-clock time is recorded only for the sleep-prone classes (locks,
+//! barriers, flags, queue blocking) where the cost of two `Instant::now`
+//! calls is negligible relative to the operation itself.
+//!
+//! The harness snapshots the counters into a serializable [`SyncProfile`]
+//! which feeds the paper's `T2-changes`, `T3-syncops` and `F5-sync-breakdown`
+//! artifacts, and parameterizes the timing-simulator workload models.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Shared instrumentation block. Cheap to bump from many threads; all fields
+/// are monotonically increasing dynamic-operation counters.
+#[derive(Debug, Default)]
+pub struct SyncCounters {
+    /// Lock acquisitions (sleeping locks only; spin locks count here too).
+    pub lock_acquires: AtomicU64,
+    /// Lock acquisitions that found the lock held (slow path taken).
+    pub lock_contended: AtomicU64,
+    /// Nanoseconds spent acquiring locks (slow path only).
+    pub lock_wait_ns: AtomicU64,
+    /// Barrier episodes *per thread* (N threads crossing once = N).
+    pub barrier_waits: AtomicU64,
+    /// Nanoseconds spent waiting at barriers, summed over threads.
+    pub barrier_wait_ns: AtomicU64,
+    /// Atomic read-modify-write operations issued by lock-free back-ends
+    /// (fetch_add, CAS attempts, exchanges). CAS retries count individually.
+    pub atomic_rmws: AtomicU64,
+    /// `GETSUB`-style dynamic index grabs (both back-ends).
+    pub getsub_calls: AtomicU64,
+    /// Reduction contributions (both back-ends).
+    pub reduce_ops: AtomicU64,
+    /// Pause/flag waits that actually blocked or spun.
+    pub flag_waits: AtomicU64,
+    /// Nanoseconds spent waiting on flags.
+    pub flag_wait_ns: AtomicU64,
+    /// Task-queue operations (push + pop attempts, both back-ends).
+    pub queue_ops: AtomicU64,
+    /// CAS failures (retries) observed in lock-free loops; a proxy for
+    /// cache-line contention intensity.
+    pub cas_failures: AtomicU64,
+}
+
+impl SyncCounters {
+    /// Fresh, zeroed counter block.
+    pub fn new() -> SyncCounters {
+        SyncCounters::default()
+    }
+
+    /// Increment an instrumentation counter by one (relaxed).
+    #[inline]
+    pub fn bump(field: &AtomicU64) {
+        field.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increment an instrumentation counter by `n` (relaxed).
+    #[inline]
+    pub fn add(field: &AtomicU64, n: u64) {
+        field.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Time `f`, adding the elapsed nanoseconds to `ns_field`.
+    #[inline]
+    pub fn timed<T>(ns_field: &AtomicU64, f: impl FnOnce() -> T) -> T {
+        let t0 = Instant::now();
+        let out = f();
+        Self::add(ns_field, t0.elapsed().as_nanos() as u64);
+        out
+    }
+
+    /// Immutable snapshot of all counters.
+    pub fn snapshot(&self) -> SyncProfile {
+        SyncProfile {
+            lock_acquires: self.lock_acquires.load(Ordering::Relaxed),
+            lock_contended: self.lock_contended.load(Ordering::Relaxed),
+            lock_wait_ns: self.lock_wait_ns.load(Ordering::Relaxed),
+            barrier_waits: self.barrier_waits.load(Ordering::Relaxed),
+            barrier_wait_ns: self.barrier_wait_ns.load(Ordering::Relaxed),
+            atomic_rmws: self.atomic_rmws.load(Ordering::Relaxed),
+            getsub_calls: self.getsub_calls.load(Ordering::Relaxed),
+            reduce_ops: self.reduce_ops.load(Ordering::Relaxed),
+            flag_waits: self.flag_waits.load(Ordering::Relaxed),
+            flag_wait_ns: self.flag_wait_ns.load(Ordering::Relaxed),
+            queue_ops: self.queue_ops.load(Ordering::Relaxed),
+            cas_failures: self.cas_failures.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Serializable snapshot of a [`SyncCounters`] block.
+///
+/// Field meanings match the counter docs. Profiles of independent runs can be
+/// combined with [`SyncProfile::merged`] and compared with
+/// [`SyncProfile::delta`] (e.g. modern minus baseline).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub struct SyncProfile {
+    pub lock_acquires: u64,
+    pub lock_contended: u64,
+    pub lock_wait_ns: u64,
+    pub barrier_waits: u64,
+    pub barrier_wait_ns: u64,
+    pub atomic_rmws: u64,
+    pub getsub_calls: u64,
+    pub reduce_ops: u64,
+    pub flag_waits: u64,
+    pub flag_wait_ns: u64,
+    pub queue_ops: u64,
+    pub cas_failures: u64,
+}
+
+impl SyncProfile {
+    /// Element-wise sum of two profiles.
+    #[must_use]
+    pub fn merged(&self, other: &SyncProfile) -> SyncProfile {
+        SyncProfile {
+            lock_acquires: self.lock_acquires + other.lock_acquires,
+            lock_contended: self.lock_contended + other.lock_contended,
+            lock_wait_ns: self.lock_wait_ns + other.lock_wait_ns,
+            barrier_waits: self.barrier_waits + other.barrier_waits,
+            barrier_wait_ns: self.barrier_wait_ns + other.barrier_wait_ns,
+            atomic_rmws: self.atomic_rmws + other.atomic_rmws,
+            getsub_calls: self.getsub_calls + other.getsub_calls,
+            reduce_ops: self.reduce_ops + other.reduce_ops,
+            flag_waits: self.flag_waits + other.flag_waits,
+            flag_wait_ns: self.flag_wait_ns + other.flag_wait_ns,
+            queue_ops: self.queue_ops + other.queue_ops,
+            cas_failures: self.cas_failures + other.cas_failures,
+        }
+    }
+
+    /// Element-wise saturating difference (`self - other`).
+    #[must_use]
+    pub fn delta(&self, other: &SyncProfile) -> SyncProfile {
+        SyncProfile {
+            lock_acquires: self.lock_acquires.saturating_sub(other.lock_acquires),
+            lock_contended: self.lock_contended.saturating_sub(other.lock_contended),
+            lock_wait_ns: self.lock_wait_ns.saturating_sub(other.lock_wait_ns),
+            barrier_waits: self.barrier_waits.saturating_sub(other.barrier_waits),
+            barrier_wait_ns: self.barrier_wait_ns.saturating_sub(other.barrier_wait_ns),
+            atomic_rmws: self.atomic_rmws.saturating_sub(other.atomic_rmws),
+            getsub_calls: self.getsub_calls.saturating_sub(other.getsub_calls),
+            reduce_ops: self.reduce_ops.saturating_sub(other.reduce_ops),
+            flag_waits: self.flag_waits.saturating_sub(other.flag_waits),
+            flag_wait_ns: self.flag_wait_ns.saturating_sub(other.flag_wait_ns),
+            queue_ops: self.queue_ops.saturating_sub(other.queue_ops),
+            cas_failures: self.cas_failures.saturating_sub(other.cas_failures),
+        }
+    }
+
+    /// Total dynamic synchronization operations (all classes, excluding the
+    /// nanosecond fields).
+    pub fn total_ops(&self) -> u64 {
+        self.lock_acquires
+            + self.barrier_waits
+            + self.atomic_rmws
+            + self.getsub_calls
+            + self.reduce_ops
+            + self.flag_waits
+            + self.queue_ops
+    }
+
+    /// Total nanoseconds attributed to blocking synchronization.
+    pub fn total_wait_ns(&self) -> u64 {
+        self.lock_wait_ns + self.barrier_wait_ns + self.flag_wait_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_bumps() {
+        let c = SyncCounters::new();
+        SyncCounters::bump(&c.lock_acquires);
+        SyncCounters::add(&c.atomic_rmws, 41);
+        SyncCounters::bump(&c.atomic_rmws);
+        let p = c.snapshot();
+        assert_eq!(p.lock_acquires, 1);
+        assert_eq!(p.atomic_rmws, 42);
+        assert_eq!(p.barrier_waits, 0);
+    }
+
+    #[test]
+    fn timed_accumulates_nanoseconds() {
+        let c = SyncCounters::new();
+        let out = SyncCounters::timed(&c.lock_wait_ns, || {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            7
+        });
+        assert_eq!(out, 7);
+        assert!(c.lock_wait_ns.load(Ordering::Relaxed) >= 1_000_000);
+    }
+
+    #[test]
+    fn merged_and_delta_are_inverse() {
+        let a = SyncProfile {
+            lock_acquires: 10,
+            atomic_rmws: 5,
+            queue_ops: 3,
+            ..SyncProfile::default()
+        };
+        let b = SyncProfile {
+            lock_acquires: 4,
+            atomic_rmws: 9,
+            ..SyncProfile::default()
+        };
+        let m = a.merged(&b);
+        assert_eq!(m.lock_acquires, 14);
+        assert_eq!(m.atomic_rmws, 14);
+        assert_eq!(m.delta(&b).lock_acquires, 10);
+        // saturating: delta never underflows
+        assert_eq!(a.delta(&b).atomic_rmws, 0);
+    }
+
+    #[test]
+    fn totals_sum_expected_fields() {
+        let p = SyncProfile {
+            lock_acquires: 1,
+            barrier_waits: 2,
+            atomic_rmws: 3,
+            getsub_calls: 4,
+            reduce_ops: 5,
+            flag_waits: 6,
+            queue_ops: 7,
+            lock_wait_ns: 100,
+            barrier_wait_ns: 200,
+            flag_wait_ns: 300,
+            ..SyncProfile::default()
+        };
+        assert_eq!(p.total_ops(), 28);
+        assert_eq!(p.total_wait_ns(), 600);
+    }
+}

@@ -1,0 +1,160 @@
+//! Property-based tests for the synchronization primitives.
+
+use proptest::prelude::*;
+use splash4_parmacs::{
+    chunk_range, AtomicCounter, AtomicF64, AtomicReducer, Barrier, CondvarBarrier, IndexCounter,
+    LockedCounter, LockedQueue, LockedReducer, ReduceF64, SenseBarrier, SyncCounters, TaskQueue,
+    Team, TreeBarrier, TreiberStack,
+};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    #[test]
+    fn chunk_range_partitions_any_total(total in 0usize..10_000, n in 1usize..64) {
+        let mut seen = 0usize;
+        let mut last_end = 0usize;
+        for tid in 0..n {
+            let r = chunk_range(total, tid, n);
+            prop_assert_eq!(r.start, last_end, "chunks must be contiguous");
+            last_end = r.end;
+            seen += r.len();
+            prop_assert!(r.len() <= total / n + 1);
+        }
+        prop_assert_eq!(seen, total);
+        prop_assert_eq!(last_end, total);
+    }
+
+    #[test]
+    fn counters_hand_out_each_index_once(
+        start in 0usize..100,
+        len in 0usize..400,
+        threads in 1usize..5,
+        atomic in any::<bool>(),
+    ) {
+        let stats = Arc::new(SyncCounters::new());
+        let range = start..start + len;
+        let counter: Arc<dyn IndexCounter> = if atomic {
+            Arc::new(AtomicCounter::new(range.clone(), stats))
+        } else {
+            Arc::new(LockedCounter::new(range.clone(), stats))
+        };
+        let seen = Mutex::new(HashSet::new());
+        Team::new(threads).run(|_| {
+            let mut local = Vec::new();
+            while let Some(i) = counter.next() {
+                local.push(i);
+            }
+            let mut s = seen.lock().unwrap();
+            for i in local {
+                assert!(s.insert(i), "duplicate index {i}");
+            }
+        });
+        let s = seen.into_inner().unwrap();
+        prop_assert_eq!(s.len(), len);
+        for i in range {
+            prop_assert!(s.contains(&i));
+        }
+    }
+
+    #[test]
+    fn reducers_sum_exactly_for_integer_values(
+        per in 1usize..200,
+        threads in 1usize..5,
+        atomic in any::<bool>(),
+    ) {
+        let stats = Arc::new(SyncCounters::new());
+        let red: Arc<dyn ReduceF64> = if atomic {
+            Arc::new(AtomicReducer::new(stats))
+        } else {
+            Arc::new(LockedReducer::new(stats))
+        };
+        Team::new(threads).run(|ctx| {
+            for i in 0..per {
+                red.add((ctx.tid * per + i) as f64);
+            }
+        });
+        let want: usize = (0..threads * per).sum();
+        prop_assert_eq!(red.load(), want as f64);
+    }
+
+    #[test]
+    fn atomic_f64_fetch_update_is_linearizable_for_adds(
+        values in prop::collection::vec(-1000i32..1000, 1..200),
+        threads in 1usize..5,
+    ) {
+        let stats = Arc::new(SyncCounters::new());
+        let cell = AtomicF64::new(0.0, stats);
+        let chunk = values.len().div_ceil(threads);
+        Team::new(threads).run(|ctx| {
+            let lo = (ctx.tid * chunk).min(values.len());
+            let hi = ((ctx.tid + 1) * chunk).min(values.len());
+            for &v in &values[lo..hi] {
+                cell.add(v as f64);
+            }
+        });
+        let want: i64 = values.iter().map(|&v| v as i64).sum();
+        prop_assert_eq!(cell.load(), want as f64);
+    }
+
+    #[test]
+    fn queues_preserve_the_task_multiset(
+        tasks in prop::collection::vec(any::<u32>(), 0..300),
+        threads in 1usize..4,
+        treiber in any::<bool>(),
+    ) {
+        let stats = Arc::new(SyncCounters::new());
+        let q: Arc<dyn TaskQueue<u32>> = if treiber {
+            Arc::new(TreiberStack::new(stats))
+        } else {
+            Arc::new(LockedQueue::new(stats))
+        };
+        for &t in &tasks {
+            q.push(t);
+        }
+        let drained = Mutex::new(Vec::new());
+        Team::new(threads).run(|_| {
+            let mut local = Vec::new();
+            while let Some(v) = q.pop() {
+                local.push(v);
+            }
+            drained.lock().unwrap().extend(local);
+        });
+        let mut got = drained.into_inner().unwrap();
+        let mut want = tasks.clone();
+        got.sort_unstable();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn barriers_never_release_early(
+        threads in 1usize..6,
+        episodes in 1usize..20,
+        which in 0u8..3,
+    ) {
+        let stats = Arc::new(SyncCounters::new());
+        let barrier: Arc<dyn Barrier> = match which {
+            0 => Arc::new(CondvarBarrier::new(threads, stats)),
+            1 => Arc::new(SenseBarrier::new(threads, stats)),
+            _ => Arc::new(TreeBarrier::new(threads, stats)),
+        };
+        let arrived = AtomicU64::new(0);
+        Team::new(threads).run(|ctx| {
+            for e in 0..episodes {
+                arrived.fetch_add(1, Ordering::SeqCst);
+                barrier.wait(ctx.tid);
+                // After the barrier, every thread must have arrived e+1 times.
+                let total = arrived.load(Ordering::SeqCst);
+                assert!(
+                    total >= ((e + 1) * threads) as u64,
+                    "released with only {total} arrivals at episode {e}"
+                );
+                barrier.wait(ctx.tid);
+            }
+        });
+    }
+}

@@ -1,0 +1,399 @@
+//! The discrete-event simulation engine.
+//!
+//! Cores execute their op streams in virtual time. Shared resources are FCFS
+//! servers: a batch of `n` accesses occupies the resource for `n ×
+//! service_ns` starting when both the core and the resource are free — the
+//! standard way contended atomics (cache-line ownership) and contended locks
+//! (holder serialization) throttle throughput. Barriers park cores until the
+//! last arrival, then release them according to the barrier kind: broadcast
+//! for sense/tree barriers, a serialized wake-up chain for condvar barriers.
+//!
+//! The engine is deterministic: ties in virtual time are broken by core id.
+
+use crate::machine::MachineParams;
+use crate::program::{BarrierKind, Op, Program};
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Per-core time attribution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CoreBreakdown {
+    /// Local computation.
+    pub compute_ns: u64,
+    /// Time occupying shared resources (lock hold / line ownership).
+    pub service_ns: u64,
+    /// Queueing for busy resources plus contention penalties.
+    pub wait_ns: u64,
+    /// Non-serialized local cost of sync operations.
+    pub sync_local_ns: u64,
+    /// Time parked at barriers (arrival to release).
+    pub barrier_ns: u64,
+    /// This core's completion time.
+    pub end_ns: u64,
+}
+
+/// Simulation output.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Workload name (copied from the program).
+    pub name: String,
+    /// Simulated machine name.
+    pub machine: String,
+    /// Cores simulated.
+    pub ncores: usize,
+    /// Wall-clock completion time (max over cores).
+    pub total_ns: u64,
+    /// Per-core attribution.
+    pub cores: Vec<CoreBreakdown>,
+}
+
+impl SimResult {
+    /// Aggregate fraction of core-time spent in each category
+    /// `(compute, service, wait, sync_local, barrier)`.
+    pub fn fractions(&self) -> (f64, f64, f64, f64, f64) {
+        let mut sums = [0u64; 5];
+        for c in &self.cores {
+            sums[0] += c.compute_ns;
+            sums[1] += c.service_ns;
+            sums[2] += c.wait_ns;
+            sums[3] += c.sync_local_ns;
+            sums[4] += c.barrier_ns;
+        }
+        let total: u64 = sums.iter().sum::<u64>().max(1);
+        let f = |x: u64| x as f64 / total as f64;
+        (f(sums[0]), f(sums[1]), f(sums[2]), f(sums[3]), f(sums[4]))
+    }
+
+    /// Fraction of aggregate core-time attributable to synchronization.
+    pub fn sync_fraction(&self) -> f64 {
+        let (c, s, w, l, b) = self.fractions();
+        (s + w + l + b) / (c + s + w + l + b).max(1e-12)
+    }
+}
+
+#[derive(Debug)]
+struct BarrierState {
+    kind: BarrierKind,
+    /// (core, arrival_time, arrival_done_time) of the current episode.
+    arrived: Vec<(usize, u64, u64)>,
+    /// Arrival-serialization server (sense counter line / condvar mutex).
+    server_free: u64,
+}
+
+/// Run `program` on `machine`.
+///
+/// # Panics
+/// Panics if the program fails [`Program::validate`].
+pub fn run(program: &Program, machine: &MachineParams) -> SimResult {
+    program
+        .validate()
+        .unwrap_or_else(|e| panic!("invalid program: {e}"));
+    let p = program.ncores();
+    let nservers = program
+        .cores
+        .iter()
+        .flatten()
+        .filter_map(|op| match op {
+            Op::Access { server, .. } => Some(*server as usize + 1),
+            _ => None,
+        })
+        .max()
+        .unwrap_or(0);
+    let mut servers = vec![0u64; nservers];
+    let mut barriers: Vec<BarrierState> = program
+        .barriers
+        .iter()
+        .map(|&kind| BarrierState {
+            kind,
+            arrived: Vec::with_capacity(p),
+            server_free: 0,
+        })
+        .collect();
+
+    let mut pc = vec![0usize; p];
+    let mut breakdown = vec![CoreBreakdown::default(); p];
+    // Min-heap of (ready_time, core).
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = (0..p).map(|c| Reverse((0, c))).collect();
+    let tree_levels = |n: usize| -> u64 {
+        let mut levels = 0u64;
+        let mut w = n;
+        while w > 1 {
+            w = w.div_ceil(4);
+            levels += 1;
+        }
+        levels.max(1)
+    };
+
+    while let Some(Reverse((t, core))) = heap.pop() {
+        let Some(op) = program.cores[core].get(pc[core]).copied() else {
+            breakdown[core].end_ns = breakdown[core].end_ns.max(t);
+            continue;
+        };
+        pc[core] += 1;
+        match op {
+            Op::Compute { ns } => {
+                breakdown[core].compute_ns += ns;
+                heap.push(Reverse((t + ns, core)));
+            }
+            Op::Access {
+                server,
+                n,
+                service_ns,
+                local_ns,
+                contended_ns,
+            } => {
+                let free = &mut servers[server as usize];
+                let start = (*free).max(t);
+                let queue_wait = start - t;
+                let busy = start > t;
+                // A contended sleeping lock hands off through a futex wake,
+                // during which the lock is effectively occupied: the penalty
+                // extends the server's busy window (convoy formation), not
+                // just this core's latency.
+                let penalty = if busy { n * contended_ns } else { 0 };
+                let service_total = n * service_ns + penalty;
+                *free = start + service_total;
+                let local_total = n * local_ns;
+                breakdown[core].wait_ns += queue_wait + penalty;
+                breakdown[core].service_ns += n * service_ns;
+                breakdown[core].sync_local_ns += local_total;
+                heap.push(Reverse((start + service_total + local_total, core)));
+            }
+            Op::Barrier { id } => {
+                let bar = &mut barriers[id as usize];
+                // Arrival cost by kind.
+                let arr_done = match bar.kind {
+                    BarrierKind::Sense => {
+                        let service = if p > 1 {
+                            machine.rmw_service_ns
+                        } else {
+                            machine.rmw_local_ns
+                        };
+                        let start = bar.server_free.max(t);
+                        bar.server_free = start + service;
+                        start + service
+                    }
+                    BarrierKind::Condvar => {
+                        let start = bar.server_free.max(t);
+                        bar.server_free = start + machine.lock_pair_ns;
+                        start + machine.lock_pair_ns
+                    }
+                    BarrierKind::Tree => t + tree_levels(p) * machine.rmw_local_ns,
+                };
+                bar.arrived.push((core, t, arr_done));
+                if bar.arrived.len() == p {
+                    // Release the episode.
+                    let last = bar.arrived.iter().map(|&(_, _, d)| d).max().unwrap_or(t);
+                    let episode = std::mem::take(&mut bar.arrived);
+                    match bar.kind {
+                        BarrierKind::Sense => {
+                            let resume = last + machine.line_transfer_ns;
+                            for (c, at, _) in episode {
+                                breakdown[c].barrier_ns += resume - at;
+                                heap.push(Reverse((resume, c)));
+                            }
+                        }
+                        BarrierKind::Tree => {
+                            let resume = last + tree_levels(p) * machine.line_transfer_ns;
+                            for (c, at, _) in episode {
+                                breakdown[c].barrier_ns += resume - at;
+                                heap.push(Reverse((resume, c)));
+                            }
+                        }
+                        BarrierKind::Condvar => {
+                            // The final arriver proceeds immediately; sleepers
+                            // wake one at a time, in arrival order.
+                            let mut order = episode;
+                            order.sort_by_key(|&(c, at, _)| (at, c));
+                            let n_sleepers = order.len().saturating_sub(1);
+                            for (rank, (c, at, _)) in order.into_iter().enumerate() {
+                                let resume = if rank == n_sleepers {
+                                    last + machine.lock_pair_ns
+                                } else {
+                                    last + (rank as u64 + 1) * machine.condvar_wake_ns
+                                };
+                                breakdown[c].barrier_ns += resume - at;
+                                heap.push(Reverse((resume, c)));
+                            }
+                        }
+                    }
+                }
+                // else: parked — resumed when the last core arrives.
+            }
+        }
+    }
+
+    let total_ns = breakdown.iter().map(|b| b.end_ns).max().unwrap_or(0);
+    SimResult {
+        name: program.name.clone(),
+        machine: machine.name.to_string(),
+        ncores: p,
+        total_ns,
+        cores: breakdown,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> MachineParams {
+        MachineParams::icelake_like()
+    }
+
+    #[test]
+    fn single_core_compute_only() {
+        let p = Program {
+            name: "t".into(),
+            cores: vec![vec![Op::Compute { ns: 1000 }, Op::Compute { ns: 500 }]],
+            barriers: vec![],
+        };
+        let r = run(&p, &machine());
+        assert_eq!(r.total_ns, 1500);
+        assert_eq!(r.cores[0].compute_ns, 1500);
+        assert_eq!(r.sync_fraction(), 0.0);
+    }
+
+    #[test]
+    fn contended_server_serializes() {
+        // Two cores each need 10 × 100ns of the same resource: the second
+        // must queue behind the first → total ≥ 2000ns.
+        let access = Op::Access {
+            server: 0,
+            n: 10,
+            service_ns: 100,
+            local_ns: 0,
+            contended_ns: 0,
+        };
+        let p = Program {
+            name: "t".into(),
+            cores: vec![vec![access], vec![access]],
+            barriers: vec![],
+        };
+        let r = run(&p, &machine());
+        assert_eq!(r.total_ns, 2000);
+        let waited: u64 = r.cores.iter().map(|c| c.wait_ns).sum();
+        assert_eq!(waited, 1000, "one core queues for the other's batch");
+    }
+
+    #[test]
+    fn uncontended_servers_run_in_parallel() {
+        let p = Program {
+            name: "t".into(),
+            cores: vec![
+                vec![Op::Access { server: 0, n: 10, service_ns: 100, local_ns: 0, contended_ns: 0 }],
+                vec![Op::Access { server: 1, n: 10, service_ns: 100, local_ns: 0, contended_ns: 0 }],
+            ],
+            barriers: vec![],
+        };
+        let r = run(&p, &machine());
+        assert_eq!(r.total_ns, 1000);
+    }
+
+    #[test]
+    fn contended_penalty_applies_only_when_busy() {
+        let access = |srv| Op::Access {
+            server: srv,
+            n: 1,
+            service_ns: 100,
+            local_ns: 0,
+            contended_ns: 5000,
+        };
+        // Same server: second comer pays the penalty.
+        let p = Program {
+            name: "t".into(),
+            cores: vec![vec![access(0)], vec![access(0)]],
+            barriers: vec![],
+        };
+        let r = run(&p, &machine());
+        assert_eq!(r.total_ns, 100 + 100 + 5000);
+        // Different servers: nobody pays it.
+        let p2 = Program {
+            name: "t".into(),
+            cores: vec![vec![access(0)], vec![access(1)]],
+            barriers: vec![],
+        };
+        assert_eq!(run(&p2, &machine()).total_ns, 100);
+    }
+
+    #[test]
+    fn barrier_holds_until_all_arrive() {
+        let p = Program {
+            name: "t".into(),
+            cores: vec![
+                vec![Op::Compute { ns: 10 }, Op::Barrier { id: 0 }, Op::Compute { ns: 5 }],
+                vec![Op::Compute { ns: 10_000 }, Op::Barrier { id: 0 }, Op::Compute { ns: 5 }],
+            ],
+            barriers: vec![BarrierKind::Sense],
+        };
+        let r = run(&p, &machine());
+        assert!(r.total_ns > 10_000);
+        assert!(r.cores[0].barrier_ns >= 9_000, "fast core waits for slow one");
+    }
+
+    #[test]
+    fn condvar_barrier_costs_more_than_sense_at_scale() {
+        let mk = |kind| {
+            let cores = (0..32)
+                .map(|_| vec![Op::Compute { ns: 100 }, Op::Barrier { id: 0 }])
+                .collect();
+            Program { name: "t".into(), cores, barriers: vec![kind] }
+        };
+        let sense = run(&mk(BarrierKind::Sense), &machine()).total_ns;
+        let condvar = run(&mk(BarrierKind::Condvar), &machine()).total_ns;
+        assert!(
+            condvar > 2 * sense,
+            "serialized wake-ups must dominate: condvar {condvar} vs sense {sense}"
+        );
+    }
+
+    #[test]
+    fn tree_barrier_beats_central_sense_at_high_core_counts() {
+        let mk = |kind| {
+            let cores = (0..64)
+                .map(|_| vec![Op::Barrier { id: 0 }])
+                .collect();
+            Program { name: "t".into(), cores, barriers: vec![kind] }
+        };
+        let sense = run(&mk(BarrierKind::Sense), &machine()).total_ns;
+        let tree = run(&mk(BarrierKind::Tree), &machine()).total_ns;
+        assert!(tree < sense, "tree {tree} vs sense {sense}");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let cores = (0..8)
+            .map(|c| {
+                vec![
+                    Op::Compute { ns: 100 + c },
+                    Op::Access { server: 0, n: 5, service_ns: 60, local_ns: 10, contended_ns: 0 },
+                    Op::Barrier { id: 0 },
+                ]
+            })
+            .collect::<Vec<_>>();
+        let p = Program {
+            name: "t".into(),
+            cores,
+            barriers: vec![BarrierKind::Condvar],
+        };
+        let a = run(&p, &machine());
+        let b = run(&p, &machine());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn barriers_are_reusable_across_episodes() {
+        let cores = (0..4)
+            .map(|_| vec![Op::Barrier { id: 0 }, Op::Compute { ns: 10 }, Op::Barrier { id: 0 }])
+            .collect::<Vec<_>>();
+        let p = Program {
+            name: "t".into(),
+            cores,
+            barriers: vec![BarrierKind::Sense],
+        };
+        let r = run(&p, &machine());
+        assert!(r.total_ns > 0);
+        // All cores end at the same episode count — validated structurally.
+    }
+}

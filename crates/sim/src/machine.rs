@@ -1,0 +1,116 @@
+//! Machine parameter presets.
+//!
+//! The paper characterizes the suites on two platforms: a real 64-core AMD
+//! EPYC 7002-series machine and an Intel Ice Lake configuration of gem5-20.
+//! This module captures the synchronization-relevant latencies of such
+//! machines as explicit parameters. Values are order-of-magnitude figures
+//! from public microbenchmark literature for the respective platform
+//! families; the *ratios* (futex wake ≫ cache-line transfer ≫ local RMW) are
+//! what drive the reproduced result shapes, not the absolute values.
+
+use serde::{Deserialize, Serialize};
+
+/// Synchronization-relevant timing parameters of a simulated multicore.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MachineParams {
+    /// Human-readable platform name.
+    pub name: &'static str,
+    /// Core clock in GHz (converts workload-model cycles to nanoseconds).
+    pub ghz: f64,
+    /// Maximum hardware threads the preset represents.
+    pub max_cores: usize,
+    /// Uncontended atomic RMW on a cache-resident line (ns).
+    pub rmw_local_ns: u64,
+    /// Atomic RMW service time on a *shared* line: the cache-line transfer
+    /// that serializes concurrent RMWs (ns). Larger on chiplet-based parts.
+    pub rmw_service_ns: u64,
+    /// Uncontended mutex acquire+release pair (ns).
+    pub lock_pair_ns: u64,
+    /// Extra latency for a contended sleeping-lock handoff: the futex
+    /// sleep/wake round trip a blocked acquirer pays (ns).
+    pub futex_wake_ns: u64,
+    /// Per-waiter serialized wake-up cost of a condvar broadcast (ns).
+    pub condvar_wake_ns: u64,
+    /// Cache-line transfer between cores (ns), used for barrier-release
+    /// broadcast and similar one-shot propagation.
+    pub line_transfer_ns: u64,
+    /// Fraction of fine-grained data touches that collide on a shared line
+    /// (drives the shared-server component of scattered accumulations).
+    pub data_collision: f64,
+    /// Fraction of contended sleeping-lock acquisitions that actually take
+    /// the futex sleep/wake path (the rest win adaptive spinning). Scales the
+    /// convoy penalty of lock-based synchronization.
+    pub convoy_fraction: f64,
+}
+
+impl MachineParams {
+    /// AMD EPYC 7002-series-like preset (the paper's real machine): high
+    /// cross-CCX transfer latency, expensive futex round trips.
+    pub fn epyc_like() -> MachineParams {
+        MachineParams {
+            name: "epyc-7002-like",
+            ghz: 2.25,
+            max_cores: 64,
+            rmw_local_ns: 15,
+            rmw_service_ns: 130,
+            lock_pair_ns: 45,
+            futex_wake_ns: 2600,
+            condvar_wake_ns: 300,
+            line_transfer_ns: 110,
+            data_collision: 0.06,
+            convoy_fraction: 0.10,
+        }
+    }
+
+    /// Intel Ice Lake-like preset (the paper's gem5-20 configuration):
+    /// monolithic mesh, lower transfer latency, cheaper wake-ups.
+    pub fn icelake_like() -> MachineParams {
+        MachineParams {
+            name: "icelake-gem5-like",
+            ghz: 2.0,
+            max_cores: 64,
+            rmw_local_ns: 12,
+            rmw_service_ns: 66,
+            lock_pair_ns: 40,
+            futex_wake_ns: 1400,
+            condvar_wake_ns: 110,
+            line_transfer_ns: 55,
+            data_collision: 0.04,
+            convoy_fraction: 0.035,
+        }
+    }
+
+    /// Convert workload-model cycles to nanoseconds on this machine.
+    pub fn cycles_to_ns(&self, cycles: u64) -> u64 {
+        (cycles as f64 / self.ghz).round() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_expected_orderings() {
+        for m in [MachineParams::epyc_like(), MachineParams::icelake_like()] {
+            assert!(m.futex_wake_ns > m.rmw_service_ns, "{}", m.name);
+            assert!(m.rmw_service_ns > m.rmw_local_ns, "{}", m.name);
+            assert!(m.condvar_wake_ns > m.line_transfer_ns, "{}", m.name);
+            assert!(m.ghz > 0.0 && m.max_cores >= 64);
+        }
+    }
+
+    #[test]
+    fn epyc_has_costlier_transfers_than_icelake() {
+        let e = MachineParams::epyc_like();
+        let i = MachineParams::icelake_like();
+        assert!(e.rmw_service_ns > i.rmw_service_ns);
+        assert!(e.futex_wake_ns > i.futex_wake_ns);
+    }
+
+    #[test]
+    fn cycle_conversion() {
+        let m = MachineParams::icelake_like(); // 2 GHz
+        assert_eq!(m.cycles_to_ns(2000), 1000);
+    }
+}

@@ -1,0 +1,145 @@
+//! Simulator input representation: per-core operation streams.
+//!
+//! The workload-model expander ([`crate::model`]) lowers a mode-independent
+//! [`WorkModel`](splash4_parmacs::WorkModel) under a concrete
+//! [`SyncPolicy`](splash4_parmacs::SyncPolicy) into one [`Program`] per core.
+//! The engine knows nothing about locks vs atomics — only about compute,
+//! FCFS shared-resource accesses, and barriers; the *policy* difference is
+//! entirely encoded in the access costs and barrier kinds chosen here.
+
+use serde::{Deserialize, Serialize};
+
+/// One operation in a core's stream.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Op {
+    /// Local computation for `ns` nanoseconds.
+    Compute {
+        /// Duration in nanoseconds.
+        ns: u64,
+    },
+    /// `n` accesses to shared resource `server`, each occupying the resource
+    /// for `service_ns` (FCFS serialization) and costing the issuing core
+    /// `local_ns` of non-serialized latency. If the resource is busy when the
+    /// batch arrives, `contended_ns` is added per access (sleeping-lock wake
+    /// penalty; zero for spin/atomic resources).
+    Access {
+        /// Shared resource id.
+        server: u32,
+        /// Number of accesses in this batch.
+        n: u64,
+        /// Per-access resource occupancy (serialized).
+        service_ns: u64,
+        /// Per-access local latency (not serialized).
+        local_ns: u64,
+        /// Per-access penalty when the batch found the resource busy.
+        contended_ns: u64,
+    },
+    /// Arrive at barrier `id` and wait for all cores.
+    Barrier {
+        /// Barrier id (indexes [`Program::barriers`][crate::program::BarrierKind]).
+        id: u32,
+    },
+}
+
+/// How a barrier releases its waiters (what the sync policy chose).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BarrierKind {
+    /// Sense-reversing atomic barrier: arrivals serialize on the counter
+    /// line; release is a broadcast of the generation line.
+    Sense,
+    /// Mutex+condvar barrier: arrivals serialize on the mutex; waiters wake
+    /// one at a time (serialized `futex` wakes).
+    Condvar,
+    /// Combining-tree barrier: logarithmic arrival combining, broadcast
+    /// release.
+    Tree,
+}
+
+/// A complete simulator input: one op stream per core plus the barrier kinds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    /// Workload name (for reports).
+    pub name: String,
+    /// Op streams, one per core.
+    pub cores: Vec<Vec<Op>>,
+    /// Barrier kind per barrier id.
+    pub barriers: Vec<BarrierKind>,
+}
+
+impl Program {
+    /// Number of cores.
+    pub fn ncores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Total operations across all cores.
+    pub fn total_ops(&self) -> usize {
+        self.cores.iter().map(Vec::len).sum()
+    }
+
+    /// Consistency check: every barrier id used is defined, and every core
+    /// crosses every barrier the same number of times (barrier episodes must
+    /// involve all cores).
+    pub fn validate(&self) -> Result<(), String> {
+        let mut counts = vec![Vec::new(); self.cores.len()];
+        for (c, ops) in self.cores.iter().enumerate() {
+            for op in ops {
+                if let Op::Barrier { id } = op {
+                    if *id as usize >= self.barriers.len() {
+                        return Err(format!("core {c}: undefined barrier id {id}"));
+                    }
+                    counts[c].push(*id);
+                }
+            }
+        }
+        for c in 1..counts.len() {
+            if counts[c] != counts[0] {
+                return Err(format!(
+                    "core {c} barrier sequence ({} crossings) differs from core 0 ({})",
+                    counts[c].len(),
+                    counts[0].len()
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_accepts_symmetric_program() {
+        let p = Program {
+            name: "t".into(),
+            cores: vec![
+                vec![Op::Compute { ns: 5 }, Op::Barrier { id: 0 }],
+                vec![Op::Compute { ns: 9 }, Op::Barrier { id: 0 }],
+            ],
+            barriers: vec![BarrierKind::Sense],
+        };
+        assert!(p.validate().is_ok());
+        assert_eq!(p.total_ops(), 4);
+    }
+
+    #[test]
+    fn validate_rejects_undefined_barrier() {
+        let p = Program {
+            name: "t".into(),
+            cores: vec![vec![Op::Barrier { id: 3 }]],
+            barriers: vec![BarrierKind::Sense],
+        };
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_asymmetric_barriers() {
+        let p = Program {
+            name: "t".into(),
+            cores: vec![vec![Op::Barrier { id: 0 }], vec![]],
+            barriers: vec![BarrierKind::Sense],
+        };
+        assert!(p.validate().is_err());
+    }
+}

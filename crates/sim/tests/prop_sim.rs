@@ -1,0 +1,116 @@
+//! Property-based tests for the timing simulator.
+
+use proptest::prelude::*;
+use splash4_parmacs::{Dispatch, PhaseSpec, SyncMode, SyncPolicy, WorkModel};
+use splash4_sim::{engine, model, simulate, BarrierKind, MachineParams, Op, Program};
+
+fn arb_machine() -> impl Strategy<Value = MachineParams> {
+    prop::sample::select(vec![MachineParams::epyc_like(), MachineParams::icelake_like()])
+}
+
+fn arb_model() -> impl Strategy<Value = WorkModel> {
+    (
+        1u64..50_000,
+        1u64..500,
+        0u64..3,
+        1u64..8,
+        prop::sample::select(vec![
+            Dispatch::Static,
+            Dispatch::GetSub { chunk: 8 },
+            Dispatch::Pool,
+        ]),
+        0.0f64..3.0,
+        0.0f64..0.05,
+    )
+        .prop_map(|(items, cpi, barriers, repeats, dispatch, touches, reduces)| {
+            WorkModel::new("prop").phase(
+                PhaseSpec::compute("p", items, cpi)
+                    .dispatch(dispatch)
+                    .data_touches(touches)
+                    .reduces(reduces)
+                    .barriers(barriers)
+                    .repeats(repeats),
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn expansion_always_validates(
+        work in arb_model(),
+        cores in 1usize..64,
+        mode in prop::sample::select(vec![SyncMode::LockBased, SyncMode::LockFree]),
+        machine in arb_machine(),
+    ) {
+        let prog = model::expand(&work, SyncPolicy::uniform(mode), cores, &machine);
+        prop_assert!(prog.validate().is_ok());
+        prop_assert_eq!(prog.ncores(), cores);
+    }
+
+    #[test]
+    fn simulated_time_is_positive_and_deterministic(
+        work in arb_model(),
+        cores in 1usize..48,
+        machine in arb_machine(),
+    ) {
+        let a = simulate(&work, SyncMode::LockFree, cores, &machine);
+        let b = simulate(&work, SyncMode::LockFree, cores, &machine);
+        prop_assert!(a.total_ns > 0);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn lock_free_never_loses_badly(
+        work in arb_model(),
+        cores in 2usize..64,
+        machine in arb_machine(),
+    ) {
+        // Across arbitrary models, Splash-4 style sync may tie but must not
+        // be significantly slower than Splash-3 style.
+        let lb = simulate(&work, SyncMode::LockBased, cores, &machine).total_ns as f64;
+        let lf = simulate(&work, SyncMode::LockFree, cores, &machine).total_ns as f64;
+        prop_assert!(lf <= lb * 1.10, "lock-free lost: {lf} vs {lb}");
+    }
+
+    #[test]
+    fn more_compute_is_never_faster(
+        items in 1u64..20_000,
+        cpi in 1u64..300,
+        cores in 1usize..32,
+        machine in arb_machine(),
+    ) {
+        let small = WorkModel::new("w").phase(PhaseSpec::compute("p", items, cpi));
+        let big = WorkModel::new("w").phase(PhaseSpec::compute("p", items, cpi * 2));
+        let ts = simulate(&small, SyncMode::LockFree, cores, &machine).total_ns;
+        let tb = simulate(&big, SyncMode::LockFree, cores, &machine).total_ns;
+        prop_assert!(tb >= ts);
+    }
+
+    #[test]
+    fn adding_cores_never_hurts_pure_compute(
+        items in 256u64..20_000,
+        cpi in 50u64..500,
+        machine in arb_machine(),
+    ) {
+        let w = WorkModel::new("w").phase(PhaseSpec::compute("p", items, cpi).barriers(0));
+        let mut prev = u64::MAX;
+        for cores in [1usize, 2, 4, 8, 16] {
+            let t = simulate(&w, SyncMode::LockFree, cores, &machine).total_ns;
+            prop_assert!(t <= prev, "pure compute slowed down at {cores} cores");
+            prev = t;
+        }
+    }
+}
+
+#[test]
+fn engine_rejects_malformed_programs() {
+    let machine = MachineParams::epyc_like();
+    let bad = Program {
+        name: "bad".into(),
+        cores: vec![vec![Op::Barrier { id: 0 }], vec![]],
+        barriers: vec![BarrierKind::Sense],
+    };
+    assert!(std::panic::catch_unwind(|| engine::run(&bad, &machine)).is_err());
+}

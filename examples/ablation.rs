@@ -1,0 +1,87 @@
+//! Per-construct ablation, natively and simulated: which modernization pays
+//! for a given workload?
+//!
+//! Runs one benchmark under the lock-based baseline, then with each
+//! construct class modernized on its own, then fully lock-free — first on
+//! the host, then on the simulated 32-core EPYC-like machine.
+//!
+//! ```text
+//! cargo run --release --example ablation [benchmark] [threads]
+//! ```
+
+use splash4::{
+    simulate, Benchmark, BenchmarkExt as _, ConstructClass, InputClass, MachineParams, SyncEnv,
+    SyncMode, SyncPolicy, Table,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let bench = args
+        .first()
+        .and_then(|s| Benchmark::from_name(s))
+        .unwrap_or(Benchmark::Radix);
+    let threads = args
+        .get(1)
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&t| t > 0)
+        .unwrap_or(2);
+
+    println!("ablation for {bench} — class=test\n");
+
+    // Native.
+    let base = bench.execute(InputClass::Test, SyncMode::LockBased, threads);
+    assert!(base.validated);
+    let mut t = Table::new(vec!["policy", "host ms", "vs baseline"]);
+    t.row(vec![
+        "splash3 (baseline)".to_string(),
+        format!("{:.2}", base.elapsed.as_secs_f64() * 1e3),
+        "1.000".to_string(),
+    ]);
+    for class in ConstructClass::ALL {
+        let policy = SyncPolicy::uniform(SyncMode::LockBased).with(class, SyncMode::LockFree);
+        let env = SyncEnv::new(policy, threads);
+        let r = Benchmark::run(bench, InputClass::Test, &env);
+        assert!(r.validated, "flipping {class} broke {bench}");
+        t.row(vec![
+            format!("+{class}"),
+            format!("{:.2}", r.elapsed.as_secs_f64() * 1e3),
+            format!("{:.3}", r.elapsed.as_secs_f64() / base.elapsed.as_secs_f64()),
+        ]);
+    }
+    let full = bench.execute(InputClass::Test, SyncMode::LockFree, threads);
+    t.row(vec![
+        "splash4 (full)".to_string(),
+        format!("{:.2}", full.elapsed.as_secs_f64() * 1e3),
+        format!("{:.3}", full.elapsed.as_secs_f64() / base.elapsed.as_secs_f64()),
+    ]);
+    println!("host, {threads} threads:");
+    print!("{}", t.render());
+
+    // Simulated at 32 cores.
+    let machine = MachineParams::epyc_like();
+    let work = bench.work_model(InputClass::Test);
+    let sim_base = simulate(&work, SyncMode::LockBased, 32, &machine).total_ns as f64;
+    let mut st = Table::new(vec!["policy", "sim ms", "vs baseline"]);
+    st.row(vec![
+        "splash3 (baseline)".to_string(),
+        format!("{:.2}", sim_base / 1e6),
+        "1.000".to_string(),
+    ]);
+    for class in ConstructClass::ALL {
+        let policy = SyncPolicy::uniform(SyncMode::LockBased).with(class, SyncMode::LockFree);
+        let tt = simulate(&work, policy, 32, &machine).total_ns as f64;
+        st.row(vec![
+            format!("+{class}"),
+            format!("{:.2}", tt / 1e6),
+            format!("{:.3}", tt / sim_base),
+        ]);
+    }
+    let sim_full = simulate(&work, SyncMode::LockFree, 32, &machine).total_ns as f64;
+    st.row(vec![
+        "splash4 (full)".to_string(),
+        format!("{:.2}", sim_full / 1e6),
+        format!("{:.3}", sim_full / sim_base),
+    ]);
+    println!("\nsimulated, 32 cores ({}):", machine.name);
+    print!("{}", st.render());
+}

@@ -1,0 +1,88 @@
+//! Using the PARMACS runtime directly: write your own dual-mode parallel
+//! application the way the suite kernels are written.
+//!
+//! A parallel word-length histogram over synthetic text: dynamic work
+//! distribution (`GETSUB`), fine-grained shared counters, a global reduction
+//! and phase barriers — each expanding to locks or atomics depending on the
+//! selected [`SyncMode`].
+//!
+//! ```text
+//! cargo run --release --example custom_app [threads]
+//! ```
+
+use splash4::parmacs::{SyncEnv, SyncMode, Team};
+use splash4::SharedAccum;
+
+/// Deterministic synthetic "document": pseudo-random word lengths.
+fn word_lengths(n: usize) -> Vec<usize> {
+    let mut state = 0x5eed_u64;
+    (0..n)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            1 + (state >> 33) as usize % 16
+        })
+        .collect()
+}
+
+fn histogram(mode: SyncMode, threads: usize, words: &[usize]) -> (Vec<f64>, f64, splash4::SyncProfile) {
+    let env = SyncEnv::new(mode, threads);
+    let barrier = env.barrier();
+    // Fine-grained shared histogram: per-bin lock vs CAS add.
+    let bins = SharedAccum::new(&env, 17, 1);
+    // Dynamic distribution, 64 words per grab.
+    let counter = env.counter("words", 0..words.len());
+    let total_len = env.reducer_f64();
+    Team::new(threads).run(|ctx| {
+        let mut local_sum = 0.0;
+        loop {
+            let chunk = counter.next_chunk(64);
+            if chunk.is_empty() {
+                break;
+            }
+            for i in chunk {
+                bins.add(words[i], 1.0);
+                local_sum += words[i] as f64;
+            }
+        }
+        total_len.add(local_sum);
+        barrier.wait(ctx.tid);
+    });
+    (bins.to_vec(), total_len.load(), env.profile())
+}
+
+fn main() {
+    let threads = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&t| t > 0)
+        .unwrap_or(4);
+    let words = word_lengths(200_000);
+
+    println!("word-length histogram, {} words, {threads} threads\n", words.len());
+    let mut reference: Option<Vec<f64>> = None;
+    for mode in SyncMode::ALL {
+        let t0 = std::time::Instant::now();
+        let (bins, total, profile) = histogram(mode, threads, &words);
+        let dt = t0.elapsed();
+        println!(
+            "{:8}  {:>8.2} ms   locks={:<8} rmws={:<8} getsubs={}",
+            mode.label(),
+            dt.as_secs_f64() * 1e3,
+            profile.lock_acquires,
+            profile.atomic_rmws,
+            profile.getsub_calls,
+        );
+        // Both modes must produce the identical histogram.
+        let check: f64 = bins.iter().enumerate().map(|(i, c)| i as f64 * c).sum();
+        assert_eq!(check, total, "histogram/total mismatch");
+        match &reference {
+            None => reference = Some(bins),
+            Some(r) => assert_eq!(r, &bins, "modes disagree"),
+        }
+    }
+    let bins = reference.unwrap();
+    println!("\nlength  count");
+    for (len, count) in bins.iter().enumerate().skip(1) {
+        println!("{len:>6}  {:>7}  {}", *count as u64, "#".repeat((*count / 400.0) as usize));
+    }
+}

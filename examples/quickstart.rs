@@ -1,0 +1,63 @@
+//! Quickstart: run one workload under both suite generations and compare.
+//!
+//! ```text
+//! cargo run --release --example quickstart [benchmark] [threads]
+//! ```
+
+use splash4::{Benchmark, BenchmarkExt as _, InputClass, SyncMode};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let bench = args
+        .first()
+        .and_then(|s| Benchmark::from_name(s))
+        .unwrap_or(Benchmark::Radix);
+    let threads = args
+        .get(1)
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&t| t > 0)
+        .unwrap_or(2);
+
+    println!("workload: {bench} ({})", bench.input_description(InputClass::Test));
+    println!("threads:  {threads}\n");
+
+    let cmp = bench.compare(InputClass::Test, threads);
+    for (label, r) in [("splash3 (lock-based)", &cmp.splash3), ("splash4 (lock-free)", &cmp.splash4)] {
+        println!(
+            "{label:22} {:>10.3} ms   validated={}  checksum={:.6e}",
+            r.elapsed.as_secs_f64() * 1e3,
+            r.validated,
+            r.checksum
+        );
+        println!(
+            "{:22} locks={} contended={} atomic-rmws={} barriers={} getsubs={} queue-ops={}",
+            "",
+            r.profile.lock_acquires,
+            r.profile.lock_contended,
+            r.profile.atomic_rmws,
+            r.profile.barrier_waits,
+            r.profile.getsub_calls,
+            r.profile.queue_ops,
+        );
+    }
+    println!("\nnormalized time (splash4/splash3): {:.3}", cmp.ratio());
+    assert!(cmp.validated(), "both runs must validate");
+
+    // Different constructs, same answer.
+    let mode_note = match cmp.checksums_match(1e-6) {
+        true => "outputs agree across sync modes ✓",
+        false => "outputs DIVERGED — this is a bug",
+    };
+    println!("{mode_note}");
+
+    // Bonus: what the paper's 64-core machines would see (simulated).
+    let work = bench.work_model(InputClass::Test);
+    let machine = splash4::MachineParams::epyc_like();
+    let s3 = splash4::simulate(&work, SyncMode::LockBased, 64, &machine);
+    let s4 = splash4::simulate(&work, SyncMode::LockFree, 64, &machine);
+    println!(
+        "simulated 64-core {}: splash4/splash3 = {:.3}",
+        machine.name,
+        s4.total_ns as f64 / s3.total_ns as f64
+    );
+}

@@ -1,0 +1,49 @@
+//! Reproduce the paper's scaling story for one workload: simulate both suite
+//! generations from 1 to 64 cores on both machine presets.
+//!
+//! ```text
+//! cargo run --release --example simulate_scaling [benchmark]
+//! ```
+
+use splash4::{simulate, Benchmark, BenchmarkExt as _, InputClass, MachineParams, SyncMode, Table};
+
+fn main() {
+    let bench = std::env::args()
+        .nth(1)
+        .and_then(|s| Benchmark::from_name(&s))
+        .unwrap_or(Benchmark::Ocean);
+    let work = bench.work_model(InputClass::Test);
+    println!("workload: {bench}\n");
+
+    for machine in [MachineParams::epyc_like(), MachineParams::icelake_like()] {
+        println!("machine: {}", machine.name);
+        let mut t = Table::new(vec![
+            "cores",
+            "splash3 ms",
+            "splash4 ms",
+            "ratio",
+            "s3 speedup",
+            "s4 speedup",
+            "s4 sync%",
+        ]);
+        let base3 = simulate(&work, SyncMode::LockBased, 1, &machine).total_ns as f64;
+        let base4 = simulate(&work, SyncMode::LockFree, 1, &machine).total_ns as f64;
+        for cores in [1usize, 2, 4, 8, 16, 32, 64] {
+            let s3 = simulate(&work, SyncMode::LockBased, cores, &machine);
+            let s4 = simulate(&work, SyncMode::LockFree, cores, &machine);
+            t.row(vec![
+                cores.to_string(),
+                format!("{:.2}", s3.total_ns as f64 / 1e6),
+                format!("{:.2}", s4.total_ns as f64 / 1e6),
+                format!("{:.3}", s4.total_ns as f64 / s3.total_ns as f64),
+                format!("{:.1}×", base3 / s3.total_ns as f64),
+                format!("{:.1}×", base4 / s4.total_ns as f64),
+                format!("{:.1}", s4.sync_fraction() * 100.0),
+            ]);
+        }
+        print!("{}", t.render());
+        println!();
+    }
+    println!("the ratio column is the paper's normalized execution time;");
+    println!("the speedup columns are its scalability curves.");
+}

@@ -1,0 +1,55 @@
+//! Run the full suite natively in both generations and print the comparison
+//! table (a host-sized version of the paper's normalized-time figure).
+//!
+//! ```text
+//! cargo run --release --example suite_compare [threads] [test|small|native]
+//! ```
+
+use splash4::{geomean, Benchmark, BenchmarkExt as _, InputClass, Table};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let threads = args
+        .first()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&t| t > 0)
+        .unwrap_or(2);
+    let class = args
+        .get(1)
+        .and_then(|s| InputClass::from_label(s))
+        .unwrap_or(InputClass::Test);
+
+    println!("suite comparison — class={}, threads={threads}\n", class.label());
+    let mut table = Table::new(vec![
+        "benchmark",
+        "splash3 ms",
+        "splash4 ms",
+        "ratio",
+        "locks removed",
+        "atomics added",
+    ]);
+    let mut ratios = Vec::new();
+    for b in Benchmark::ALL {
+        let cmp = b.compare(class, threads);
+        assert!(cmp.validated(), "{b} failed validation");
+        ratios.push(cmp.ratio());
+        table.row(vec![
+            b.name().to_string(),
+            format!("{:.2}", cmp.splash3.elapsed.as_secs_f64() * 1e3),
+            format!("{:.2}", cmp.splash4.elapsed.as_secs_f64() * 1e3),
+            format!("{:.3}", cmp.ratio()),
+            cmp.splash3.profile.lock_acquires.to_string(),
+            cmp.splash4.profile.atomic_rmws.to_string(),
+        ]);
+    }
+    table.row(vec![
+        "geomean".to_string(),
+        String::new(),
+        String::new(),
+        format!("{:.3}", geomean(&ratios)),
+        String::new(),
+        String::new(),
+    ]);
+    print!("{}", table.render());
+    println!("\nratio < 1 ⇒ the lock-free (Splash-4) constructs win.");
+}

@@ -1,0 +1,8 @@
+//! Facade crate for the `splash4-rs` workspace.
+//!
+//! Re-exports the full public API of [`splash4_core`] so repository-root
+//! examples and integration tests (and downstream users who want a single
+//! dependency) can `use splash4::…` directly. See the workspace `README.md`
+//! for the suite overview and `DESIGN.md` for the architecture.
+
+pub use splash4_core::*;

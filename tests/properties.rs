@@ -1,0 +1,84 @@
+//! Property-based integration tests over the public API: kernels must
+//! validate for arbitrary (bounded) configurations, not just the presets.
+
+use proptest::prelude::*;
+use splash4::{fft, lu, radix, water_nsq, InputClass, SyncEnv, SyncMode};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    #[test]
+    fn radix_sorts_arbitrary_sizes(
+        n in 64usize..4096,
+        bits in 4u32..12,
+        seed in any::<u64>(),
+        threads in 1usize..5,
+    ) {
+        let cfg = radix::RadixConfig { n, bits, seed };
+        let env = SyncEnv::new(SyncMode::LockFree, threads);
+        let r = radix::run(&cfg, &env);
+        prop_assert!(r.validated, "radix failed: n={n} bits={bits} seed={seed}");
+    }
+
+    #[test]
+    fn fft_round_trips_arbitrary_signals(
+        log_m in 2u32..6,
+        seed in any::<u64>(),
+        threads in 1usize..4,
+    ) {
+        let cfg = fft::FftConfig { m: 1 << log_m, seed };
+        let env = SyncEnv::new(SyncMode::LockBased, threads);
+        let r = fft::run(&cfg, &env);
+        prop_assert!(r.validated, "fft failed: m={} seed={seed}", cfg.m);
+    }
+
+    #[test]
+    fn lu_reconstructs_arbitrary_matrices(
+        blocks in 2usize..6,
+        block in prop::sample::select(vec![4usize, 8]),
+        seed in any::<u64>(),
+        threads in 1usize..4,
+    ) {
+        let cfg = lu::LuConfig {
+            n: blocks * block,
+            block,
+            seed,
+            layout: if seed % 2 == 0 { lu::LuLayout::Contiguous } else { lu::LuLayout::RowMajor },
+        };
+        let env = SyncEnv::new(SyncMode::LockFree, threads);
+        let r = lu::run(&cfg, &env);
+        prop_assert!(r.validated, "lu failed: n={} block={block} seed={seed}", cfg.n);
+    }
+
+    #[test]
+    fn water_conserves_for_arbitrary_seeds(
+        n in prop::sample::select(vec![32usize, 64, 125]),
+        seed in any::<u64>(),
+        threads in 1usize..4,
+    ) {
+        let cfg = water_nsq::WaterNsqConfig { n, steps: 2, dt: 0.001, seed };
+        let env = SyncEnv::new(SyncMode::LockFree, threads);
+        let r = water_nsq::run(&cfg, &env);
+        prop_assert!(r.validated, "water failed: n={n} seed={seed}");
+    }
+
+    #[test]
+    fn mode_equivalence_holds_for_arbitrary_radix_inputs(
+        n in 128usize..2048,
+        seed in any::<u64>(),
+    ) {
+        let cfg = radix::RadixConfig { n, bits: 8, seed };
+        let lb = radix::run(&cfg, &SyncEnv::new(SyncMode::LockBased, 2));
+        let lf = radix::run(&cfg, &SyncEnv::new(SyncMode::LockFree, 3));
+        prop_assert!(lb.validated && lf.validated);
+        prop_assert!((lb.checksum - lf.checksum).abs() < 1.0);
+    }
+}
+
+// Keep InputClass linked into the property suite so preset drift shows up.
+#[test]
+fn preset_classes_parse() {
+    for c in InputClass::ALL {
+        assert_eq!(InputClass::from_label(c.label()), Some(c));
+    }
+}

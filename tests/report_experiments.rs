@@ -1,0 +1,59 @@
+//! The experiment driver regenerates every artifact without error and the
+//! payloads carry the expected structure.
+
+use splash4::{run_experiment, Benchmark, ExperimentCtx, InputClass, ALL_EXPERIMENTS};
+
+fn quick_ctx() -> ExperimentCtx {
+    ExperimentCtx {
+        class: InputClass::Test,
+        native_threads: vec![1, 2],
+        sim_threads: vec![1, 16, 64],
+        snapshot_cores: 8,
+    }
+}
+
+#[test]
+fn every_experiment_renders() {
+    let ctx = quick_ctx();
+    for id in ALL_EXPERIMENTS {
+        let r = run_experiment(id, &ctx).unwrap_or_else(|e| panic!("{id}: {e}"));
+        assert_eq!(r.id, id);
+        assert!(!r.title.is_empty());
+        assert!(r.text.lines().count() >= 3, "{id} rendered too little");
+        assert!(!r.json.is_null());
+        // Every benchmark appears in every per-benchmark artifact
+        // (T1 lists inputs; S1 aggregates to geomeans only).
+        if id != "T1-inputs" && id != "S1-sensitivity" {
+            for b in Benchmark::ALL {
+                assert!(
+                    r.text.contains(b.name()),
+                    "{id} missing row for {b}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn headline_experiment_reports_geomeans() {
+    let r = run_experiment("F2-sim-epyc", &quick_ctx()).unwrap();
+    let means = r.json["geomeans"].as_array().expect("geomeans array");
+    assert_eq!(means.len(), 3);
+    assert!(r.text.contains("geomean"));
+    assert!(r.title.contains('%'), "title should carry the headline number");
+}
+
+#[test]
+fn ablation_reports_every_construct_class() {
+    let r = run_experiment("F6-ablation", &quick_ctx()).unwrap();
+    for label in ["+barrier", "+counter", "+reduction", "+flag", "+queue", "+data_lock", "full"] {
+        assert!(r.text.contains(label), "missing column {label}");
+    }
+}
+
+#[test]
+fn sync_op_table_has_both_modes_per_benchmark() {
+    let r = run_experiment("T3-syncops", &quick_ctx()).unwrap();
+    let rows = r.json["rows"].as_array().unwrap();
+    assert_eq!(rows.len(), Benchmark::ALL.len() * 2);
+}

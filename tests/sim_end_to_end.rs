@@ -1,0 +1,94 @@
+//! End-to-end: kernel work models through the timing simulator reproduce the
+//! paper's qualitative results for every workload.
+
+use splash4::{simulate, Benchmark, BenchmarkExt as _, InputClass, MachineParams, SyncMode};
+
+fn models() -> Vec<(Benchmark, splash4::WorkModel)> {
+    Benchmark::ALL
+        .into_iter()
+        .map(|b| (b, b.work_model(InputClass::Test)))
+        .collect()
+}
+
+#[test]
+fn splash4_never_loses_at_64_simulated_cores() {
+    let machine = MachineParams::epyc_like();
+    for (b, work) in models() {
+        let s3 = simulate(&work, SyncMode::LockBased, 64, &machine).total_ns;
+        let s4 = simulate(&work, SyncMode::LockFree, 64, &machine).total_ns;
+        let ratio = s4 as f64 / s3 as f64;
+        assert!(
+            ratio < 1.0,
+            "{b}: lock-free should win at 64 cores, ratio {ratio:.3}"
+        );
+    }
+}
+
+#[test]
+fn single_core_runs_are_near_parity() {
+    let machine = MachineParams::epyc_like();
+    for (b, work) in models() {
+        let s3 = simulate(&work, SyncMode::LockBased, 1, &machine).total_ns as f64;
+        let s4 = simulate(&work, SyncMode::LockFree, 1, &machine).total_ns as f64;
+        let ratio = s4 / s3;
+        assert!(
+            (0.5..=1.05).contains(&ratio),
+            "{b}: unexpected single-core ratio {ratio:.3}"
+        );
+    }
+}
+
+#[test]
+fn the_gap_grows_with_core_count() {
+    let machine = MachineParams::epyc_like();
+    for (b, work) in models() {
+        let ratio_at = |p: usize| {
+            let s3 = simulate(&work, SyncMode::LockBased, p, &machine).total_ns as f64;
+            let s4 = simulate(&work, SyncMode::LockFree, p, &machine).total_ns as f64;
+            s4 / s3
+        };
+        let r4 = ratio_at(4);
+        let r64 = ratio_at(64);
+        assert!(
+            r64 < r4 + 0.05,
+            "{b}: gap should not shrink with scale: r4={r4:.3} r64={r64:.3}"
+        );
+    }
+}
+
+#[test]
+fn simulation_is_deterministic_per_workload() {
+    let machine = MachineParams::icelake_like();
+    for (_, work) in models() {
+        let a = simulate(&work, SyncMode::LockFree, 16, &machine);
+        let b = simulate(&work, SyncMode::LockFree, 16, &machine);
+        assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn breakdowns_cover_the_whole_run() {
+    let machine = MachineParams::epyc_like();
+    for (b, work) in models() {
+        let res = simulate(&work, SyncMode::LockBased, 8, &machine);
+        let (c, s, w, l, bar) = res.fractions();
+        let sum = c + s + w + l + bar;
+        assert!(
+            (0.999..=1.001).contains(&sum),
+            "{b}: breakdown fractions sum to {sum}"
+        );
+        assert!(res.sync_fraction() >= 0.0 && res.sync_fraction() <= 1.0);
+    }
+}
+
+#[test]
+fn barrier_heavy_kernels_show_barrier_time_in_lock_based_mode() {
+    let machine = MachineParams::epyc_like();
+    let work = Benchmark::Ocean.work_model(InputClass::Test);
+    let res = simulate(&work, SyncMode::LockBased, 32, &machine);
+    let (_, _, _, _, barrier) = res.fractions();
+    assert!(
+        barrier > 0.2,
+        "ocean at 32 cores should be barrier-bound under condvar barriers, got {barrier:.3}"
+    );
+}

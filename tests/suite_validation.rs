@@ -1,0 +1,44 @@
+//! Cross-crate integration: every workload validates and produces the same
+//! answer under both suite generations and across thread counts.
+
+use splash4::{Benchmark, BenchmarkExt as _, InputClass, SyncMode};
+
+#[test]
+fn every_benchmark_validates_in_both_modes_and_thread_counts() {
+    for b in Benchmark::ALL {
+        for mode in SyncMode::ALL {
+            for threads in [1, 3] {
+                let r = b.execute(InputClass::Test, mode, threads);
+                assert!(r.validated, "{b} invalid under {mode} with {threads} threads");
+                assert!(r.checksum.is_finite());
+                assert!(r.elapsed.as_nanos() > 0);
+            }
+        }
+    }
+}
+
+#[test]
+fn checksums_agree_across_generations() {
+    for b in Benchmark::ALL {
+        let cmp = b.compare(InputClass::Test, 2);
+        assert!(
+            cmp.checksums_match(1e-6),
+            "{b}: splash3={} splash4={}",
+            cmp.splash3.checksum,
+            cmp.splash4.checksum
+        );
+    }
+}
+
+#[test]
+fn work_models_are_exported_and_calibrated() {
+    for b in Benchmark::ALL {
+        let w = b.work_model(InputClass::Test);
+        assert!(!w.phases.is_empty(), "{b} has no phases");
+        assert!(w.total_cycles() > 0, "{b} has zero modeled compute");
+        for p in &w.phases {
+            assert!(p.items > 0, "{b} phase {} has no items", p.name);
+            assert!(p.cycles_per_item > 0, "{b} phase {} free compute", p.name);
+        }
+    }
+}
