@@ -34,6 +34,22 @@
 //! assert!(s4.total_ns < s3.total_ns);
 //! ```
 //!
+//! ## Trace-driven replay
+//!
+//! ```
+//! use splash4_core::{Benchmark, BenchmarkExt as _, InputClass, SyncMode};
+//! use splash4_core::{lower_trace, MachineParams, SyncPolicy};
+//!
+//! // Record radix's sync events during a native 2-thread run...
+//! let (result, trace) = Benchmark::Radix.run_traced(InputClass::Test, SyncMode::LockFree, 2);
+//! assert!(result.validated);
+//! assert!(trace.len() > 0);
+//! // ...and replay the recording on 32 simulated cores.
+//! let machine = MachineParams::epyc_like();
+//! let prog = lower_trace(&trace, SyncPolicy::uniform(SyncMode::LockFree), 32, &machine);
+//! assert_eq!(prog.ncores(), 32);
+//! ```
+//!
 //! ## Crate map
 //!
 //! | layer | crate | docs |
@@ -41,14 +57,14 @@
 //! | sync runtime | `splash4-parmacs` | PARMACS constructs, both back-ends, instrumentation |
 //! | workloads | `splash4-kernels` | the twelve ports with oracles |
 //! | simulator | `splash4-sim` | machine models, DES engine, model expansion |
+//! | tracing | `splash4-trace` | sync-event recording, codec, replay lowering |
 //! | experiments | `splash4-harness` | paper table/figure regeneration |
 
 #![warn(missing_docs)]
 
-use serde::{Deserialize, Serialize};
-
 pub use splash4_harness::{
-    geomean, pct_change, run_experiment, ExperimentCtx, Report, Table, ALL_EXPERIMENTS,
+    geomean, pct_change, record_trace, run_experiment, ExperimentCtx, Report, Table,
+    ALL_EXPERIMENTS,
 };
 pub use splash4_kernels::{
     barnes, cholesky, close, fft, fmm, lu, ocean, radiosity, radix, raytrace, volrend, water_nsq,
@@ -56,16 +72,19 @@ pub use splash4_kernels::{
 };
 pub use splash4_parmacs as parmacs;
 pub use splash4_parmacs::{
-    Barrier, ConstructClass, Dispatch, IndexCounter, PauseVar, PhaseSpec, RawLock, ReduceF64,
-    ReduceU64, SyncEnv, SyncMode, SyncPolicy, SyncProfile, TaskQueue, Team, TeamCtx, WorkModel,
+    Barrier, ConstructClass, Dispatch, IndexCounter, Json, PauseVar, PhaseSpec, RawLock,
+    ReduceF64, ReduceU64, SmallRng, SyncEnv, SyncMode, SyncPolicy, SyncProfile, TaskQueue, Team,
+    TeamCtx, ToJson, TraceEvent, TraceSink, WorkModel,
 };
-pub use splash4_sim::{simulate, BarrierKind, MachineParams, SimResult};
+pub use splash4_sim::{engine, simulate, BarrierKind, MachineParams, Program, SimResult};
+pub use splash4_trace as trace;
+pub use splash4_trace::{lower::lower as lower_trace, RingRecorder, Trace, TraceSummary};
 
 /// A suite workload (re-exported registry id with a friendlier name).
 pub use splash4_harness::BenchmarkId as Benchmark;
 
 /// Head-to-head outcome of the two suite generations on the same input.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Comparison {
     /// Lock-based (Splash-3) result.
     pub splash3: KernelResult,
@@ -101,6 +120,14 @@ pub trait BenchmarkExt {
     fn compare(self, class: InputClass, threads: usize) -> Comparison;
     /// Calibrated workload model (single lock-free run) for the simulator.
     fn work_model(self, class: InputClass) -> WorkModel;
+    /// Run with a [`RingRecorder`] attached and return the result together
+    /// with the recorded sync-event [`Trace`] (feed it to [`lower_trace`]).
+    fn run_traced(
+        self,
+        class: InputClass,
+        mode: SyncMode,
+        threads: usize,
+    ) -> (KernelResult, Trace);
 }
 
 impl BenchmarkExt for Benchmark {
@@ -119,6 +146,15 @@ impl BenchmarkExt for Benchmark {
     fn work_model(self, class: InputClass) -> WorkModel {
         splash4_harness::work_model(self, class)
     }
+
+    fn run_traced(
+        self,
+        class: InputClass,
+        mode: SyncMode,
+        threads: usize,
+    ) -> (KernelResult, Trace) {
+        record_trace(self, class, mode, threads)
+    }
 }
 
 #[cfg(test)]
@@ -134,6 +170,15 @@ mod tests {
         // The generations really differ in their sync profile.
         assert!(cmp.splash3.profile.lock_acquires > 0);
         assert_eq!(cmp.splash4.profile.lock_acquires, 0);
+    }
+
+    #[test]
+    fn run_traced_records_and_validates() {
+        let (result, trace) = Benchmark::Lu.run_traced(InputClass::Test, SyncMode::LockFree, 2);
+        assert!(result.validated);
+        assert_eq!(trace.nthreads(), 2);
+        assert!(!trace.is_empty());
+        assert_eq!(trace.dropped(), 0);
     }
 
     #[test]

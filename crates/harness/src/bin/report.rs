@@ -10,6 +10,7 @@
 
 use splash4_harness::{run_experiment, ExperimentCtx, ALL_EXPERIMENTS};
 use splash4_kernels::InputClass;
+use splash4_parmacs::json;
 use std::process::ExitCode;
 
 fn usage() -> &'static str {
@@ -133,7 +134,7 @@ fn main() -> ExitCode {
                         return ExitCode::FAILURE;
                     }
                 }
-                payloads.push(serde_json::json!({
+                payloads.push(json!({
                     "id": report.id,
                     "title": report.title,
                     "data": report.json,
@@ -147,8 +148,8 @@ fn main() -> ExitCode {
     }
 
     if let Some(path) = json_out {
-        let doc = serde_json::json!({ "experiments": payloads });
-        if let Err(e) = std::fs::write(&path, serde_json::to_string_pretty(&doc).unwrap()) {
+        let doc = json!({ "experiments": payloads });
+        if let Err(e) = std::fs::write(&path, doc.to_string_pretty()) {
             eprintln!("failed to write {path}: {e}");
             return ExitCode::FAILURE;
         }

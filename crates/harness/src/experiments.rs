@@ -6,10 +6,11 @@
 
 use crate::registry::BenchmarkId;
 use crate::tables::{geomean, pct_change, Report, Table};
-use serde_json::json;
 use splash4_kernels::InputClass;
-use splash4_parmacs::{ConstructClass, SyncEnv, SyncMode, SyncPolicy, WorkModel};
-use splash4_sim::{simulate, MachineParams};
+use splash4_parmacs::{json, ConstructClass, SyncEnv, SyncMode, SyncPolicy, ToJson, WorkModel};
+use splash4_sim::{engine, simulate, MachineParams};
+use splash4_trace::{lower::lower, RingRecorder, TraceSummary};
+use std::sync::Arc;
 
 /// Shared experiment parameters.
 #[derive(Debug, Clone)]
@@ -36,7 +37,7 @@ impl Default for ExperimentCtx {
 }
 
 /// All known experiment ids, in presentation order.
-pub const ALL_EXPERIMENTS: [&str; 10] = [
+pub const ALL_EXPERIMENTS: [&str; 11] = [
     "T1-inputs",
     "T2-changes",
     "T3-syncops",
@@ -46,6 +47,7 @@ pub const ALL_EXPERIMENTS: [&str; 10] = [
     "F4-scalability",
     "F5-sync-breakdown",
     "F6-ablation",
+    "F8-trace-replay",
     "S1-sensitivity",
 ];
 
@@ -68,6 +70,7 @@ pub fn run_experiment(id: &str, ctx: &ExperimentCtx) -> Result<Report, String> {
         "F4-scalability" => Ok(f4_scalability(ctx)),
         "F5-sync-breakdown" => Ok(f5_breakdown(ctx)),
         "F6-ablation" => Ok(f6_ablation(ctx)),
+        "F8-trace-replay" => Ok(f8_trace_replay(ctx)),
         "S1-sensitivity" => Ok(s1_sensitivity(ctx)),
         _ => Err(format!(
             "unknown experiment '{id}'; known: {}",
@@ -80,6 +83,24 @@ pub fn run_experiment(id: &str, ctx: &ExperimentCtx) -> Result<Report, String> {
 pub fn work_model(b: BenchmarkId, class: InputClass) -> WorkModel {
     let env = SyncEnv::new(SyncMode::LockFree, 1);
     b.run(class, &env).work
+}
+
+/// Run `b` natively with a ring recorder attached and return the kernel
+/// result together with the recorded trace.
+pub fn record_trace(
+    b: BenchmarkId,
+    class: InputClass,
+    mode: SyncMode,
+    threads: usize,
+) -> (splash4_kernels::KernelResult, splash4_trace::Trace) {
+    let recorder = Arc::new(RingRecorder::new(b.name(), threads));
+    let env = SyncEnv::new(mode, threads).with_trace(recorder.clone());
+    let result = b.run(class, &env);
+    drop(env);
+    let trace = Arc::try_unwrap(recorder)
+        .expect("kernel must not retain the trace sink")
+        .finish();
+    (result, trace)
 }
 
 /// `T1-inputs`: the suite/workload/input table.
@@ -424,6 +445,109 @@ fn f6_ablation(ctx: &ExperimentCtx) -> Report {
     }
 }
 
+/// `F8-trace-replay` (extension): trace-driven replay vs the analytic model.
+///
+/// Each benchmark is run natively with the lock-free back-end and a
+/// [`RingRecorder`] attached; the recorded sync-event trace is lowered to
+/// simulator programs at several core counts (re-dealing the dynamically
+/// scheduled work, so a 4-thread recording drives 1–64-core sweeps) under
+/// both sync policies. The resulting Splash-4/Splash-3 normalized times are
+/// tabulated next to the analytic model's prediction from the same run.
+fn f8_trace_replay(ctx: &ExperimentCtx) -> Report {
+    /// Native thread count for the traced runs.
+    const TRACE_THREADS: usize = 4;
+    /// Simulated core counts for the replay sweep.
+    const REPLAY_CORES: [usize; 4] = [1, 8, 32, 64];
+
+    let machines = [MachineParams::epyc_like(), MachineParams::icelake_like()];
+    let mut header = vec!["benchmark".to_string(), "machine".to_string()];
+    for &p in &REPLAY_CORES {
+        header.push(format!("trace p={p}"));
+        header.push(format!("model p={p}"));
+    }
+    let mut t = Table::new(header);
+    let mut rows = Vec::new();
+    // Per machine, per core count: trace-driven and analytic ratios.
+    let mut trace_ratios = vec![vec![Vec::new(); REPLAY_CORES.len()]; machines.len()];
+    let mut model_ratios = vec![vec![Vec::new(); REPLAY_CORES.len()]; machines.len()];
+
+    for b in BenchmarkId::ALL {
+        let (result, trace) = record_trace(b, ctx.class, SyncMode::LockFree, TRACE_THREADS);
+        let summary = TraceSummary::from_trace(&trace);
+        let mut jpoints = Vec::new();
+        for (mi, machine) in machines.iter().enumerate() {
+            let mut cells = vec![b.name().to_string(), machine.name.to_string()];
+            for (pi, &p) in REPLAY_CORES.iter().enumerate() {
+                let run = |mode: SyncMode| {
+                    let prog = lower(&trace, SyncPolicy::uniform(mode), p, machine);
+                    engine::run(&prog, machine).total_ns
+                };
+                let (s3, s4) = (run(SyncMode::LockBased), run(SyncMode::LockFree));
+                let tr = s4 as f64 / s3.max(1) as f64;
+                let a3 = simulate(&result.work, SyncMode::LockBased, p, machine).total_ns;
+                let a4 = simulate(&result.work, SyncMode::LockFree, p, machine).total_ns;
+                let mr = a4 as f64 / a3.max(1) as f64;
+                trace_ratios[mi][pi].push(tr);
+                model_ratios[mi][pi].push(mr);
+                cells.push(format!("{tr:.3}"));
+                cells.push(format!("{mr:.3}"));
+                jpoints.push(json!({
+                    "machine": machine.name,
+                    "cores": p,
+                    "trace_splash3_ns": s3,
+                    "trace_splash4_ns": s4,
+                    "trace_ratio": tr,
+                    "model_ratio": mr,
+                }));
+            }
+            t.row(cells);
+        }
+        rows.push(json!({
+            "benchmark": b.name(),
+            "trace": summary.to_json(),
+            "points": jpoints,
+        }));
+    }
+
+    let mut jmeans = Vec::new();
+    for (mi, machine) in machines.iter().enumerate() {
+        let mut cells = vec!["geomean".to_string(), machine.name.to_string()];
+        let mut tg = Vec::new();
+        let mut mg = Vec::new();
+        for pi in 0..REPLAY_CORES.len() {
+            let (gt, gm) = (geomean(&trace_ratios[mi][pi]), geomean(&model_ratios[mi][pi]));
+            tg.push(gt);
+            mg.push(gm);
+            cells.push(format!("{gt:.3}"));
+            cells.push(format!("{gm:.3}"));
+        }
+        t.row(cells);
+        jmeans.push(json!({
+            "machine": machine.name,
+            "cores": REPLAY_CORES.to_vec(),
+            "trace": tg,
+            "model": mg,
+        }));
+    }
+
+    Report {
+        id: "F8-trace-replay".into(),
+        title: format!(
+            "Trace-driven replay vs analytic model ({TRACE_THREADS}-thread native traces, class={})",
+            ctx.class.label()
+        ),
+        text: t.render(),
+        json: json!({
+            "class": ctx.class.label(),
+            "trace_threads": TRACE_THREADS,
+            "cores": REPLAY_CORES.to_vec(),
+            "rows": rows,
+            "geomeans": jmeans,
+        }),
+        csv: t.to_csv(),
+    }
+}
+
 /// `S1-sensitivity` (extension): robustness of the headline result to the
 /// two calibrated machine parameters.
 ///
@@ -525,6 +649,22 @@ mod tests {
             assert!(
                 g < 0.85,
                 "headline must survive parameter scaling, got {g} at {row}"
+            );
+        }
+    }
+
+    #[test]
+    fn trace_replay_wins_at_scale_on_both_machines() {
+        let r = run_experiment("F8-trace-replay", &quick_ctx()).unwrap();
+        let means = r.json["geomeans"].as_array().unwrap();
+        assert_eq!(means.len(), 2, "one geomean row per machine preset");
+        for g in means {
+            let trace = g["trace"].as_array().unwrap();
+            let at_64 = trace.last().unwrap().as_f64().unwrap();
+            assert!(
+                at_64 < 1.0,
+                "trace-driven Splash-4/Splash-3 must beat parity at 64 cores on {}, got {at_64}",
+                g["machine"]
             );
         }
     }

@@ -11,6 +11,6 @@ pub mod experiments;
 pub mod registry;
 pub mod tables;
 
-pub use experiments::{run_experiment, work_model, ExperimentCtx, ALL_EXPERIMENTS};
+pub use experiments::{record_trace, run_experiment, work_model, ExperimentCtx, ALL_EXPERIMENTS};
 pub use registry::BenchmarkId;
 pub use tables::{geomean, pct_change, Report, Table};

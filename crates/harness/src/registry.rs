@@ -1,6 +1,5 @@
 //! The benchmark registry: one entry per suite workload.
 
-use serde::{Deserialize, Serialize};
 use splash4_kernels::{
     barnes, cholesky, fft, fmm, lu, ocean, radiosity, radix, raytrace, volrend, water_nsq,
     water_sp, InputClass, KernelResult,
@@ -9,7 +8,7 @@ use splash4_parmacs::SyncEnv;
 use std::fmt;
 
 /// Identifier of a suite workload.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[allow(missing_docs)]
 pub enum BenchmarkId {
     Barnes,

@@ -1,5 +1,6 @@
 //! Plain-text table and CSV rendering for reports.
 
+use splash4_parmacs::Json;
 use std::fmt::Write as _;
 
 /// A rendered experiment artifact: human-readable text plus machine-readable
@@ -13,7 +14,7 @@ pub struct Report {
     /// The rendered table/figure text.
     pub text: String,
     /// Machine-readable payload.
-    pub json: serde_json::Value,
+    pub json: Json,
     /// CSV rendering of the main table.
     pub csv: String,
 }

@@ -13,15 +13,13 @@
 
 use crate::common::{KernelResult, SharedSlice};
 use crate::inputs::InputClass;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use splash4_parmacs::SmallRng;
 use splash4_parmacs::{Dispatch, PhaseSpec, RawLock, SyncCounters, SyncEnv, Team, WorkModel};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 /// Barnes-Hut kernel configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BarnesConfig {
     /// Number of bodies.
     pub n: usize,

@@ -15,15 +15,13 @@
 
 use crate::common::{KernelResult, SharedCounters, SharedSlice};
 use crate::inputs::InputClass;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use splash4_parmacs::SmallRng;
 use splash4_parmacs::{Dispatch, PhaseSpec, SyncEnv, Team, WorkModel};
 use std::collections::HashMap;
 use std::time::Instant;
 
 /// Cholesky kernel configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CholeskyConfig {
     /// Matrix side (multiple of `block`).
     pub n: usize,
@@ -51,7 +49,7 @@ impl CholeskyConfig {
 }
 
 /// Block task kinds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 enum TaskKind {
     /// Factor diagonal block `k`.
     Potrf,

@@ -1,15 +1,16 @@
 //! Shared kernel infrastructure: results, shared-memory views, and the
 //! dual-mode accumulator used for fine-grained force/energy updates.
 
-use serde::{Deserialize, Serialize};
-use splash4_parmacs::{RawLock, SyncCounters, SyncEnv, SyncProfile, WorkModel};
+use splash4_parmacs::{
+    ConstructClass, RawLock, SyncCounters, SyncEnv, SyncProfile, TraceEvent, WorkModel,
+};
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 /// Outcome of one kernel execution.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct KernelResult {
     /// Wall-clock time of the parallel region (excludes input generation and
     /// validation, matching the suite's `ROI` timing convention).
@@ -171,6 +172,7 @@ impl SharedAccum {
     /// Atomically (or under the bank lock) add `v` to cell `i`.
     #[inline]
     pub fn add(&self, i: usize, v: f64) {
+        self.stats.trace(TraceEvent::Rmw { class: ConstructClass::DataLock, n: 1 });
         match &self.locks {
             Some(locks) => {
                 let lock = &locks[i / self.bank];
@@ -266,6 +268,7 @@ impl SharedCounters {
     /// Add `v` to counter `i` under the active discipline.
     #[inline]
     pub fn add(&self, i: usize, v: u64) {
+        self.stats.trace(TraceEvent::Rmw { class: ConstructClass::DataLock, n: 1 });
         match &self.locks {
             Some(locks) => {
                 let lock = &locks[i / self.bank];
@@ -284,6 +287,7 @@ impl SharedCounters {
     /// Add `v` to counter `i` and return the previous value (slot claiming).
     #[inline]
     pub fn claim(&self, i: usize, v: u64) -> u64 {
+        self.stats.trace(TraceEvent::Rmw { class: ConstructClass::DataLock, n: 1 });
         match &self.locks {
             Some(locks) => {
                 let lock = &locks[i / self.bank];

@@ -14,15 +14,13 @@
 
 use crate::common::{KernelResult, SharedSlice};
 use crate::inputs::InputClass;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use splash4_parmacs::SmallRng;
 use splash4_parmacs::{Dispatch, PhaseSpec, SyncEnv, Team, WorkModel};
 use std::time::Instant;
 
 /// A complex number (the kernels carry their own minimal arithmetic, as the
 /// original C code does).
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Cpx {
     /// Real part.
     pub re: f64,
@@ -70,7 +68,7 @@ impl Cpx {
 }
 
 /// FFT kernel configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FftConfig {
     /// Matrix side: the transform size is `m × m` points; `m` must be a
     /// power of two.

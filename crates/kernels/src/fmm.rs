@@ -15,14 +15,12 @@
 use crate::common::{KernelResult, SharedCounters, SharedSlice};
 use crate::fft::Cpx;
 use crate::inputs::InputClass;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use splash4_parmacs::SmallRng;
 use splash4_parmacs::{Dispatch, PhaseSpec, SyncEnv, Team, WorkModel};
 use std::time::Instant;
 
 /// FMM kernel configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FmmConfig {
     /// Number of particles.
     pub n: usize,

@@ -7,11 +7,10 @@
 //! and `Test` is CI-sized. Exact per-kernel parameters live in each kernel's
 //! `Config::class` constructor and are summarized by the `T1-inputs` table.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Input size class for a kernel run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum InputClass {
     /// Seconds-level CI inputs.
     Test,

@@ -19,14 +19,12 @@
 
 use crate::common::{KernelResult, SharedSlice};
 use crate::inputs::InputClass;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use splash4_parmacs::SmallRng;
 use splash4_parmacs::{PhaseSpec, SyncEnv, Team, WorkModel};
 use std::time::Instant;
 
 /// Matrix storage layout (the suite's contiguous / non-contiguous pair).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LuLayout {
     /// Each B×B block stored contiguously (`lu-cont`).
     Contiguous,
@@ -35,7 +33,7 @@ pub enum LuLayout {
 }
 
 /// LU kernel configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LuConfig {
     /// Matrix side (must be a multiple of `block`).
     pub n: usize,

@@ -21,13 +21,12 @@
 
 use crate::common::{KernelResult, SharedSlice};
 use crate::inputs::InputClass;
-use serde::{Deserialize, Serialize};
 use splash4_parmacs::{PhaseSpec, SyncEnv, Team, WorkModel};
 use std::f64::consts::PI;
 use std::time::Instant;
 
 /// Grid storage layout (the suite's contiguous / non-contiguous pair).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OceanLayout {
     /// One flat `(n+2)²` allocation (`ocean-cont`).
     Contiguous,
@@ -36,7 +35,7 @@ pub enum OceanLayout {
 }
 
 /// Ocean kernel configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OceanConfig {
     /// Interior grid side (full grid is `(n+2)²` with boundary).
     pub n: usize,

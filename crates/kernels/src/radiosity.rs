@@ -18,12 +18,11 @@
 
 use crate::common::{KernelResult, SharedAccum, SharedSlice};
 use crate::inputs::InputClass;
-use serde::{Deserialize, Serialize};
 use splash4_parmacs::{Dispatch, PhaseSpec, SyncEnv, Team, WorkModel};
 use std::time::Instant;
 
 /// Radiosity kernel configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RadiosityConfig {
     /// Patches per wall side (total patches = `6·m²`).
     pub m: usize,
@@ -54,7 +53,7 @@ impl RadiosityConfig {
 }
 
 /// A wall patch: center, normal, area, reflectivity, emission.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Patch {
     /// Patch center in the unit box.
     pub center: [f64; 3],

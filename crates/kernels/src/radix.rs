@@ -13,14 +13,12 @@
 
 use crate::common::{KernelResult, SharedCounters, SharedSlice};
 use crate::inputs::InputClass;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use splash4_parmacs::SmallRng;
 use splash4_parmacs::{Dispatch, PhaseSpec, SyncEnv, Team, WorkModel};
 use std::time::Instant;
 
 /// Radix-sort kernel configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RadixConfig {
     /// Number of keys.
     pub n: usize,

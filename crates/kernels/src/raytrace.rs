@@ -10,12 +10,11 @@
 
 use crate::common::{KernelResult, SharedSlice};
 use crate::inputs::InputClass;
-use serde::{Deserialize, Serialize};
 use splash4_parmacs::{Dispatch, PhaseSpec, SyncEnv, Team, WorkModel};
 use std::time::Instant;
 
 /// Ray-tracer configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RaytraceConfig {
     /// Image side in pixels (square image).
     pub size: usize,
@@ -67,7 +66,7 @@ fn norm(a: V3) -> V3 {
 }
 
 /// A sphere with Phong-ish material.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Sphere {
     /// Center.
     pub center: V3,

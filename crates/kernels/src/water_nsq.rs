@@ -15,14 +15,12 @@
 
 use crate::common::{KernelResult, SharedAccum, SharedSlice};
 use crate::inputs::InputClass;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use splash4_parmacs::SmallRng;
 use splash4_parmacs::{PhaseSpec, SyncEnv, Team, WorkModel};
 use std::time::Instant;
 
 /// Water-nsquared kernel configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WaterNsqConfig {
     /// Number of molecules.
     pub n: usize,

@@ -11,12 +11,11 @@
 use crate::common::{KernelResult, SharedAccum, SharedCounters, SharedSlice};
 use crate::inputs::InputClass;
 use crate::water_nsq::{initialize, lj, min_image, CUTOFF};
-use serde::{Deserialize, Serialize};
 use splash4_parmacs::{PhaseSpec, SyncEnv, Team, WorkModel};
 use std::time::Instant;
 
 /// Water-spatial kernel configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WaterSpConfig {
     /// Number of molecules.
     pub n: usize,

@@ -15,6 +15,7 @@
 //! [`SyncCounters`].
 
 use crate::stats::SyncCounters;
+use crate::trace::TraceEvent;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -52,6 +53,7 @@ pub struct CondvarBarrier {
     state: Mutex<(usize, u64)>, // (arrived, generation)
     cv: Condvar,
     stats: Arc<SyncCounters>,
+    trace_id: u32,
 }
 
 impl CondvarBarrier {
@@ -65,6 +67,7 @@ impl CondvarBarrier {
             n,
             state: Mutex::new((0, 0)),
             cv: Condvar::new(),
+            trace_id: stats.alloc_barrier_id(),
             stats,
         }
     }
@@ -73,6 +76,7 @@ impl CondvarBarrier {
 impl Barrier for CondvarBarrier {
     fn wait(&self, _tid: usize) {
         SyncCounters::bump(&self.stats.barrier_waits);
+        self.stats.trace(TraceEvent::BarrierEnter { id: self.trace_id });
         SyncCounters::timed(&self.stats.barrier_wait_ns, || {
             let mut st = self.state.lock().expect("barrier mutex poisoned");
             let gen = st.1;
@@ -87,6 +91,7 @@ impl Barrier for CondvarBarrier {
                 }
             }
         });
+        self.stats.trace(TraceEvent::BarrierExit { id: self.trace_id });
     }
 
     fn participants(&self) -> usize {
@@ -110,6 +115,7 @@ pub struct SenseBarrier {
     arrived: AtomicUsize,
     generation: AtomicU64,
     stats: Arc<SyncCounters>,
+    trace_id: u32,
 }
 
 impl SenseBarrier {
@@ -123,6 +129,7 @@ impl SenseBarrier {
             n,
             arrived: AtomicUsize::new(0),
             generation: AtomicU64::new(0),
+            trace_id: stats.alloc_barrier_id(),
             stats,
         }
     }
@@ -132,6 +139,7 @@ impl Barrier for SenseBarrier {
     fn wait(&self, _tid: usize) {
         SyncCounters::bump(&self.stats.barrier_waits);
         SyncCounters::bump(&self.stats.atomic_rmws);
+        self.stats.trace(TraceEvent::BarrierEnter { id: self.trace_id });
         SyncCounters::timed(&self.stats.barrier_wait_ns, || {
             let gen = self.generation.load(Ordering::Acquire);
             if self.arrived.fetch_add(1, Ordering::AcqRel) == self.n - 1 {
@@ -145,6 +153,7 @@ impl Barrier for SenseBarrier {
                 }
             }
         });
+        self.stats.trace(TraceEvent::BarrierExit { id: self.trace_id });
     }
 
     fn participants(&self) -> usize {
@@ -167,6 +176,7 @@ pub struct TreeBarrier {
     levels: Vec<Vec<CachePadded>>,
     generation: AtomicU64,
     stats: Arc<SyncCounters>,
+    trace_id: u32,
 }
 
 /// Padded arrival counter so tree nodes do not false-share.
@@ -200,6 +210,7 @@ impl TreeBarrier {
             n,
             levels,
             generation: AtomicU64::new(0),
+            trace_id: stats.alloc_barrier_id(),
             stats,
         }
     }
@@ -221,6 +232,7 @@ impl TreeBarrier {
 impl Barrier for TreeBarrier {
     fn wait(&self, tid: usize) {
         SyncCounters::bump(&self.stats.barrier_waits);
+        self.stats.trace(TraceEvent::BarrierEnter { id: self.trace_id });
         SyncCounters::timed(&self.stats.barrier_wait_ns, || {
             let gen = self.generation.load(Ordering::Acquire);
             let mut idx = tid / Self::ARITY;
@@ -247,6 +259,7 @@ impl Barrier for TreeBarrier {
                 }
             }
         });
+        self.stats.trace(TraceEvent::BarrierExit { id: self.trace_id });
     }
 
     fn participants(&self) -> usize {

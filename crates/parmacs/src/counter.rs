@@ -14,6 +14,7 @@
 
 use crate::lock::{RawLock, SleepLock};
 use crate::stats::SyncCounters;
+use crate::trace::TraceEvent;
 use std::fmt;
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -78,6 +79,7 @@ impl IndexCounter for LockedCounter {
             None
         };
         self.next.release();
+        self.stats.trace(TraceEvent::Getsub { n: u32::from(out.is_some()) });
         out
     }
 
@@ -91,6 +93,7 @@ impl IndexCounter for LockedCounter {
         let end = (start + chunk).min(self.range.end);
         *v = end;
         self.next.release();
+        self.stats.trace(TraceEvent::Getsub { n: (end - start) as u32 });
         start..end
     }
 
@@ -137,7 +140,9 @@ impl IndexCounter for AtomicCounter {
         SyncCounters::bump(&self.stats.getsub_calls);
         SyncCounters::bump(&self.stats.atomic_rmws);
         let i = self.value.fetch_add(1, Ordering::Relaxed);
-        (i < self.range.end).then_some(i)
+        let out = (i < self.range.end).then_some(i);
+        self.stats.trace(TraceEvent::Getsub { n: u32::from(out.is_some()) });
+        out
     }
 
     fn next_chunk(&self, chunk: usize) -> Range<usize> {
@@ -147,6 +152,7 @@ impl IndexCounter for AtomicCounter {
         let start = self.value.fetch_add(chunk, Ordering::Relaxed);
         let start = start.min(self.range.end);
         let end = (start + chunk).min(self.range.end);
+        self.stats.trace(TraceEvent::Getsub { n: (end - start) as u32 });
         start..end
     }
 

@@ -14,6 +14,7 @@ use crate::mode::{ConstructClass, SyncMode, SyncPolicy};
 use crate::queue::{LockedQueue, StealPool, TaskQueue, TicketDispenser, TreiberStack};
 use crate::reduce::{AtomicReducer, LockedReducer, ReduceF64, ReduceU64};
 use crate::stats::{SyncCounters, SyncProfile};
+use crate::trace::TraceSink;
 use std::fmt;
 use std::ops::Range;
 use std::sync::Arc;
@@ -39,6 +40,22 @@ impl SyncEnv {
             nthreads,
             stats: Arc::new(SyncCounters::new()),
         }
+    }
+
+    /// Attach a trace sink: every primitive created by this environment will
+    /// emit [`crate::trace::TraceEvent`]s into it, attributed to the calling
+    /// thread's team index. Builder-style so it composes with
+    /// [`SyncEnv::new`]; attaching twice panics (the sink is write-once for
+    /// the life of the environment).
+    ///
+    /// With no sink attached the per-op cost is one relaxed atomic load and a
+    /// never-taken branch; instrumentation counters are unaffected either way.
+    pub fn with_trace(self, sink: Arc<dyn TraceSink>) -> SyncEnv {
+        assert!(
+            self.stats.set_tracer(sink),
+            "trace sink already attached to this environment"
+        );
+        self
     }
 
     /// The active policy.

@@ -6,7 +6,9 @@
 //! ordering ([`AtomicFlag`]). The `lu` and `cholesky` kernels use arrays of
 //! these as column/block "done" signals.
 
+use crate::mode::ConstructClass;
 use crate::stats::SyncCounters;
+use crate::trace::TraceEvent;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -43,6 +45,9 @@ impl CondvarFlag {
 
 impl PauseVar for CondvarFlag {
     fn set(&self) {
+        // Emitted from `set` only: the wait side's fast path is
+        // timing-dependent, so only the signal is a stable logical event.
+        self.stats.trace(TraceEvent::Rmw { class: ConstructClass::Flag, n: 1 });
         let mut s = self.set.lock().expect("flag mutex poisoned");
         *s = true;
         drop(s);
@@ -94,6 +99,7 @@ impl AtomicFlag {
 
 impl PauseVar for AtomicFlag {
     fn set(&self) {
+        self.stats.trace(TraceEvent::Rmw { class: ConstructClass::Flag, n: 1 });
         self.set.store(true, Ordering::Release);
     }
 

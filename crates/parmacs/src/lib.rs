@@ -55,24 +55,30 @@ pub mod barrier;
 pub mod counter;
 pub mod env;
 pub mod flag;
+pub mod json;
 pub mod lock;
 #[macro_use]
 pub mod macros;
 pub mod mode;
 pub mod queue;
 pub mod reduce;
+pub mod rng;
 pub mod stats;
 pub mod team;
+pub mod trace;
 pub mod workload;
 
 pub use barrier::{Barrier, CondvarBarrier, SenseBarrier, TreeBarrier};
 pub use counter::{AtomicCounter, IndexCounter, LockedCounter};
 pub use env::{SyncEnv, WorkPool};
 pub use flag::{AtomicFlag, CondvarFlag, PauseVar};
+pub use json::{Json, ToJson};
 pub use lock::{RawLock, SleepLock, TasLock, TicketLock};
 pub use mode::{ConstructClass, SyncMode, SyncPolicy};
 pub use queue::{LockedQueue, StealPool, TaskQueue, TicketDispenser, TreiberStack};
 pub use reduce::{AtomicF64, AtomicReducer, LockedReducer, ReduceF64, ReduceU64};
+pub use rng::SmallRng;
 pub use stats::{SyncCounters, SyncProfile};
-pub use team::{chunk_range, Team, TeamCtx};
+pub use team::{chunk_range, current_tid, Team, TeamCtx};
+pub use trace::{NoopSink, TraceEvent, TraceSink};
 pub use workload::{Dispatch, PhaseSpec, WorkModel};

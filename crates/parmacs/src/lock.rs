@@ -8,8 +8,9 @@
 //! so the lock-free back-ends of the other modules never take these.
 
 use crate::stats::SyncCounters;
+use crate::trace::{now_ns, TraceEvent};
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 /// A raw acquire/release lock, deliberately guard-free so it can expand the
@@ -56,6 +57,11 @@ pub struct SleepLock {
     locked: Mutex<bool>,
     cv: Condvar,
     stats: Arc<SyncCounters>,
+    /// Trace-only observations, written by the current holder (exclusion is
+    /// provided by the lock itself): acquisition timestamp and whether the
+    /// acquire hit the slow path.
+    t_acquired: AtomicU64,
+    t_contended: AtomicBool,
 }
 
 impl SleepLock {
@@ -65,6 +71,8 @@ impl SleepLock {
             locked: Mutex::new(false),
             cv: Condvar::new(),
             stats,
+            t_acquired: AtomicU64::new(0),
+            t_contended: AtomicBool::new(false),
         }
     }
 }
@@ -73,6 +81,7 @@ impl RawLock for SleepLock {
     fn acquire(&self) {
         SyncCounters::bump(&self.stats.lock_acquires);
         let mut held = self.locked.lock().expect("lock mutex poisoned");
+        let contended = *held;
         if *held {
             SyncCounters::bump(&self.stats.lock_contended);
             SyncCounters::timed(&self.stats.lock_wait_ns, || {
@@ -84,14 +93,25 @@ impl RawLock for SleepLock {
         } else {
             *held = true;
         }
+        if self.stats.tracing() {
+            self.t_acquired.store(now_ns(), Ordering::Relaxed);
+            self.t_contended.store(contended, Ordering::Relaxed);
+        }
     }
 
     fn release(&self) {
+        let traced = self.stats.tracing().then(|| TraceEvent::LockAcq {
+            contended: self.t_contended.load(Ordering::Relaxed),
+            hold_ns: now_ns().saturating_sub(self.t_acquired.load(Ordering::Relaxed)),
+        });
         let mut held = self.locked.lock().expect("lock mutex poisoned");
         assert!(*held, "release of an unheld SleepLock");
         *held = false;
         drop(held);
         self.cv.notify_one();
+        if let Some(ev) = traced {
+            self.stats.trace(ev);
+        }
     }
 }
 

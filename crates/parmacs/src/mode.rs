@@ -4,11 +4,10 @@
 //! choice per construct class, which is what the paper-style ablation experiment
 //! (`F6-ablation`) sweeps: "what if we modernize *only* the barriers?".
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Which suite generation's synchronization constructs to use.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SyncMode {
     /// Splash-3 style: pthreads-like sleeping locks, condvar barriers,
     /// lock-protected counters/reductions/queues.
@@ -52,7 +51,7 @@ impl fmt::Display for SyncMode {
 /// Each class corresponds to one transformation the Splash-4 modernization
 /// applies (see the crate docs table) and to one column of the paper's
 /// "changes" table (`T2-changes`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ConstructClass {
     /// Phase barriers (`BARRIER`).
     Barrier,
@@ -91,6 +90,11 @@ impl ConstructClass {
             ConstructClass::DataLock => "data_lock",
         }
     }
+
+    /// Parse a label produced by [`ConstructClass::label`].
+    pub fn from_label(s: &str) -> Option<ConstructClass> {
+        ConstructClass::ALL.into_iter().find(|c| c.label() == s)
+    }
 }
 
 impl fmt::Display for ConstructClass {
@@ -116,7 +120,7 @@ impl fmt::Display for ConstructClass {
 /// assert_eq!(policy.mode_for(ConstructClass::Barrier), SyncMode::LockFree);
 /// assert_eq!(policy.mode_for(ConstructClass::Counter), SyncMode::LockBased);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SyncPolicy {
     barrier: SyncMode,
     counter: SyncMode,

@@ -15,6 +15,7 @@
 
 use crate::lock::{RawLock, SleepLock};
 use crate::stats::SyncCounters;
+use crate::trace::TraceEvent;
 use std::collections::VecDeque;
 use std::fmt;
 use std::mem::ManuallyDrop;
@@ -62,6 +63,7 @@ impl<T> LockedQueue<T> {
 impl<T: Send> TaskQueue<T> for LockedQueue<T> {
     fn push(&self, task: T) {
         SyncCounters::bump(&self.stats.queue_ops);
+        self.stats.trace(TraceEvent::Enqueue);
         self.lock.acquire();
         // SAFETY: lock held.
         unsafe { (*self.items.get()).push_back(task) };
@@ -70,6 +72,7 @@ impl<T: Send> TaskQueue<T> for LockedQueue<T> {
 
     fn pop(&self) -> Option<T> {
         SyncCounters::bump(&self.stats.queue_ops);
+        self.stats.trace(TraceEvent::Dequeue);
         self.lock.acquire();
         // SAFETY: lock held.
         let out = unsafe { (*self.items.get()).pop_front() };
@@ -143,6 +146,7 @@ impl<T> TreiberStack<T> {
 impl<T: Send> TaskQueue<T> for TreiberStack<T> {
     fn push(&self, task: T) {
         SyncCounters::bump(&self.stats.queue_ops);
+        self.stats.trace(TraceEvent::Enqueue);
         let node = Box::into_raw(Box::new(Node {
             value: ManuallyDrop::new(task),
             next: ptr::null_mut(),
@@ -168,6 +172,7 @@ impl<T: Send> TaskQueue<T> for TreiberStack<T> {
 
     fn pop(&self) -> Option<T> {
         SyncCounters::bump(&self.stats.queue_ops);
+        self.stats.trace(TraceEvent::Dequeue);
         let mut cur = self.head.load(Ordering::Acquire);
         loop {
             if cur.is_null() {
@@ -260,6 +265,7 @@ impl<T: Sync> TicketDispenser<T> {
     pub fn claim(&self) -> Option<&T> {
         SyncCounters::bump(&self.stats.queue_ops);
         SyncCounters::bump(&self.stats.atomic_rmws);
+        self.stats.trace(TraceEvent::Dequeue);
         let i = self.next.fetch_add(1, Ordering::Relaxed);
         self.tasks.get(i)
     }

@@ -8,7 +8,9 @@
 //! [`AtomicU64`] holding `f64::to_bits`).
 
 use crate::lock::{RawLock, SleepLock};
+use crate::mode::ConstructClass;
 use crate::stats::SyncCounters;
+use crate::trace::TraceEvent;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -64,6 +66,7 @@ impl LockedReducer {
 
     fn update(&self, f: impl FnOnce(&mut f64, &mut u64)) {
         SyncCounters::bump(&self.stats.reduce_ops);
+        self.stats.trace(TraceEvent::Rmw { class: ConstructClass::Reduction, n: 1 });
         self.lock.acquire();
         // SAFETY: lock held.
         unsafe { f(&mut *self.value.get(), &mut *self.value_u.get()) };
@@ -204,14 +207,17 @@ impl AtomicReducer {
 impl ReduceF64 for AtomicReducer {
     fn add(&self, v: f64) {
         SyncCounters::bump(&self.stats.reduce_ops);
+        self.stats.trace(TraceEvent::Rmw { class: ConstructClass::Reduction, n: 1 });
         self.float.add(v);
     }
     fn max(&self, v: f64) {
         SyncCounters::bump(&self.stats.reduce_ops);
+        self.stats.trace(TraceEvent::Rmw { class: ConstructClass::Reduction, n: 1 });
         self.float.fetch_update(|x| x.max(v));
     }
     fn min(&self, v: f64) {
         SyncCounters::bump(&self.stats.reduce_ops);
+        self.stats.trace(TraceEvent::Rmw { class: ConstructClass::Reduction, n: 1 });
         self.float.fetch_update(|x| x.min(v));
     }
     fn load(&self) -> f64 {
@@ -226,6 +232,7 @@ impl ReduceU64 for AtomicReducer {
     fn add(&self, v: u64) {
         SyncCounters::bump(&self.stats.reduce_ops);
         SyncCounters::bump(&self.stats.atomic_rmws);
+        self.stats.trace(TraceEvent::Rmw { class: ConstructClass::Reduction, n: 1 });
         self.int.fetch_add(v, Ordering::AcqRel);
     }
     fn load(&self) -> u64 {

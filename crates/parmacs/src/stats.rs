@@ -11,12 +11,21 @@
 //! which feeds the paper's `T2-changes`, `T3-syncops` and `F5-sync-breakdown`
 //! artifacts, and parameterizes the timing-simulator workload models.
 
-use serde::{Deserialize, Serialize};
+use crate::json::{Json, ToJson};
+use crate::team::current_tid;
+use crate::trace::{TraceEvent, TraceSink};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 /// Shared instrumentation block. Cheap to bump from many threads; all fields
 /// are monotonically increasing dynamic-operation counters.
+///
+/// The block also carries the (optional) trace sink and the barrier-id
+/// allocator, so every primitive that already holds an
+/// `Arc<SyncCounters>` can emit [`TraceEvent`]s without signature changes.
+/// Tracing never touches the counters themselves: `T3-syncops` counts are
+/// identical with and without a sink attached.
 #[derive(Debug, Default)]
 pub struct SyncCounters {
     /// Lock acquisitions (sleeping locks only; spin locks count here too).
@@ -45,6 +54,11 @@ pub struct SyncCounters {
     /// CAS failures (retries) observed in lock-free loops; a proxy for
     /// cache-line contention intensity.
     pub cas_failures: AtomicU64,
+    /// Attached trace sink, if any (see
+    /// [`SyncEnv::with_trace`](crate::SyncEnv::with_trace)). Write-once.
+    tracer: OnceLock<Arc<dyn TraceSink>>,
+    /// Allocator for runtime-wide barrier trace ids (allocation order).
+    next_barrier_id: AtomicU64,
 }
 
 impl SyncCounters {
@@ -74,6 +88,32 @@ impl SyncCounters {
         out
     }
 
+    /// Attach `sink`; every subsequent sync op on primitives sharing this
+    /// block emits trace events into it. Returns `false` if a sink was
+    /// already attached (the original stays).
+    pub fn set_tracer(&self, sink: Arc<dyn TraceSink>) -> bool {
+        self.tracer.set(sink).is_ok()
+    }
+
+    /// `true` once a trace sink is attached.
+    pub fn tracing(&self) -> bool {
+        self.tracer.get().is_some()
+    }
+
+    /// Emit `event` to the attached sink, if any. With no sink this is one
+    /// load-and-branch on the hot path; counters are never affected.
+    #[inline]
+    pub fn trace(&self, event: TraceEvent) {
+        if let Some(sink) = self.tracer.get() {
+            sink.record(current_tid(), event);
+        }
+    }
+
+    /// Allocate the next barrier trace id (called by barrier constructors).
+    pub fn alloc_barrier_id(&self) -> u32 {
+        self.next_barrier_id.fetch_add(1, Ordering::Relaxed) as u32
+    }
+
     /// Immutable snapshot of all counters.
     pub fn snapshot(&self) -> SyncProfile {
         SyncProfile {
@@ -98,7 +138,7 @@ impl SyncCounters {
 /// Field meanings match the counter docs. Profiles of independent runs can be
 /// combined with [`SyncProfile::merged`] and compared with
 /// [`SyncProfile::delta`] (e.g. modern minus baseline).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 #[allow(missing_docs)]
 pub struct SyncProfile {
     pub lock_acquires: u64,
@@ -169,6 +209,25 @@ impl SyncProfile {
     /// Total nanoseconds attributed to blocking synchronization.
     pub fn total_wait_ns(&self) -> u64 {
         self.lock_wait_ns + self.barrier_wait_ns + self.flag_wait_ns
+    }
+}
+
+impl ToJson for SyncProfile {
+    fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("lock_acquires".to_string(), Json::Num(self.lock_acquires as f64)),
+            ("lock_contended".to_string(), Json::Num(self.lock_contended as f64)),
+            ("lock_wait_ns".to_string(), Json::Num(self.lock_wait_ns as f64)),
+            ("barrier_waits".to_string(), Json::Num(self.barrier_waits as f64)),
+            ("barrier_wait_ns".to_string(), Json::Num(self.barrier_wait_ns as f64)),
+            ("atomic_rmws".to_string(), Json::Num(self.atomic_rmws as f64)),
+            ("getsub_calls".to_string(), Json::Num(self.getsub_calls as f64)),
+            ("reduce_ops".to_string(), Json::Num(self.reduce_ops as f64)),
+            ("flag_waits".to_string(), Json::Num(self.flag_waits as f64)),
+            ("flag_wait_ns".to_string(), Json::Num(self.flag_wait_ns as f64)),
+            ("queue_ops".to_string(), Json::Num(self.queue_ops as f64)),
+            ("cas_failures".to_string(), Json::Num(self.cas_failures as f64)),
+        ])
     }
 }
 

@@ -5,8 +5,24 @@
 //! stack-allocated state (grids, particle arrays) by reference, exactly like
 //! the original suite's shared-memory globals.
 
+use std::cell::Cell;
 use std::fmt;
 use std::ops::Range;
+
+thread_local! {
+    /// Team index of the current thread; 0 outside any team (the master
+    /// thread is tid 0 by convention).
+    static CURRENT_TID: Cell<usize> = const { Cell::new(0) };
+}
+
+/// The team index of the calling thread: its `tid` inside a
+/// [`Team::run`]/[`Team::run_map`] closure, 0 elsewhere. Trace sinks use this
+/// to attribute events to per-thread streams without threading a context
+/// through every primitive call.
+#[inline]
+pub fn current_tid() -> usize {
+    CURRENT_TID.get()
+}
 
 /// Per-thread context handed to the team closure.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -79,6 +95,7 @@ impl Team {
         F: Fn(TeamCtx) + Sync,
     {
         if self.nthreads == 1 {
+            CURRENT_TID.set(0);
             work(TeamCtx { tid: 0, nthreads: 1 });
             return;
         }
@@ -86,7 +103,10 @@ impl Team {
             for tid in 0..self.nthreads {
                 let work = &work;
                 let nthreads = self.nthreads;
-                s.spawn(move || work(TeamCtx { tid, nthreads }));
+                s.spawn(move || {
+                    CURRENT_TID.set(tid);
+                    work(TeamCtx { tid, nthreads })
+                });
             }
         });
     }
@@ -99,6 +119,7 @@ impl Team {
         R: Send,
     {
         if self.nthreads == 1 {
+            CURRENT_TID.set(0);
             return vec![work(TeamCtx { tid: 0, nthreads: 1 })];
         }
         let mut out: Vec<Option<R>> = (0..self.nthreads).map(|_| None).collect();
@@ -109,6 +130,7 @@ impl Team {
                     let work = &work;
                     let nthreads = self.nthreads;
                     s.spawn(move || {
+                        CURRENT_TID.set(tid);
                         *slot = Some(work(TeamCtx { tid, nthreads }));
                     });
                 }
@@ -191,5 +213,17 @@ mod tests {
     #[should_panic(expected = "at least one thread")]
     fn zero_threads_rejected() {
         let _ = Team::new(0);
+    }
+
+    #[test]
+    fn current_tid_tracks_team_index() {
+        let mask = AtomicUsize::new(0);
+        Team::new(4).run(|ctx| {
+            assert_eq!(current_tid(), ctx.tid);
+            mask.fetch_or(1 << current_tid(), Ordering::SeqCst);
+        });
+        assert_eq!(mask.load(Ordering::SeqCst), 0b1111);
+        // Inline single-thread path sets tid 0 too.
+        Team::new(1).run(|_| assert_eq!(current_tid(), 0));
     }
 }

@@ -14,10 +14,8 @@
 //! single-thread wall time ([`WorkModel::calibrated`]), so only the *ratios*
 //! between phases need to be right a priori.
 
-use serde::{Deserialize, Serialize};
-
 /// How a phase's items are handed to threads.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Dispatch {
     /// Static partition (block or cyclic): no sync per item.
     Static,
@@ -31,7 +29,7 @@ pub enum Dispatch {
 }
 
 /// One barrier-delimited phase of a kernel.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PhaseSpec {
     /// Phase name (matches the kernel's internal structure, e.g. `"transpose1"`).
     pub name: String,
@@ -131,7 +129,7 @@ impl PhaseSpec {
 }
 
 /// A kernel's complete phase-structure description.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WorkModel {
     /// Kernel name.
     pub name: String,

@@ -1,6 +1,13 @@
 //! Property-based tests for the synchronization primitives.
+//!
+//! Two equivalent harnesses cover the same invariants:
+//! * with `--features proptest` (requires the registry dependency to be
+//!   re-enabled in `Cargo.toml`), the `proptest`-driven version runs with
+//!   shrinking;
+//! * by default, a pure-std fallback drives each property with seeded
+//!   [`SmallRng`](splash4_parmacs::SmallRng) cases so the invariants stay in
+//!   tier-1 without any external dependency.
 
-use proptest::prelude::*;
 use splash4_parmacs::{
     chunk_range, AtomicCounter, AtomicF64, AtomicReducer, Barrier, CondvarBarrier, IndexCounter,
     LockedCounter, LockedQueue, LockedReducer, ReduceF64, SenseBarrier, SyncCounters, TaskQueue,
@@ -10,151 +17,254 @@ use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+fn check_chunk_range_partitions(total: usize, n: usize) {
+    let mut seen = 0usize;
+    let mut last_end = 0usize;
+    for tid in 0..n {
+        let r = chunk_range(total, tid, n);
+        assert_eq!(r.start, last_end, "chunks must be contiguous");
+        last_end = r.end;
+        seen += r.len();
+        assert!(r.len() <= total / n + 1);
+    }
+    assert_eq!(seen, total);
+    assert_eq!(last_end, total);
+}
 
-    #[test]
-    fn chunk_range_partitions_any_total(total in 0usize..10_000, n in 1usize..64) {
-        let mut seen = 0usize;
-        let mut last_end = 0usize;
-        for tid in 0..n {
-            let r = chunk_range(total, tid, n);
-            prop_assert_eq!(r.start, last_end, "chunks must be contiguous");
-            last_end = r.end;
-            seen += r.len();
-            prop_assert!(r.len() <= total / n + 1);
+fn check_counter_hands_out_each_index_once(start: usize, len: usize, threads: usize, atomic: bool) {
+    let stats = Arc::new(SyncCounters::new());
+    let range = start..start + len;
+    let counter: Arc<dyn IndexCounter> = if atomic {
+        Arc::new(AtomicCounter::new(range.clone(), stats))
+    } else {
+        Arc::new(LockedCounter::new(range.clone(), stats))
+    };
+    let seen = Mutex::new(HashSet::new());
+    Team::new(threads).run(|_| {
+        let mut local = Vec::new();
+        while let Some(i) = counter.next() {
+            local.push(i);
         }
-        prop_assert_eq!(seen, total);
-        prop_assert_eq!(last_end, total);
+        let mut s = seen.lock().unwrap();
+        for i in local {
+            assert!(s.insert(i), "duplicate index {i}");
+        }
+    });
+    let s = seen.into_inner().unwrap();
+    assert_eq!(s.len(), len);
+    for i in range {
+        assert!(s.contains(&i));
     }
+}
+
+fn check_reducer_sums_exactly(per: usize, threads: usize, atomic: bool) {
+    let stats = Arc::new(SyncCounters::new());
+    let red: Arc<dyn ReduceF64> = if atomic {
+        Arc::new(AtomicReducer::new(stats))
+    } else {
+        Arc::new(LockedReducer::new(stats))
+    };
+    Team::new(threads).run(|ctx| {
+        for i in 0..per {
+            red.add((ctx.tid * per + i) as f64);
+        }
+    });
+    let want: usize = (0..threads * per).sum();
+    assert_eq!(red.load(), want as f64);
+}
+
+fn check_atomic_f64_adds_linearize(values: &[i32], threads: usize) {
+    let stats = Arc::new(SyncCounters::new());
+    let cell = AtomicF64::new(0.0, stats);
+    let chunk = values.len().div_ceil(threads);
+    Team::new(threads).run(|ctx| {
+        let lo = (ctx.tid * chunk).min(values.len());
+        let hi = ((ctx.tid + 1) * chunk).min(values.len());
+        for &v in &values[lo..hi] {
+            cell.add(v as f64);
+        }
+    });
+    let want: i64 = values.iter().map(|&v| i64::from(v)).sum();
+    assert_eq!(cell.load(), want as f64);
+}
+
+fn check_queue_preserves_multiset(tasks: &[u32], threads: usize, treiber: bool) {
+    let stats = Arc::new(SyncCounters::new());
+    let q: Arc<dyn TaskQueue<u32>> = if treiber {
+        Arc::new(TreiberStack::new(stats))
+    } else {
+        Arc::new(LockedQueue::new(stats))
+    };
+    for &t in tasks {
+        q.push(t);
+    }
+    let drained = Mutex::new(Vec::new());
+    Team::new(threads).run(|_| {
+        let mut local = Vec::new();
+        while let Some(v) = q.pop() {
+            local.push(v);
+        }
+        drained.lock().unwrap().extend(local);
+    });
+    let mut got = drained.into_inner().unwrap();
+    let mut want = tasks.to_vec();
+    got.sort_unstable();
+    want.sort_unstable();
+    assert_eq!(got, want);
+}
+
+fn check_barrier_never_releases_early(threads: usize, episodes: usize, which: u8) {
+    let stats = Arc::new(SyncCounters::new());
+    let barrier: Arc<dyn Barrier> = match which {
+        0 => Arc::new(CondvarBarrier::new(threads, stats)),
+        1 => Arc::new(SenseBarrier::new(threads, stats)),
+        _ => Arc::new(TreeBarrier::new(threads, stats)),
+    };
+    let arrived = AtomicU64::new(0);
+    Team::new(threads).run(|ctx| {
+        for e in 0..episodes {
+            arrived.fetch_add(1, Ordering::SeqCst);
+            barrier.wait(ctx.tid);
+            // After the barrier, every thread must have arrived e+1 times.
+            let total = arrived.load(Ordering::SeqCst);
+            assert!(
+                total >= ((e + 1) * threads) as u64,
+                "released with only {total} arrivals at episode {e}"
+            );
+            barrier.wait(ctx.tid);
+        }
+    });
+}
+
+#[cfg(not(feature = "proptest"))]
+mod std_fallback {
+    use super::*;
+    use splash4_parmacs::SmallRng;
+
+    const CASES: usize = 16;
 
     #[test]
-    fn counters_hand_out_each_index_once(
-        start in 0usize..100,
-        len in 0usize..400,
-        threads in 1usize..5,
-        atomic in any::<bool>(),
-    ) {
-        let stats = Arc::new(SyncCounters::new());
-        let range = start..start + len;
-        let counter: Arc<dyn IndexCounter> = if atomic {
-            Arc::new(AtomicCounter::new(range.clone(), stats))
-        } else {
-            Arc::new(LockedCounter::new(range.clone(), stats))
-        };
-        let seen = Mutex::new(HashSet::new());
-        Team::new(threads).run(|_| {
-            let mut local = Vec::new();
-            while let Some(i) = counter.next() {
-                local.push(i);
-            }
-            let mut s = seen.lock().unwrap();
-            for i in local {
-                assert!(s.insert(i), "duplicate index {i}");
-            }
-        });
-        let s = seen.into_inner().unwrap();
-        prop_assert_eq!(s.len(), len);
-        for i in range {
-            prop_assert!(s.contains(&i));
+    fn chunk_range_partitions_any_total() {
+        let mut rng = SmallRng::seed_from_u64(0xC0FFEE01);
+        for _ in 0..CASES {
+            check_chunk_range_partitions(rng.gen_range(0usize..10_000), rng.gen_range(1usize..64));
         }
     }
 
     #[test]
-    fn reducers_sum_exactly_for_integer_values(
-        per in 1usize..200,
-        threads in 1usize..5,
-        atomic in any::<bool>(),
-    ) {
-        let stats = Arc::new(SyncCounters::new());
-        let red: Arc<dyn ReduceF64> = if atomic {
-            Arc::new(AtomicReducer::new(stats))
-        } else {
-            Arc::new(LockedReducer::new(stats))
-        };
-        Team::new(threads).run(|ctx| {
-            for i in 0..per {
-                red.add((ctx.tid * per + i) as f64);
-            }
-        });
-        let want: usize = (0..threads * per).sum();
-        prop_assert_eq!(red.load(), want as f64);
-    }
-
-    #[test]
-    fn atomic_f64_fetch_update_is_linearizable_for_adds(
-        values in prop::collection::vec(-1000i32..1000, 1..200),
-        threads in 1usize..5,
-    ) {
-        let stats = Arc::new(SyncCounters::new());
-        let cell = AtomicF64::new(0.0, stats);
-        let chunk = values.len().div_ceil(threads);
-        Team::new(threads).run(|ctx| {
-            let lo = (ctx.tid * chunk).min(values.len());
-            let hi = ((ctx.tid + 1) * chunk).min(values.len());
-            for &v in &values[lo..hi] {
-                cell.add(v as f64);
-            }
-        });
-        let want: i64 = values.iter().map(|&v| v as i64).sum();
-        prop_assert_eq!(cell.load(), want as f64);
-    }
-
-    #[test]
-    fn queues_preserve_the_task_multiset(
-        tasks in prop::collection::vec(any::<u32>(), 0..300),
-        threads in 1usize..4,
-        treiber in any::<bool>(),
-    ) {
-        let stats = Arc::new(SyncCounters::new());
-        let q: Arc<dyn TaskQueue<u32>> = if treiber {
-            Arc::new(TreiberStack::new(stats))
-        } else {
-            Arc::new(LockedQueue::new(stats))
-        };
-        for &t in &tasks {
-            q.push(t);
+    fn counters_hand_out_each_index_once() {
+        let mut rng = SmallRng::seed_from_u64(0xC0FFEE02);
+        for _ in 0..CASES {
+            check_counter_hands_out_each_index_once(
+                rng.gen_range(0usize..100),
+                rng.gen_range(0usize..400),
+                rng.gen_range(1usize..5),
+                rng.gen::<bool>(),
+            );
         }
-        let drained = Mutex::new(Vec::new());
-        Team::new(threads).run(|_| {
-            let mut local = Vec::new();
-            while let Some(v) = q.pop() {
-                local.push(v);
-            }
-            drained.lock().unwrap().extend(local);
-        });
-        let mut got = drained.into_inner().unwrap();
-        let mut want = tasks.clone();
-        got.sort_unstable();
-        want.sort_unstable();
-        prop_assert_eq!(got, want);
     }
 
     #[test]
-    fn barriers_never_release_early(
-        threads in 1usize..6,
-        episodes in 1usize..20,
-        which in 0u8..3,
-    ) {
-        let stats = Arc::new(SyncCounters::new());
-        let barrier: Arc<dyn Barrier> = match which {
-            0 => Arc::new(CondvarBarrier::new(threads, stats)),
-            1 => Arc::new(SenseBarrier::new(threads, stats)),
-            _ => Arc::new(TreeBarrier::new(threads, stats)),
-        };
-        let arrived = AtomicU64::new(0);
-        Team::new(threads).run(|ctx| {
-            for e in 0..episodes {
-                arrived.fetch_add(1, Ordering::SeqCst);
-                barrier.wait(ctx.tid);
-                // After the barrier, every thread must have arrived e+1 times.
-                let total = arrived.load(Ordering::SeqCst);
-                assert!(
-                    total >= ((e + 1) * threads) as u64,
-                    "released with only {total} arrivals at episode {e}"
-                );
-                barrier.wait(ctx.tid);
-            }
-        });
+    fn reducers_sum_exactly_for_integer_values() {
+        let mut rng = SmallRng::seed_from_u64(0xC0FFEE03);
+        for _ in 0..CASES {
+            check_reducer_sums_exactly(
+                rng.gen_range(1usize..200),
+                rng.gen_range(1usize..5),
+                rng.gen::<bool>(),
+            );
+        }
+    }
+
+    #[test]
+    fn atomic_f64_fetch_update_is_linearizable_for_adds() {
+        let mut rng = SmallRng::seed_from_u64(0xC0FFEE04);
+        for _ in 0..CASES {
+            let values: Vec<i32> = (0..rng.gen_range(1usize..200))
+                .map(|_| rng.gen_range(0u32..2000) as i32 - 1000)
+                .collect();
+            check_atomic_f64_adds_linearize(&values, rng.gen_range(1usize..5));
+        }
+    }
+
+    #[test]
+    fn queues_preserve_the_task_multiset() {
+        let mut rng = SmallRng::seed_from_u64(0xC0FFEE05);
+        for _ in 0..CASES {
+            let tasks: Vec<u32> = (0..rng.gen_range(0usize..300)).map(|_| rng.gen::<u32>()).collect();
+            check_queue_preserves_multiset(&tasks, rng.gen_range(1usize..4), rng.gen::<bool>());
+        }
+    }
+
+    #[test]
+    fn barriers_never_release_early() {
+        let mut rng = SmallRng::seed_from_u64(0xC0FFEE06);
+        for _ in 0..CASES {
+            check_barrier_never_releases_early(
+                rng.gen_range(1usize..6),
+                rng.gen_range(1usize..20),
+                rng.gen_range(0u32..3) as u8,
+            );
+        }
+    }
+}
+
+#[cfg(feature = "proptest")]
+mod proptest_suite {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+        #[test]
+        fn chunk_range_partitions_any_total(total in 0usize..10_000, n in 1usize..64) {
+            check_chunk_range_partitions(total, n);
+        }
+
+        #[test]
+        fn counters_hand_out_each_index_once(
+            start in 0usize..100,
+            len in 0usize..400,
+            threads in 1usize..5,
+            atomic in any::<bool>(),
+        ) {
+            check_counter_hands_out_each_index_once(start, len, threads, atomic);
+        }
+
+        #[test]
+        fn reducers_sum_exactly_for_integer_values(
+            per in 1usize..200,
+            threads in 1usize..5,
+            atomic in any::<bool>(),
+        ) {
+            check_reducer_sums_exactly(per, threads, atomic);
+        }
+
+        #[test]
+        fn atomic_f64_fetch_update_is_linearizable_for_adds(
+            values in prop::collection::vec(-1000i32..1000, 1..200),
+            threads in 1usize..5,
+        ) {
+            check_atomic_f64_adds_linearize(&values, threads);
+        }
+
+        #[test]
+        fn queues_preserve_the_task_multiset(
+            tasks in prop::collection::vec(any::<u32>(), 0..300),
+            threads in 1usize..4,
+            treiber in any::<bool>(),
+        ) {
+            check_queue_preserves_multiset(&tasks, threads, treiber);
+        }
+
+        #[test]
+        fn barriers_never_release_early(
+            threads in 1usize..6,
+            episodes in 1usize..20,
+            which in 0u8..3,
+        ) {
+            check_barrier_never_releases_early(threads, episodes, which);
+        }
     }
 }

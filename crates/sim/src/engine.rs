@@ -12,12 +12,11 @@
 
 use crate::machine::MachineParams;
 use crate::program::{BarrierKind, Op, Program};
-use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 /// Per-core time attribution.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct CoreBreakdown {
     /// Local computation.
     pub compute_ns: u64,
@@ -34,7 +33,7 @@ pub struct CoreBreakdown {
 }
 
 /// Simulation output.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimResult {
     /// Workload name (copied from the program).
     pub name: String,

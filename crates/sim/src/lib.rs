@@ -43,6 +43,7 @@ pub mod program;
 
 pub use engine::{CoreBreakdown, SimResult};
 pub use machine::MachineParams;
+pub use model::{class_cost, OpCost};
 pub use program::{BarrierKind, Op, Program};
 
 /// Maximum repeats simulated per phase; longer phases are simulated at this

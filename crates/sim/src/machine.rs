@@ -8,10 +8,8 @@
 //! families; the *ratios* (futex wake ≫ cache-line transfer ≫ local RMW) are
 //! what drive the reproduced result shapes, not the absolute values.
 
-use serde::{Deserialize, Serialize};
-
 /// Synchronization-relevant timing parameters of a simulated multicore.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MachineParams {
     /// Human-readable platform name.
     pub name: &'static str,

@@ -33,14 +33,19 @@ impl ServerAlloc {
 
 /// Costs of one logical sync operation under a policy choice.
 #[derive(Debug, Clone, Copy)]
-struct OpCost {
-    service_ns: u64,
-    local_ns: u64,
-    contended_ns: u64,
+pub struct OpCost {
+    /// Time the operation occupies its shared server (line or lock).
+    pub service_ns: u64,
+    /// Purely local latency paid by the issuing core.
+    pub local_ns: u64,
+    /// Extra per-waiter penalty when the server is busy on arrival.
+    pub contended_ns: u64,
 }
 
-/// Cost model for one construct class under `mode`.
-fn class_cost(mode: SyncMode, m: &MachineParams, p: usize, hold_ns: u64) -> OpCost {
+/// Cost model for one construct class under `mode`. Public so trace-driven
+/// replay (`splash4-trace`) prices recorded logical ops with the same model
+/// the analytic expansion uses.
+pub fn class_cost(mode: SyncMode, m: &MachineParams, p: usize, hold_ns: u64) -> OpCost {
     match mode {
         SyncMode::LockBased => OpCost {
             // Uncontended, a futex lock pair is two atomic ops (acquire +

@@ -7,10 +7,8 @@
 //! FCFS shared-resource accesses, and barriers; the *policy* difference is
 //! entirely encoded in the access costs and barrier kinds chosen here.
 
-use serde::{Deserialize, Serialize};
-
 /// One operation in a core's stream.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Op {
     /// Local computation for `ns` nanoseconds.
     Compute {
@@ -42,7 +40,7 @@ pub enum Op {
 }
 
 /// How a barrier releases its waiters (what the sync policy chose).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BarrierKind {
     /// Sense-reversing atomic barrier: arrivals serialize on the counter
     /// line; release is a broadcast of the generation line.
@@ -56,7 +54,7 @@ pub enum BarrierKind {
 }
 
 /// A complete simulator input: one op stream per core plus the barrier kinds.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Program {
     /// Workload name (for reports).
     pub name: String,

@@ -1,105 +1,236 @@
 //! Property-based tests for the timing simulator.
+//!
+//! Same dual-harness scheme as the primitive properties: a `proptest` version
+//! behind the (default-off) `proptest` feature, and a pure-std fallback that
+//! drives the identical invariants from a seeded in-repo RNG so they run in
+//! tier-1 with no external dependency.
 
-use proptest::prelude::*;
 use splash4_parmacs::{Dispatch, PhaseSpec, SyncMode, SyncPolicy, WorkModel};
 use splash4_sim::{engine, model, simulate, BarrierKind, MachineParams, Op, Program};
 
-fn arb_machine() -> impl Strategy<Value = MachineParams> {
-    prop::sample::select(vec![MachineParams::epyc_like(), MachineParams::icelake_like()])
-}
+const MACHINES: [fn() -> MachineParams; 2] =
+    [MachineParams::epyc_like, MachineParams::icelake_like];
 
-fn arb_model() -> impl Strategy<Value = WorkModel> {
-    (
-        1u64..50_000,
-        1u64..500,
-        0u64..3,
-        1u64..8,
-        prop::sample::select(vec![
-            Dispatch::Static,
-            Dispatch::GetSub { chunk: 8 },
-            Dispatch::Pool,
-        ]),
-        0.0f64..3.0,
-        0.0f64..0.05,
+#[allow(clippy::too_many_arguments)]
+fn build_model(
+    items: u64,
+    cpi: u64,
+    barriers: u64,
+    repeats: u64,
+    dispatch: Dispatch,
+    touches: f64,
+    reduces: f64,
+) -> WorkModel {
+    WorkModel::new("prop").phase(
+        PhaseSpec::compute("p", items, cpi)
+            .dispatch(dispatch)
+            .data_touches(touches)
+            .reduces(reduces)
+            .barriers(barriers)
+            .repeats(repeats),
     )
-        .prop_map(|(items, cpi, barriers, repeats, dispatch, touches, reduces)| {
-            WorkModel::new("prop").phase(
-                PhaseSpec::compute("p", items, cpi)
-                    .dispatch(dispatch)
-                    .data_touches(touches)
-                    .reduces(reduces)
-                    .barriers(barriers)
-                    .repeats(repeats),
-            )
-        })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+fn check_expansion_validates(work: &WorkModel, cores: usize, mode: SyncMode, m: &MachineParams) {
+    let prog = model::expand(work, SyncPolicy::uniform(mode), cores, m);
+    assert!(prog.validate().is_ok());
+    assert_eq!(prog.ncores(), cores);
+}
 
-    #[test]
-    fn expansion_always_validates(
-        work in arb_model(),
-        cores in 1usize..64,
-        mode in prop::sample::select(vec![SyncMode::LockBased, SyncMode::LockFree]),
-        machine in arb_machine(),
-    ) {
-        let prog = model::expand(&work, SyncPolicy::uniform(mode), cores, &machine);
-        prop_assert!(prog.validate().is_ok());
-        prop_assert_eq!(prog.ncores(), cores);
+fn check_sim_positive_deterministic(work: &WorkModel, cores: usize, m: &MachineParams) {
+    let a = simulate(work, SyncMode::LockFree, cores, m);
+    let b = simulate(work, SyncMode::LockFree, cores, m);
+    assert!(a.total_ns > 0);
+    assert_eq!(a, b);
+}
+
+fn check_lock_free_never_loses_badly(work: &WorkModel, cores: usize, m: &MachineParams) {
+    // Across arbitrary models, Splash-4 style sync may tie but must not be
+    // significantly slower than Splash-3 style.
+    let lb = simulate(work, SyncMode::LockBased, cores, m).total_ns as f64;
+    let lf = simulate(work, SyncMode::LockFree, cores, m).total_ns as f64;
+    assert!(lf <= lb * 1.10, "lock-free lost: {lf} vs {lb}");
+}
+
+fn check_more_compute_never_faster(items: u64, cpi: u64, cores: usize, m: &MachineParams) {
+    let small = WorkModel::new("w").phase(PhaseSpec::compute("p", items, cpi));
+    let big = WorkModel::new("w").phase(PhaseSpec::compute("p", items, cpi * 2));
+    let ts = simulate(&small, SyncMode::LockFree, cores, m).total_ns;
+    let tb = simulate(&big, SyncMode::LockFree, cores, m).total_ns;
+    assert!(tb >= ts);
+}
+
+fn check_cores_never_hurt_pure_compute(items: u64, cpi: u64, m: &MachineParams) {
+    let w = WorkModel::new("w").phase(PhaseSpec::compute("p", items, cpi).barriers(0));
+    let mut prev = u64::MAX;
+    for cores in [1usize, 2, 4, 8, 16] {
+        let t = simulate(&w, SyncMode::LockFree, cores, m).total_ns;
+        assert!(t <= prev, "pure compute slowed down at {cores} cores");
+        prev = t;
+    }
+}
+
+#[cfg(not(feature = "proptest"))]
+mod std_fallback {
+    use super::*;
+    use splash4_parmacs::SmallRng;
+
+    const CASES: usize = 24;
+
+    fn arb_model(rng: &mut SmallRng) -> WorkModel {
+        let dispatch = match rng.gen_range(0u32..3) {
+            0 => Dispatch::Static,
+            1 => Dispatch::GetSub { chunk: 8 },
+            _ => Dispatch::Pool,
+        };
+        build_model(
+            rng.gen_range(1u64..50_000),
+            rng.gen_range(1u64..500),
+            rng.gen_range(0u64..3),
+            rng.gen_range(1u64..8),
+            dispatch,
+            rng.gen_range(0.0f64..3.0),
+            rng.gen_range(0.0f64..0.05),
+        )
+    }
+
+    fn arb_machine(rng: &mut SmallRng) -> MachineParams {
+        MACHINES[rng.gen_range(0usize..MACHINES.len())]()
     }
 
     #[test]
-    fn simulated_time_is_positive_and_deterministic(
-        work in arb_model(),
-        cores in 1usize..48,
-        machine in arb_machine(),
-    ) {
-        let a = simulate(&work, SyncMode::LockFree, cores, &machine);
-        let b = simulate(&work, SyncMode::LockFree, cores, &machine);
-        prop_assert!(a.total_ns > 0);
-        prop_assert_eq!(a, b);
+    fn expansion_always_validates() {
+        let mut rng = SmallRng::seed_from_u64(0x51D0_0001);
+        for _ in 0..CASES {
+            let work = arb_model(&mut rng);
+            let cores = rng.gen_range(1usize..64);
+            let mode = SyncMode::ALL[rng.gen_range(0usize..2)];
+            check_expansion_validates(&work, cores, mode, &arb_machine(&mut rng));
+        }
     }
 
     #[test]
-    fn lock_free_never_loses_badly(
-        work in arb_model(),
-        cores in 2usize..64,
-        machine in arb_machine(),
-    ) {
-        // Across arbitrary models, Splash-4 style sync may tie but must not
-        // be significantly slower than Splash-3 style.
-        let lb = simulate(&work, SyncMode::LockBased, cores, &machine).total_ns as f64;
-        let lf = simulate(&work, SyncMode::LockFree, cores, &machine).total_ns as f64;
-        prop_assert!(lf <= lb * 1.10, "lock-free lost: {lf} vs {lb}");
+    fn simulated_time_is_positive_and_deterministic() {
+        let mut rng = SmallRng::seed_from_u64(0x51D0_0002);
+        for _ in 0..CASES {
+            let work = arb_model(&mut rng);
+            let cores = rng.gen_range(1usize..48);
+            check_sim_positive_deterministic(&work, cores, &arb_machine(&mut rng));
+        }
     }
 
     #[test]
-    fn more_compute_is_never_faster(
-        items in 1u64..20_000,
-        cpi in 1u64..300,
-        cores in 1usize..32,
-        machine in arb_machine(),
-    ) {
-        let small = WorkModel::new("w").phase(PhaseSpec::compute("p", items, cpi));
-        let big = WorkModel::new("w").phase(PhaseSpec::compute("p", items, cpi * 2));
-        let ts = simulate(&small, SyncMode::LockFree, cores, &machine).total_ns;
-        let tb = simulate(&big, SyncMode::LockFree, cores, &machine).total_ns;
-        prop_assert!(tb >= ts);
+    fn lock_free_never_loses_badly() {
+        let mut rng = SmallRng::seed_from_u64(0x51D0_0003);
+        for _ in 0..CASES {
+            let work = arb_model(&mut rng);
+            let cores = rng.gen_range(2usize..64);
+            check_lock_free_never_loses_badly(&work, cores, &arb_machine(&mut rng));
+        }
     }
 
     #[test]
-    fn adding_cores_never_hurts_pure_compute(
-        items in 256u64..20_000,
-        cpi in 50u64..500,
-        machine in arb_machine(),
-    ) {
-        let w = WorkModel::new("w").phase(PhaseSpec::compute("p", items, cpi).barriers(0));
-        let mut prev = u64::MAX;
-        for cores in [1usize, 2, 4, 8, 16] {
-            let t = simulate(&w, SyncMode::LockFree, cores, &machine).total_ns;
-            prop_assert!(t <= prev, "pure compute slowed down at {cores} cores");
-            prev = t;
+    fn more_compute_is_never_faster() {
+        let mut rng = SmallRng::seed_from_u64(0x51D0_0004);
+        for _ in 0..CASES {
+            check_more_compute_never_faster(
+                rng.gen_range(1u64..20_000),
+                rng.gen_range(1u64..300),
+                rng.gen_range(1usize..32),
+                &arb_machine(&mut rng),
+            );
+        }
+    }
+
+    #[test]
+    fn adding_cores_never_hurts_pure_compute() {
+        let mut rng = SmallRng::seed_from_u64(0x51D0_0005);
+        for _ in 0..CASES {
+            check_cores_never_hurt_pure_compute(
+                rng.gen_range(256u64..20_000),
+                rng.gen_range(50u64..500),
+                &arb_machine(&mut rng),
+            );
+        }
+    }
+}
+
+#[cfg(feature = "proptest")]
+mod proptest_suite {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_machine() -> impl Strategy<Value = MachineParams> {
+        prop::sample::select(vec![MachineParams::epyc_like(), MachineParams::icelake_like()])
+    }
+
+    fn arb_model() -> impl Strategy<Value = WorkModel> {
+        (
+            1u64..50_000,
+            1u64..500,
+            0u64..3,
+            1u64..8,
+            prop::sample::select(vec![
+                Dispatch::Static,
+                Dispatch::GetSub { chunk: 8 },
+                Dispatch::Pool,
+            ]),
+            0.0f64..3.0,
+            0.0f64..0.05,
+        )
+            .prop_map(|(items, cpi, barriers, repeats, dispatch, touches, reduces)| {
+                build_model(items, cpi, barriers, repeats, dispatch, touches, reduces)
+            })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+        #[test]
+        fn expansion_always_validates(
+            work in arb_model(),
+            cores in 1usize..64,
+            mode in prop::sample::select(vec![SyncMode::LockBased, SyncMode::LockFree]),
+            machine in arb_machine(),
+        ) {
+            check_expansion_validates(&work, cores, mode, &machine);
+        }
+
+        #[test]
+        fn simulated_time_is_positive_and_deterministic(
+            work in arb_model(),
+            cores in 1usize..48,
+            machine in arb_machine(),
+        ) {
+            check_sim_positive_deterministic(&work, cores, &machine);
+        }
+
+        #[test]
+        fn lock_free_never_loses_badly(
+            work in arb_model(),
+            cores in 2usize..64,
+            machine in arb_machine(),
+        ) {
+            check_lock_free_never_loses_badly(&work, cores, &machine);
+        }
+
+        #[test]
+        fn more_compute_is_never_faster(
+            items in 1u64..20_000,
+            cpi in 1u64..300,
+            cores in 1usize..32,
+            machine in arb_machine(),
+        ) {
+            check_more_compute_never_faster(items, cpi, cores, &machine);
+        }
+
+        #[test]
+        fn adding_cores_never_hurts_pure_compute(
+            items in 256u64..20_000,
+            cpi in 50u64..500,
+            machine in arb_machine(),
+        ) {
+            check_cores_never_hurt_pure_compute(items, cpi, &machine);
         }
     }
 }

@@ -84,7 +84,10 @@ fn lu_rejects_misaligned_block_size() {
         layout: lu::LuLayout::Contiguous,
     };
     let env = SyncEnv::new(SyncMode::LockFree, 1);
-    assert!(std::panic::catch_unwind(|| lu::run(&cfg, &env)).is_err());
+    // AssertUnwindSafe: the env is dropped right after; the trace-sink slot
+    // it carries is the only interior-mutable state behind the boundary.
+    let run = std::panic::AssertUnwindSafe(|| lu::run(&cfg, &env));
+    assert!(std::panic::catch_unwind(run).is_err());
 }
 
 #[test]
