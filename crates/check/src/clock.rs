@@ -1,0 +1,73 @@
+//! Vector clocks for the happens-before race detector.
+
+/// A vector clock over the execution's virtual threads.
+///
+/// Component `t` is thread `t`'s logical time (one tick per shared-memory
+/// operation). The engine joins clocks along synchronizes-with edges
+/// (release stores → acquire loads) and uses them to decide whether two
+/// plain-data accesses are ordered.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VClock(Vec<u32>);
+
+impl VClock {
+    /// The zero clock (happens before everything).
+    pub fn new(nthreads: usize) -> VClock {
+        VClock(vec![0; nthreads])
+    }
+
+    /// Component `t`.
+    pub fn get(&self, t: usize) -> u32 {
+        self.0.get(t).copied().unwrap_or(0)
+    }
+
+    /// Advance component `t` by one tick and return the new value.
+    pub fn tick(&mut self, t: usize) -> u32 {
+        self.0[t] += 1;
+        self.0[t]
+    }
+
+    /// Pointwise maximum with `other` (the join along a sync edge).
+    /// Missing components count as zero, so joining into a fresh/cleared
+    /// clock copies `other`.
+    pub fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (a, b) in self.0.iter_mut().zip(&other.0) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// Forget all ordering (used when a relaxed store breaks a release
+    /// chain).
+    pub fn clear(&mut self) {
+        self.0.fill(0);
+    }
+
+    /// `true` when `self` dominates `other` pointwise (`other` happens
+    /// before or at `self`). Missing components count as zero.
+    pub fn dominates(&self, other: &VClock) -> bool {
+        (0..other.0.len().max(self.0.len())).all(|t| self.get(t) >= other.get(t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_and_dominate() {
+        let mut a = VClock::new(3);
+        let mut b = VClock::new(3);
+        a.tick(0);
+        a.tick(0);
+        b.tick(1);
+        assert!(!a.dominates(&b));
+        a.join(&b);
+        assert!(a.dominates(&b));
+        assert_eq!(a.get(0), 2);
+        assert_eq!(a.get(1), 1);
+        b.clear();
+        assert!(a.dominates(&b));
+    }
+}

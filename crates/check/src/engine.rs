@@ -1,0 +1,865 @@
+//! Deterministic cooperative execution engine.
+//!
+//! A *scenario* is a handful of virtual threads operating on shadow
+//! primitives. Each virtual thread runs on an OS thread, but only ever one
+//! at a time: every shared-memory operation ([`ThreadCtx::op_load`] & co.)
+//! is a **schedule point** where the running thread parks and the controller
+//! picks, via a [`Driver`], who performs the next operation. All
+//! nondeterminism is thereby funnelled through the driver, so a sequence of
+//! driver choices *is* a schedule: replaying the same choices reproduces the
+//! same execution bit for bit.
+//!
+//! On top of the interleaving semantics the engine models the C11 ordering
+//! annotations with vector clocks: release stores/RMWs publish the writer's
+//! clock on the location, acquire loads join it, and plain-data accesses
+//! ([`ThreadCtx::data_read`]/[`ThreadCtx::data_write`]) assert that they are
+//! ordered by happens-before — an unordered pair is a **data race** and
+//! fails the execution. Values stay sequentially consistent (the scheduler
+//! serializes operations); weak-memory bugs surface as the races they would
+//! cause, which is exactly how they corrupt real executions.
+//!
+//! Blocking (spin loops, lock waits) is modelled explicitly: a thread that
+//! would spin parks on the location via [`ThreadCtx::block_on`] and is
+//! re-enabled by the next write to it. When every unfinished thread is
+//! parked the controller reports a **deadlock** (which is also how lost
+//! wakeups surface, since a wakeup that never comes leaves its waiter
+//! parked forever).
+
+use crate::clock::VClock;
+use crate::linearize::{Op, OpRecord, RetVal, SpecModel};
+use std::fmt;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Why an execution failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Failure {
+    /// Two plain-data accesses unordered by happens-before.
+    DataRace {
+        /// Description: location and the racing threads.
+        what: String,
+    },
+    /// Every unfinished thread is parked with nobody left to wake it
+    /// (covers lost wakeups: the missed signal leaves its waiter parked).
+    Deadlock {
+        /// Description of who is blocked on what.
+        what: String,
+    },
+    /// A `ThreadCtx::check` or finale invariant did not hold.
+    Invariant {
+        /// The violated invariant.
+        what: String,
+    },
+    /// The execution's history admits no legal linearization.
+    NotLinearizable {
+        /// Rendering of the offending history.
+        what: String,
+    },
+    /// The execution exceeded the step budget (runaway interleaving).
+    StepLimit,
+    /// A virtual thread panicked outside the engine's control.
+    Panic {
+        /// The panic payload, if printable.
+        what: String,
+    },
+}
+
+impl Failure {
+    /// Stable short name of the failure class (used to compare failures
+    /// during counterexample minimization and in report tables).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Failure::DataRace { .. } => "data-race",
+            Failure::Deadlock { .. } => "deadlock",
+            Failure::Invariant { .. } => "invariant",
+            Failure::NotLinearizable { .. } => "not-linearizable",
+            Failure::StepLimit => "step-limit",
+            Failure::Panic { .. } => "panic",
+        }
+    }
+}
+
+impl fmt::Display for Failure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Failure::DataRace { what }
+            | Failure::Deadlock { what }
+            | Failure::Invariant { what }
+            | Failure::NotLinearizable { what }
+            | Failure::Panic { what } => write!(f, "{}: {}", self.kind(), what),
+            Failure::StepLimit => write!(f, "step-limit exceeded"),
+        }
+    }
+}
+
+/// Scheduling status of a virtual thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    /// Spawned but not yet parked at its initial schedule point.
+    NotStarted,
+    /// Parked at a schedule point; eligible to run.
+    Ready,
+    /// Holds the token and is executing.
+    Running,
+    /// Parked on a location; re-enabled by the next write to it.
+    Blocked(usize),
+    /// Body returned (or unwound during an abort).
+    Finished,
+}
+
+/// Metadata for one shadow atomic location.
+#[derive(Debug)]
+struct AtomicMeta {
+    name: &'static str,
+    value: u64,
+    /// Clock published by the last release store / joined by release RMWs.
+    release: VClock,
+}
+
+/// Metadata for one plain-data location.
+#[derive(Debug)]
+struct DataMeta {
+    name: &'static str,
+    value: u64,
+    /// Last writer as (thread, its component at the write), if any.
+    last_write: Option<(usize, u32)>,
+    /// Per-thread component of each thread's latest read since that write.
+    reads: Vec<u32>,
+}
+
+/// One recorded history event.
+#[derive(Debug, Clone)]
+pub(crate) enum HistEvent {
+    Invoke(usize, Op),
+    Return(usize, RetVal),
+}
+
+/// Mutable engine state, guarded by the single engine mutex.
+#[derive(Debug)]
+struct EngineState {
+    status: Vec<Status>,
+    clocks: Vec<VClock>,
+    atomics: Vec<AtomicMeta>,
+    data: Vec<DataMeta>,
+    active: Option<usize>,
+    aborting: bool,
+    failure: Option<Failure>,
+    steps: u64,
+    max_steps: u64,
+    history: Vec<HistEvent>,
+}
+
+/// Shared engine handle: state mutex plus the single condition variable all
+/// parties wait on (every transition uses `notify_all`; predicates decide
+/// who proceeds).
+#[derive(Debug)]
+pub(crate) struct Shared {
+    state: Mutex<EngineState>,
+    cv: Condvar,
+}
+
+/// Panic payload used to unwind virtual threads when an execution aborts.
+struct AbortToken;
+
+impl Shared {
+    fn new(max_steps: u64) -> Shared {
+        Shared {
+            state: Mutex::new(EngineState {
+                status: Vec::new(),
+                clocks: Vec::new(),
+                atomics: Vec::new(),
+                data: Vec::new(),
+                active: None,
+                aborting: false,
+                failure: None,
+                steps: 0,
+                max_steps,
+                history: Vec::new(),
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, EngineState> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+/// A decision the controller made at a branching schedule point.
+#[derive(Debug, Clone)]
+pub struct Decision {
+    /// Threads that were eligible (sorted ascending, length ≥ 2).
+    pub enabled: Vec<usize>,
+    /// The previously running thread, if any.
+    pub prev: Option<usize>,
+    /// The thread granted the next operation.
+    pub chosen: usize,
+}
+
+/// Result of one execution.
+#[derive(Debug)]
+pub(crate) struct RunOutcome {
+    pub decisions: Vec<Decision>,
+    pub failure: Option<Failure>,
+    pub history: Vec<OpRecord>,
+    pub steps: u64,
+}
+
+/// Chooses the next thread at each branching schedule point.
+pub(crate) trait Driver {
+    /// `idx` counts branching decisions from 0; `enabled` is sorted and has
+    /// at least two entries; `prev` is the last thread that ran.
+    fn choose(&mut self, idx: usize, enabled: &[usize], prev: Option<usize>) -> usize;
+}
+
+/// A virtual thread body, run once per execution under the scheduler.
+type ThreadBody = Box<dyn FnOnce(&mut ThreadCtx) + Send>;
+
+/// Handle a scenario builder uses to declare shadow state and threads.
+pub struct Sandbox {
+    shared: Arc<Shared>,
+    threads: Vec<ThreadBody>,
+    finale: Option<Box<dyn FnOnce() -> Result<(), String> + Send>>,
+    spec: Option<SpecModel>,
+}
+
+impl fmt::Debug for Sandbox {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Sandbox")
+            .field("threads", &self.threads.len())
+            .finish()
+    }
+}
+
+impl Sandbox {
+    /// Add a virtual thread. Threads are numbered in registration order.
+    pub fn thread(&mut self, body: impl FnOnce(&mut ThreadCtx) + Send + 'static) {
+        self.threads.push(Box::new(body));
+    }
+
+    /// Invariant checked after all threads finished (runs outside the
+    /// schedule; read shadow state through the `raw` accessors).
+    pub fn finale(&mut self, f: impl FnOnce() -> Result<(), String> + Send + 'static) {
+        self.finale = Some(Box::new(f));
+    }
+
+    /// Sequential spec the execution's recorded history must linearize to.
+    pub fn spec(&mut self, spec: SpecModel) {
+        self.spec = Some(spec);
+    }
+
+    pub(crate) fn alloc_atomic(&self, name: &'static str, init: u64) -> usize {
+        let mut st = self.shared.lock();
+        st.atomics.push(AtomicMeta {
+            name,
+            value: init,
+            release: VClock::default(),
+        });
+        st.atomics.len() - 1
+    }
+
+    pub(crate) fn alloc_data(&self, name: &'static str, init: u64) -> usize {
+        let mut st = self.shared.lock();
+        st.data.push(DataMeta {
+            name,
+            value: init,
+            last_write: None,
+            reads: Vec::new(),
+        });
+        st.data.len() - 1
+    }
+
+    /// Read-only view of the final shadow memory, for finale invariants.
+    pub fn peek(&self) -> Peek {
+        Peek {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+/// Read-only view of shadow memory after the threads finished. Handed to
+/// [`Sandbox::finale`] closures to state whole-execution invariants.
+#[derive(Clone)]
+pub struct Peek {
+    shared: Arc<Shared>,
+}
+
+impl fmt::Debug for Peek {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Peek").finish()
+    }
+}
+
+impl Peek {
+    pub(crate) fn atomic(&self, loc: usize) -> u64 {
+        self.shared.lock().atomics[loc].value
+    }
+
+    pub(crate) fn data(&self, loc: usize) -> u64 {
+        self.shared.lock().data[loc].value
+    }
+}
+
+/// Per-thread handle used inside thread bodies to perform modelled
+/// operations. Every `op_*` call is a schedule point.
+pub struct ThreadCtx {
+    shared: Arc<Shared>,
+    tid: usize,
+}
+
+impl fmt::Debug for ThreadCtx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ThreadCtx").field("tid", &self.tid).finish()
+    }
+}
+
+fn is_acquire(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn is_release(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+impl ThreadCtx {
+    /// This thread's index.
+    pub fn tid(&self) -> usize {
+        self.tid
+    }
+
+    /// Park at a schedule point and wait to be granted the token.
+    fn schedule_point(&self) {
+        let mut st = self.shared.lock();
+        st.status[self.tid] = Status::Ready;
+        st.active = None;
+        self.shared.cv.notify_all();
+        while !st.aborting && st.active != Some(self.tid) {
+            st = self
+                .shared
+                .cv
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        if st.aborting {
+            drop(st);
+            resume_unwind(Box::new(AbortToken));
+        }
+    }
+
+    /// Record a failure and unwind every virtual thread.
+    fn fail(&self, st: &mut EngineState, failure: Failure) -> ! {
+        if st.failure.is_none() {
+            st.failure = Some(failure);
+        }
+        st.aborting = true;
+        self.shared.cv.notify_all();
+        resume_unwind(Box::new(AbortToken));
+    }
+
+    /// Begin a modelled operation: take a scheduling turn, bump the step
+    /// counter and this thread's clock, and return the locked state.
+    fn begin_op(&self) -> MutexGuard<'_, EngineState> {
+        self.schedule_point();
+        let mut st = self.shared.lock();
+        st.steps += 1;
+        if st.steps > st.max_steps {
+            self.fail(&mut st, Failure::StepLimit);
+        }
+        let tid = self.tid;
+        st.clocks[tid].tick(tid);
+        st
+    }
+
+    fn wake_blocked_on(&self, st: &mut EngineState, loc: usize) {
+        for s in st.status.iter_mut() {
+            if *s == Status::Blocked(loc) {
+                *s = Status::Ready;
+            }
+        }
+    }
+
+    /// Atomic load with `ord` semantics.
+    pub(crate) fn op_load(&self, loc: usize, ord: Ordering) -> u64 {
+        let mut st = self.begin_op();
+        if is_acquire(ord) {
+            let release = st.atomics[loc].release.clone();
+            st.clocks[self.tid].join(&release);
+        }
+        st.atomics[loc].value
+    }
+
+    /// Atomic store with `ord` semantics.
+    pub(crate) fn op_store(&self, loc: usize, v: u64, ord: Ordering) {
+        let mut st = self.begin_op();
+        st.atomics[loc].value = v;
+        if is_release(ord) {
+            st.atomics[loc].release = st.clocks[self.tid].clone();
+        } else {
+            // A relaxed store starts a new modification without carrying the
+            // previous release chain.
+            st.atomics[loc].release.clear();
+        }
+        self.wake_blocked_on(&mut st, loc);
+    }
+
+    /// Atomic read-modify-write; returns the previous value.
+    pub(crate) fn op_rmw(&self, loc: usize, ord: Ordering, f: impl FnOnce(u64) -> u64) -> u64 {
+        let mut st = self.begin_op();
+        if is_acquire(ord) {
+            let release = st.atomics[loc].release.clone();
+            st.clocks[self.tid].join(&release);
+        }
+        let old = st.atomics[loc].value;
+        st.atomics[loc].value = f(old);
+        if is_release(ord) {
+            // RMWs extend the release sequence: join rather than replace.
+            let clock = st.clocks[self.tid].clone();
+            st.atomics[loc].release.join(&clock);
+        }
+        self.wake_blocked_on(&mut st, loc);
+        old
+    }
+
+    /// Atomic compare-exchange; `Ok(previous)` on success, `Err(actual)`
+    /// on failure (which is a load with `fail` ordering).
+    pub(crate) fn op_cas(
+        &self,
+        loc: usize,
+        expect: u64,
+        new: u64,
+        ok: Ordering,
+        fail: Ordering,
+    ) -> Result<u64, u64> {
+        let mut st = self.begin_op();
+        let cur = st.atomics[loc].value;
+        if cur == expect {
+            if is_acquire(ok) {
+                let release = st.atomics[loc].release.clone();
+                st.clocks[self.tid].join(&release);
+            }
+            st.atomics[loc].value = new;
+            if is_release(ok) {
+                let clock = st.clocks[self.tid].clone();
+                st.atomics[loc].release.join(&clock);
+            }
+            self.wake_blocked_on(&mut st, loc);
+            Ok(cur)
+        } else {
+            if is_acquire(fail) {
+                let release = st.atomics[loc].release.clone();
+                st.clocks[self.tid].join(&release);
+            }
+            Err(cur)
+        }
+    }
+
+    /// Park until another thread writes `loc` (spin-loop model). The caller
+    /// re-checks its predicate after waking.
+    pub(crate) fn block_on(&self, loc: usize) {
+        let mut st = self.shared.lock();
+        st.status[self.tid] = Status::Blocked(loc);
+        st.active = None;
+        self.shared.cv.notify_all();
+        while !st.aborting && st.active != Some(self.tid) {
+            st = self
+                .shared
+                .cv
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        if st.aborting {
+            drop(st);
+            resume_unwind(Box::new(AbortToken));
+        }
+    }
+
+    /// Plain-data read with happens-before race checking. Not a schedule
+    /// point (interleaving is fixed by the surrounding atomic operations).
+    pub(crate) fn data_read(&self, loc: usize) -> u64 {
+        let mut st = self.shared.lock();
+        if let Some((w, at)) = st.data[loc].last_write {
+            if w != self.tid && st.clocks[self.tid].get(w) < at {
+                let what = format!(
+                    "read of `{}` by t{} races with write by t{}",
+                    st.data[loc].name, self.tid, w
+                );
+                self.fail(&mut st, Failure::DataRace { what });
+            }
+        }
+        let epoch = st.clocks[self.tid].get(self.tid);
+        if st.data[loc].reads.is_empty() {
+            let n = st.clocks.len();
+            st.data[loc].reads = vec![0; n];
+        }
+        let tid = self.tid;
+        st.data[loc].reads[tid] = epoch;
+        st.data[loc].value
+    }
+
+    /// Plain-data write with happens-before race checking.
+    pub(crate) fn data_write(&self, loc: usize, v: u64) {
+        let mut st = self.shared.lock();
+        if let Some((w, at)) = st.data[loc].last_write {
+            if w != self.tid && st.clocks[self.tid].get(w) < at {
+                let what = format!(
+                    "write of `{}` by t{} races with write by t{}",
+                    st.data[loc].name, self.tid, w
+                );
+                self.fail(&mut st, Failure::DataRace { what });
+            }
+        }
+        for u in 0..st.clocks.len() {
+            if u != self.tid
+                && st.data[loc].reads.get(u).copied().unwrap_or(0) > st.clocks[self.tid].get(u)
+            {
+                let what = format!(
+                    "write of `{}` by t{} races with read by t{}",
+                    st.data[loc].name, self.tid, u
+                );
+                self.fail(&mut st, Failure::DataRace { what });
+            }
+        }
+        let epoch = st.clocks[self.tid].get(self.tid);
+        st.data[loc].last_write = Some((self.tid, epoch));
+        st.data[loc].reads.clear();
+        st.data[loc].value = v;
+    }
+
+    /// Allocate a fresh plain-data location mid-execution (e.g. a stack
+    /// node). Not a schedule point.
+    pub(crate) fn alloc_data(&self, name: &'static str, init: u64) -> usize {
+        let mut st = self.shared.lock();
+        st.data.push(DataMeta {
+            name,
+            value: init,
+            last_write: None,
+            reads: Vec::new(),
+        });
+        st.data.len() - 1
+    }
+
+    /// Record an operation invocation for the linearizability history.
+    pub(crate) fn invoke(&self, op: Op) {
+        let mut st = self.shared.lock();
+        st.history.push(HistEvent::Invoke(self.tid, op));
+    }
+
+    /// Record the matching operation response.
+    pub(crate) fn ret(&self, val: RetVal) {
+        let mut st = self.shared.lock();
+        st.history.push(HistEvent::Return(self.tid, val));
+    }
+
+    /// Assert a scenario invariant from inside a thread body; a violation
+    /// fails the execution with a replayable schedule (use this instead of
+    /// `assert!`, which would tear down the whole process).
+    pub fn check(&self, cond: bool, what: &str) {
+        if !cond {
+            let mut st = self.shared.lock();
+            let what = format!("t{}: {}", self.tid, what);
+            self.fail(&mut st, Failure::Invariant { what });
+        }
+    }
+}
+
+/// Build the per-execution history records from the raw event log.
+fn collect_history(events: &[HistEvent]) -> Vec<OpRecord> {
+    let mut open: Vec<Option<(Op, usize)>> = Vec::new();
+    let mut out = Vec::new();
+    for (i, ev) in events.iter().enumerate() {
+        match ev {
+            HistEvent::Invoke(tid, op) => {
+                if open.len() <= *tid {
+                    open.resize(*tid + 1, None);
+                }
+                open[*tid] = Some((*op, i));
+            }
+            HistEvent::Return(tid, val) => {
+                if let Some((op, invoked)) = open.get_mut(*tid).and_then(Option::take) {
+                    out.push(OpRecord {
+                        tid: *tid,
+                        op,
+                        ret: *val,
+                        invoked,
+                        returned: i,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Run one execution of the scenario under `driver`.
+///
+/// `factory` builds a fresh scenario (shadow state + thread bodies) each
+/// call; the engine spawns the virtual threads, drives them to completion
+/// (or failure), then runs the finale and the linearizability check.
+pub(crate) fn run_one(
+    factory: &(dyn Fn(&mut Sandbox) + Sync),
+    driver: &mut dyn Driver,
+    max_steps: u64,
+) -> RunOutcome {
+    let shared = Arc::new(Shared::new(max_steps));
+    let mut sandbox = Sandbox {
+        shared: Arc::clone(&shared),
+        threads: Vec::new(),
+        finale: None,
+        spec: None,
+    };
+    factory(&mut sandbox);
+    let Sandbox {
+        threads,
+        finale,
+        spec,
+        ..
+    } = sandbox;
+    let n = threads.len();
+    assert!(n > 0, "scenario needs at least one thread");
+    {
+        let mut st = shared.lock();
+        st.status = vec![Status::NotStarted; n];
+        st.clocks = (0..n).map(|_| VClock::new(n)).collect();
+    }
+
+    let handles: Vec<_> = threads
+        .into_iter()
+        .enumerate()
+        .map(|(tid, body)| {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                let mut ctx = ThreadCtx {
+                    shared: Arc::clone(&shared),
+                    tid,
+                };
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    // Park before running any user code so that spawn order
+                    // cannot leak into the schedule.
+                    ctx.schedule_point();
+                    body(&mut ctx);
+                }));
+                let mut st = shared.lock();
+                st.status[tid] = Status::Finished;
+                if st.active == Some(tid) {
+                    st.active = None;
+                }
+                if let Err(payload) = result {
+                    if !payload.is::<AbortToken>() && st.failure.is_none() {
+                        let what = payload
+                            .downcast_ref::<&str>()
+                            .map(|s| s.to_string())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "opaque panic payload".into());
+                        st.failure = Some(Failure::Panic { what });
+                        st.aborting = true;
+                    }
+                }
+                shared.cv.notify_all();
+            })
+        })
+        .collect();
+
+    // Controller: grant the token one operation at a time.
+    let mut decisions: Vec<Decision> = Vec::new();
+    let mut prev: Option<usize> = None;
+    {
+        let mut st = shared.lock();
+        loop {
+            while !st.aborting && (st.active.is_some() || st.status.contains(&Status::NotStarted)) {
+                st = shared
+                    .cv
+                    .wait(st)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+            if st.aborting {
+                break;
+            }
+            let enabled: Vec<usize> = st
+                .status
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| **s == Status::Ready)
+                .map(|(t, _)| t)
+                .collect();
+            if enabled.is_empty() {
+                if st.status.iter().all(|s| *s == Status::Finished) {
+                    break;
+                }
+                let what: Vec<String> = st
+                    .status
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(t, s)| match s {
+                        Status::Blocked(loc) => {
+                            Some(format!("t{t} blocked on `{}`", st.atomics[*loc].name))
+                        }
+                        _ => None,
+                    })
+                    .collect();
+                st.failure = Some(Failure::Deadlock {
+                    what: what.join(", "),
+                });
+                st.aborting = true;
+                shared.cv.notify_all();
+                break;
+            }
+            let chosen = if enabled.len() == 1 {
+                enabled[0]
+            } else {
+                let c = driver.choose(decisions.len(), &enabled, prev);
+                debug_assert!(enabled.contains(&c), "driver chose a disabled thread");
+                decisions.push(Decision {
+                    enabled: enabled.clone(),
+                    prev,
+                    chosen: c,
+                });
+                c
+            };
+            st.status[chosen] = Status::Running;
+            st.active = Some(chosen);
+            prev = Some(chosen);
+            shared.cv.notify_all();
+        }
+    }
+
+    for h in handles {
+        let _ = h.join();
+    }
+
+    let (mut failure, history, steps) = {
+        let mut st = shared.lock();
+        (st.failure.take(), std::mem::take(&mut st.history), st.steps)
+    };
+    let history = collect_history(&history);
+
+    if failure.is_none() {
+        if let Some(f) = finale {
+            if let Err(what) = f() {
+                failure = Some(Failure::Invariant { what });
+            }
+        }
+    }
+    if failure.is_none() {
+        if let Some(spec) = spec {
+            if let Err(what) = crate::linearize::check_history(&spec, &history) {
+                failure = Some(Failure::NotLinearizable { what });
+            }
+        }
+    }
+
+    RunOutcome {
+        decisions,
+        failure,
+        history,
+        steps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Always continue the previous thread when possible.
+    struct Sticky;
+    impl Driver for Sticky {
+        fn choose(&mut self, _idx: usize, enabled: &[usize], prev: Option<usize>) -> usize {
+            match prev {
+                Some(p) if enabled.contains(&p) => p,
+                _ => enabled[0],
+            }
+        }
+    }
+
+    #[test]
+    fn single_thread_runs_to_completion() {
+        let out = run_one(
+            &|sb: &mut Sandbox| {
+                let loc = sb.alloc_atomic("x", 0);
+                sb.thread(move |ctx| {
+                    ctx.op_store(loc, 7, Ordering::Release);
+                    let v = ctx.op_load(loc, Ordering::Acquire);
+                    ctx.check(v == 7, "stored value visible");
+                });
+            },
+            &mut Sticky,
+            1000,
+        );
+        assert!(out.failure.is_none(), "{:?}", out.failure);
+        assert_eq!(out.steps, 2);
+        assert!(out.decisions.is_empty(), "one thread never branches");
+    }
+
+    #[test]
+    fn unsynchronized_data_accesses_race() {
+        // Two threads write the same plain cell with only relaxed atomics
+        // between them: no interleaving orders the pair, so every schedule
+        // must report the race.
+        let out = run_one(
+            &|sb: &mut Sandbox| {
+                let sync = sb.alloc_atomic("sync", 0);
+                let d = sb.alloc_data("cell", 0);
+                for v in 1..=2u64 {
+                    sb.thread(move |ctx| {
+                        ctx.op_rmw(sync, Ordering::Relaxed, |x| x + 1);
+                        ctx.data_write(d, v);
+                    });
+                }
+            },
+            &mut Sticky,
+            1000,
+        );
+        assert!(
+            matches!(out.failure, Some(Failure::DataRace { .. })),
+            "{:?}",
+            out.failure
+        );
+    }
+
+    #[test]
+    fn release_acquire_orders_data() {
+        let out = run_one(
+            &|sb: &mut Sandbox| {
+                let flag = sb.alloc_atomic("flag", 0);
+                let d = sb.alloc_data("payload", 0);
+                sb.thread(move |ctx| {
+                    ctx.data_write(d, 42);
+                    ctx.op_store(flag, 1, Ordering::Release);
+                });
+                sb.thread(move |ctx| {
+                    while ctx.op_load(flag, Ordering::Acquire) == 0 {
+                        ctx.block_on(flag);
+                    }
+                    let v = ctx.data_read(d);
+                    ctx.check(v == 42, "payload visible after acquire");
+                });
+            },
+            &mut Sticky,
+            1000,
+        );
+        assert!(out.failure.is_none(), "{:?}", out.failure);
+    }
+
+    #[test]
+    fn blocked_forever_is_a_deadlock() {
+        let out = run_one(
+            &|sb: &mut Sandbox| {
+                let flag = sb.alloc_atomic("flag", 0);
+                sb.thread(move |ctx| {
+                    while ctx.op_load(flag, Ordering::Acquire) == 0 {
+                        ctx.block_on(flag);
+                    }
+                });
+            },
+            &mut Sticky,
+            1000,
+        );
+        assert!(
+            matches!(out.failure, Some(Failure::Deadlock { .. })),
+            "{:?}",
+            out.failure
+        );
+    }
+}

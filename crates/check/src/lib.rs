@@ -1,0 +1,64 @@
+//! `splash4-check`: deterministic concurrency model checking and
+//! linearizability testing for the suite's lock-free constructs.
+//!
+//! The Splash-4 constructs — Treiber stack, sense-reversing barrier,
+//! `fetch_add` `GETSUB` counters, CAS-loop reductions, atomic pause flags,
+//! ticket dispensers — are each a few dozen lines whose correctness hinges
+//! on memory-ordering annotations no conventional test exercises: a weakened
+//! `Acquire`, a missed sense flip, or a lost-update window only fails on
+//! interleavings the OS scheduler may never produce. This crate makes those
+//! interleavings first-class:
+//!
+//! * [`engine`] runs *shadow* re-implementations of the parmacs primitives
+//!   under a cooperative scheduler with a preemption point at every atomic
+//!   operation, modelling acquire/release edges with vector clocks (plain
+//!   data unordered by happens-before is a **data race**), blocking
+//!   explicitly (**deadlock** and lost-wakeup detection), and recording an
+//!   invocation/response history.
+//! * [`shadow`] holds those shadow constructs; they read their orderings
+//!   from the same [`splash4_parmacs::spec`] structs the real primitives
+//!   consume, so the checker explores exactly the shipped state machines —
+//!   and a one-field spec override is a mutation test.
+//! * [`explore`] enumerates schedules: bounded-preemption DFS plus a seeded
+//!   PCT-style random scheduler, with counterexample minimization and
+//!   replay — a failing interleaving prints as a deterministic schedule
+//!   string (`"0*3,1*2,0"`) that reruns the exact execution.
+//! * [`linearize`] checks recorded histories against sequential specs
+//!   (Wing & Gong search with memoization).
+//! * [`suite`] packages one scenario per construct class into the
+//!   `V1-check` experiment table, plus the mutant catalog.
+//!
+//! ```
+//! use splash4_check::{explore, Budget, treiber_scenario};
+//! use splash4_parmacs::TreiberSpec;
+//!
+//! let scenario = treiber_scenario(TreiberSpec::SPLASH4);
+//! let report = explore(&scenario, &Budget::small(1));
+//! assert!(report.counterexample.is_none());
+//! assert!(report.distinct_schedules >= 64);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod clock;
+pub mod engine;
+pub mod explore;
+pub mod linearize;
+pub mod shadow;
+pub mod suite;
+
+pub use clock::VClock;
+pub use engine::{Failure, Peek, Sandbox, ThreadCtx};
+pub use explore::{explore, replay, Budget, CounterExample, ExploreReport, Replayed, Schedule};
+pub use linearize::{check_history, Op, OpRecord, RetVal, SpecModel};
+pub use shadow::{
+    ShadowAtomicF64, ShadowCounter, ShadowFlag, ShadowLock, ShadowLockedQueue, ShadowReduceU64,
+    ShadowSenseBarrier, ShadowTicketDispenser, ShadowTreiberStack,
+};
+pub use suite::{
+    check_mutants, check_suite, flag_scenario, getsub_scenario, locked_queue_scenario, mutants,
+    reduce_f64_scenario, reduce_u64_scenario, sense_barrier_scenario, ticket_reset_misuse_scenario,
+    ticket_reset_scenario, ticket_scenario, treiber_scenario, CheckBudget, ConstructReport,
+    MutantReport, Verdict,
+};

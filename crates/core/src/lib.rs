@@ -58,10 +58,26 @@
 //! | workloads | `splash4-kernels` | the twelve ports with oracles |
 //! | simulator | `splash4-sim` | machine models, DES engine, model expansion |
 //! | tracing | `splash4-trace` | sync-event recording, codec, replay lowering |
+//! | model checking | `splash4-check` | deterministic schedule exploration + linearizability |
 //! | experiments | `splash4-harness` | paper table/figure regeneration |
+//!
+//! ## Model checking the constructs
+//!
+//! ```
+//! use splash4_core::check::{explore, Budget, treiber_scenario};
+//! use splash4_core::parmacs::TreiberSpec;
+//!
+//! // Explore interleavings of the shipped Treiber stack: every schedule
+//! // must be race-free and linearizable against the sequential stack spec.
+//! let scenario = treiber_scenario(TreiberSpec::SPLASH4);
+//! let report = explore(&scenario, &Budget::small(1));
+//! assert!(report.counterexample.is_none());
+//! ```
 
 #![warn(missing_docs)]
 
+pub use splash4_check as check;
+pub use splash4_check::{check_mutants, check_suite, CheckBudget};
 pub use splash4_harness::{
     geomean, pct_change, record_trace, run_experiment, ExperimentCtx, Report, Table,
     ALL_EXPERIMENTS,
@@ -72,9 +88,9 @@ pub use splash4_kernels::{
 };
 pub use splash4_parmacs as parmacs;
 pub use splash4_parmacs::{
-    Barrier, ConstructClass, Dispatch, IndexCounter, Json, PauseVar, PhaseSpec, RawLock,
-    ReduceF64, ReduceU64, SmallRng, SyncEnv, SyncMode, SyncPolicy, SyncProfile, TaskQueue, Team,
-    TeamCtx, ToJson, TraceEvent, TraceSink, WorkModel,
+    Barrier, ConstructClass, Dispatch, IndexCounter, Json, PauseVar, PhaseSpec, RawLock, ReduceF64,
+    ReduceU64, SmallRng, SyncEnv, SyncMode, SyncPolicy, SyncProfile, TaskQueue, Team, TeamCtx,
+    ToJson, TraceEvent, TraceSink, WorkModel,
 };
 pub use splash4_sim::{engine, simulate, BarrierKind, MachineParams, Program, SimResult};
 pub use splash4_trace as trace;
@@ -122,12 +138,8 @@ pub trait BenchmarkExt {
     fn work_model(self, class: InputClass) -> WorkModel;
     /// Run with a [`RingRecorder`] attached and return the result together
     /// with the recorded sync-event [`Trace`] (feed it to [`lower_trace`]).
-    fn run_traced(
-        self,
-        class: InputClass,
-        mode: SyncMode,
-        threads: usize,
-    ) -> (KernelResult, Trace);
+    fn run_traced(self, class: InputClass, mode: SyncMode, threads: usize)
+        -> (KernelResult, Trace);
 }
 
 impl BenchmarkExt for Benchmark {

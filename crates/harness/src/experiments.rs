@@ -37,7 +37,7 @@ impl Default for ExperimentCtx {
 }
 
 /// All known experiment ids, in presentation order.
-pub const ALL_EXPERIMENTS: [&str; 11] = [
+pub const ALL_EXPERIMENTS: [&str; 12] = [
     "T1-inputs",
     "T2-changes",
     "T3-syncops",
@@ -49,6 +49,7 @@ pub const ALL_EXPERIMENTS: [&str; 11] = [
     "F6-ablation",
     "F8-trace-replay",
     "S1-sensitivity",
+    "V1-check",
 ];
 
 /// Dispatch an experiment by id.
@@ -61,7 +62,11 @@ pub fn run_experiment(id: &str, ctx: &ExperimentCtx) -> Result<Report, String> {
         "T2-changes" => Ok(t2_changes(ctx)),
         "T3-syncops" => Ok(t3_syncops(ctx)),
         "F1-native" => Ok(f1_native(ctx)),
-        "F2-sim-epyc" => Ok(sim_normalized("F2-sim-epyc", MachineParams::epyc_like(), ctx)),
+        "F2-sim-epyc" => Ok(sim_normalized(
+            "F2-sim-epyc",
+            MachineParams::epyc_like(),
+            ctx,
+        )),
         "F3-sim-icelake" => Ok(sim_normalized(
             "F3-sim-icelake",
             MachineParams::icelake_like(),
@@ -72,6 +77,7 @@ pub fn run_experiment(id: &str, ctx: &ExperimentCtx) -> Result<Report, String> {
         "F6-ablation" => Ok(f6_ablation(ctx)),
         "F8-trace-replay" => Ok(f8_trace_replay(ctx)),
         "S1-sensitivity" => Ok(s1_sensitivity(ctx)),
+        "V1-check" => Ok(v1_check(ctx)),
         _ => Err(format!(
             "unknown experiment '{id}'; known: {}",
             ALL_EXPERIMENTS.join(", ")
@@ -146,8 +152,12 @@ fn t2_changes(ctx: &ExperimentCtx) -> Report {
     ]);
     let mut rows = Vec::new();
     for b in BenchmarkId::ALL {
-        let lb = b.run(ctx.class, &SyncEnv::new(SyncMode::LockBased, 2)).profile;
-        let lf = b.run(ctx.class, &SyncEnv::new(SyncMode::LockFree, 2)).profile;
+        let lb = b
+            .run(ctx.class, &SyncEnv::new(SyncMode::LockBased, 2))
+            .profile;
+        let lf = b
+            .run(ctx.class, &SyncEnv::new(SyncMode::LockFree, 2))
+            .profile;
         t.row(vec![
             b.name().to_string(),
             lb.lock_acquires.to_string(),
@@ -421,8 +431,7 @@ fn f6_ablation(ctx: &ExperimentCtx) -> Report {
             cells.push(format!("{ratio:.3}"));
             jrow.push(json!({ "class": c.label(), "ratio": ratio }));
         }
-        let full =
-            simulate(&work, SyncMode::LockFree, p, &machine).total_ns as f64 / base.max(1.0);
+        let full = simulate(&work, SyncMode::LockFree, p, &machine).total_ns as f64 / base.max(1.0);
         per_class[classes.len()].push(full);
         cells.push(format!("{full:.3}"));
         t.row(cells);
@@ -515,7 +524,10 @@ fn f8_trace_replay(ctx: &ExperimentCtx) -> Report {
         let mut tg = Vec::new();
         let mut mg = Vec::new();
         for pi in 0..REPLAY_CORES.len() {
-            let (gt, gm) = (geomean(&trace_ratios[mi][pi]), geomean(&model_ratios[mi][pi]));
+            let (gt, gm) = (
+                geomean(&trace_ratios[mi][pi]),
+                geomean(&model_ratios[mi][pi]),
+            );
             tg.push(gt);
             mg.push(gm);
             cells.push(format!("{gt:.3}"));
@@ -601,6 +613,87 @@ fn s1_sensitivity(ctx: &ExperimentCtx) -> Report {
     }
 }
 
+/// `V1-check` (extension): deterministic model checking of every lock-free
+/// construct the suite's macro layer ships.
+///
+/// Each construct class runs a closed scenario under the `splash4-check`
+/// cooperative scheduler: bounded-preemption DFS plus seeded PCT random
+/// schedules, with happens-before race detection, deadlock detection,
+/// invariants, and linearizability against a sequential spec. The second
+/// table re-runs the checker against the mutant catalog (weakened ordering,
+/// missed sense flip, lost-update window) and reports the minimized
+/// counterexample schedule that exposes each injected bug.
+fn v1_check(_ctx: &ExperimentCtx) -> Report {
+    let budget = splash4_check::CheckBudget::default();
+    let rows = splash4_check::check_suite(&budget);
+    let muts = splash4_check::check_mutants(&budget);
+
+    let mut t = Table::new(vec![
+        "construct",
+        "property",
+        "schedules",
+        "executions",
+        "verdict",
+    ]);
+    let mut jrows = Vec::new();
+    for r in &rows {
+        t.row(vec![
+            r.construct.to_string(),
+            r.property.to_string(),
+            r.schedules.to_string(),
+            r.executions.to_string(),
+            format!("{}", r.verdict),
+        ]);
+        jrows.push(json!({
+            "construct": r.construct,
+            "property": r.property,
+            "schedules": r.schedules as u64,
+            "executions": r.executions as u64,
+            "verdict": format!("{}", r.verdict),
+            "counterexample": r.counterexample.clone(),
+        }));
+    }
+
+    let mut mt = Table::new(vec!["mutant", "schedules", "detected", "counterexample"]);
+    let mut jmuts = Vec::new();
+    for m in &muts {
+        mt.row(vec![
+            m.name.to_string(),
+            m.schedules.to_string(),
+            if m.detected {
+                "yes".to_string()
+            } else {
+                "NO".to_string()
+            },
+            m.counterexample.clone(),
+        ]);
+        jmuts.push(json!({
+            "mutant": m.name,
+            "description": m.description,
+            "schedules": m.schedules as u64,
+            "executions": m.executions as u64,
+            "detected": m.detected,
+            "counterexample": m.counterexample.clone(),
+        }));
+    }
+
+    let text = format!(
+        "{}\nmutation tests (injected bugs the checker must catch):\n{}",
+        t.render(),
+        mt.render()
+    );
+    Report {
+        id: "V1-check".into(),
+        title: format!(
+            "Model checking the lock-free constructs ({} schedules/construct minimum, seed {:#x})",
+            budget.min_schedules, budget.seed
+        ),
+        text,
+        json: json!({ "min_schedules": budget.min_schedules as u64, "seed": budget.seed, "constructs": jrows, "mutants": jmuts }),
+        csv: t.to_csv(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -637,7 +730,10 @@ mod tests {
             (0.85..=1.1).contains(&at_1),
             "single core should be near parity, got {at_1}"
         );
-        assert!(at_64 < 0.8, "Splash-4 must win clearly at 64 cores, got {at_64}");
+        assert!(
+            at_64 < 0.8,
+            "Splash-4 must win clearly at 64 cores, got {at_64}"
+        );
         assert!(at_64 < at_1, "gap should widen with cores");
     }
 
@@ -670,13 +766,39 @@ mod tests {
     }
 
     #[test]
+    fn v1_check_verifies_every_construct_and_catches_every_mutant() {
+        let r = run_experiment("V1-check", &quick_ctx()).unwrap();
+        let constructs = r.json["constructs"].as_array().unwrap();
+        assert!(constructs.len() >= 8, "expected every construct class");
+        for row in constructs {
+            assert_eq!(
+                row["verdict"].as_str().unwrap(),
+                "pass",
+                "construct failed: {row}"
+            );
+            assert!(
+                row["schedules"].as_f64().unwrap() >= 1000.0,
+                "too few schedules: {row}"
+            );
+        }
+        for m in r.json["mutants"].as_array().unwrap() {
+            assert_eq!(m["detected"].as_bool(), Some(true), "mutant escaped: {m}");
+            assert_ne!(m["counterexample"].as_str(), Some("-"), "no schedule: {m}");
+        }
+    }
+
+    #[test]
     fn epyc_gap_exceeds_icelake_gap() {
         // Paper headline: −52% on EPYC vs −34% on Ice Lake at 64 threads.
         let ctx = quick_ctx();
         let epyc = run_experiment("F2-sim-epyc", &ctx).unwrap();
         let ice = run_experiment("F3-sim-icelake", &ctx).unwrap();
-        let e = epyc.json["geomeans"].as_array().unwrap()[2].as_f64().unwrap();
-        let i = ice.json["geomeans"].as_array().unwrap()[2].as_f64().unwrap();
+        let e = epyc.json["geomeans"].as_array().unwrap()[2]
+            .as_f64()
+            .unwrap();
+        let i = ice.json["geomeans"].as_array().unwrap()[2]
+            .as_f64()
+            .unwrap();
         assert!(
             e < i,
             "EPYC-like preset should show the larger Splash-4 win: {e} vs {i}"

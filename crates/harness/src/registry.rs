@@ -144,9 +144,7 @@ impl BenchmarkId {
             BenchmarkId::Lu => lu::run(&lu::LuConfig::class(class), env),
             BenchmarkId::LuNoncont => lu::run(&lu::LuConfig::class_noncont(class), env),
             BenchmarkId::Ocean => ocean::run(&ocean::OceanConfig::class(class), env),
-            BenchmarkId::OceanNoncont => {
-                ocean::run(&ocean::OceanConfig::class_noncont(class), env)
-            }
+            BenchmarkId::OceanNoncont => ocean::run(&ocean::OceanConfig::class_noncont(class), env),
             BenchmarkId::Radiosity => {
                 radiosity::run(&radiosity::RadiosityConfig::class(class), env)
             }

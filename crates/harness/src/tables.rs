@@ -111,7 +111,11 @@ impl Table {
 
 /// Geometric mean of positive values (ignores non-positive entries).
 pub fn geomean(values: &[f64]) -> f64 {
-    let logs: Vec<f64> = values.iter().filter(|&&v| v > 0.0).map(|v| v.ln()).collect();
+    let logs: Vec<f64> = values
+        .iter()
+        .filter(|&&v| v > 0.0)
+        .map(|v| v.ln())
+        .collect();
     if logs.is_empty() {
         return f64::NAN;
     }

@@ -131,10 +131,22 @@ pub fn run(cfg: &BarnesConfig, env: &SyncEnv) -> KernelResult {
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
     let mass = 1.0 / n as f64;
     let mut pos: Vec<[f64; 3]> = (0..n)
-        .map(|_| [rng.gen_range(0.1..0.9), rng.gen_range(0.1..0.9), rng.gen_range(0.1..0.9)])
+        .map(|_| {
+            [
+                rng.gen_range(0.1..0.9),
+                rng.gen_range(0.1..0.9),
+                rng.gen_range(0.1..0.9),
+            ]
+        })
         .collect();
     let mut vel: Vec<[f64; 3]> = (0..n)
-        .map(|_| [rng.gen_range(-0.01..0.01), rng.gen_range(-0.01..0.01), rng.gen_range(-0.01..0.01)])
+        .map(|_| {
+            [
+                rng.gen_range(-0.01..0.01),
+                rng.gen_range(-0.01..0.01),
+                rng.gen_range(-0.01..0.01),
+            ]
+        })
         .collect();
     let mut acc: Vec<[f64; 3]> = vec![[0.0; 3]; n];
 
@@ -268,7 +280,12 @@ pub fn run(cfg: &BarnesConfig, env: &SyncEnv) -> KernelResult {
 
     // Post-order COM of one subtree (single-threaded per subtree; subtrees
     // are claimed exclusively via the COM counter).
-    fn compute_com(arena: &Arena<'_>, node: u64, body_mass: f64, vpos: &SharedSlice<'_, [f64; 3]>) -> (f64, [f64; 3]) {
+    fn compute_com(
+        arena: &Arena<'_>,
+        node: u64,
+        body_mass: f64,
+        vpos: &SharedSlice<'_, [f64; 3]>,
+    ) -> (f64, [f64; 3]) {
         if is_body(node) {
             // SAFETY: build complete.
             let p = unsafe { vpos.get(untag(node)) };

@@ -39,7 +39,11 @@ impl CholeskyConfig {
             InputClass::Small => (192, 16),
             InputClass::Native => (512, 32), // paper: tk15/tk29 sparse inputs
         };
-        CholeskyConfig { n, block, seed: 0x5eed_c401 }
+        CholeskyConfig {
+            n,
+            block,
+            seed: 0x5eed_c401,
+        }
     }
 
     /// Blocks per side.
@@ -72,13 +76,28 @@ struct Task {
 fn build_tasks(nb: usize) -> (Vec<Task>, HashMap<Task, usize>) {
     let mut tasks = Vec::new();
     for k in 0..nb {
-        tasks.push(Task { kind: TaskKind::Potrf, i: k, j: k, k });
+        tasks.push(Task {
+            kind: TaskKind::Potrf,
+            i: k,
+            j: k,
+            k,
+        });
         for i in k + 1..nb {
-            tasks.push(Task { kind: TaskKind::Trsm, i, j: k, k });
+            tasks.push(Task {
+                kind: TaskKind::Trsm,
+                i,
+                j: k,
+                k,
+            });
         }
         for j in k + 1..nb {
             for i in j..nb {
-                tasks.push(Task { kind: TaskKind::Gemm, i, j, k });
+                tasks.push(Task {
+                    kind: TaskKind::Gemm,
+                    i,
+                    j,
+                    k,
+                });
             }
         }
     }
@@ -109,28 +128,58 @@ fn successors(t: &Task, nb: usize) -> Vec<Task> {
     match t.kind {
         TaskKind::Potrf => {
             for i in t.k + 1..nb {
-                out.push(Task { kind: TaskKind::Trsm, i, j: t.k, k: t.k });
+                out.push(Task {
+                    kind: TaskKind::Trsm,
+                    i,
+                    j: t.k,
+                    k: t.k,
+                });
             }
         }
         TaskKind::Trsm => {
             // TRSM(i,k) feeds every GEMM at stage k touching row/col i.
             let (i, k) = (t.i, t.k);
             for j in k + 1..=i {
-                out.push(Task { kind: TaskKind::Gemm, i, j, k });
+                out.push(Task {
+                    kind: TaskKind::Gemm,
+                    i,
+                    j,
+                    k,
+                });
             }
             for a in i + 1..nb {
-                out.push(Task { kind: TaskKind::Gemm, i: a, j: i, k });
+                out.push(Task {
+                    kind: TaskKind::Gemm,
+                    i: a,
+                    j: i,
+                    k,
+                });
             }
         }
         TaskKind::Gemm => {
             // The next consumer of block (i,j).
             let (i, j, k) = (t.i, t.j, t.k);
             if k + 1 < j {
-                out.push(Task { kind: TaskKind::Gemm, i, j, k: k + 1 });
+                out.push(Task {
+                    kind: TaskKind::Gemm,
+                    i,
+                    j,
+                    k: k + 1,
+                });
             } else if i == j {
-                out.push(Task { kind: TaskKind::Potrf, i: j, j, k: j });
+                out.push(Task {
+                    kind: TaskKind::Potrf,
+                    i: j,
+                    j,
+                    k: j,
+                });
             } else {
-                out.push(Task { kind: TaskKind::Trsm, i, j, k: j });
+                out.push(Task {
+                    kind: TaskKind::Trsm,
+                    i,
+                    j,
+                    k: j,
+                });
             }
         }
     }
@@ -220,7 +269,10 @@ fn gemm_nt(x: &[f64], y: &[f64], blk: &mut [f64], b: usize) {
 
 /// Run task-pool Cholesky under `env`; validates `L·Lᵀ ≈ A`.
 pub fn run(cfg: &CholeskyConfig, env: &SyncEnv) -> KernelResult {
-    assert!(cfg.n.is_multiple_of(cfg.block), "n must be a multiple of block");
+    assert!(
+        cfg.n.is_multiple_of(cfg.block),
+        "n must be a multiple of block"
+    );
     let b = cfg.block;
     let nb = cfg.nblocks();
     let bb = b * b;
@@ -240,7 +292,14 @@ pub fn run(cfg: &CholeskyConfig, env: &SyncEnv) -> KernelResult {
     let done = SharedCounters::new(env, 1, 1);
     let checksum = env.reducer_f64();
     let barrier = env.barrier();
-    queue.push(index[&Task { kind: TaskKind::Potrf, i: 0, j: 0, k: 0 }]);
+    queue.push(
+        index[&Task {
+            kind: TaskKind::Potrf,
+            i: 0,
+            j: 0,
+            k: 0,
+        }],
+    );
 
     let team = Team::new(nthreads);
     let t0 = Instant::now();
@@ -265,17 +324,14 @@ pub fn run(cfg: &CholeskyConfig, env: &SyncEnv) -> KernelResult {
                     potrf(blk, b);
                 }
                 TaskKind::Trsm => {
-                    let l =
-                        unsafe { std::slice::from_raw_parts(va.at((t.k * nb + t.k) * bb), bb) };
+                    let l = unsafe { std::slice::from_raw_parts(va.at((t.k * nb + t.k) * bb), bb) };
                     let blk =
                         unsafe { std::slice::from_raw_parts_mut(va.at((t.i * nb + t.k) * bb), bb) };
                     trsm(l, blk, b);
                 }
                 TaskKind::Gemm => {
-                    let x =
-                        unsafe { std::slice::from_raw_parts(va.at((t.i * nb + t.k) * bb), bb) };
-                    let y =
-                        unsafe { std::slice::from_raw_parts(va.at((t.j * nb + t.k) * bb), bb) };
+                    let x = unsafe { std::slice::from_raw_parts(va.at((t.i * nb + t.k) * bb), bb) };
+                    let y = unsafe { std::slice::from_raw_parts(va.at((t.j * nb + t.k) * bb), bb) };
                     let blk =
                         unsafe { std::slice::from_raw_parts_mut(va.at((t.i * nb + t.j) * bb), bb) };
                     gemm_nt(x, y, blk, b);
@@ -294,7 +350,10 @@ pub fn run(cfg: &CholeskyConfig, env: &SyncEnv) -> KernelResult {
         barrier.wait(ctx.tid);
         // Checksum over the lower triangle.
         let mut local = 0.0;
-        for (bid, _) in (0..nb * nb).enumerate().filter(|&(i, _)| i % nthreads == ctx.tid) {
+        for (bid, _) in (0..nb * nb)
+            .enumerate()
+            .filter(|&(i, _)| i % nthreads == ctx.tid)
+        {
             let (bi, bj) = (bid / nb, bid % nb);
             if bj <= bi {
                 for e in 0..bb {
@@ -330,9 +389,10 @@ pub fn run(cfg: &CholeskyConfig, env: &SyncEnv) -> KernelResult {
             .pushes(1.0)
             .barriers(1),
         )
-        .phase(PhaseSpec::compute("checksum", (nb * nb) as u64 / 2, bb as u64 * 4).reduces(
-            2.0 * nthreads as f64 / (nb * nb) as f64,
-        ))
+        .phase(
+            PhaseSpec::compute("checksum", (nb * nb) as u64 / 2, bb as u64 * 4)
+                .reduces(2.0 * nthreads as f64 / (nb * nb) as f64),
+        )
         .calibrated(elapsed.as_nanos() as u64 * nthreads as u64, 2.0);
 
     KernelResult {
@@ -347,17 +407,19 @@ pub fn run(cfg: &CholeskyConfig, env: &SyncEnv) -> KernelResult {
 /// Check `L·Lᵀ ≈ A` on the lower triangle.
 fn validate(cfg: &CholeskyConfig, original: &[f64], factored: &[f64]) -> bool {
     let n = cfg.n;
-    let at = |m: &[f64], i: usize, j: usize| crate::lu::at(
-        &crate::lu::LuConfig {
-            n: cfg.n,
-            block: cfg.block,
-            seed: 0,
-            layout: crate::lu::LuLayout::Contiguous,
-        },
-        m,
-        i,
-        j,
-    );
+    let at = |m: &[f64], i: usize, j: usize| {
+        crate::lu::at(
+            &crate::lu::LuConfig {
+                n: cfg.n,
+                block: cfg.block,
+                seed: 0,
+                layout: crate::lu::LuLayout::Contiguous,
+            },
+            m,
+            i,
+            j,
+        )
+    };
     let mut max_err = 0.0f64;
     for i in 0..n {
         for j in 0..=i {
@@ -408,7 +470,11 @@ mod tests {
 
     #[test]
     fn factors_single_thread() {
-        let cfg = CholeskyConfig { n: 32, block: 8, seed: 5 };
+        let cfg = CholeskyConfig {
+            n: 32,
+            block: 8,
+            seed: 5,
+        };
         for mode in SyncMode::ALL {
             let r = run(&cfg, &SyncEnv::new(mode, 1));
             assert!(r.validated, "mode {mode}");
@@ -417,7 +483,11 @@ mod tests {
 
     #[test]
     fn factors_multithreaded() {
-        let cfg = CholeskyConfig { n: 64, block: 8, seed: 6 };
+        let cfg = CholeskyConfig {
+            n: 64,
+            block: 8,
+            seed: 6,
+        };
         for mode in SyncMode::ALL {
             for t in [2, 4] {
                 let r = run(&cfg, &SyncEnv::new(mode, t));
@@ -428,7 +498,11 @@ mod tests {
 
     #[test]
     fn checksum_stable_across_modes() {
-        let cfg = CholeskyConfig { n: 64, block: 8, seed: 7 };
+        let cfg = CholeskyConfig {
+            n: 64,
+            block: 8,
+            seed: 7,
+        };
         let base = run(&cfg, &SyncEnv::new(SyncMode::LockBased, 1));
         for mode in SyncMode::ALL {
             for t in [1, 3] {
@@ -440,7 +514,11 @@ mod tests {
 
     #[test]
     fn queue_backend_matches_mode() {
-        let cfg = CholeskyConfig { n: 32, block: 8, seed: 5 };
+        let cfg = CholeskyConfig {
+            n: 32,
+            block: 8,
+            seed: 5,
+        };
         let lf = run(&cfg, &SyncEnv::new(SyncMode::LockFree, 2));
         assert_eq!(lf.profile.lock_acquires, 0);
         assert!(lf.profile.queue_ops > 0);
@@ -451,7 +529,11 @@ mod tests {
 
     #[test]
     fn no_barrier_dependence_inside_factorization() {
-        let cfg = CholeskyConfig { n: 32, block: 8, seed: 5 };
+        let cfg = CholeskyConfig {
+            n: 32,
+            block: 8,
+            seed: 5,
+        };
         let env = SyncEnv::new(SyncMode::LockFree, 2);
         let r = run(&cfg, &env);
         // Only the two trailing checksum barriers.

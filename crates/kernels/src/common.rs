@@ -122,7 +122,9 @@ impl<'a, T> SharedSlice<'a, T> {
 
 impl<T> std::fmt::Debug for SharedSlice<'_, T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SharedSlice").field("len", &self.len).finish()
+        f.debug_struct("SharedSlice")
+            .field("len", &self.len)
+            .finish()
     }
 }
 
@@ -172,7 +174,10 @@ impl SharedAccum {
     /// Atomically (or under the bank lock) add `v` to cell `i`.
     #[inline]
     pub fn add(&self, i: usize, v: f64) {
-        self.stats.trace(TraceEvent::Rmw { class: ConstructClass::DataLock, n: 1 });
+        self.stats.trace(TraceEvent::Rmw {
+            class: ConstructClass::DataLock,
+            n: 1,
+        });
         match &self.locks {
             Some(locks) => {
                 let lock = &locks[i / self.bank];
@@ -188,12 +193,8 @@ impl SharedAccum {
                 let mut cur = cell.load(Ordering::Relaxed);
                 loop {
                     let new = (f64::from_bits(cur) + v).to_bits();
-                    match cell.compare_exchange_weak(
-                        cur,
-                        new,
-                        Ordering::AcqRel,
-                        Ordering::Relaxed,
-                    ) {
+                    match cell.compare_exchange_weak(cur, new, Ordering::AcqRel, Ordering::Relaxed)
+                    {
                         Ok(_) => break,
                         Err(actual) => {
                             SyncCounters::bump(&self.stats.cas_failures);
@@ -268,7 +269,10 @@ impl SharedCounters {
     /// Add `v` to counter `i` under the active discipline.
     #[inline]
     pub fn add(&self, i: usize, v: u64) {
-        self.stats.trace(TraceEvent::Rmw { class: ConstructClass::DataLock, n: 1 });
+        self.stats.trace(TraceEvent::Rmw {
+            class: ConstructClass::DataLock,
+            n: 1,
+        });
         match &self.locks {
             Some(locks) => {
                 let lock = &locks[i / self.bank];
@@ -287,7 +291,10 @@ impl SharedCounters {
     /// Add `v` to counter `i` and return the previous value (slot claiming).
     #[inline]
     pub fn claim(&self, i: usize, v: u64) -> u64 {
-        self.stats.trace(TraceEvent::Rmw { class: ConstructClass::DataLock, n: 1 });
+        self.stats.trace(TraceEvent::Rmw {
+            class: ConstructClass::DataLock,
+            n: 1,
+        });
         match &self.locks {
             Some(locks) => {
                 let lock = &locks[i / self.bank];

@@ -85,7 +85,10 @@ impl FftConfig {
             InputClass::Small => 256,   // 64 Ki points
             InputClass::Native => 1024, // 1 Mi points (paper: 2^20/2^22)
         };
-        FftConfig { m, seed: 0x5eed_f017 }
+        FftConfig {
+            m,
+            seed: 0x5eed_f017,
+        }
     }
 
     /// Total transform size `n = m²`.
@@ -180,13 +183,14 @@ pub fn run(cfg: &FftConfig, env: &SyncEnv) -> KernelResult {
     // SAFETY (all uses): each thread writes only rows in its chunk of the
     // destination; sources are read-only within a phase; phases are separated
     // by barriers.
-    let transpose = |src: &SharedSlice<'_, Cpx>, dst: &SharedSlice<'_, Cpx>, rows: std::ops::Range<usize>| {
-        for i in rows {
-            for j in 0..m {
-                unsafe { dst.set(i * m + j, src.get(j * m + i)) };
+    let transpose =
+        |src: &SharedSlice<'_, Cpx>, dst: &SharedSlice<'_, Cpx>, rows: std::ops::Range<usize>| {
+            for i in rows {
+                for j in 0..m {
+                    unsafe { dst.set(i * m + j, src.get(j * m + i)) };
+                }
             }
-        }
-    };
+        };
 
     let t0 = Instant::now();
     team.run(|ctx| {

@@ -40,7 +40,12 @@ impl FmmConfig {
             InputClass::Small => (2048, 4),
             InputClass::Native => (16384, 5), // paper: 16K–64K particles
         };
-        FmmConfig { n, levels, order: 16, seed: 0x5eed_0f33 }
+        FmmConfig {
+            n,
+            levels,
+            order: 16,
+            seed: 0x5eed_0f33,
+        }
     }
 }
 
@@ -151,8 +156,14 @@ pub fn run(cfg: &FmmConfig, env: &SyncEnv) -> KernelResult {
     let mut local_store: Vec<Vec<Cpx>> = (0..=lmax)
         .map(|l| vec![Cpx::default(); side(l) * side(l) * (p + 1)])
         .collect();
-    let mpole: Vec<SharedSlice<'_, Cpx>> = mpole_store.iter_mut().map(|v| SharedSlice::new(v)).collect();
-    let locals: Vec<SharedSlice<'_, Cpx>> = local_store.iter_mut().map(|v| SharedSlice::new(v)).collect();
+    let mpole: Vec<SharedSlice<'_, Cpx>> = mpole_store
+        .iter_mut()
+        .map(|v| SharedSlice::new(v))
+        .collect();
+    let locals: Vec<SharedSlice<'_, Cpx>> = local_store
+        .iter_mut()
+        .map(|v| SharedSlice::new(v))
+        .collect();
     let mut phi_store = vec![0.0f64; n];
     let vphi = SharedSlice::new(&mut phi_store);
 
@@ -217,9 +228,7 @@ pub fn run(cfg: &FmmConfig, env: &SyncEnv) -> KernelResult {
                         let d = cc.sub(cp);
                         // SAFETY: child level complete (barrier).
                         let a: Vec<Cpx> = (0..=p)
-                            .map(|k| unsafe {
-                                mpole[(l + 1) as usize].get(child * (p + 1) + k)
-                            })
+                            .map(|k| unsafe { mpole[(l + 1) as usize].get(child * (p + 1) + k) })
                             .collect();
                         acc[0] = acc[0].add(a[0]);
                         let mut dl = d; // d^l
@@ -261,9 +270,7 @@ pub fn run(cfg: &FmmConfig, env: &SyncEnv) -> KernelResult {
                     let d = cl.sub(cp);
                     // SAFETY: parent level complete (barrier).
                     let a: Vec<Cpx> = (0..=p)
-                        .map(|k| unsafe {
-                            locals[(l - 1) as usize].get(parent * (p + 1) + k)
-                        })
+                        .map(|k| unsafe { locals[(l - 1) as usize].get(parent * (p + 1) + k) })
                         .collect();
                     for lq in 0..=p {
                         let mut b = Cpx::default();
@@ -398,10 +405,13 @@ pub fn run(cfg: &FmmConfig, env: &SyncEnv) -> KernelResult {
     let per_leaf = nu / nleaf as u64;
     let work = WorkModel::new("fmm")
         .phase(PhaseSpec::compute("bin", nu, 8).data_touches(1.0))
-        .phase(PhaseSpec::compute("p2m", nleaf as u64, per_leaf * (p as u64) * 6))
+        .phase(PhaseSpec::compute(
+            "p2m",
+            nleaf as u64,
+            per_leaf * (p as u64) * 6,
+        ))
         .phase(
-            PhaseSpec::compute("m2m", cells2plus / 2, (p * p) as u64 * 5)
-                .barriers(lmax as u64 - 2),
+            PhaseSpec::compute("m2m", cells2plus / 2, (p * p) as u64 * 5).barriers(lmax as u64 - 2),
         )
         .phase(
             PhaseSpec::compute("m2l", cells2plus, 27 * (p * p) as u64 * 5)
@@ -409,10 +419,14 @@ pub fn run(cfg: &FmmConfig, env: &SyncEnv) -> KernelResult {
                 .barriers(lmax as u64 - 1),
         )
         .phase(
-            PhaseSpec::compute("l2p+p2p", nleaf as u64, per_leaf * (per_leaf * 9 * 12 + p as u64 * 6))
-                .dispatch(Dispatch::GetSub { chunk: 1 })
-                .reduces(nthreads as f64 / nleaf as f64)
-                .barriers(2),
+            PhaseSpec::compute(
+                "l2p+p2p",
+                nleaf as u64,
+                per_leaf * (per_leaf * 9 * 12 + p as u64 * 6),
+            )
+            .dispatch(Dispatch::GetSub { chunk: 1 })
+            .reduces(nthreads as f64 / nleaf as f64)
+            .barriers(2),
         )
         .calibrated(elapsed.as_nanos() as u64 * nthreads as u64, 2.0);
 
@@ -432,7 +446,12 @@ mod tests {
     use splash4_parmacs::SyncMode;
 
     fn tiny() -> FmmConfig {
-        FmmConfig { n: 256, levels: 3, order: 16, seed: 13 }
+        FmmConfig {
+            n: 256,
+            levels: 3,
+            order: 16,
+            seed: 13,
+        }
     }
 
     #[test]
@@ -500,7 +519,12 @@ mod tests {
 
     #[test]
     fn deeper_trees_also_validate() {
-        let cfg = FmmConfig { n: 1024, levels: 4, order: 16, seed: 14 };
+        let cfg = FmmConfig {
+            n: 1024,
+            levels: 4,
+            order: 16,
+            seed: 14,
+        };
         let r = run(&cfg, &SyncEnv::new(SyncMode::LockFree, 2));
         assert!(r.validated);
     }

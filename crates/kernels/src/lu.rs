@@ -53,12 +53,20 @@ impl LuConfig {
             InputClass::Small => (256, 16),
             InputClass::Native => (1024, 16), // paper default: 512–2048, B=16
         };
-        LuConfig { n, block, seed: 0x5eed_0042, layout: LuLayout::Contiguous }
+        LuConfig {
+            n,
+            block,
+            seed: 0x5eed_0042,
+            layout: LuLayout::Contiguous,
+        }
     }
 
     /// Standard configuration, non-contiguous layout (`lu-noncont`).
     pub fn class_noncont(class: InputClass) -> LuConfig {
-        LuConfig { layout: LuLayout::RowMajor, ..LuConfig::class(class) }
+        LuConfig {
+            layout: LuLayout::RowMajor,
+            ..LuConfig::class(class)
+        }
     }
 
     /// Blocks per side.
@@ -208,7 +216,10 @@ fn owner(bi: usize, bj: usize, nb: usize, nthreads: usize) -> usize {
 
 /// Run blocked LU under `env`; validates `L·U ≈ A` for small inputs.
 pub fn run(cfg: &LuConfig, env: &SyncEnv) -> KernelResult {
-    assert!(cfg.n.is_multiple_of(cfg.block), "n must be a multiple of block");
+    assert!(
+        cfg.n.is_multiple_of(cfg.block),
+        "n must be a multiple of block"
+    );
     let b = cfg.block;
     let nb = cfg.nblocks();
     let nthreads = env.nthreads();
@@ -329,9 +340,10 @@ pub fn run(cfg: &LuConfig, env: &SyncEnv) -> KernelResult {
         .repeats(nbu)
         .barriers(1),
     )
-    .phase(PhaseSpec::compute("checksum", nbu * nbu, (b * b) as u64 * 4).reduces(
-        nthreads as f64 / (nbu * nbu) as f64,
-    ))
+    .phase(
+        PhaseSpec::compute("checksum", nbu * nbu, (b * b) as u64 * 4)
+            .reduces(nthreads as f64 / (nbu * nbu) as f64),
+    )
     .calibrated(elapsed.as_nanos() as u64 * nthreads as u64, 2.0);
 
     KernelResult {
@@ -373,7 +385,12 @@ mod tests {
     use splash4_parmacs::SyncMode;
 
     fn cfg32(layout: LuLayout) -> LuConfig {
-        LuConfig { n: 32, block: 8, seed: 3, layout }
+        LuConfig {
+            n: 32,
+            block: 8,
+            seed: 3,
+            layout,
+        }
     }
 
     #[test]
@@ -399,7 +416,12 @@ mod tests {
     #[test]
     fn multithreaded_validates_both_layouts() {
         for layout in [LuLayout::Contiguous, LuLayout::RowMajor] {
-            let cfg = LuConfig { n: 64, block: 8, seed: 4, layout };
+            let cfg = LuConfig {
+                n: 64,
+                block: 8,
+                seed: 4,
+                layout,
+            };
             for mode in SyncMode::ALL {
                 for t in [2, 5] {
                     let r = run(&cfg, &SyncEnv::new(mode, t));
@@ -412,8 +434,14 @@ mod tests {
     #[test]
     fn layouts_agree_numerically() {
         // Same matrix values, different storage: identical factorization.
-        let c = run(&cfg32(LuLayout::Contiguous), &SyncEnv::new(SyncMode::LockFree, 2));
-        let r = run(&cfg32(LuLayout::RowMajor), &SyncEnv::new(SyncMode::LockFree, 2));
+        let c = run(
+            &cfg32(LuLayout::Contiguous),
+            &SyncEnv::new(SyncMode::LockFree, 2),
+        );
+        let r = run(
+            &cfg32(LuLayout::RowMajor),
+            &SyncEnv::new(SyncMode::LockFree, 2),
+        );
         assert!(close(c.checksum, r.checksum, 1e-12));
     }
 
@@ -464,7 +492,12 @@ mod tests {
     #[test]
     fn index_layouts_are_bijective() {
         for layout in [LuLayout::Contiguous, LuLayout::RowMajor] {
-            let cfg = LuConfig { n: 16, block: 4, seed: 0, layout };
+            let cfg = LuConfig {
+                n: 16,
+                block: 4,
+                seed: 0,
+                layout,
+            };
             let mut seen = vec![false; 256];
             for bi in 0..4 {
                 for bj in 0..4 {

@@ -68,7 +68,10 @@ impl OceanConfig {
 
     /// Standard configuration, non-contiguous layout (`ocean-noncont`).
     pub fn class_noncont(class: InputClass) -> OceanConfig {
-        OceanConfig { layout: OceanLayout::RowArrays, ..OceanConfig::class(class) }
+        OceanConfig {
+            layout: OceanLayout::RowArrays,
+            ..OceanConfig::class(class)
+        }
     }
 }
 
@@ -229,8 +232,7 @@ pub fn run(cfg: &OceanConfig, env: &SyncEnv) -> KernelResult {
             .barriers(2),
     )
     .phase(
-        PhaseSpec::compute("checksum", (n * n) as u64, 2)
-            .reduces(nthreads as f64 / (n * n) as f64),
+        PhaseSpec::compute("checksum", (n * n) as u64, 2).reduces(nthreads as f64 / (n * n) as f64),
     )
     .calibrated(elapsed.as_nanos() as u64 * nthreads as u64, 2.0);
 
@@ -256,7 +258,7 @@ pub fn run(cfg: &OceanConfig, env: &SyncEnv) -> KernelResult {
 /// convergence is the residual max-norm falling below
 /// `cfg.tolerance · ‖f‖∞`.
 pub fn run_multigrid(cfg: &OceanConfig, env: &SyncEnv) -> KernelResult {
-    assert!(cfg.n % 2 == 0, "multigrid needs an even grid side");
+    assert!(cfg.n.is_multiple_of(2), "multigrid needs an even grid side");
     let n = cfg.n;
     let nc = n / 2;
     let stride = n + 2;
@@ -424,8 +426,7 @@ pub fn run_multigrid(cfg: &OceanConfig, env: &SyncEnv) -> KernelResult {
             // Convergence decision on the pre-cycle residual norm.
             if ctx.is_master() {
                 let norm = resid_norm.load();
-                let stop =
-                    norm < cfg.tolerance * f_norm || cycle + 1 >= cfg.max_iters;
+                let stop = norm < cfg.tolerance * f_norm || cycle + 1 >= cfg.max_iters;
                 // SAFETY: master-only write between barriers.
                 unsafe {
                     done.set(0, u32::from(stop));
@@ -471,16 +472,26 @@ pub fn run_multigrid(cfg: &OceanConfig, env: &SyncEnv) -> KernelResult {
                 .repeats(cycles * (PRE_SWEEPS + POST_SWEEPS) as u64)
                 .barriers(2),
         )
-        .phase(PhaseSpec::compute("residual", cells, 14).repeats(cycles).reduces(
-            nthreads as f64 / cells as f64,
-        ))
-        .phase(PhaseSpec::compute("transfer", cells_c + cells, 8).repeats(cycles).barriers(2))
+        .phase(
+            PhaseSpec::compute("residual", cells, 14)
+                .repeats(cycles)
+                .reduces(nthreads as f64 / cells as f64),
+        )
+        .phase(
+            PhaseSpec::compute("transfer", cells_c + cells, 8)
+                .repeats(cycles)
+                .barriers(2),
+        )
         .phase(
             PhaseSpec::compute("coarse", cells_c, 12)
                 .repeats(cycles * COARSE_SWEEPS as u64)
                 .barriers(2),
         )
-        .phase(PhaseSpec::compute("check", nthreads as u64, 30).repeats(cycles).barriers(1))
+        .phase(
+            PhaseSpec::compute("check", nthreads as u64, 30)
+                .repeats(cycles)
+                .barriers(1),
+        )
         .calibrated(elapsed.as_nanos() as u64 * nthreads as u64, 2.0);
 
     KernelResult {
@@ -530,14 +541,23 @@ mod tests {
 
     #[test]
     fn layouts_agree_numerically() {
-        let c = run(&small(OceanLayout::Contiguous), &SyncEnv::new(SyncMode::LockFree, 2));
-        let r = run(&small(OceanLayout::RowArrays), &SyncEnv::new(SyncMode::LockFree, 2));
+        let c = run(
+            &small(OceanLayout::Contiguous),
+            &SyncEnv::new(SyncMode::LockFree, 2),
+        );
+        let r = run(
+            &small(OceanLayout::RowArrays),
+            &SyncEnv::new(SyncMode::LockFree, 2),
+        );
         assert!(close(c.checksum, r.checksum, 1e-12));
     }
 
     #[test]
     fn checksum_thread_invariant() {
-        let base = run(&small(OceanLayout::Contiguous), &SyncEnv::new(SyncMode::LockBased, 1));
+        let base = run(
+            &small(OceanLayout::Contiguous),
+            &SyncEnv::new(SyncMode::LockBased, 1),
+        );
         for mode in SyncMode::ALL {
             for t in [1, 2, 4] {
                 let r = run(&small(OceanLayout::Contiguous), &SyncEnv::new(mode, t));
@@ -592,7 +612,10 @@ mod tests {
 
     #[test]
     fn multigrid_matches_single_level_answer() {
-        let sor = run(&small(OceanLayout::Contiguous), &SyncEnv::new(SyncMode::LockFree, 2));
+        let sor = run(
+            &small(OceanLayout::Contiguous),
+            &SyncEnv::new(SyncMode::LockFree, 2),
+        );
         let mg = run_multigrid(&mg_cfg(), &SyncEnv::new(SyncMode::LockFree, 2));
         // Both solve the same discrete system to tight tolerances: checksums
         // (Σu over the grid) must agree closely.
@@ -607,7 +630,10 @@ mod tests {
     #[test]
     fn multigrid_needs_far_fewer_fine_sweeps_than_sor() {
         let mg = run_multigrid(&mg_cfg(), &SyncEnv::new(SyncMode::LockFree, 2));
-        let sor = run(&small(OceanLayout::Contiguous), &SyncEnv::new(SyncMode::LockFree, 2));
+        let sor = run(
+            &small(OceanLayout::Contiguous),
+            &SyncEnv::new(SyncMode::LockFree, 2),
+        );
         assert!(mg.validated && sor.validated);
         // Work-model bookkeeping: SOR's "red" phase repeats = iterations;
         // multigrid's "smooth" phase repeats = cycles × (pre+post sweeps).

@@ -43,7 +43,12 @@ impl RadiosityConfig {
             InputClass::Small => 10,
             InputClass::Native => 16, // paper: room scene, ~1–2k elements
         };
-        RadiosityConfig { m, convergence: 0.05, max_iters: 4000, batch: 16 }
+        RadiosityConfig {
+            m,
+            convergence: 0.05,
+            max_iters: 4000,
+            batch: 16,
+        }
     }
 
     /// Total patch count.
@@ -74,12 +79,48 @@ type WallSpec = ([f64; 3], [f64; 3], [f64; 3], [f64; 3], f64);
 pub fn build_scene(m: usize) -> Vec<Patch> {
     let mut patches = Vec::with_capacity(6 * m * m);
     let walls: [WallSpec; 6] = [
-        ([0.0, 0.0, 0.0], [1.0, 0.0, 0.0], [0.0, 0.0, 1.0], [0.0, 1.0, 0.0], 0.7), // floor
-        ([0.0, 1.0, 0.0], [1.0, 0.0, 0.0], [0.0, 0.0, 1.0], [0.0, -1.0, 0.0], 0.8), // ceiling
-        ([0.0, 0.0, 0.0], [1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0], 0.6), // back
-        ([0.0, 0.0, 1.0], [1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, -1.0], 0.6), // front
-        ([0.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0], [1.0, 0.0, 0.0], 0.5), // left
-        ([1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0], [-1.0, 0.0, 0.0], 0.5), // right
+        (
+            [0.0, 0.0, 0.0],
+            [1.0, 0.0, 0.0],
+            [0.0, 0.0, 1.0],
+            [0.0, 1.0, 0.0],
+            0.7,
+        ), // floor
+        (
+            [0.0, 1.0, 0.0],
+            [1.0, 0.0, 0.0],
+            [0.0, 0.0, 1.0],
+            [0.0, -1.0, 0.0],
+            0.8,
+        ), // ceiling
+        (
+            [0.0, 0.0, 0.0],
+            [1.0, 0.0, 0.0],
+            [0.0, 1.0, 0.0],
+            [0.0, 0.0, 1.0],
+            0.6,
+        ), // back
+        (
+            [0.0, 0.0, 1.0],
+            [1.0, 0.0, 0.0],
+            [0.0, 1.0, 0.0],
+            [0.0, 0.0, -1.0],
+            0.6,
+        ), // front
+        (
+            [0.0, 0.0, 0.0],
+            [0.0, 1.0, 0.0],
+            [0.0, 0.0, 1.0],
+            [1.0, 0.0, 0.0],
+            0.5,
+        ), // left
+        (
+            [1.0, 0.0, 0.0],
+            [0.0, 1.0, 0.0],
+            [0.0, 0.0, 1.0],
+            [-1.0, 0.0, 0.0],
+            0.5,
+        ), // right
     ];
     let step = 1.0 / m as f64;
     for (w, (origin, u, v, normal, rho)) in walls.iter().enumerate() {
@@ -93,9 +134,8 @@ pub fn build_scene(m: usize) -> Vec<Patch> {
                     origin[2] + u[2] * fu + v[2] * fv,
                 ];
                 // Ceiling lamp: a central 2×2 patch block emits.
-                let lamp = w == 1
-                    && (i >= m / 2 - 1 && i <= m / 2)
-                    && (j >= m / 2 - 1 && j <= m / 2);
+                let lamp =
+                    w == 1 && (i >= m / 2 - 1 && i <= m / 2) && (j >= m / 2 - 1 && j <= m / 2);
                 patches.push(Patch {
                     center,
                     normal: *normal,
@@ -193,8 +233,8 @@ pub fn run(cfg: &RadiosityConfig, env: &SyncEnv) -> KernelResult {
                         best_e = e;
                     }
                 }
-                let stop = remaining <= cfg.convergence * emitted_total
-                    || iter + 1 >= cfg.max_iters;
+                let stop =
+                    remaining <= cfg.convergence * emitted_total || iter + 1 >= cfg.max_iters;
                 // SAFETY: master-only writes between barriers.
                 unsafe {
                     vshooter.set(0, best as u32);
@@ -251,12 +291,16 @@ pub fn run(cfg: &RadiosityConfig, env: &SyncEnv) -> KernelResult {
 
     let iters = iters_store[0];
     let remaining: f64 = (0..np).map(|i| unshot.load(i)).sum();
-    let balance = absorbed.load() + remaining
-        + (emitted_total - (0..np).map(|i| patches[i].emission * patches[i].area).sum::<f64>());
+    let balance = absorbed.load()
+        + remaining
+        + (emitted_total
+            - (0..np)
+                .map(|i| patches[i].emission * patches[i].area)
+                .sum::<f64>());
     // Conservation: emitted = absorbed + still-unshot (reflected energy in
     // flight is tracked inside `unshot`).
-    let conservation_err = ((absorbed.load() + remaining) - emitted_total).abs()
-        / emitted_total.max(1e-12);
+    let conservation_err =
+        ((absorbed.load() + remaining) - emitted_total).abs() / emitted_total.max(1e-12);
     let nonneg = (0..np).all(|i| radiosity.load(i) >= 0.0 && unshot.load(i) >= -1e-9);
     // Progressive refinement's diffuse tail converges slowly (one patch per
     // shot); the kernel stops at the threshold or the cap, and validation
@@ -277,7 +321,11 @@ pub fn run(cfg: &RadiosityConfig, env: &SyncEnv) -> KernelResult {
                 .reduces(nthreads as f64 / npu as f64)
                 .barriers(2),
         )
-        .phase(PhaseSpec::compute("select", npu, 6).repeats(iters).barriers(1))
+        .phase(
+            PhaseSpec::compute("select", npu, 6)
+                .repeats(iters)
+                .barriers(1),
+        )
         .calibrated(elapsed.as_nanos() as u64 * nthreads as u64, 2.0);
 
     KernelResult {
@@ -296,7 +344,12 @@ mod tests {
     use splash4_parmacs::SyncMode;
 
     fn tiny() -> RadiosityConfig {
-        RadiosityConfig { m: 4, convergence: 0.01, max_iters: 1000, batch: 8 }
+        RadiosityConfig {
+            m: 4,
+            convergence: 0.01,
+            max_iters: 1000,
+            batch: 8,
+        }
     }
 
     #[test]

@@ -36,7 +36,11 @@ impl RadixConfig {
             InputClass::Small => 1 << 18,
             InputClass::Native => 1 << 22, // paper: up to 64M keys, radix 1024
         };
-        RadixConfig { n, bits: 8, seed: 0x5eed_4ad1 }
+        RadixConfig {
+            n,
+            bits: 8,
+            seed: 0x5eed_4ad1,
+        }
     }
 
     /// Buckets per pass.
@@ -75,7 +79,7 @@ pub fn run(cfg: &RadixConfig, env: &SyncEnv) -> KernelResult {
 
     let barrier = env.barrier();
     let hist = SharedCounters::new(env, r, 16); // global histogram, banked locks
-    // counts[t*r + d]: thread-private rows of the rank matrix.
+                                                // counts[t*r + d]: thread-private rows of the rank matrix.
     let mut counts_store = vec![0u64; nthreads * r];
     let counts = SharedSlice::new(&mut counts_store);
     let mut starts_store = vec![0u64; r + 1];
@@ -92,7 +96,11 @@ pub fn run(cfg: &RadixConfig, env: &SyncEnv) -> KernelResult {
         let my = ctx.chunk(n);
         for pass in 0..passes {
             let shift = pass * cfg.bits;
-            let (cur, next) = if pass % 2 == 0 { (&vsrc, &vdst) } else { (&vdst, &vsrc) };
+            let (cur, next) = if pass % 2 == 0 {
+                (&vsrc, &vdst)
+            } else {
+                (&vdst, &vsrc)
+            };
 
             // Phase 1: local histogram + global merge.
             let mut local = vec![0u64; r];
@@ -157,7 +165,11 @@ pub fn run(cfg: &RadixConfig, env: &SyncEnv) -> KernelResult {
             barrier.wait(ctx.tid);
         }
         // Checksum: Σ keys over the final array.
-        let out = if passes.is_multiple_of(2) { &vsrc } else { &vdst };
+        let out = if passes.is_multiple_of(2) {
+            &vsrc
+        } else {
+            &vdst
+        };
         let mut local = 0.0;
         for i in my {
             // SAFETY: sort complete.
@@ -213,7 +225,11 @@ mod tests {
 
     #[test]
     fn sorts_single_thread() {
-        let cfg = RadixConfig { n: 4096, bits: 8, seed: 1 };
+        let cfg = RadixConfig {
+            n: 4096,
+            bits: 8,
+            seed: 1,
+        };
         for mode in SyncMode::ALL {
             let r = run(&cfg, &SyncEnv::new(mode, 1));
             assert!(r.validated, "mode {mode}");
@@ -222,7 +238,11 @@ mod tests {
 
     #[test]
     fn sorts_multithreaded() {
-        let cfg = RadixConfig { n: 10_000, bits: 8, seed: 2 };
+        let cfg = RadixConfig {
+            n: 10_000,
+            bits: 8,
+            seed: 2,
+        };
         for mode in SyncMode::ALL {
             for t in [2, 3, 4] {
                 let r = run(&cfg, &SyncEnv::new(mode, t));
@@ -235,14 +255,22 @@ mod tests {
     fn odd_sizes_and_wide_digits() {
         // n not divisible by thread count; 11-bit digits → 3 passes with a
         // partial top digit.
-        let cfg = RadixConfig { n: 12_345, bits: 11, seed: 3 };
+        let cfg = RadixConfig {
+            n: 12_345,
+            bits: 11,
+            seed: 3,
+        };
         let r = run(&cfg, &SyncEnv::new(SyncMode::LockFree, 3));
         assert!(r.validated);
     }
 
     #[test]
     fn checksum_equals_key_sum() {
-        let cfg = RadixConfig { n: 2048, bits: 8, seed: 4 };
+        let cfg = RadixConfig {
+            n: 2048,
+            bits: 8,
+            seed: 4,
+        };
         let want: f64 = generate_keys(&cfg).iter().map(|&k| k as f64).sum();
         let r = run(&cfg, &SyncEnv::new(SyncMode::LockFree, 2));
         assert!((r.checksum - want).abs() < 1.0);
@@ -250,7 +278,11 @@ mod tests {
 
     #[test]
     fn lock_free_mode_uses_no_locks() {
-        let cfg = RadixConfig { n: 4096, bits: 8, seed: 5 };
+        let cfg = RadixConfig {
+            n: 4096,
+            bits: 8,
+            seed: 5,
+        };
         let env = SyncEnv::new(SyncMode::LockFree, 2);
         let r = run(&cfg, &env);
         assert_eq!(r.profile.lock_acquires, 0);
@@ -260,7 +292,11 @@ mod tests {
 
     #[test]
     fn lock_based_mode_uses_no_rmws() {
-        let cfg = RadixConfig { n: 4096, bits: 8, seed: 5 };
+        let cfg = RadixConfig {
+            n: 4096,
+            bits: 8,
+            seed: 5,
+        };
         let env = SyncEnv::new(SyncMode::LockBased, 2);
         let r = run(&cfg, &env);
         assert_eq!(r.profile.atomic_rmws, 0);
@@ -269,8 +305,32 @@ mod tests {
 
     #[test]
     fn passes_cover_all_bits() {
-        assert_eq!(RadixConfig { n: 1, bits: 8, seed: 0 }.passes(), 4);
-        assert_eq!(RadixConfig { n: 1, bits: 11, seed: 0 }.passes(), 3);
-        assert_eq!(RadixConfig { n: 1, bits: 16, seed: 0 }.passes(), 2);
+        assert_eq!(
+            RadixConfig {
+                n: 1,
+                bits: 8,
+                seed: 0
+            }
+            .passes(),
+            4
+        );
+        assert_eq!(
+            RadixConfig {
+                n: 1,
+                bits: 11,
+                seed: 0
+            }
+            .passes(),
+            3
+        );
+        assert_eq!(
+            RadixConfig {
+                n: 1,
+                bits: 16,
+                seed: 0
+            }
+            .passes(),
+            2
+        );
     }
 }

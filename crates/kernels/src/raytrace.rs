@@ -32,7 +32,11 @@ impl RaytraceConfig {
             InputClass::Small => 160,
             InputClass::Native => 384, // paper: balls4/teapot scenes
         };
-        RaytraceConfig { size, tile: 16, max_depth: 3 }
+        RaytraceConfig {
+            size,
+            tile: 16,
+            max_depth: 3,
+        }
     }
 
     /// Number of tiles.
@@ -144,7 +148,11 @@ fn trace(orig: V3, dir: V3, spheres: &[Sphere], depth: u32, stats: &mut RayStats
         }
     }
     // Ground plane y = 0.
-    let plane_t = if dir[1] < -1e-9 { Some(-orig[1] / dir[1]) } else { None };
+    let plane_t = if dir[1] < -1e-9 {
+        Some(-orig[1] / dir[1])
+    } else {
+        None
+    };
     let use_plane = match (plane_t, best) {
         (Some(pt), Some((bt, _))) => pt < bt,
         (Some(_), None) => true,
@@ -161,7 +169,11 @@ fn trace(orig: V3, dir: V3, spheres: &[Sphere], depth: u32, stats: &mut RayStats
         let t = plane_t.unwrap();
         let p = add(orig, scale(dir, t));
         let checker = ((p[0].floor() as i64 + p[2].floor() as i64).rem_euclid(2)) == 0;
-        let c = if checker { [0.85, 0.85, 0.85] } else { [0.18, 0.18, 0.22] };
+        let c = if checker {
+            [0.85, 0.85, 0.85]
+        } else {
+            [0.18, 0.18, 0.22]
+        };
         (p, [0.0, 1.0, 0.0], c, 0.12)
     } else {
         let (t, i) = best.unwrap();
@@ -188,8 +200,17 @@ fn trace(orig: V3, dir: V3, spheres: &[Sphere], depth: u32, stats: &mut RayStats
     if reflectivity > 0.0 && depth > 0 {
         stats.reflection += 1;
         let refl = sub(dir, scale(normal, 2.0 * dot(dir, normal)));
-        let bounce = trace(add(point, scale(normal, 1e-6)), norm(refl), spheres, depth - 1, stats);
-        color = add(scale(color, 1.0 - reflectivity), scale(bounce, reflectivity));
+        let bounce = trace(
+            add(point, scale(normal, 1e-6)),
+            norm(refl),
+            spheres,
+            depth - 1,
+            stats,
+        );
+        color = add(
+            scale(color, 1.0 - reflectivity),
+            scale(bounce, reflectivity),
+        );
     }
     [color[0].min(1.0), color[1].min(1.0), color[2].min(1.0)]
 }
@@ -251,7 +272,9 @@ pub fn run(cfg: &RaytraceConfig, env: &SyncEnv) -> KernelResult {
     // Deterministic digest: sequential sum over the image (the per-thread
     // reduction above exercises the sync path but is order-sensitive).
     let digest: f64 = image.iter().sum();
-    let in_bounds = image.iter().all(|&c| (0.0..=1.0).contains(&c) && c.is_finite());
+    let in_bounds = image
+        .iter()
+        .all(|&c| (0.0..=1.0).contains(&c) && c.is_finite());
     let validated = in_bounds
         && shadow_rays.load() >= (size * size / 4) as u64
         && reflection_rays.load() > 0
@@ -284,12 +307,21 @@ mod tests {
     use splash4_parmacs::SyncMode;
 
     fn tiny() -> RaytraceConfig {
-        RaytraceConfig { size: 48, tile: 16, max_depth: 3 }
+        RaytraceConfig {
+            size: 48,
+            tile: 16,
+            max_depth: 3,
+        }
     }
 
     #[test]
     fn sphere_intersection_basics() {
-        let s = Sphere { center: [0.0, 0.0, -5.0], radius: 1.0, color: [1.0; 3], reflect: 0.0 };
+        let s = Sphere {
+            center: [0.0, 0.0, -5.0],
+            radius: 1.0,
+            color: [1.0; 3],
+            reflect: 0.0,
+        };
         // Straight at it.
         let t = hit_sphere([0.0, 0.0, 0.0], [0.0, 0.0, -1.0], &s).unwrap();
         assert!((t - 4.0).abs() < 1e-9);

@@ -37,7 +37,12 @@ impl VolrendConfig {
             InputClass::Small => (64, 128),
             InputClass::Native => (128, 256), // paper: 256³ head dataset
         };
-        VolrendConfig { volume, image, tile: 16, termination: 0.98 }
+        VolrendConfig {
+            volume,
+            image,
+            tile: 16,
+            termination: 0.98,
+        }
     }
 }
 
@@ -144,8 +149,7 @@ pub fn run(cfg: &VolrendConfig, env: &SyncEnv) -> KernelResult {
                         let mj = ((v * n as f64) as usize).min(n - 1) / MACRO;
                         let mk = ((z * n as f64) as usize).min(n - 1) / MACRO;
                         // SAFETY: precompute complete (barriers).
-                        let cell_max =
-                            unsafe { vmac.get((mk * nmacro + mj) * nmacro + mi) };
+                        let cell_max = unsafe { vmac.get((mk * nmacro + mj) * nmacro + mi) };
                         if cell_max <= 0.0 {
                             // Jump to the next macro cell boundary.
                             let next = ((mk + 1) * MACRO) as f64 / n as f64;
@@ -187,7 +191,9 @@ pub fn run(cfg: &VolrendConfig, env: &SyncEnv) -> KernelResult {
     let elapsed = t0.elapsed();
 
     let digest: f64 = image.iter().sum();
-    let in_bounds = image.iter().all(|&c| (0.0..=1.0).contains(&c) && c.is_finite());
+    let in_bounds = image
+        .iter()
+        .all(|&c| (0.0..=1.0).contains(&c) && c.is_finite());
     // Early termination requires enough steps through dense material to
     // saturate opacity; tiny CI volumes may never reach the threshold.
     let termination_ok = cfg.volume < 32 || terminated.load() > 0;
@@ -225,7 +231,12 @@ mod tests {
     use splash4_parmacs::SyncMode;
 
     fn tiny() -> VolrendConfig {
-        VolrendConfig { volume: 16, image: 32, tile: 8, termination: 0.98 }
+        VolrendConfig {
+            volume: 16,
+            image: 32,
+            tile: 8,
+            termination: 0.98,
+        }
     }
 
     #[test]

@@ -40,7 +40,12 @@ impl WaterNsqConfig {
             InputClass::Small => (512, 3),
             InputClass::Native => (1728, 5), // paper: 512–4096 molecules
         };
-        WaterNsqConfig { n, steps, dt: 0.001, seed: 0x5eed_0a7e }
+        WaterNsqConfig {
+            n,
+            steps,
+            dt: 0.001,
+            seed: 0x5eed_0a7e,
+        }
     }
 }
 
@@ -266,9 +271,10 @@ pub fn run(cfg: &WaterNsqConfig, env: &SyncEnv) -> KernelResult {
                 .reduces(nthreads as f64 / (3 * n) as f64)
                 .barriers(2),
         )
-        .phase(PhaseSpec::compute("checksum", (3 * n) as u64, 2).reduces(
-            nthreads as f64 / (3 * n) as f64,
-        ))
+        .phase(
+            PhaseSpec::compute("checksum", (3 * n) as u64, 2)
+                .reduces(nthreads as f64 / (3 * n) as f64),
+        )
         .calibrated(elapsed.as_nanos() as u64 * nthreads as u64, 2.0);
 
     KernelResult {
@@ -287,7 +293,12 @@ mod tests {
     use splash4_parmacs::SyncMode;
 
     fn tiny() -> WaterNsqConfig {
-        WaterNsqConfig { n: 64, steps: 3, dt: 0.001, seed: 9 }
+        WaterNsqConfig {
+            n: 64,
+            steps: 3,
+            dt: 0.001,
+            seed: 9,
+        }
     }
 
     #[test]
@@ -349,7 +360,10 @@ mod tests {
     #[test]
     fn sync_profile_reflects_mode() {
         let lb = run(&tiny(), &SyncEnv::new(SyncMode::LockBased, 2));
-        assert!(lb.profile.lock_acquires > 0, "pair accumulation takes locks");
+        assert!(
+            lb.profile.lock_acquires > 0,
+            "pair accumulation takes locks"
+        );
         assert_eq!(lb.profile.atomic_rmws, 0);
         let lf = run(&tiny(), &SyncEnv::new(SyncMode::LockFree, 2));
         assert_eq!(lf.profile.lock_acquires, 0);

@@ -35,7 +35,12 @@ impl WaterSpConfig {
             InputClass::Small => (1000, 3),
             InputClass::Native => (4096, 5), // paper: up to 8³·8 molecules
         };
-        WaterSpConfig { n, steps, dt: 0.001, seed: 0x5eed_0a7e }
+        WaterSpConfig {
+            n,
+            steps,
+            dt: 0.001,
+            seed: 0x5eed_0a7e,
+        }
     }
 }
 
@@ -124,9 +129,8 @@ pub fn run(cfg: &WaterSpConfig, env: &SyncEnv) -> KernelResult {
         let mut local_pot = 0.0;
         for i in ctx.cyclic(n) {
             // SAFETY: positions and cell lists read-only during force phase.
-            let (xi, yi, zi) = unsafe {
-                (vpos.get(3 * i), vpos.get(3 * i + 1), vpos.get(3 * i + 2))
-            };
+            let (xi, yi, zi) =
+                unsafe { (vpos.get(3 * i), vpos.get(3 * i + 1), vpos.get(3 * i + 2)) };
             let cell = {
                 let cx = cell_of(xi, side, nc);
                 let cy = cell_of(yi, side, nc);
@@ -298,7 +302,12 @@ mod tests {
     use splash4_parmacs::SyncMode;
 
     fn tiny() -> WaterSpConfig {
-        WaterSpConfig { n: 216, steps: 3, dt: 0.001, seed: 9 }
+        WaterSpConfig {
+            n: 216,
+            steps: 3,
+            dt: 0.001,
+            seed: 9,
+        }
     }
 
     #[test]
@@ -337,7 +346,12 @@ mod tests {
     fn matches_nsquared_trajectories() {
         // Same physics, same inputs ⇒ same final positions as water-nsquared.
         let sp = run(&tiny(), &SyncEnv::new(SyncMode::LockFree, 2));
-        let nsq_cfg = WaterNsqConfig { n: 216, steps: 3, dt: 0.001, seed: 9 };
+        let nsq_cfg = WaterNsqConfig {
+            n: 216,
+            steps: 3,
+            dt: 0.001,
+            seed: 9,
+        };
         let nsq = water_nsq::run(&nsq_cfg, &SyncEnv::new(SyncMode::LockFree, 2));
         assert!(
             close(sp.checksum, nsq.checksum, 1e-9),

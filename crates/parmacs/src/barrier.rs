@@ -76,7 +76,8 @@ impl CondvarBarrier {
 impl Barrier for CondvarBarrier {
     fn wait(&self, _tid: usize) {
         SyncCounters::bump(&self.stats.barrier_waits);
-        self.stats.trace(TraceEvent::BarrierEnter { id: self.trace_id });
+        self.stats
+            .trace(TraceEvent::BarrierEnter { id: self.trace_id });
         SyncCounters::timed(&self.stats.barrier_wait_ns, || {
             let mut st = self.state.lock().expect("barrier mutex poisoned");
             let gen = st.1;
@@ -91,7 +92,8 @@ impl Barrier for CondvarBarrier {
                 }
             }
         });
-        self.stats.trace(TraceEvent::BarrierExit { id: self.trace_id });
+        self.stats
+            .trace(TraceEvent::BarrierExit { id: self.trace_id });
     }
 
     fn participants(&self) -> usize {
@@ -101,7 +103,9 @@ impl Barrier for CondvarBarrier {
 
 impl fmt::Debug for CondvarBarrier {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("CondvarBarrier").field("n", &self.n).finish()
+        f.debug_struct("CondvarBarrier")
+            .field("n", &self.n)
+            .finish()
     }
 }
 
@@ -137,23 +141,26 @@ impl SenseBarrier {
 
 impl Barrier for SenseBarrier {
     fn wait(&self, _tid: usize) {
+        const S: crate::spec::SenseBarrierSpec = crate::spec::SenseBarrierSpec::SPLASH4;
         SyncCounters::bump(&self.stats.barrier_waits);
         SyncCounters::bump(&self.stats.atomic_rmws);
-        self.stats.trace(TraceEvent::BarrierEnter { id: self.trace_id });
+        self.stats
+            .trace(TraceEvent::BarrierEnter { id: self.trace_id });
         SyncCounters::timed(&self.stats.barrier_wait_ns, || {
-            let gen = self.generation.load(Ordering::Acquire);
-            if self.arrived.fetch_add(1, Ordering::AcqRel) == self.n - 1 {
+            let gen = self.generation.load(S.generation_load);
+            if self.arrived.fetch_add(1, S.arrive_rmw) == self.n - 1 {
                 // Last arriver: reset and release everyone.
-                self.arrived.store(0, Ordering::Relaxed);
-                self.generation.fetch_add(1, Ordering::AcqRel);
+                self.arrived.store(0, S.arrived_reset);
+                self.generation.fetch_add(1, S.generation_bump);
             } else {
                 let mut spins = 0u32;
-                while self.generation.load(Ordering::Acquire) == gen {
+                while self.generation.load(S.spin_load) == gen {
                     spin_wait(&mut spins);
                 }
             }
         });
-        self.stats.trace(TraceEvent::BarrierExit { id: self.trace_id });
+        self.stats
+            .trace(TraceEvent::BarrierExit { id: self.trace_id });
     }
 
     fn participants(&self) -> usize {
@@ -232,7 +239,8 @@ impl TreeBarrier {
 impl Barrier for TreeBarrier {
     fn wait(&self, tid: usize) {
         SyncCounters::bump(&self.stats.barrier_waits);
-        self.stats.trace(TraceEvent::BarrierEnter { id: self.trace_id });
+        self.stats
+            .trace(TraceEvent::BarrierEnter { id: self.trace_id });
         SyncCounters::timed(&self.stats.barrier_wait_ns, || {
             let gen = self.generation.load(Ordering::Acquire);
             let mut idx = tid / Self::ARITY;
@@ -259,7 +267,8 @@ impl Barrier for TreeBarrier {
                 }
             }
         });
-        self.stats.trace(TraceEvent::BarrierExit { id: self.trace_id });
+        self.stats
+            .trace(TraceEvent::BarrierExit { id: self.trace_id });
     }
 
     fn participants(&self) -> usize {

@@ -79,7 +79,9 @@ impl IndexCounter for LockedCounter {
             None
         };
         self.next.release();
-        self.stats.trace(TraceEvent::Getsub { n: u32::from(out.is_some()) });
+        self.stats.trace(TraceEvent::Getsub {
+            n: u32::from(out.is_some()),
+        });
         out
     }
 
@@ -93,7 +95,9 @@ impl IndexCounter for LockedCounter {
         let end = (start + chunk).min(self.range.end);
         *v = end;
         self.next.release();
-        self.stats.trace(TraceEvent::Getsub { n: (end - start) as u32 });
+        self.stats.trace(TraceEvent::Getsub {
+            n: (end - start) as u32,
+        });
         start..end
     }
 
@@ -139,9 +143,13 @@ impl IndexCounter for AtomicCounter {
     fn next(&self) -> Option<usize> {
         SyncCounters::bump(&self.stats.getsub_calls);
         SyncCounters::bump(&self.stats.atomic_rmws);
-        let i = self.value.fetch_add(1, Ordering::Relaxed);
+        let i = self
+            .value
+            .fetch_add(1, crate::spec::TicketSpec::SPLASH4.claim_rmw);
         let out = (i < self.range.end).then_some(i);
-        self.stats.trace(TraceEvent::Getsub { n: u32::from(out.is_some()) });
+        self.stats.trace(TraceEvent::Getsub {
+            n: u32::from(out.is_some()),
+        });
         out
     }
 
@@ -149,10 +157,14 @@ impl IndexCounter for AtomicCounter {
         assert!(chunk > 0, "chunk must be non-zero");
         SyncCounters::bump(&self.stats.getsub_calls);
         SyncCounters::bump(&self.stats.atomic_rmws);
-        let start = self.value.fetch_add(chunk, Ordering::Relaxed);
+        let start = self
+            .value
+            .fetch_add(chunk, crate::spec::TicketSpec::SPLASH4.claim_rmw);
         let start = start.min(self.range.end);
         let end = (start + chunk).min(self.range.end);
-        self.stats.trace(TraceEvent::Getsub { n: (end - start) as u32 });
+        self.stats.trace(TraceEvent::Getsub {
+            n: (end - start) as u32,
+        });
         start..end
     }
 

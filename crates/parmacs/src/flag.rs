@@ -47,7 +47,10 @@ impl PauseVar for CondvarFlag {
     fn set(&self) {
         // Emitted from `set` only: the wait side's fast path is
         // timing-dependent, so only the signal is a stable logical event.
-        self.stats.trace(TraceEvent::Rmw { class: ConstructClass::Flag, n: 1 });
+        self.stats.trace(TraceEvent::Rmw {
+            class: ConstructClass::Flag,
+            n: 1,
+        });
         let mut s = self.set.lock().expect("flag mutex poisoned");
         *s = true;
         drop(s);
@@ -99,16 +102,21 @@ impl AtomicFlag {
 
 impl PauseVar for AtomicFlag {
     fn set(&self) {
-        self.stats.trace(TraceEvent::Rmw { class: ConstructClass::Flag, n: 1 });
-        self.set.store(true, Ordering::Release);
+        self.stats.trace(TraceEvent::Rmw {
+            class: ConstructClass::Flag,
+            n: 1,
+        });
+        self.set
+            .store(true, crate::spec::FlagSpec::SPLASH4.set_store);
     }
 
     fn wait(&self) {
-        if !self.set.load(Ordering::Acquire) {
+        const S: crate::spec::FlagSpec = crate::spec::FlagSpec::SPLASH4;
+        if !self.set.load(S.wait_load) {
             SyncCounters::bump(&self.stats.flag_waits);
             SyncCounters::timed(&self.stats.flag_wait_ns, || {
                 let mut spins = 0u32;
-                while !self.set.load(Ordering::Acquire) {
+                while !self.set.load(S.wait_load) {
                     crate::barrier::spin_wait(&mut spins);
                 }
             });
@@ -116,7 +124,7 @@ impl PauseVar for AtomicFlag {
     }
 
     fn is_set(&self) -> bool {
-        self.set.load(Ordering::Acquire)
+        self.set.load(crate::spec::FlagSpec::SPLASH4.wait_load)
     }
 
     fn clear(&self) {

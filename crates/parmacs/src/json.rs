@@ -48,9 +48,7 @@ impl Json {
     /// The value as `u64`, if it is a non-negative integral number.
     pub fn as_u64(&self) -> Option<u64> {
         match self {
-            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) => {
-                Some(*n as u64)
-            }
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) => Some(*n as u64),
             _ => None,
         }
     }
@@ -93,13 +91,6 @@ impl Json {
             Json::Object(o) => o.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
         }
-    }
-
-    /// Compact single-line rendering.
-    pub fn to_string(&self) -> String {
-        let mut out = String::new();
-        self.write(&mut out, None, 0);
-        out
     }
 
     /// Pretty rendering with two-space indentation.
@@ -163,14 +154,14 @@ fn write_seq(
         }
         if let Some(w) = indent {
             out.push('\n');
-            out.extend(std::iter::repeat(' ').take(w * (depth + 1)));
+            out.extend(std::iter::repeat_n(' ', w * (depth + 1)));
         }
         item(out, i, depth + 1);
     }
     if len > 0 {
         if let Some(w) = indent {
             out.push('\n');
-            out.extend(std::iter::repeat(' ').take(w * depth));
+            out.extend(std::iter::repeat_n(' ', w * depth));
         }
     }
     out.push(close);
@@ -314,8 +305,8 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
                         let code = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
                         // Surrogate pairs are not needed by any writer in this
                         // repository; reject rather than mis-decode.
-                        let c = char::from_u32(code)
-                            .ok_or(format!("unsupported \\u escape {hex}"))?;
+                        let c =
+                            char::from_u32(code).ok_or(format!("unsupported \\u escape {hex}"))?;
                         out.push(c);
                         *pos += 4;
                     }
@@ -371,9 +362,12 @@ impl Index<usize> for Json {
     }
 }
 
+/// Compact single-line rendering (`to_string` goes through this).
 impl std::fmt::Display for Json {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(&self.to_string())
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        f.write_str(&out)
     }
 }
 

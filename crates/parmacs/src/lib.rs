@@ -63,6 +63,7 @@ pub mod mode;
 pub mod queue;
 pub mod reduce;
 pub mod rng;
+pub mod spec;
 pub mod stats;
 pub mod team;
 pub mod trace;
@@ -78,6 +79,7 @@ pub use mode::{ConstructClass, SyncMode, SyncPolicy};
 pub use queue::{LockedQueue, StealPool, TaskQueue, TicketDispenser, TreiberStack};
 pub use reduce::{AtomicF64, AtomicReducer, LockedReducer, ReduceF64, ReduceU64};
 pub use rng::SmallRng;
+pub use spec::{CasF64Spec, FlagSpec, SenseBarrierSpec, TicketSpec, TreiberSpec};
 pub use stats::{SyncCounters, SyncProfile};
 pub use team::{chunk_range, current_tid, Team, TeamCtx};
 pub use trace::{NoopSink, TraceEvent, TraceSink};

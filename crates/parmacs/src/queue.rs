@@ -14,6 +14,7 @@
 //! small for the suite's workloads.
 
 use crate::lock::{RawLock, SleepLock};
+use crate::spec::{TicketSpec, TreiberSpec};
 use crate::stats::SyncCounters;
 use crate::trace::TraceEvent;
 use std::collections::VecDeque;
@@ -130,12 +131,10 @@ impl<T> TreiberStack<T> {
         loop {
             // SAFETY: we exclusively own `node` after a successful pop.
             unsafe { (*node).next = cur };
-            match self.retired.compare_exchange_weak(
-                cur,
-                node,
-                Ordering::AcqRel,
-                Ordering::Relaxed,
-            ) {
+            match self
+                .retired
+                .compare_exchange_weak(cur, node, Ordering::AcqRel, Ordering::Relaxed)
+            {
                 Ok(_) => return,
                 Err(actual) => cur = actual,
             }
@@ -145,20 +144,21 @@ impl<T> TreiberStack<T> {
 
 impl<T: Send> TaskQueue<T> for TreiberStack<T> {
     fn push(&self, task: T) {
+        const S: TreiberSpec = TreiberSpec::SPLASH4;
         SyncCounters::bump(&self.stats.queue_ops);
         self.stats.trace(TraceEvent::Enqueue);
         let node = Box::into_raw(Box::new(Node {
             value: ManuallyDrop::new(task),
             next: ptr::null_mut(),
         }));
-        let mut cur = self.head.load(Ordering::Relaxed);
+        let mut cur = self.head.load(S.push_load);
         loop {
             // SAFETY: node not yet published; we own it.
             unsafe { (*node).next = cur };
             SyncCounters::bump(&self.stats.atomic_rmws);
             match self
                 .head
-                .compare_exchange_weak(cur, node, Ordering::AcqRel, Ordering::Acquire)
+                .compare_exchange_weak(cur, node, S.push_cas_ok, S.push_cas_fail)
             {
                 Ok(_) => break,
                 Err(actual) => {
@@ -171,9 +171,10 @@ impl<T: Send> TaskQueue<T> for TreiberStack<T> {
     }
 
     fn pop(&self) -> Option<T> {
+        const S: TreiberSpec = TreiberSpec::SPLASH4;
         SyncCounters::bump(&self.stats.queue_ops);
         self.stats.trace(TraceEvent::Dequeue);
-        let mut cur = self.head.load(Ordering::Acquire);
+        let mut cur = self.head.load(S.pop_load);
         loop {
             if cur.is_null() {
                 return None;
@@ -185,7 +186,7 @@ impl<T: Send> TaskQueue<T> for TreiberStack<T> {
             SyncCounters::bump(&self.stats.atomic_rmws);
             match self
                 .head
-                .compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Acquire)
+                .compare_exchange_weak(cur, next, S.pop_cas_ok, S.pop_cas_fail)
             {
                 Ok(_) => {
                     self.len.fetch_sub(1, Ordering::Relaxed);
@@ -266,8 +267,14 @@ impl<T: Sync> TicketDispenser<T> {
         SyncCounters::bump(&self.stats.queue_ops);
         SyncCounters::bump(&self.stats.atomic_rmws);
         self.stats.trace(TraceEvent::Dequeue);
-        let i = self.next.fetch_add(1, Ordering::Relaxed);
+        let i = self.next.fetch_add(1, TicketSpec::SPLASH4.claim_rmw);
         self.tasks.get(i)
+    }
+
+    /// Number of claim attempts so far (may exceed [`TicketDispenser::len`]
+    /// once the dispenser is drained). Exact only when quiescent.
+    pub fn claimed(&self) -> usize {
+        self.next.load(Ordering::Acquire)
     }
 
     /// Total number of tasks.
@@ -281,8 +288,25 @@ impl<T: Sync> TicketDispenser<T> {
     }
 
     /// Reset so all tasks can be claimed again (between phases).
+    ///
+    /// # Quiescence
+    ///
+    /// `reset` must only be called while no thread can concurrently
+    /// [`TicketDispenser::claim`] — in the suite this always holds because
+    /// resets sit between barrier-separated phases. A claim racing with the
+    /// reset could be handed the same slot twice (once against the old
+    /// counter, once against the zeroed one). Debug builds assert that the
+    /// claimed count is stable across the reset so such misuse fails loudly;
+    /// the `splash4-check` shadow dispenser performs the same check under the
+    /// model checker, where every racy interleaving is actually explored.
     pub fn reset(&self) {
-        self.next.store(0, Ordering::Release);
+        const S: TicketSpec = TicketSpec::SPLASH4;
+        let before = self.next.load(S.reset_load);
+        let seen = self.next.swap(0, S.reset_swap);
+        debug_assert_eq!(
+            before, seen,
+            "TicketDispenser::reset raced with claim(); reset requires quiescence"
+        );
     }
 }
 
@@ -398,7 +422,11 @@ mod tests {
             }
         });
         let set = consumed.into_inner().unwrap();
-        assert_eq!(set.len(), producers * per, "all tasks consumed exactly once");
+        assert_eq!(
+            set.len(),
+            producers * per,
+            "all tasks consumed exactly once"
+        );
         assert!(queue.is_empty());
     }
 

@@ -66,7 +66,10 @@ impl LockedReducer {
 
     fn update(&self, f: impl FnOnce(&mut f64, &mut u64)) {
         SyncCounters::bump(&self.stats.reduce_ops);
-        self.stats.trace(TraceEvent::Rmw { class: ConstructClass::Reduction, n: 1 });
+        self.stats.trace(TraceEvent::Rmw {
+            class: ConstructClass::Reduction,
+            n: 1,
+        });
         self.lock.acquire();
         // SAFETY: lock held.
         unsafe { f(&mut *self.value.get(), &mut *self.value_u.get()) };
@@ -146,13 +149,14 @@ impl AtomicF64 {
 
     /// Apply `f` atomically via a compare-exchange loop.
     pub fn fetch_update(&self, f: impl Fn(f64) -> f64) {
+        const S: crate::spec::CasF64Spec = crate::spec::CasF64Spec::SPLASH4;
         SyncCounters::bump(&self.stats.atomic_rmws);
-        let mut cur = self.bits.load(Ordering::Relaxed);
+        let mut cur = self.bits.load(S.load);
         loop {
             let new = f(f64::from_bits(cur)).to_bits();
             match self
                 .bits
-                .compare_exchange_weak(cur, new, Ordering::AcqRel, Ordering::Relaxed)
+                .compare_exchange_weak(cur, new, S.cas_ok, S.cas_fail)
             {
                 Ok(_) => return,
                 Err(actual) => {
@@ -182,7 +186,9 @@ impl AtomicF64 {
 
 impl fmt::Debug for AtomicF64 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("AtomicF64").field("value", &self.load()).finish()
+        f.debug_struct("AtomicF64")
+            .field("value", &self.load())
+            .finish()
     }
 }
 
@@ -207,17 +213,26 @@ impl AtomicReducer {
 impl ReduceF64 for AtomicReducer {
     fn add(&self, v: f64) {
         SyncCounters::bump(&self.stats.reduce_ops);
-        self.stats.trace(TraceEvent::Rmw { class: ConstructClass::Reduction, n: 1 });
+        self.stats.trace(TraceEvent::Rmw {
+            class: ConstructClass::Reduction,
+            n: 1,
+        });
         self.float.add(v);
     }
     fn max(&self, v: f64) {
         SyncCounters::bump(&self.stats.reduce_ops);
-        self.stats.trace(TraceEvent::Rmw { class: ConstructClass::Reduction, n: 1 });
+        self.stats.trace(TraceEvent::Rmw {
+            class: ConstructClass::Reduction,
+            n: 1,
+        });
         self.float.fetch_update(|x| x.max(v));
     }
     fn min(&self, v: f64) {
         SyncCounters::bump(&self.stats.reduce_ops);
-        self.stats.trace(TraceEvent::Rmw { class: ConstructClass::Reduction, n: 1 });
+        self.stats.trace(TraceEvent::Rmw {
+            class: ConstructClass::Reduction,
+            n: 1,
+        });
         self.float.fetch_update(|x| x.min(v));
     }
     fn load(&self) -> f64 {
@@ -232,7 +247,10 @@ impl ReduceU64 for AtomicReducer {
     fn add(&self, v: u64) {
         SyncCounters::bump(&self.stats.reduce_ops);
         SyncCounters::bump(&self.stats.atomic_rmws);
-        self.stats.trace(TraceEvent::Rmw { class: ConstructClass::Reduction, n: 1 });
+        self.stats.trace(TraceEvent::Rmw {
+            class: ConstructClass::Reduction,
+            n: 1,
+        });
         self.int.fetch_add(v, Ordering::AcqRel);
     }
     fn load(&self) -> u64 {

@@ -1,0 +1,157 @@
+//! Memory-ordering specifications for the lock-free constructs.
+//!
+//! Every atomic operation the Splash-4 back-ends perform is named here, with
+//! the `std::sync::atomic::Ordering` it uses. The real primitives
+//! ([`crate::queue::TreiberStack`], [`crate::barrier::SenseBarrier`],
+//! [`crate::reduce::AtomicF64`], [`crate::flag::AtomicFlag`],
+//! [`crate::counter::AtomicCounter`], [`crate::queue::TicketDispenser`]) read
+//! their orderings from these constants instead of hard-coding them, and the
+//! `splash4-check` model checker drives *shadow* re-implementations of the
+//! same state machines from the same spec structs. That closes the loop: if a
+//! future edit weakens an ordering here, the checker's race detector fails on
+//! the next `V1-check` run; if a checker mutation test overrides a field
+//! (e.g. `pop_load: Relaxed`), it is exploring exactly the state machine the
+//! real construct would execute with that ordering.
+//!
+//! The structs are plain `Copy` data so a checker scenario can take a spec,
+//! tweak one field, and hand it to a shadow construct.
+
+use std::sync::atomic::Ordering;
+
+/// Orderings used by the Treiber stack (`queue::TreiberStack`).
+#[derive(Debug, Clone, Copy)]
+pub struct TreiberSpec {
+    /// Initial head load in `push` (the CAS validates it, so `Relaxed`).
+    pub push_load: Ordering,
+    /// Success ordering of the publishing CAS in `push`.
+    pub push_cas_ok: Ordering,
+    /// Failure ordering of the publishing CAS in `push`.
+    pub push_cas_fail: Ordering,
+    /// Initial head load in `pop`. Must be `Acquire`: the popped node's
+    /// fields (`next`, `value`) are plain data published by the push CAS.
+    pub pop_load: Ordering,
+    /// Success ordering of the unlinking CAS in `pop`.
+    pub pop_cas_ok: Ordering,
+    /// Failure ordering of the unlinking CAS in `pop` (the reloaded head is
+    /// dereferenced on the next iteration, so `Acquire`).
+    pub pop_cas_fail: Ordering,
+}
+
+impl TreiberSpec {
+    /// The orderings the Splash-4 stack ships with.
+    pub const SPLASH4: TreiberSpec = TreiberSpec {
+        push_load: Ordering::Relaxed,
+        push_cas_ok: Ordering::AcqRel,
+        push_cas_fail: Ordering::Acquire,
+        pop_load: Ordering::Acquire,
+        pop_cas_ok: Ordering::AcqRel,
+        pop_cas_fail: Ordering::Acquire,
+    };
+}
+
+/// Orderings used by the sense-reversing barrier (`barrier::SenseBarrier`).
+#[derive(Debug, Clone, Copy)]
+pub struct SenseBarrierSpec {
+    /// Read of the generation before arriving.
+    pub generation_load: Ordering,
+    /// The arrival `fetch_add` on the central counter.
+    pub arrive_rmw: Ordering,
+    /// The winner's reset of the arrival counter.
+    pub arrived_reset: Ordering,
+    /// The winner's generation bump that releases the episode.
+    pub generation_bump: Ordering,
+    /// The waiters' spin load on the generation.
+    pub spin_load: Ordering,
+}
+
+impl SenseBarrierSpec {
+    /// The orderings the Splash-4 barrier ships with.
+    pub const SPLASH4: SenseBarrierSpec = SenseBarrierSpec {
+        generation_load: Ordering::Acquire,
+        arrive_rmw: Ordering::AcqRel,
+        arrived_reset: Ordering::Relaxed,
+        generation_bump: Ordering::AcqRel,
+        spin_load: Ordering::Acquire,
+    };
+}
+
+/// Orderings used by the CAS-loop f64 cell (`reduce::AtomicF64`).
+#[derive(Debug, Clone, Copy)]
+pub struct CasF64Spec {
+    /// Initial load of the bit pattern (the CAS validates it).
+    pub load: Ordering,
+    /// Success ordering of the update CAS.
+    pub cas_ok: Ordering,
+    /// Failure ordering of the update CAS.
+    pub cas_fail: Ordering,
+}
+
+impl CasF64Spec {
+    /// The orderings the Splash-4 reduction ships with.
+    pub const SPLASH4: CasF64Spec = CasF64Spec {
+        load: Ordering::Relaxed,
+        cas_ok: Ordering::AcqRel,
+        cas_fail: Ordering::Relaxed,
+    };
+}
+
+/// Orderings used by the atomic pause variable (`flag::AtomicFlag`).
+#[derive(Debug, Clone, Copy)]
+pub struct FlagSpec {
+    /// The producer's `set` store. Must be `Release`: data written before
+    /// `set` must be visible to a waiter after `wait`.
+    pub set_store: Ordering,
+    /// The consumer's `wait`/`is_set` load.
+    pub wait_load: Ordering,
+}
+
+impl FlagSpec {
+    /// The orderings the Splash-4 flag ships with.
+    pub const SPLASH4: FlagSpec = FlagSpec {
+        set_store: Ordering::Release,
+        wait_load: Ordering::Acquire,
+    };
+}
+
+/// Orderings used by the `fetch_add` index counter (`counter::AtomicCounter`)
+/// and the ticket dispenser (`queue::TicketDispenser`).
+///
+/// `Relaxed` is correct for the claim itself: each grabbed index is
+/// independent and the task data is immutable and published before the team
+/// starts (a barrier separates construction from distribution).
+#[derive(Debug, Clone, Copy)]
+pub struct TicketSpec {
+    /// The claiming `fetch_add`.
+    pub claim_rmw: Ordering,
+    /// `reset`'s pre-read of the claim counter (quiescence check).
+    pub reset_load: Ordering,
+    /// `reset`'s swap back to zero.
+    pub reset_swap: Ordering,
+}
+
+impl TicketSpec {
+    /// The orderings the Splash-4 dispensers ship with.
+    pub const SPLASH4: TicketSpec = TicketSpec {
+        claim_rmw: Ordering::Relaxed,
+        reset_load: Ordering::Acquire,
+        reset_swap: Ordering::AcqRel,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shipped_specs_have_safe_cas_orderings() {
+        // compare_exchange requires failure ordering without Release and the
+        // shipped specs must keep the publication edges strong enough for the
+        // checker's race model: pop_load acquires, set_store releases.
+        assert_eq!(TreiberSpec::SPLASH4.pop_load, Ordering::Acquire);
+        assert_eq!(TreiberSpec::SPLASH4.pop_cas_fail, Ordering::Acquire);
+        assert_eq!(FlagSpec::SPLASH4.set_store, Ordering::Release);
+        assert_eq!(FlagSpec::SPLASH4.wait_load, Ordering::Acquire);
+        assert_eq!(SenseBarrierSpec::SPLASH4.generation_bump, Ordering::AcqRel);
+        assert_eq!(CasF64Spec::SPLASH4.cas_ok, Ordering::AcqRel);
+    }
+}

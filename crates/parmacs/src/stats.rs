@@ -215,18 +215,45 @@ impl SyncProfile {
 impl ToJson for SyncProfile {
     fn to_json(&self) -> Json {
         Json::Object(vec![
-            ("lock_acquires".to_string(), Json::Num(self.lock_acquires as f64)),
-            ("lock_contended".to_string(), Json::Num(self.lock_contended as f64)),
-            ("lock_wait_ns".to_string(), Json::Num(self.lock_wait_ns as f64)),
-            ("barrier_waits".to_string(), Json::Num(self.barrier_waits as f64)),
-            ("barrier_wait_ns".to_string(), Json::Num(self.barrier_wait_ns as f64)),
-            ("atomic_rmws".to_string(), Json::Num(self.atomic_rmws as f64)),
-            ("getsub_calls".to_string(), Json::Num(self.getsub_calls as f64)),
+            (
+                "lock_acquires".to_string(),
+                Json::Num(self.lock_acquires as f64),
+            ),
+            (
+                "lock_contended".to_string(),
+                Json::Num(self.lock_contended as f64),
+            ),
+            (
+                "lock_wait_ns".to_string(),
+                Json::Num(self.lock_wait_ns as f64),
+            ),
+            (
+                "barrier_waits".to_string(),
+                Json::Num(self.barrier_waits as f64),
+            ),
+            (
+                "barrier_wait_ns".to_string(),
+                Json::Num(self.barrier_wait_ns as f64),
+            ),
+            (
+                "atomic_rmws".to_string(),
+                Json::Num(self.atomic_rmws as f64),
+            ),
+            (
+                "getsub_calls".to_string(),
+                Json::Num(self.getsub_calls as f64),
+            ),
             ("reduce_ops".to_string(), Json::Num(self.reduce_ops as f64)),
             ("flag_waits".to_string(), Json::Num(self.flag_waits as f64)),
-            ("flag_wait_ns".to_string(), Json::Num(self.flag_wait_ns as f64)),
+            (
+                "flag_wait_ns".to_string(),
+                Json::Num(self.flag_wait_ns as f64),
+            ),
             ("queue_ops".to_string(), Json::Num(self.queue_ops as f64)),
-            ("cas_failures".to_string(), Json::Num(self.cas_failures as f64)),
+            (
+                "cas_failures".to_string(),
+                Json::Num(self.cas_failures as f64),
+            ),
         ])
     }
 }

@@ -57,7 +57,10 @@ impl TeamCtx {
 /// differ by at most one.
 pub fn chunk_range(total: usize, tid: usize, nthreads: usize) -> Range<usize> {
     assert!(nthreads > 0, "team must have at least one thread");
-    assert!(tid < nthreads, "tid {tid} out of range for {nthreads} threads");
+    assert!(
+        tid < nthreads,
+        "tid {tid} out of range for {nthreads} threads"
+    );
     let base = total / nthreads;
     let rem = total % nthreads;
     let start = tid * base + tid.min(rem);
@@ -96,7 +99,10 @@ impl Team {
     {
         if self.nthreads == 1 {
             CURRENT_TID.set(0);
-            work(TeamCtx { tid: 0, nthreads: 1 });
+            work(TeamCtx {
+                tid: 0,
+                nthreads: 1,
+            });
             return;
         }
         std::thread::scope(|s| {
@@ -120,7 +126,10 @@ impl Team {
     {
         if self.nthreads == 1 {
             CURRENT_TID.set(0);
-            return vec![work(TeamCtx { tid: 0, nthreads: 1 })];
+            return vec![work(TeamCtx {
+                tid: 0,
+                nthreads: 1,
+            })];
         }
         let mut out: Vec<Option<R>> = (0..self.nthreads).map(|_| None).collect();
         {
@@ -144,7 +153,9 @@ impl Team {
 
 impl fmt::Debug for Team {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Team").field("nthreads", &self.nthreads).finish()
+        f.debug_struct("Team")
+            .field("nthreads", &self.nthreads)
+            .finish()
     }
 }
 
@@ -203,7 +214,11 @@ mod tests {
         let total = 23;
         let n = 4;
         let mut covered: Vec<usize> = (0..n)
-            .flat_map(|tid| TeamCtx { tid, nthreads: n }.cyclic(total).collect::<Vec<_>>())
+            .flat_map(|tid| {
+                TeamCtx { tid, nthreads: n }
+                    .cyclic(total)
+                    .collect::<Vec<_>>()
+            })
             .collect();
         covered.sort_unstable();
         assert_eq!(covered, (0..total).collect::<Vec<_>>());

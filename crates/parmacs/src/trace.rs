@@ -142,8 +142,14 @@ mod tests {
     fn labels_are_distinct() {
         let events = [
             TraceEvent::Compute { ns: 1 },
-            TraceEvent::Rmw { class: ConstructClass::Reduction, n: 1 },
-            TraceEvent::LockAcq { contended: false, hold_ns: 0 },
+            TraceEvent::Rmw {
+                class: ConstructClass::Reduction,
+                n: 1,
+            },
+            TraceEvent::LockAcq {
+                contended: false,
+                hold_ns: 0,
+            },
             TraceEvent::BarrierEnter { id: 0 },
             TraceEvent::BarrierExit { id: 0 },
             TraceEvent::Getsub { n: 1 },

@@ -160,7 +160,10 @@ impl WorkModel {
 
     /// Total barrier episodes (per thread) the model implies.
     pub fn total_barriers(&self) -> u64 {
-        self.phases.iter().map(|p| p.repeats * p.barriers_after).sum()
+        self.phases
+            .iter()
+            .map(|p| p.repeats * p.barriers_after)
+            .sum()
     }
 
     /// Rescale all per-item compute costs so the model's total compute

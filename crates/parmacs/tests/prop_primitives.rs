@@ -191,7 +191,9 @@ mod std_fallback {
     fn queues_preserve_the_task_multiset() {
         let mut rng = SmallRng::seed_from_u64(0xC0FFEE05);
         for _ in 0..CASES {
-            let tasks: Vec<u32> = (0..rng.gen_range(0usize..300)).map(|_| rng.gen::<u32>()).collect();
+            let tasks: Vec<u32> = (0..rng.gen_range(0usize..300))
+                .map(|_| rng.gen::<u32>())
+                .collect();
             check_queue_preserves_multiset(&tasks, rng.gen_range(1usize..4), rng.gen::<bool>());
         }
     }

@@ -281,8 +281,20 @@ mod tests {
         let p = Program {
             name: "t".into(),
             cores: vec![
-                vec![Op::Access { server: 0, n: 10, service_ns: 100, local_ns: 0, contended_ns: 0 }],
-                vec![Op::Access { server: 1, n: 10, service_ns: 100, local_ns: 0, contended_ns: 0 }],
+                vec![Op::Access {
+                    server: 0,
+                    n: 10,
+                    service_ns: 100,
+                    local_ns: 0,
+                    contended_ns: 0,
+                }],
+                vec![Op::Access {
+                    server: 1,
+                    n: 10,
+                    service_ns: 100,
+                    local_ns: 0,
+                    contended_ns: 0,
+                }],
             ],
             barriers: vec![],
         };
@@ -321,14 +333,25 @@ mod tests {
         let p = Program {
             name: "t".into(),
             cores: vec![
-                vec![Op::Compute { ns: 10 }, Op::Barrier { id: 0 }, Op::Compute { ns: 5 }],
-                vec![Op::Compute { ns: 10_000 }, Op::Barrier { id: 0 }, Op::Compute { ns: 5 }],
+                vec![
+                    Op::Compute { ns: 10 },
+                    Op::Barrier { id: 0 },
+                    Op::Compute { ns: 5 },
+                ],
+                vec![
+                    Op::Compute { ns: 10_000 },
+                    Op::Barrier { id: 0 },
+                    Op::Compute { ns: 5 },
+                ],
             ],
             barriers: vec![BarrierKind::Sense],
         };
         let r = run(&p, &machine());
         assert!(r.total_ns > 10_000);
-        assert!(r.cores[0].barrier_ns >= 9_000, "fast core waits for slow one");
+        assert!(
+            r.cores[0].barrier_ns >= 9_000,
+            "fast core waits for slow one"
+        );
     }
 
     #[test]
@@ -337,7 +360,11 @@ mod tests {
             let cores = (0..32)
                 .map(|_| vec![Op::Compute { ns: 100 }, Op::Barrier { id: 0 }])
                 .collect();
-            Program { name: "t".into(), cores, barriers: vec![kind] }
+            Program {
+                name: "t".into(),
+                cores,
+                barriers: vec![kind],
+            }
         };
         let sense = run(&mk(BarrierKind::Sense), &machine()).total_ns;
         let condvar = run(&mk(BarrierKind::Condvar), &machine()).total_ns;
@@ -350,10 +377,12 @@ mod tests {
     #[test]
     fn tree_barrier_beats_central_sense_at_high_core_counts() {
         let mk = |kind| {
-            let cores = (0..64)
-                .map(|_| vec![Op::Barrier { id: 0 }])
-                .collect();
-            Program { name: "t".into(), cores, barriers: vec![kind] }
+            let cores = (0..64).map(|_| vec![Op::Barrier { id: 0 }]).collect();
+            Program {
+                name: "t".into(),
+                cores,
+                barriers: vec![kind],
+            }
         };
         let sense = run(&mk(BarrierKind::Sense), &machine()).total_ns;
         let tree = run(&mk(BarrierKind::Tree), &machine()).total_ns;
@@ -366,7 +395,13 @@ mod tests {
             .map(|c| {
                 vec![
                     Op::Compute { ns: 100 + c },
-                    Op::Access { server: 0, n: 5, service_ns: 60, local_ns: 10, contended_ns: 0 },
+                    Op::Access {
+                        server: 0,
+                        n: 5,
+                        service_ns: 60,
+                        local_ns: 10,
+                        contended_ns: 0,
+                    },
                     Op::Barrier { id: 0 },
                 ]
             })
@@ -384,7 +419,13 @@ mod tests {
     #[test]
     fn barriers_are_reusable_across_episodes() {
         let cores = (0..4)
-            .map(|_| vec![Op::Barrier { id: 0 }, Op::Compute { ns: 10 }, Op::Barrier { id: 0 }])
+            .map(|_| {
+                vec![
+                    Op::Barrier { id: 0 },
+                    Op::Compute { ns: 10 },
+                    Op::Barrier { id: 0 },
+                ]
+            })
             .collect::<Vec<_>>();
         let p = Program {
             name: "t".into(),

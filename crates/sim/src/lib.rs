@@ -108,10 +108,16 @@ mod tests {
     #[test]
     fn scaled_simulation_extrapolates_repeats() {
         let m = MachineParams::icelake_like();
-        let short = WorkModel::new("w")
-            .phase(PhaseSpec::compute("c", 1000, 100).barriers(1).repeats(MAX_SIM_REPEATS));
-        let long = WorkModel::new("w")
-            .phase(PhaseSpec::compute("c", 1000, 100).barriers(1).repeats(MAX_SIM_REPEATS * 10));
+        let short = WorkModel::new("w").phase(
+            PhaseSpec::compute("c", 1000, 100)
+                .barriers(1)
+                .repeats(MAX_SIM_REPEATS),
+        );
+        let long = WorkModel::new("w").phase(
+            PhaseSpec::compute("c", 1000, 100)
+                .barriers(1)
+                .repeats(MAX_SIM_REPEATS * 10),
+        );
         let policy = SyncPolicy::uniform(SyncMode::LockFree);
         let t_short = simulate(&short, policy, 4, &m).total_ns as f64;
         let t_long = simulate(&long, policy, 4, &m).total_ns as f64;
@@ -125,8 +131,12 @@ mod tests {
     #[test]
     fn simulate_is_deterministic() {
         let m = MachineParams::epyc_like();
-        let w = WorkModel::new("w")
-            .phase(PhaseSpec::compute("c", 5000, 50).reduces(0.01).barriers(2).repeats(500));
+        let w = WorkModel::new("w").phase(
+            PhaseSpec::compute("c", 5000, 50)
+                .reduces(0.01)
+                .barriers(2)
+                .repeats(500),
+        );
         let a = simulate(&w, SyncMode::LockBased, 16, &m);
         let b = simulate(&w, SyncMode::LockBased, 16, &m);
         assert_eq!(a, b);

@@ -53,7 +53,11 @@ pub fn class_cost(mode: SyncMode, m: &MachineParams, p: usize, hold_ns: u64) -> 
             // convoy_fraction of contended acquirers additionally pay the
             // futex sleep/wake round trip (which occupies the lock during the
             // handoff).
-            service_ns: if p > 1 { m.lock_pair_ns } else { 2 * m.rmw_local_ns } + hold_ns,
+            service_ns: if p > 1 {
+                m.lock_pair_ns
+            } else {
+                2 * m.rmw_local_ns
+            } + hold_ns,
             local_ns: 0,
             contended_ns: if p > 1 {
                 (m.futex_wake_ns as f64 * m.convoy_fraction).round() as u64
@@ -63,7 +67,11 @@ pub fn class_cost(mode: SyncMode, m: &MachineParams, p: usize, hold_ns: u64) -> 
         },
         SyncMode::LockFree => OpCost {
             // An atomic RMW occupies the line for the transfer time.
-            service_ns: if p > 1 { m.rmw_service_ns } else { m.rmw_local_ns } + hold_ns,
+            service_ns: if p > 1 {
+                m.rmw_service_ns
+            } else {
+                m.rmw_local_ns
+            } + hold_ns,
             local_ns: 0,
             contended_ns: 0,
         },
@@ -71,12 +79,7 @@ pub fn class_cost(mode: SyncMode, m: &MachineParams, p: usize, hold_ns: u64) -> 
 }
 
 /// Expand `model` for `p` cores on `machine` under `policy`.
-pub fn expand(
-    model: &WorkModel,
-    policy: SyncPolicy,
-    p: usize,
-    machine: &MachineParams,
-) -> Program {
+pub fn expand(model: &WorkModel, policy: SyncPolicy, p: usize, machine: &MachineParams) -> Program {
     assert!(p > 0, "need at least one core");
     let mut alloc = ServerAlloc { next: 0 };
     let mut barriers = Vec::new();
@@ -88,7 +91,14 @@ pub fn expand(
 
     for phase in &model.phases {
         expand_phase(
-            phase, policy, p, machine, &mut alloc, &mut barriers, barrier_kind, &mut cores,
+            phase,
+            policy,
+            p,
+            machine,
+            &mut alloc,
+            &mut barriers,
+            barrier_kind,
+            &mut cores,
         );
     }
 
@@ -139,7 +149,9 @@ fn expand_phase(
         // Dynamic-dispatch overhead: one grab per chunk.
         let grabs = match phase.dispatch {
             Dispatch::Static => 0,
-            Dispatch::GetSub { chunk } => my_items.div_ceil(chunk.max(1)).max(u64::from(my_items > 0)),
+            Dispatch::GetSub { chunk } => {
+                my_items.div_ceil(chunk.max(1)).max(u64::from(my_items > 0))
+            }
             Dispatch::Pool => my_items,
         };
         let data_touches = (my_items as f64 * phase.data_touches_per_item).round() as u64;
@@ -336,10 +348,18 @@ mod tests {
         let only_barriers = base.with(ConstructClass::Barrier, SyncMode::LockFree);
         let t_base = engine::run(&expand(&model(), base, 32, &m), &m).total_ns;
         let t_ab = engine::run(&expand(&model(), only_barriers, 32, &m), &m).total_ns;
-        let t_full =
-            engine::run(&expand(&model(), SyncPolicy::uniform(SyncMode::LockFree), 32, &m), &m)
-                .total_ns;
-        assert!(t_ab as f64 <= t_base as f64 * 1.02, "modernizing barriers cannot hurt: {t_ab} vs {t_base}");
-        assert!(t_full as f64 <= t_ab as f64 * 1.02, "full modernization at least as good: {t_full} vs {t_ab}");
+        let t_full = engine::run(
+            &expand(&model(), SyncPolicy::uniform(SyncMode::LockFree), 32, &m),
+            &m,
+        )
+        .total_ns;
+        assert!(
+            t_ab as f64 <= t_base as f64 * 1.02,
+            "modernizing barriers cannot hurt: {t_ab} vs {t_base}"
+        );
+        assert!(
+            t_full as f64 <= t_ab as f64 * 1.02,
+            "full modernization at least as good: {t_full} vs {t_ab}"
+        );
     }
 }

@@ -161,7 +161,10 @@ mod proptest_suite {
     use proptest::prelude::*;
 
     fn arb_machine() -> impl Strategy<Value = MachineParams> {
-        prop::sample::select(vec![MachineParams::epyc_like(), MachineParams::icelake_like()])
+        prop::sample::select(vec![
+            MachineParams::epyc_like(),
+            MachineParams::icelake_like(),
+        ])
     }
 
     fn arb_model() -> impl Strategy<Value = WorkModel> {
@@ -178,9 +181,11 @@ mod proptest_suite {
             0.0f64..3.0,
             0.0f64..0.05,
         )
-            .prop_map(|(items, cpi, barriers, repeats, dispatch, touches, reduces)| {
-                build_model(items, cpi, barriers, repeats, dispatch, touches, reduces)
-            })
+            .prop_map(
+                |(items, cpi, barriers, repeats, dispatch, touches, reduces)| {
+                    build_model(items, cpi, barriers, repeats, dispatch, touches, reduces)
+                },
+            )
     }
 
     proptest! {

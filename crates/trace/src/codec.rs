@@ -249,9 +249,15 @@ fn event_from_json(v: &Json) -> Result<Stamped, CodecError> {
             contended: v.get("contended").and_then(Json::as_bool).unwrap_or(false),
             hold_ns: num("hold_ns")?,
         },
-        "barrier_enter" => TraceEvent::BarrierEnter { id: num("id")? as u32 },
-        "barrier_exit" => TraceEvent::BarrierExit { id: num("id")? as u32 },
-        "getsub" => TraceEvent::Getsub { n: num("n")? as u32 },
+        "barrier_enter" => TraceEvent::BarrierEnter {
+            id: num("id")? as u32,
+        },
+        "barrier_exit" => TraceEvent::BarrierExit {
+            id: num("id")? as u32,
+        },
+        "getsub" => TraceEvent::Getsub {
+            n: num("n")? as u32,
+        },
         "enqueue" => TraceEvent::Enqueue,
         "dequeue" => TraceEvent::Dequeue,
         other => return err(format!("unknown op {other:?}")),
@@ -294,7 +300,12 @@ pub fn from_json(v: &Json) -> Result<Trace, CodecError> {
         let evs_json = tj
             .as_array()
             .ok_or_else(|| CodecError("thread stream is not an array".into()))?;
-        threads.push(evs_json.iter().map(event_from_json).collect::<Result<Vec<_>, _>>()?);
+        threads.push(
+            evs_json
+                .iter()
+                .map(event_from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+        );
     }
     if let Some(n) = v.get("nthreads").and_then(Json::as_u64) {
         if n as usize != threads.len() {
@@ -310,14 +321,44 @@ mod tests {
 
     fn sample() -> Trace {
         let every = vec![
-            Stamped { ts_ns: 10, event: TraceEvent::Compute { ns: 1 << 40 } },
-            Stamped { ts_ns: 20, event: TraceEvent::Rmw { class: ConstructClass::Reduction, n: 3 } },
-            Stamped { ts_ns: 30, event: TraceEvent::LockAcq { contended: true, hold_ns: 77 } },
-            Stamped { ts_ns: 40, event: TraceEvent::BarrierEnter { id: 2 } },
-            Stamped { ts_ns: 50, event: TraceEvent::BarrierExit { id: 2 } },
-            Stamped { ts_ns: 60, event: TraceEvent::Getsub { n: 16 } },
-            Stamped { ts_ns: 70, event: TraceEvent::Enqueue },
-            Stamped { ts_ns: 80, event: TraceEvent::Dequeue },
+            Stamped {
+                ts_ns: 10,
+                event: TraceEvent::Compute { ns: 1 << 40 },
+            },
+            Stamped {
+                ts_ns: 20,
+                event: TraceEvent::Rmw {
+                    class: ConstructClass::Reduction,
+                    n: 3,
+                },
+            },
+            Stamped {
+                ts_ns: 30,
+                event: TraceEvent::LockAcq {
+                    contended: true,
+                    hold_ns: 77,
+                },
+            },
+            Stamped {
+                ts_ns: 40,
+                event: TraceEvent::BarrierEnter { id: 2 },
+            },
+            Stamped {
+                ts_ns: 50,
+                event: TraceEvent::BarrierExit { id: 2 },
+            },
+            Stamped {
+                ts_ns: 60,
+                event: TraceEvent::Getsub { n: 16 },
+            },
+            Stamped {
+                ts_ns: 70,
+                event: TraceEvent::Enqueue,
+            },
+            Stamped {
+                ts_ns: 80,
+                event: TraceEvent::Dequeue,
+            },
         ];
         Trace::from_parts("sample", vec![every, Vec::new()], 5)
     }

@@ -179,7 +179,11 @@ impl RingRecorder {
 
     /// Recorder with `capacity` event slots per thread (rounded up to a power
     /// of two).
-    pub fn with_capacity(name: impl Into<String>, nthreads: usize, capacity: usize) -> RingRecorder {
+    pub fn with_capacity(
+        name: impl Into<String>,
+        nthreads: usize,
+        capacity: usize,
+    ) -> RingRecorder {
         assert!(nthreads > 0, "recorder needs at least one thread");
         RingRecorder {
             name: name.into(),
@@ -312,7 +316,11 @@ mod tests {
             }
             assert!(rec.flush(), "uncontended flush must run");
         }
-        assert_eq!(rec.dropped(), 0, "flushing keeps an 8-slot ring from overflowing");
+        assert_eq!(
+            rec.dropped(),
+            0,
+            "flushing keeps an 8-slot ring from overflowing"
+        );
         let trace = rec.finish();
         let ns: Vec<u32> = trace.threads()[0]
             .iter()

@@ -68,7 +68,10 @@ fn pool_segments(trace: &Trace) -> Vec<SegmentTotals> {
                     t.getsub_items += u64::from(n);
                 }
                 TraceEvent::Rmw { class, n } => {
-                    let idx = ConstructClass::ALL.iter().position(|c| *c == class).unwrap();
+                    let idx = ConstructClass::ALL
+                        .iter()
+                        .position(|c| *c == class)
+                        .unwrap();
                     t.rmws[idx] += u64::from(n);
                 }
                 TraceEvent::Enqueue | TraceEvent::Dequeue => t.queue_ops += 1,
@@ -120,13 +123,18 @@ pub fn lower(
     let (total_acqs, total_hold): (u64, u64) = segments
         .iter()
         .fold((0, 0), |(a, h), s| (a + s.lock_acqs, h + s.lock_hold_ns));
-    let hold_ns = if total_acqs > 0 { total_hold / total_acqs } else { 0 };
+    let hold_ns = total_hold.checked_div(total_acqs).unwrap_or(0);
 
     let counter_cost = class_cost(policy.mode_for(ConstructClass::Counter), machine, p, 0);
     let reduce_cost = class_cost(policy.mode_for(ConstructClass::Reduction), machine, p, 0);
     let flag_cost = class_cost(policy.mode_for(ConstructClass::Flag), machine, p, 0);
     let queue_cost = class_cost(policy.mode_for(ConstructClass::Queue), machine, p, 0);
-    let data_cost = class_cost(policy.mode_for(ConstructClass::DataLock), machine, p, hold_ns);
+    let data_cost = class_cost(
+        policy.mode_for(ConstructClass::DataLock),
+        machine,
+        p,
+        hold_ns,
+    );
 
     let mut next_server = 0u32;
     for (seg_idx, seg) in segments.iter().enumerate() {
@@ -139,13 +147,15 @@ pub fn lower(
 
         // Native grabs tell us the effective chunk size; re-dealt cores grab
         // at the same granularity.
-        let chunk = if seg.getsub_grabs > 0 {
-            (seg.getsub_items / seg.getsub_grabs).max(1)
-        } else {
-            1
-        };
+        let chunk = seg
+            .getsub_items
+            .checked_div(seg.getsub_grabs)
+            .map_or(1, |c| c.max(1));
         let rmw_idx = |class: ConstructClass| {
-            ConstructClass::ALL.iter().position(|c| *c == class).unwrap()
+            ConstructClass::ALL
+                .iter()
+                .position(|c| *c == class)
+                .unwrap()
         };
         let reduces = seg.rmws[rmw_idx(ConstructClass::Reduction)];
         let flags = seg.rmws[rmw_idx(ConstructClass::Flag)];
@@ -222,18 +232,30 @@ mod tests {
         for i in 0..10u32 {
             let stream = if i % 2 == 0 { &mut t0 } else { &mut t1 };
             ts += 1_000;
-            stream.push(Stamped { ts_ns: ts, event: TraceEvent::Getsub { n: 10 } });
+            stream.push(Stamped {
+                ts_ns: ts,
+                event: TraceEvent::Getsub { n: 10 },
+            });
         }
         ts += 1_000;
         for s in [&mut t0, &mut t1] {
-            s.push(Stamped { ts_ns: ts, event: TraceEvent::BarrierEnter { id: 0 } });
-            s.push(Stamped { ts_ns: ts + 100, event: TraceEvent::BarrierExit { id: 0 } });
+            s.push(Stamped {
+                ts_ns: ts,
+                event: TraceEvent::BarrierEnter { id: 0 },
+            });
+            s.push(Stamped {
+                ts_ns: ts + 100,
+                event: TraceEvent::BarrierExit { id: 0 },
+            });
         }
         for i in 0..6u32 {
             let stream = if i % 2 == 0 { &mut t0 } else { &mut t1 };
             stream.push(Stamped {
                 ts_ns: ts + 200 + u64::from(i) * 50,
-                event: TraceEvent::Rmw { class: ConstructClass::Reduction, n: 1 },
+                event: TraceEvent::Rmw {
+                    class: ConstructClass::Reduction,
+                    n: 1,
+                },
             });
         }
         Trace::from_parts("synthetic", vec![t0, t1], 0)

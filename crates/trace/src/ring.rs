@@ -39,7 +39,9 @@ impl SpscRing {
     pub fn new(capacity: usize) -> SpscRing {
         let cap = capacity.max(2).next_power_of_two();
         SpscRing {
-            slots: (0..cap).map(|_| UnsafeCell::new(MaybeUninit::uninit())).collect(),
+            slots: (0..cap)
+                .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+                .collect(),
             mask: cap - 1,
             head: AtomicUsize::new(0),
             tail: AtomicUsize::new(0),

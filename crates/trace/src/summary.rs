@@ -109,8 +109,10 @@ impl TraceSummary {
                         s.getsub_items += u64::from(n);
                     }
                     TraceEvent::Rmw { class, n } => {
-                        let idx =
-                            ConstructClass::ALL.iter().position(|c| *c == class).unwrap();
+                        let idx = ConstructClass::ALL
+                            .iter()
+                            .position(|c| *c == class)
+                            .unwrap();
                         s.rmws[idx] += u64::from(n);
                     }
                     TraceEvent::Enqueue | TraceEvent::Dequeue => s.queue_ops += 1,
@@ -152,7 +154,10 @@ impl ToJson for TraceSummary {
             ("rmws".into(), Json::Object(rmws)),
             ("queue_ops".into(), Json::Num(self.queue_ops as f64)),
             ("lock_acqs".into(), Json::Num(self.lock_acqs as f64)),
-            ("lock_contended".into(), Json::Num(self.lock_contended as f64)),
+            (
+                "lock_contended".into(),
+                Json::Num(self.lock_contended as f64),
+            ),
             ("lock_hold_ns".into(), Json::Num(self.lock_hold_ns as f64)),
             (
                 "barrier_episodes".into(),
@@ -184,8 +189,20 @@ mod tests {
     fn counts_and_span() {
         let t0 = vec![
             at(100, TraceEvent::Getsub { n: 4 }),
-            at(200, TraceEvent::Rmw { class: ConstructClass::Reduction, n: 2 }),
-            at(300, TraceEvent::LockAcq { contended: true, hold_ns: 50 }),
+            at(
+                200,
+                TraceEvent::Rmw {
+                    class: ConstructClass::Reduction,
+                    n: 2,
+                },
+            ),
+            at(
+                300,
+                TraceEvent::LockAcq {
+                    contended: true,
+                    hold_ns: 50,
+                },
+            ),
             at(1_100, TraceEvent::Enqueue),
         ];
         let t1 = vec![
@@ -215,7 +232,13 @@ mod tests {
                 at(0, TraceEvent::Getsub { n: 1 }),
                 at(work_ns, TraceEvent::BarrierEnter { id: 0 }),
                 at(500, TraceEvent::BarrierExit { id: 0 }),
-                at(700, TraceEvent::Rmw { class: ConstructClass::Flag, n: 1 }),
+                at(
+                    700,
+                    TraceEvent::Rmw {
+                        class: ConstructClass::Flag,
+                        n: 1,
+                    },
+                ),
             ]
         };
         let s = TraceSummary::from_trace(&Trace::from_parts("x", vec![mk(100), mk(400)], 0));

@@ -45,14 +45,20 @@ fn main() {
         t.row(vec![
             format!("+{class}"),
             format!("{:.2}", r.elapsed.as_secs_f64() * 1e3),
-            format!("{:.3}", r.elapsed.as_secs_f64() / base.elapsed.as_secs_f64()),
+            format!(
+                "{:.3}",
+                r.elapsed.as_secs_f64() / base.elapsed.as_secs_f64()
+            ),
         ]);
     }
     let full = bench.execute(InputClass::Test, SyncMode::LockFree, threads);
     t.row(vec![
         "splash4 (full)".to_string(),
         format!("{:.2}", full.elapsed.as_secs_f64() * 1e3),
-        format!("{:.3}", full.elapsed.as_secs_f64() / base.elapsed.as_secs_f64()),
+        format!(
+            "{:.3}",
+            full.elapsed.as_secs_f64() / base.elapsed.as_secs_f64()
+        ),
     ]);
     println!("host, {threads} threads:");
     print!("{}", t.render());

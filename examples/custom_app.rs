@@ -18,13 +18,19 @@ fn word_lengths(n: usize) -> Vec<usize> {
     let mut state = 0x5eed_u64;
     (0..n)
         .map(|_| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             1 + (state >> 33) as usize % 16
         })
         .collect()
 }
 
-fn histogram(mode: SyncMode, threads: usize, words: &[usize]) -> (Vec<f64>, f64, splash4::SyncProfile) {
+fn histogram(
+    mode: SyncMode,
+    threads: usize,
+    words: &[usize],
+) -> (Vec<f64>, f64, splash4::SyncProfile) {
     let env = SyncEnv::new(mode, threads);
     let barrier = env.barrier();
     // Fine-grained shared histogram: per-bin lock vs CAS add.
@@ -58,7 +64,10 @@ fn main() {
         .unwrap_or(4);
     let words = word_lengths(200_000);
 
-    println!("word-length histogram, {} words, {threads} threads\n", words.len());
+    println!(
+        "word-length histogram, {} words, {threads} threads\n",
+        words.len()
+    );
     let mut reference: Option<Vec<f64>> = None;
     for mode in SyncMode::ALL {
         let t0 = std::time::Instant::now();
@@ -83,6 +92,10 @@ fn main() {
     let bins = reference.unwrap();
     println!("\nlength  count");
     for (len, count) in bins.iter().enumerate().skip(1) {
-        println!("{len:>6}  {:>7}  {}", *count as u64, "#".repeat((*count / 400.0) as usize));
+        println!(
+            "{len:>6}  {:>7}  {}",
+            *count as u64,
+            "#".repeat((*count / 400.0) as usize)
+        );
     }
 }

@@ -18,11 +18,17 @@ fn main() {
         .filter(|&t| t > 0)
         .unwrap_or(2);
 
-    println!("workload: {bench} ({})", bench.input_description(InputClass::Test));
+    println!(
+        "workload: {bench} ({})",
+        bench.input_description(InputClass::Test)
+    );
     println!("threads:  {threads}\n");
 
     let cmp = bench.compare(InputClass::Test, threads);
-    for (label, r) in [("splash3 (lock-based)", &cmp.splash3), ("splash4 (lock-free)", &cmp.splash4)] {
+    for (label, r) in [
+        ("splash3 (lock-based)", &cmp.splash3),
+        ("splash4 (lock-free)", &cmp.splash4),
+    ] {
         println!(
             "{label:22} {:>10.3} ms   validated={}  checksum={:.6e}",
             r.elapsed.as_secs_f64() * 1e3,

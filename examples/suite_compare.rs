@@ -19,7 +19,10 @@ fn main() {
         .and_then(|s| InputClass::from_label(s))
         .unwrap_or(InputClass::Test);
 
-    println!("suite comparison — class={}, threads={threads}\n", class.label());
+    println!(
+        "suite comparison — class={}, threads={threads}\n",
+        class.label()
+    );
     let mut table = Table::new(vec![
         "benchmark",
         "splash3 ms",

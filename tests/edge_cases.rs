@@ -23,7 +23,11 @@ fn more_threads_than_work_items_still_validates() {
 
 #[test]
 fn tiny_radix_with_more_threads_than_buckets_touch() {
-    let cfg = radix::RadixConfig { n: 65, bits: 4, seed: 2 };
+    let cfg = radix::RadixConfig {
+        n: 65,
+        bits: 4,
+        seed: 2,
+    };
     let r = radix::run(&cfg, &SyncEnv::new(SyncMode::LockFree, 7));
     assert!(r.validated);
 }
@@ -40,7 +44,11 @@ fn minimal_fft_is_exact() {
 
 #[test]
 fn single_pixel_tiles_render() {
-    let cfg = raytrace::RaytraceConfig { size: 17, tile: 1, max_depth: 1 };
+    let cfg = raytrace::RaytraceConfig {
+        size: 17,
+        tile: 1,
+        max_depth: 1,
+    };
     let r = raytrace::run(&cfg, &SyncEnv::new(SyncMode::LockFree, 3));
     assert!(r.validated);
 }
@@ -103,8 +111,7 @@ fn heavy_oversubscription_matches_reference() {
 fn ablation_every_single_class_flip_validates() {
     use splash4::{ConstructClass, SyncPolicy};
     for class in ConstructClass::ALL {
-        let policy =
-            SyncPolicy::uniform(SyncMode::LockBased).with(class, SyncMode::LockFree);
+        let policy = SyncPolicy::uniform(SyncMode::LockBased).with(class, SyncMode::LockFree);
         let env = SyncEnv::new(policy, 2);
         let r = Benchmark::Radix.run(InputClass::Test, &env);
         assert!(r.validated, "flipping {class} broke radix");
@@ -120,5 +127,8 @@ fn work_models_survive_extreme_simulated_core_counts() {
     let t1 = simulate(&work, SyncMode::LockFree, 1, &m).total_ns;
     let t128 = simulate(&work, SyncMode::LockFree, 128, &m).total_ns;
     assert!(t1 > 0 && t128 > 0);
-    assert!(t128 < t1, "even past max_cores the model stays monotone here");
+    assert!(
+        t128 < t1,
+        "even past max_cores the model stays monotone here"
+    );
 }

@@ -16,7 +16,10 @@ fn check_radix_sorts(n: usize, bits: u32, seed: u64, threads: usize) {
 }
 
 fn check_fft_round_trips(log_m: u32, seed: u64, threads: usize) {
-    let cfg = fft::FftConfig { m: 1 << log_m, seed };
+    let cfg = fft::FftConfig {
+        m: 1 << log_m,
+        seed,
+    };
     let env = SyncEnv::new(SyncMode::LockBased, threads);
     let r = fft::run(&cfg, &env);
     assert!(r.validated, "fft failed: m={} seed={seed}", cfg.m);
@@ -27,15 +30,28 @@ fn check_lu_reconstructs(blocks: usize, block: usize, seed: u64, threads: usize)
         n: blocks * block,
         block,
         seed,
-        layout: if seed % 2 == 0 { lu::LuLayout::Contiguous } else { lu::LuLayout::RowMajor },
+        layout: if seed.is_multiple_of(2) {
+            lu::LuLayout::Contiguous
+        } else {
+            lu::LuLayout::RowMajor
+        },
     };
     let env = SyncEnv::new(SyncMode::LockFree, threads);
     let r = lu::run(&cfg, &env);
-    assert!(r.validated, "lu failed: n={} block={block} seed={seed}", cfg.n);
+    assert!(
+        r.validated,
+        "lu failed: n={} block={block} seed={seed}",
+        cfg.n
+    );
 }
 
 fn check_water_conserves(n: usize, seed: u64, threads: usize) {
-    let cfg = water_nsq::WaterNsqConfig { n, steps: 2, dt: 0.001, seed };
+    let cfg = water_nsq::WaterNsqConfig {
+        n,
+        steps: 2,
+        dt: 0.001,
+        seed,
+    };
     let env = SyncEnv::new(SyncMode::LockFree, threads);
     let r = water_nsq::run(&cfg, &env);
     assert!(r.validated, "water failed: n={n} seed={seed}");

@@ -22,13 +22,11 @@ fn every_experiment_renders() {
         assert!(r.text.lines().count() >= 3, "{id} rendered too little");
         assert!(!r.json.is_null());
         // Every benchmark appears in every per-benchmark artifact
-        // (T1 lists inputs; S1 aggregates to geomeans only).
-        if id != "T1-inputs" && id != "S1-sensitivity" {
+        // (T1 lists inputs; S1 aggregates to geomeans only; V1 is a
+        // per-construct table, not per-benchmark).
+        if id != "T1-inputs" && id != "S1-sensitivity" && id != "V1-check" {
             for b in Benchmark::ALL {
-                assert!(
-                    r.text.contains(b.name()),
-                    "{id} missing row for {b}"
-                );
+                assert!(r.text.contains(b.name()), "{id} missing row for {b}");
             }
         }
     }
@@ -40,13 +38,24 @@ fn headline_experiment_reports_geomeans() {
     let means = r.json["geomeans"].as_array().expect("geomeans array");
     assert_eq!(means.len(), 3);
     assert!(r.text.contains("geomean"));
-    assert!(r.title.contains('%'), "title should carry the headline number");
+    assert!(
+        r.title.contains('%'),
+        "title should carry the headline number"
+    );
 }
 
 #[test]
 fn ablation_reports_every_construct_class() {
     let r = run_experiment("F6-ablation", &quick_ctx()).unwrap();
-    for label in ["+barrier", "+counter", "+reduction", "+flag", "+queue", "+data_lock", "full"] {
+    for label in [
+        "+barrier",
+        "+counter",
+        "+reduction",
+        "+flag",
+        "+queue",
+        "+data_lock",
+        "full",
+    ] {
         assert!(r.text.contains(label), "missing column {label}");
     }
 }

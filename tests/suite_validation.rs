@@ -9,7 +9,10 @@ fn every_benchmark_validates_in_both_modes_and_thread_counts() {
         for mode in SyncMode::ALL {
             for threads in [1, 3] {
                 let r = b.execute(InputClass::Test, mode, threads);
-                assert!(r.validated, "{b} invalid under {mode} with {threads} threads");
+                assert!(
+                    r.validated,
+                    "{b} invalid under {mode} with {threads} threads"
+                );
                 assert!(r.checksum.is_finite());
                 assert!(r.elapsed.as_nanos() > 0);
             }

@@ -10,7 +10,10 @@ use splash4::{
 fn lock_free_suite_never_takes_a_lock() {
     for b in Benchmark::ALL {
         let r = b.execute(InputClass::Test, SyncMode::LockFree, 2);
-        assert_eq!(r.profile.lock_acquires, 0, "{b} acquired locks in lock-free mode");
+        assert_eq!(
+            r.profile.lock_acquires, 0,
+            "{b} acquired locks in lock-free mode"
+        );
         assert!(r.profile.atomic_rmws > 0, "{b} reported no atomic RMWs");
     }
 }
@@ -19,7 +22,10 @@ fn lock_free_suite_never_takes_a_lock() {
 fn lock_based_suite_never_issues_an_rmw() {
     for b in Benchmark::ALL {
         let r = b.execute(InputClass::Test, SyncMode::LockBased, 2);
-        assert_eq!(r.profile.atomic_rmws, 0, "{b} issued RMWs in lock-based mode");
+        assert_eq!(
+            r.profile.atomic_rmws, 0,
+            "{b} issued RMWs in lock-based mode"
+        );
         assert!(r.profile.lock_acquires > 0, "{b} reported no lock activity");
     }
 }
@@ -31,7 +37,10 @@ fn logical_sync_structure_is_mode_invariant() {
     for b in Benchmark::ALL {
         let lb = b.execute(InputClass::Test, SyncMode::LockBased, 2).profile;
         let lf = b.execute(InputClass::Test, SyncMode::LockFree, 2).profile;
-        assert_eq!(lb.barrier_waits, lf.barrier_waits, "{b} barrier count changed");
+        assert_eq!(
+            lb.barrier_waits, lf.barrier_waits,
+            "{b} barrier count changed"
+        );
         assert_eq!(lb.getsub_calls, lf.getsub_calls, "{b} getsub count changed");
         assert_eq!(lb.reduce_ops, lf.reduce_ops, "{b} reduction count changed");
     }
@@ -42,8 +51,8 @@ fn ablation_policy_modernizes_only_the_selected_class() {
     // Barriers lock-free, everything else lock-based: fft (barrier-bound,
     // with a lock-based reduction left over) must show RMWs from barriers
     // and locks from the reduction.
-    let policy = SyncPolicy::uniform(SyncMode::LockBased)
-        .with(ConstructClass::Barrier, SyncMode::LockFree);
+    let policy =
+        SyncPolicy::uniform(SyncMode::LockBased).with(ConstructClass::Barrier, SyncMode::LockFree);
     let env = SyncEnv::new(policy, 2);
     let r = Benchmark::Fft.run(InputClass::Test, &env);
     assert!(r.validated);

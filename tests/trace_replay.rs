@@ -32,10 +32,17 @@ fn small_rings_count_their_drops() {
     let recorder = std::sync::Arc::new(RingRecorder::with_capacity("tiny", threads, 16));
     let env = SyncEnv::new(SyncMode::LockFree, threads).with_trace(recorder.clone());
     let r = splash4::radix::run(
-        &splash4::radix::RadixConfig { n: 4096, bits: 8, seed: 7 },
+        &splash4::radix::RadixConfig {
+            n: 4096,
+            bits: 8,
+            seed: 7,
+        },
         &env,
     );
-    assert!(r.validated, "overflowing the trace ring must not break the run");
+    assert!(
+        r.validated,
+        "overflowing the trace ring must not break the run"
+    );
     drop(env);
     let trace = std::sync::Arc::try_unwrap(recorder).unwrap().finish();
     assert!(trace.dropped() > 0, "16-slot rings must overflow on radix");
