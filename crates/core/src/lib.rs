@@ -79,8 +79,8 @@
 pub use splash4_check as check;
 pub use splash4_check::{check_mutants, check_suite, CheckBudget};
 pub use splash4_harness::{
-    geomean, pct_change, record_trace, run_experiment, ExperimentCtx, Report, Table,
-    ALL_EXPERIMENTS,
+    geomean, pct_change, record_trace, run_bench, run_experiment, BenchConfig, ExperimentCtx,
+    ModelCache, Report, Table, ALL_EXPERIMENTS,
 };
 pub use splash4_kernels::{
     barnes, cholesky, close, fft, fmm, lu, ocean, radiosity, radix, raytrace, volrend, water_nsq,
@@ -88,11 +88,13 @@ pub use splash4_kernels::{
 };
 pub use splash4_parmacs as parmacs;
 pub use splash4_parmacs::{
-    Barrier, ConstructClass, Dispatch, IndexCounter, Json, PauseVar, PhaseSpec, RawLock, ReduceF64,
-    ReduceU64, SmallRng, SyncEnv, SyncMode, SyncPolicy, SyncProfile, TaskQueue, Team, TeamCtx,
-    ToJson, TraceEvent, TraceSink, WorkModel,
+    Backoff, Barrier, CachePadded, ConstructClass, Dispatch, IndexCounter, Json, PauseVar,
+    PhaseSpec, RawLock, ReduceF64, ReduceU64, SmallRng, SyncEnv, SyncMode, SyncPolicy, SyncProfile,
+    TaskQueue, Team, TeamCtx, ToJson, TraceEvent, TraceSink, WorkModel,
 };
-pub use splash4_sim::{engine, simulate, BarrierKind, MachineParams, Program, SimResult};
+pub use splash4_sim::{
+    engine, simulate, BarrierKind, Engine, MachineParams, Program, SimResult, Simulator,
+};
 pub use splash4_trace as trace;
 pub use splash4_trace::{lower::lower as lower_trace, RingRecorder, Trace, TraceSummary};
 

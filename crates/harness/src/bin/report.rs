@@ -6,17 +6,19 @@
 //! splash4-report --all [--json-out results.json]
 //! splash4-report --experiment F1-native --threads 1,2,4
 //! splash4-report --all --csv-dir results/csv
+//! splash4-report --bench [--quick] [--bench-out BENCH_results.json]
 //! ```
 
-use splash4_harness::{run_experiment, ExperimentCtx, ALL_EXPERIMENTS};
+use splash4_harness::{run_bench, run_experiment, BenchConfig, ExperimentCtx, ALL_EXPERIMENTS};
 use splash4_kernels::InputClass;
 use splash4_parmacs::json;
 use std::process::ExitCode;
 
 fn usage() -> &'static str {
-    "usage: splash4-report (--list | --all | --experiment <id>) \
+    "usage: splash4-report (--list | --all | --experiment <id> | --bench) \
      [--class test|small|native] [--threads a,b,c] [--sim-threads a,b,c] \
-     [--snapshot-cores N] [--json-out FILE] [--csv-dir DIR]"
+     [--snapshot-cores N] [--json-out FILE] [--csv-dir DIR] \
+     [--quick] [--bench-out FILE]"
 }
 
 fn main() -> ExitCode {
@@ -24,6 +26,9 @@ fn main() -> ExitCode {
     let mut experiment: Option<String> = None;
     let mut all = false;
     let mut list = false;
+    let mut bench = false;
+    let mut quick = false;
+    let mut bench_out = "BENCH_results.json".to_string();
     let mut ctx = ExperimentCtx::default();
     let mut json_out: Option<String> = None;
     let mut csv_dir: Option<String> = None;
@@ -33,6 +38,15 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "--list" => list = true,
             "--all" => all = true,
+            "--bench" => bench = true,
+            "--quick" => quick = true,
+            "--bench-out" => {
+                let Some(path) = it.next() else {
+                    eprintln!("--bench-out needs a path\n{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                bench_out = path.clone();
+            }
             "--experiment" | "-e" => {
                 experiment = it.next().cloned();
                 if experiment.is_none() {
@@ -109,6 +123,27 @@ fn main() -> ExitCode {
         for id in ALL_EXPERIMENTS {
             println!("{id}");
         }
+        return ExitCode::SUCCESS;
+    }
+
+    if bench {
+        let cfg = if quick {
+            BenchConfig::quick()
+        } else {
+            BenchConfig::full()
+        };
+        eprintln!(
+            "running perf bench ({} mode, {} reps)...",
+            if quick { "quick" } else { "full" },
+            cfg.repetitions
+        );
+        let (text, doc) = run_bench(&cfg);
+        print!("{text}");
+        if let Err(e) = std::fs::write(&bench_out, doc.to_string_pretty()) {
+            eprintln!("failed to write {bench_out}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {bench_out}");
         return ExitCode::SUCCESS;
     }
 

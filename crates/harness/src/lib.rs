@@ -8,9 +8,13 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod perfbench;
 pub mod registry;
 pub mod tables;
 
-pub use experiments::{record_trace, run_experiment, work_model, ExperimentCtx, ALL_EXPERIMENTS};
+pub use experiments::{
+    record_trace, run_experiment, work_model, ExperimentCtx, ModelCache, ALL_EXPERIMENTS,
+};
+pub use perfbench::{run_bench, BenchConfig};
 pub use registry::BenchmarkId;
 pub use tables::{geomean, pct_change, Report, Table};

@@ -1,0 +1,451 @@
+//! Perf-regression harness: microbenchmarks for the suite's hot paths.
+//!
+//! `splash4-report --bench` runs this and writes `BENCH_results.json`. Every
+//! workload is fixed (deterministic construction, no RNG at run time beyond a
+//! seeded LCG), every metric is a median over repetitions after a warmup
+//! pass, so two runs on the same host are comparable and CI can archive the
+//! numbers per commit without flaky threshold gating.
+//!
+//! Covered surfaces, per `DESIGN.md` §10:
+//! - reducer ops/sec for both back-ends (lock-based vs CAS-loop),
+//! - `GETSUB` counter grabs/sec for both back-ends,
+//! - barrier crossings/sec for both back-ends (condvar vs sense-reversing),
+//! - simulator events/sec for the indexed [`Engine`] against the preserved
+//!   binary-heap reference ([`engine::run_reference`]) on identical programs,
+//! - end-to-end wall time of one simulation-driven report experiment.
+
+use crate::experiments::ExperimentCtx;
+use crate::tables::Table;
+use splash4_kernels::InputClass;
+use splash4_parmacs::{json, PhaseSpec, SyncEnv, SyncMode, Team, WorkModel};
+use splash4_sim::{engine, model, BarrierKind, MachineParams, Op, Program};
+use std::time::Instant;
+
+/// Tuning knobs for one bench run.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchConfig {
+    /// Measured repetitions per metric (one extra warmup pass always runs).
+    pub repetitions: usize,
+    /// Threads used for the native synchronization microbenchmarks.
+    pub threads: usize,
+    /// Per-thread operations in the reducer / counter microbenchmarks.
+    pub sync_ops: usize,
+    /// Barrier crossings per thread.
+    pub barrier_crossings: usize,
+    /// Cores in the synthetic simulator program.
+    pub sim_cores: usize,
+    /// Operations per core in the synthetic simulator program.
+    pub sim_ops_per_core: usize,
+    /// `true` for the CI-sized run (`--quick`).
+    pub quick: bool,
+}
+
+impl BenchConfig {
+    /// Full-size configuration (local perf tracking).
+    pub fn full() -> BenchConfig {
+        BenchConfig {
+            repetitions: 5,
+            threads: 4,
+            sync_ops: 100_000,
+            barrier_crossings: 10_000,
+            sim_cores: 32,
+            sim_ops_per_core: 4_000,
+            quick: false,
+        }
+    }
+
+    /// CI-sized configuration: same shape, ~10× less work.
+    pub fn quick() -> BenchConfig {
+        BenchConfig {
+            repetitions: 3,
+            threads: 4,
+            sync_ops: 10_000,
+            barrier_crossings: 1_000,
+            sim_cores: 16,
+            sim_ops_per_core: 800,
+            quick: true,
+        }
+    }
+}
+
+/// Median of `reps` timed runs of `f` (plus one untimed warmup), in seconds.
+fn median_secs(reps: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warmup: faults pages, warms caches, resolves lazy init
+    let mut samples: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN timing"));
+    samples[samples.len() / 2]
+}
+
+/// ops/sec for `total_ops` operations taking `secs` seconds.
+fn rate(total_ops: u64, secs: f64) -> f64 {
+    total_ops as f64 / secs.max(1e-12)
+}
+
+/// Reducer `add` throughput under full contention, one rate per back-end.
+fn bench_reducers(cfg: &BenchConfig) -> [(SyncMode, f64); 2] {
+    SyncMode::ALL.map(|mode| {
+        let env = SyncEnv::new(mode, cfg.threads);
+        let r = env.reducer_f64();
+        let secs = median_secs(cfg.repetitions, || {
+            Team::new(cfg.threads).run(|_| {
+                for i in 0..cfg.sync_ops {
+                    r.add(i as f64);
+                }
+            });
+        });
+        (mode, rate((cfg.threads * cfg.sync_ops) as u64, secs))
+    })
+}
+
+/// `GETSUB` grab throughput: the team drains a shared index range.
+fn bench_counters(cfg: &BenchConfig) -> [(SyncMode, f64); 2] {
+    SyncMode::ALL.map(|mode| {
+        let env = SyncEnv::new(mode, cfg.threads);
+        let total = cfg.threads * cfg.sync_ops;
+        let c = env.counter("bench", 0..total);
+        let secs = median_secs(cfg.repetitions, || {
+            c.reset();
+            Team::new(cfg.threads).run(|_| while c.next().is_some() {});
+        });
+        (mode, rate(total as u64, secs))
+    })
+}
+
+/// Barrier crossing throughput (whole-team crossings per second).
+fn bench_barriers(cfg: &BenchConfig) -> [(SyncMode, f64); 2] {
+    SyncMode::ALL.map(|mode| {
+        let env = SyncEnv::new(mode, cfg.threads);
+        let b = env.barrier();
+        let secs = median_secs(cfg.repetitions, || {
+            Team::new(cfg.threads).run(|ctx| {
+                for _ in 0..cfg.barrier_crossings {
+                    b.wait(ctx.tid);
+                }
+            });
+        });
+        (mode, rate(cfg.barrier_crossings as u64, secs))
+    })
+}
+
+/// Deterministic synthetic simulator program: staggered compute, a mix of
+/// shared and private server accesses with occasional contention penalties,
+/// and periodic barriers — the op mix the experiment sweeps produce, built
+/// from a seeded LCG so every bench run replays the same program.
+fn synthetic_program(cores: usize, ops_per_core: usize, kind: BarrierKind, seed: u64) -> Program {
+    let mut state = seed
+        .wrapping_mul(2862933555777941757)
+        .wrapping_add(3037000493);
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state >> 33
+    };
+    let barrier_every = 97; // prime, so barriers don't phase-lock with the mix
+    let mut program = Program {
+        name: "perfbench-synthetic".into(),
+        cores: vec![Vec::with_capacity(ops_per_core); cores],
+        barriers: Vec::new(),
+    };
+    let mut ops_emitted = vec![0usize; cores];
+    let mut slot = 0usize;
+    while ops_emitted.iter().any(|&n| n < ops_per_core) {
+        slot += 1;
+        let place_barrier = slot.is_multiple_of(barrier_every);
+        if place_barrier {
+            let id = program.barriers.len() as u32;
+            program.barriers.push(kind);
+            for (c, stream) in program.cores.iter_mut().enumerate() {
+                stream.push(Op::Barrier { id });
+                ops_emitted[c] += 1;
+            }
+            continue;
+        }
+        for (c, stream) in program.cores.iter_mut().enumerate() {
+            if ops_emitted[c] >= ops_per_core {
+                continue;
+            }
+            let r = next();
+            let op = if r % 5 == 0 {
+                Op::Access {
+                    server: (r % 3) as u32, // 3 shared servers → real queueing
+                    n: 1 + r % 4,
+                    service_ns: 40 + r % 60,
+                    local_ns: 15,
+                    contended_ns: if r % 7 == 0 { 400 } else { 0 },
+                }
+            } else {
+                Op::Compute {
+                    ns: 50 + (r % 900) + c as u64 * 3,
+                }
+            };
+            stream.push(op);
+            ops_emitted[c] += 1;
+        }
+    }
+    program
+}
+
+/// Simulator throughput: the indexed engine vs the preserved heap reference
+/// on byte-identical programs. Returns `(engine_eps, reference_eps)`; the
+/// two runs are also checked for result equality, so the bench doubles as an
+/// equivalence test on programs far larger than the unit tests use.
+///
+/// The program set mirrors what F2/F3 regeneration feeds the engine: a
+/// fixed, kernel-shaped `WorkModel` lowered through `model::expand` under
+/// both sync policies across the core sweep, plus one LCG-built stress
+/// program per barrier kind so server queueing is exercised too.
+fn bench_sim_events(cfg: &BenchConfig) -> (f64, f64) {
+    let machine = MachineParams::epyc_like();
+    let work = WorkModel::new("perfbench")
+        .phase(
+            PhaseSpec::compute("sweep", cfg.sim_ops_per_core as u64, 90)
+                .reduces(0.02)
+                .barriers(2)
+                .repeats(12),
+        )
+        .phase(
+            PhaseSpec::compute("update", (cfg.sim_ops_per_core / 2) as u64, 45)
+                .barriers(1)
+                .repeats(24),
+        );
+    let mut programs: Vec<Program> = Vec::new();
+    for cores in [cfg.sim_cores / 2, cfg.sim_cores, cfg.sim_cores * 2] {
+        for mode in SyncMode::ALL {
+            programs.push(model::expand(
+                &work,
+                splash4_parmacs::SyncPolicy::uniform(mode),
+                cores.max(1),
+                &machine,
+            ));
+        }
+    }
+    let kinds = [BarrierKind::Sense, BarrierKind::Condvar, BarrierKind::Tree];
+    for (i, &k) in kinds.iter().enumerate() {
+        programs.push(synthetic_program(
+            cfg.sim_cores,
+            cfg.sim_ops_per_core,
+            k,
+            0x5eed + i as u64,
+        ));
+    }
+    let total_events: u64 = programs.iter().map(|p| p.total_ops() as u64).sum();
+
+    // Doubles as warmup for the timed loops below.
+    let mut eng = engine::Engine::new();
+    for p in &programs {
+        let fast = eng.run(p, &machine);
+        let reference = engine::run_reference(p, &machine);
+        assert_eq!(
+            fast, reference,
+            "indexed engine must match the heap reference on {}",
+            p.name
+        );
+    }
+
+    // Interleave the two engines within each repetition: CPU frequency and
+    // thermal drift then shift both samples of a pair together instead of
+    // biasing the ratio (back-to-back blocks were observed to swing the
+    // measured speedup by ±40% on a busy host).
+    let reps = cfg.repetitions.max(1);
+    let mut fast_samples = Vec::with_capacity(reps);
+    let mut ref_samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        for p in &programs {
+            let _ = eng.run(p, &machine);
+        }
+        fast_samples.push(t0.elapsed().as_secs_f64());
+        let t0 = Instant::now();
+        for p in &programs {
+            let _ = engine::run_reference(p, &machine);
+        }
+        ref_samples.push(t0.elapsed().as_secs_f64());
+    }
+    let median = |mut v: Vec<f64>| {
+        v.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN timing"));
+        v[v.len() / 2]
+    };
+    (
+        rate(total_events, median(fast_samples)),
+        rate(total_events, median(ref_samples)),
+    )
+}
+
+/// Wall time of one full simulation-driven report experiment (F2), in
+/// seconds. Uses a fresh ctx per repetition so the model cache and program
+/// memoization are exercised exactly as a cold `splash4-report` run would.
+fn bench_report_wall(cfg: &BenchConfig) -> f64 {
+    let sim_threads = if cfg.quick {
+        vec![1, 8, 64]
+    } else {
+        vec![1, 2, 4, 8, 16, 32, 64]
+    };
+    median_secs(cfg.repetitions.min(3), || {
+        let ctx = ExperimentCtx {
+            class: InputClass::Test,
+            sim_threads: sim_threads.clone(),
+            ..ExperimentCtx::default()
+        };
+        crate::experiments::run_experiment("F2-sim-epyc", &ctx).expect("F2 runs");
+    })
+}
+
+/// Run every microbenchmark and render the results.
+///
+/// The returned `(text, json)` pair is what `splash4-report --bench` prints
+/// and writes: the JSON document is the `BENCH_results.json` schema CI
+/// checks (`schema`, `config`, `metrics.*`).
+pub fn run_bench(cfg: &BenchConfig) -> (String, splash4_parmacs::json::Json) {
+    let reducers = bench_reducers(cfg);
+    let counters = bench_counters(cfg);
+    let barriers = bench_barriers(cfg);
+    let (engine_eps, reference_eps) = bench_sim_events(cfg);
+    let engine_speedup = engine_eps / reference_eps.max(1e-12);
+    let report_secs = bench_report_wall(cfg);
+
+    let mut t = Table::new(vec!["metric", "backend", "rate"]);
+    let fmt_rate = |r: f64| format!("{:.3} Mops/s", r / 1e6);
+    for (mode, r) in &reducers {
+        t.row(vec![
+            "reducer add".into(),
+            mode.label().into(),
+            fmt_rate(*r),
+        ]);
+    }
+    for (mode, r) in &counters {
+        t.row(vec![
+            "counter grab".into(),
+            mode.label().into(),
+            fmt_rate(*r),
+        ]);
+    }
+    for (mode, r) in &barriers {
+        t.row(vec![
+            "barrier crossing".into(),
+            mode.label().into(),
+            format!("{:.1} k/s", r / 1e3),
+        ]);
+    }
+    t.row(vec![
+        "sim events".into(),
+        "indexed engine".into(),
+        fmt_rate(engine_eps),
+    ]);
+    t.row(vec![
+        "sim events".into(),
+        "heap reference".into(),
+        fmt_rate(reference_eps),
+    ]);
+    t.row(vec![
+        "sim engine speedup".into(),
+        "indexed/heap".into(),
+        format!("{engine_speedup:.2}x"),
+    ]);
+    t.row(vec![
+        "F2 report wall".into(),
+        "end-to-end".into(),
+        format!("{:.3} s", report_secs),
+    ]);
+
+    let by_mode = |pairs: &[(SyncMode, f64); 2]| {
+        splash4_parmacs::json::Json::Object(
+            pairs
+                .iter()
+                .map(|(m, r)| (m.label().to_string(), json!(*r)))
+                .collect(),
+        )
+    };
+    let doc = json!({
+        "schema": "splash4-bench-v1",
+        "config": json!({
+            "quick": cfg.quick,
+            "repetitions": cfg.repetitions as u64,
+            "threads": cfg.threads as u64,
+            "sync_ops": cfg.sync_ops as u64,
+            "barrier_crossings": cfg.barrier_crossings as u64,
+            "sim_cores": cfg.sim_cores as u64,
+            "sim_ops_per_core": cfg.sim_ops_per_core as u64,
+        }),
+        "metrics": json!({
+            "reducer_ops_per_sec": by_mode(&reducers),
+            "counter_grabs_per_sec": by_mode(&counters),
+            "barrier_crossings_per_sec": by_mode(&barriers),
+            "sim_events_per_sec": json!({
+                "engine": engine_eps,
+                "reference": reference_eps,
+                "speedup": engine_speedup,
+            }),
+            "report_wall_secs": report_secs,
+        }),
+    });
+    (t.render(), doc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> BenchConfig {
+        BenchConfig {
+            repetitions: 1,
+            threads: 2,
+            sync_ops: 500,
+            barrier_crossings: 50,
+            sim_cores: 4,
+            sim_ops_per_core: 120,
+            quick: true,
+        }
+    }
+
+    #[test]
+    fn synthetic_program_is_deterministic_and_valid() {
+        let a = synthetic_program(8, 200, BarrierKind::Sense, 42);
+        let b = synthetic_program(8, 200, BarrierKind::Sense, 42);
+        assert_eq!(a, b, "same seed must build the same program");
+        a.validate().expect("program validates");
+        let c = synthetic_program(8, 200, BarrierKind::Sense, 43);
+        assert_ne!(a, c, "seed must matter");
+    }
+
+    #[test]
+    fn bench_emits_expected_schema() {
+        let (text, doc) = run_bench(&tiny());
+        assert!(text.contains("sim engine speedup"));
+        assert_eq!(doc["schema"].as_str(), Some("splash4-bench-v1"));
+        let metrics = &doc["metrics"];
+        for key in [
+            "reducer_ops_per_sec",
+            "counter_grabs_per_sec",
+            "barrier_crossings_per_sec",
+            "sim_events_per_sec",
+            "report_wall_secs",
+        ] {
+            assert!(!metrics[key].is_null(), "missing metric {key}");
+        }
+        for backend_metric in [
+            "reducer_ops_per_sec",
+            "counter_grabs_per_sec",
+            "barrier_crossings_per_sec",
+        ] {
+            for mode in SyncMode::ALL {
+                let v = metrics[backend_metric][mode.label()].as_f64();
+                assert!(
+                    v.is_some_and(|x| x > 0.0),
+                    "{backend_metric}/{} must be positive",
+                    mode.label()
+                );
+            }
+        }
+        assert!(metrics["sim_events_per_sec"]["speedup"].as_f64().unwrap() > 0.0);
+        // The document round-trips through the JSON writer.
+        let rendered = doc.to_string_pretty();
+        assert!(rendered.contains("splash4-bench-v1"));
+    }
+}

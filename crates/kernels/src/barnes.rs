@@ -14,7 +14,7 @@
 use crate::common::{KernelResult, SharedSlice};
 use crate::inputs::InputClass;
 use splash4_parmacs::SmallRng;
-use splash4_parmacs::{Dispatch, PhaseSpec, RawLock, SyncCounters, SyncEnv, Team, WorkModel};
+use splash4_parmacs::{Counter, Dispatch, PhaseSpec, RawLock, SyncEnv, Team, WorkModel};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
@@ -208,14 +208,14 @@ pub fn run(cfg: &BarnesConfig, env: &SyncEnv) -> KernelResult {
                     node_locks[node].release();
                     return;
                 }
-                SyncCounters::bump(&stats.atomic_rmws);
+                stats.bump(Counter::AtomicRmws);
                 if slot
                     .compare_exchange(EMPTY, body_ref(i), Ordering::AcqRel, Ordering::Acquire)
                     .is_ok()
                 {
                     return;
                 }
-                SyncCounters::bump(&stats.cas_failures);
+                stats.bump(Counter::CasFailures);
                 continue; // slot changed under us; re-examine
             }
             if is_body(cur) {
@@ -260,13 +260,13 @@ pub fn run(cfg: &BarnesConfig, env: &SyncEnv) -> KernelResult {
                     // Re-examine the same node: slot now internal.
                     continue;
                 }
-                SyncCounters::bump(&stats.atomic_rmws);
+                stats.bump(Counter::AtomicRmws);
                 if slot
                     .compare_exchange(cur, head as u64, Ordering::AcqRel, Ordering::Acquire)
                     .is_err()
                 {
                     // Lost the race; the chain nodes are wasted arena space.
-                    SyncCounters::bump(&stats.cas_failures);
+                    stats.bump(Counter::CasFailures);
                 }
                 continue;
             }

@@ -2,7 +2,7 @@
 //! dual-mode accumulator used for fine-grained force/energy updates.
 
 use splash4_parmacs::{
-    ConstructClass, RawLock, SyncCounters, SyncEnv, SyncProfile, TraceEvent, WorkModel,
+    ConstructClass, Counter, RawLock, SyncCounters, SyncEnv, SyncProfile, TraceEvent, WorkModel,
 };
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -188,7 +188,7 @@ impl SharedAccum {
                 lock.release();
             }
             None => {
-                SyncCounters::bump(&self.stats.atomic_rmws);
+                self.stats.bump(Counter::AtomicRmws);
                 let cell = &self.cells[i];
                 let mut cur = cell.load(Ordering::Relaxed);
                 loop {
@@ -197,8 +197,8 @@ impl SharedAccum {
                     {
                         Ok(_) => break,
                         Err(actual) => {
-                            SyncCounters::bump(&self.stats.cas_failures);
-                            SyncCounters::bump(&self.stats.atomic_rmws);
+                            self.stats.bump(Counter::CasFailures);
+                            self.stats.bump(Counter::AtomicRmws);
                             cur = actual;
                         }
                     }
@@ -282,7 +282,7 @@ impl SharedCounters {
                 lock.release();
             }
             None => {
-                SyncCounters::bump(&self.stats.atomic_rmws);
+                self.stats.bump(Counter::AtomicRmws);
                 self.cells[i].fetch_add(v, Ordering::AcqRel);
             }
         }
@@ -305,7 +305,7 @@ impl SharedCounters {
                 cur
             }
             None => {
-                SyncCounters::bump(&self.stats.atomic_rmws);
+                self.stats.bump(Counter::AtomicRmws);
                 self.cells[i].fetch_add(v, Ordering::AcqRel)
             }
         }

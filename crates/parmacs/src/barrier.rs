@@ -14,27 +14,13 @@
 //! All barriers are reusable (cyclic) and instrumented through a shared
 //! [`SyncCounters`].
 
-use crate::stats::SyncCounters;
+use crate::backoff::Backoff;
+use crate::pad::CachePadded;
+use crate::stats::{Counter, SyncCounters};
 use crate::trace::TraceEvent;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-
-/// Number of spin iterations before a spinning waiter starts yielding to the
-/// scheduler. Keeps the lock-free barriers live on oversubscribed hosts while
-/// preserving spin behaviour when cores are plentiful.
-const SPINS_BEFORE_YIELD: u32 = 64;
-
-/// Spin-wait helper with progressive back-off: busy spin, then yield.
-#[inline]
-pub(crate) fn spin_wait(iteration: &mut u32) {
-    if *iteration < SPINS_BEFORE_YIELD {
-        std::hint::spin_loop();
-        *iteration += 1;
-    } else {
-        std::thread::yield_now();
-    }
-}
 
 /// A reusable (cyclic) phase barrier for a fixed set of participants.
 pub trait Barrier: Send + Sync + fmt::Debug {
@@ -75,10 +61,10 @@ impl CondvarBarrier {
 
 impl Barrier for CondvarBarrier {
     fn wait(&self, _tid: usize) {
-        SyncCounters::bump(&self.stats.barrier_waits);
+        self.stats.bump(Counter::BarrierWaits);
         self.stats
             .trace(TraceEvent::BarrierEnter { id: self.trace_id });
-        SyncCounters::timed(&self.stats.barrier_wait_ns, || {
+        self.stats.timed(Counter::BarrierWaitNs, || {
             let mut st = self.state.lock().expect("barrier mutex poisoned");
             let gen = st.1;
             st.0 += 1;
@@ -142,20 +128,20 @@ impl SenseBarrier {
 impl Barrier for SenseBarrier {
     fn wait(&self, _tid: usize) {
         const S: crate::spec::SenseBarrierSpec = crate::spec::SenseBarrierSpec::SPLASH4;
-        SyncCounters::bump(&self.stats.barrier_waits);
-        SyncCounters::bump(&self.stats.atomic_rmws);
+        self.stats.bump(Counter::BarrierWaits);
+        self.stats.bump(Counter::AtomicRmws);
         self.stats
             .trace(TraceEvent::BarrierEnter { id: self.trace_id });
-        SyncCounters::timed(&self.stats.barrier_wait_ns, || {
+        self.stats.timed(Counter::BarrierWaitNs, || {
             let gen = self.generation.load(S.generation_load);
             if self.arrived.fetch_add(1, S.arrive_rmw) == self.n - 1 {
                 // Last arriver: reset and release everyone.
                 self.arrived.store(0, S.arrived_reset);
                 self.generation.fetch_add(1, S.generation_bump);
             } else {
-                let mut spins = 0u32;
+                let mut backoff = Backoff::new();
                 while self.generation.load(S.spin_load) == gen {
-                    spin_wait(&mut spins);
+                    backoff.snooze();
                 }
             }
         });
@@ -179,18 +165,12 @@ impl fmt::Debug for SenseBarrier {
 /// spins on.
 pub struct TreeBarrier {
     n: usize,
-    /// `levels[0]` are the leaves. Each node counts arrivals from its subtree.
-    levels: Vec<Vec<CachePadded>>,
+    /// `levels[0]` are the leaves. Each node counts arrivals from its
+    /// subtree; padded so tree nodes do not false-share.
+    levels: Vec<Vec<CachePadded<AtomicUsize>>>,
     generation: AtomicU64,
     stats: Arc<SyncCounters>,
     trace_id: u32,
-}
-
-/// Padded arrival counter so tree nodes do not false-share.
-#[repr(align(128))]
-#[derive(Debug, Default)]
-struct CachePadded {
-    count: AtomicUsize,
 }
 
 impl TreeBarrier {
@@ -238,20 +218,20 @@ impl TreeBarrier {
 
 impl Barrier for TreeBarrier {
     fn wait(&self, tid: usize) {
-        SyncCounters::bump(&self.stats.barrier_waits);
+        self.stats.bump(Counter::BarrierWaits);
         self.stats
             .trace(TraceEvent::BarrierEnter { id: self.trace_id });
-        SyncCounters::timed(&self.stats.barrier_wait_ns, || {
+        self.stats.timed(Counter::BarrierWaitNs, || {
             let gen = self.generation.load(Ordering::Acquire);
             let mut idx = tid / Self::ARITY;
             let mut level = 0usize;
             loop {
-                SyncCounters::bump(&self.stats.atomic_rmws);
+                self.stats.bump(Counter::AtomicRmws);
                 let node = &self.levels[level][idx];
                 let fan_in = self.fan_in(level, idx);
-                if node.count.fetch_add(1, Ordering::AcqRel) == fan_in - 1 {
+                if node.fetch_add(1, Ordering::AcqRel) == fan_in - 1 {
                     // Winner: reset this node for the next episode and ascend.
-                    node.count.store(0, Ordering::Relaxed);
+                    node.store(0, Ordering::Relaxed);
                     if level + 1 == self.levels.len() {
                         self.generation.fetch_add(1, Ordering::AcqRel);
                         return;
@@ -259,9 +239,9 @@ impl Barrier for TreeBarrier {
                     idx /= Self::ARITY;
                     level += 1;
                 } else {
-                    let mut spins = 0u32;
+                    let mut backoff = Backoff::new();
                     while self.generation.load(Ordering::Acquire) == gen {
-                        spin_wait(&mut spins);
+                        backoff.snooze();
                     }
                     return;
                 }

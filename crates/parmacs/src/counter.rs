@@ -13,7 +13,7 @@
 //! block-`GETSUB` variant some kernels use.
 
 use crate::lock::{RawLock, SleepLock};
-use crate::stats::SyncCounters;
+use crate::stats::{Counter, SyncCounters};
 use crate::trace::TraceEvent;
 use std::fmt;
 use std::ops::Range;
@@ -67,7 +67,7 @@ impl LockedCounter {
 
 impl IndexCounter for LockedCounter {
     fn next(&self) -> Option<usize> {
-        SyncCounters::bump(&self.stats.getsub_calls);
+        self.stats.bump(Counter::GetsubCalls);
         self.next.acquire();
         // SAFETY: lock held.
         let v = unsafe { &mut *self.value.get() };
@@ -87,7 +87,7 @@ impl IndexCounter for LockedCounter {
 
     fn next_chunk(&self, chunk: usize) -> Range<usize> {
         assert!(chunk > 0, "chunk must be non-zero");
-        SyncCounters::bump(&self.stats.getsub_calls);
+        self.stats.bump(Counter::GetsubCalls);
         self.next.acquire();
         // SAFETY: lock held.
         let v = unsafe { &mut *self.value.get() };
@@ -137,16 +137,46 @@ impl AtomicCounter {
             stats,
         }
     }
+
+    /// Pull an overshot counter value back to `range.end`.
+    ///
+    /// Without this, every exhausted poll keeps `fetch_add`ing the raw value
+    /// toward `usize` overflow, and a wrapped counter would hand out
+    /// duplicate indices. Retries are bounded: a lost CAS means another
+    /// exhausted grabber moved the value and will clamp it itself, so the
+    /// overshoot stays bounded by the number of in-flight grabs. The clamp
+    /// is deliberately *not* instrumented — it is bookkeeping, not a logical
+    /// `GETSUB` operation, so `T2`/`T3` op counts are unchanged.
+    #[cold]
+    fn clamp(&self, observed: usize) {
+        let end = self.range.end;
+        let mut cur = observed;
+        for _ in 0..8 {
+            if cur <= end {
+                return;
+            }
+            match self
+                .value
+                .compare_exchange_weak(cur, end, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(now) => cur = now,
+            }
+        }
+    }
 }
 
 impl IndexCounter for AtomicCounter {
     fn next(&self) -> Option<usize> {
-        SyncCounters::bump(&self.stats.getsub_calls);
-        SyncCounters::bump(&self.stats.atomic_rmws);
+        self.stats.bump(Counter::GetsubCalls);
+        self.stats.bump(Counter::AtomicRmws);
         let i = self
             .value
             .fetch_add(1, crate::spec::TicketSpec::SPLASH4.claim_rmw);
         let out = (i < self.range.end).then_some(i);
+        if out.is_none() {
+            self.clamp(i.wrapping_add(1));
+        }
         self.stats.trace(TraceEvent::Getsub {
             n: u32::from(out.is_some()),
         });
@@ -155,13 +185,16 @@ impl IndexCounter for AtomicCounter {
 
     fn next_chunk(&self, chunk: usize) -> Range<usize> {
         assert!(chunk > 0, "chunk must be non-zero");
-        SyncCounters::bump(&self.stats.getsub_calls);
-        SyncCounters::bump(&self.stats.atomic_rmws);
-        let start = self
+        self.stats.bump(Counter::GetsubCalls);
+        self.stats.bump(Counter::AtomicRmws);
+        let raw = self
             .value
             .fetch_add(chunk, crate::spec::TicketSpec::SPLASH4.claim_rmw);
-        let start = start.min(self.range.end);
+        let start = raw.min(self.range.end);
         let end = (start + chunk).min(self.range.end);
+        if raw.wrapping_add(chunk) > self.range.end {
+            self.clamp(raw.wrapping_add(chunk));
+        }
         self.stats.trace(TraceEvent::Getsub {
             n: (end - start) as u32,
         });
@@ -257,6 +290,44 @@ mod tests {
         assert_eq!(c.next(), None);
         c.reset();
         assert_eq!(c.next(), Some(0));
+    }
+
+    #[test]
+    fn exhausted_atomic_counter_does_not_drift() {
+        // Regression test: repeated grabs after exhaustion used to keep
+        // fetch_adding the raw value toward usize overflow (and, wrapped,
+        // would eventually hand out duplicate indices). The clamp must keep
+        // the overshoot bounded by the number of in-flight grabbers, while
+        // every poll still reports exhaustion.
+        let stats = Arc::new(SyncCounters::new());
+        let c = Arc::new(AtomicCounter::new(0..10, Arc::clone(&stats)));
+        const THREADS: usize = 4;
+        const POLLS: usize = 50_000;
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    while c.next().is_some() {}
+                    for _ in 0..POLLS {
+                        assert_eq!(c.next(), None);
+                        assert!(c.next_chunk(7).is_empty());
+                    }
+                });
+            }
+        });
+        let raw = c.value.load(Ordering::Relaxed);
+        assert!(
+            raw <= c.range.end + THREADS * 7,
+            "counter drifted to {raw} after exhaustion (end {})",
+            c.range.end
+        );
+        // Single-threaded quiescent poll leaves the value exactly clamped.
+        assert_eq!(c.next(), None);
+        assert_eq!(c.value.load(Ordering::Relaxed), c.range.end);
+        // The clamp itself is not instrumented: every logical grab (the
+        // exhausted polls included) counts exactly one getsub + one RMW.
+        let p = stats.snapshot();
+        assert_eq!(p.getsub_calls, p.atomic_rmws);
     }
 
     #[test]

@@ -13,7 +13,7 @@ use crate::lock::{RawLock, SleepLock};
 use crate::mode::{ConstructClass, SyncMode, SyncPolicy};
 use crate::queue::{LockedQueue, StealPool, TaskQueue, TicketDispenser, TreiberStack};
 use crate::reduce::{AtomicReducer, LockedReducer, ReduceF64, ReduceU64};
-use crate::stats::{SyncCounters, SyncProfile};
+use crate::stats::{Counter, SyncCounters, SyncProfile};
 use crate::trace::TraceSink;
 use std::fmt;
 use std::ops::Range;
@@ -38,8 +38,26 @@ impl SyncEnv {
         SyncEnv {
             policy: policy.into(),
             nthreads,
-            stats: Arc::new(SyncCounters::new()),
+            // One padded instrumentation lane per team member, so every
+            // thread's counter bumps stay on a thread-private cache line.
+            stats: Arc::new(SyncCounters::with_lanes(nthreads)),
         }
+    }
+
+    /// Replace the instrumentation block with one striped across `lanes`
+    /// padded lanes (the default is one lane per team member).
+    ///
+    /// `with_stat_lanes(1)` gives the single-shared-slot reference
+    /// configuration — striping must be observationally transparent, so a
+    /// kernel run under either configuration reports identical logical op
+    /// counts (the `striped_stats` integration test pins this down).
+    ///
+    /// Builder-style; call before creating any primitive and before
+    /// [`SyncEnv::with_trace`] (primitives capture the stats block at
+    /// construction).
+    pub fn with_stat_lanes(mut self, lanes: usize) -> SyncEnv {
+        self.stats = Arc::new(SyncCounters::with_lanes(lanes));
+        self
     }
 
     /// Attach a trace sink: every primitive created by this environment will
@@ -94,7 +112,7 @@ impl SyncEnv {
     /// Record `n` atomic read-modify-writes performed directly by kernel code
     /// (lock-free fine-grained updates that bypass the factory primitives).
     pub fn note_rmws(&self, n: u64) {
-        SyncCounters::add(&self.stats.atomic_rmws, n);
+        self.stats.add(Counter::AtomicRmws, n);
     }
 
     /// A phase barrier for the full team, per the barrier-class policy.

@@ -7,7 +7,7 @@
 //! these as column/block "done" signals.
 
 use crate::mode::ConstructClass;
-use crate::stats::SyncCounters;
+use crate::stats::{Counter, SyncCounters};
 use crate::trace::TraceEvent;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -60,8 +60,8 @@ impl PauseVar for CondvarFlag {
     fn wait(&self) {
         let mut s = self.set.lock().expect("flag mutex poisoned");
         if !*s {
-            SyncCounters::bump(&self.stats.flag_waits);
-            SyncCounters::timed(&self.stats.flag_wait_ns, || {
+            self.stats.bump(Counter::FlagWaits);
+            self.stats.timed(Counter::FlagWaitNs, || {
                 while !*s {
                     s = self.cv.wait(s).expect("flag mutex poisoned");
                 }
@@ -113,11 +113,11 @@ impl PauseVar for AtomicFlag {
     fn wait(&self) {
         const S: crate::spec::FlagSpec = crate::spec::FlagSpec::SPLASH4;
         if !self.set.load(S.wait_load) {
-            SyncCounters::bump(&self.stats.flag_waits);
-            SyncCounters::timed(&self.stats.flag_wait_ns, || {
-                let mut spins = 0u32;
+            self.stats.bump(Counter::FlagWaits);
+            self.stats.timed(Counter::FlagWaitNs, || {
+                let mut backoff = crate::backoff::Backoff::new();
                 while !self.set.load(S.wait_load) {
-                    crate::barrier::spin_wait(&mut spins);
+                    backoff.snooze();
                 }
             });
         }

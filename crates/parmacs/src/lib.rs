@@ -51,6 +51,7 @@
 #![warn(missing_debug_implementations)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
+pub mod backoff;
 pub mod barrier;
 pub mod counter;
 pub mod env;
@@ -60,6 +61,7 @@ pub mod lock;
 #[macro_use]
 pub mod macros;
 pub mod mode;
+pub mod pad;
 pub mod queue;
 pub mod reduce;
 pub mod rng;
@@ -69,6 +71,7 @@ pub mod team;
 pub mod trace;
 pub mod workload;
 
+pub use backoff::Backoff;
 pub use barrier::{Barrier, CondvarBarrier, SenseBarrier, TreeBarrier};
 pub use counter::{AtomicCounter, IndexCounter, LockedCounter};
 pub use env::{SyncEnv, WorkPool};
@@ -76,11 +79,12 @@ pub use flag::{AtomicFlag, CondvarFlag, PauseVar};
 pub use json::{Json, ToJson};
 pub use lock::{RawLock, SleepLock, TasLock, TicketLock};
 pub use mode::{ConstructClass, SyncMode, SyncPolicy};
+pub use pad::CachePadded;
 pub use queue::{LockedQueue, StealPool, TaskQueue, TicketDispenser, TreiberStack};
 pub use reduce::{AtomicF64, AtomicReducer, LockedReducer, ReduceF64, ReduceU64};
 pub use rng::SmallRng;
 pub use spec::{CasF64Spec, FlagSpec, SenseBarrierSpec, TicketSpec, TreiberSpec};
-pub use stats::{SyncCounters, SyncProfile};
+pub use stats::{Counter, SyncCounters, SyncProfile};
 pub use team::{chunk_range, current_tid, Team, TeamCtx};
 pub use trace::{NoopSink, TraceEvent, TraceSink};
 pub use workload::{Dispatch, PhaseSpec, WorkModel};

@@ -7,7 +7,7 @@
 //! modernization does not replace locks with better locks, it removes them,
 //! so the lock-free back-ends of the other modules never take these.
 
-use crate::stats::SyncCounters;
+use crate::stats::{Counter, SyncCounters};
 use crate::trace::{now_ns, TraceEvent};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -79,12 +79,12 @@ impl SleepLock {
 
 impl RawLock for SleepLock {
     fn acquire(&self) {
-        SyncCounters::bump(&self.stats.lock_acquires);
+        self.stats.bump(Counter::LockAcquires);
         let mut held = self.locked.lock().expect("lock mutex poisoned");
         let contended = *held;
         if *held {
-            SyncCounters::bump(&self.stats.lock_contended);
-            SyncCounters::timed(&self.stats.lock_wait_ns, || {
+            self.stats.bump(Counter::LockContended);
+            self.stats.timed(Counter::LockWaitNs, || {
                 while *held {
                     held = self.cv.wait(held).expect("lock mutex poisoned");
                 }
@@ -141,15 +141,15 @@ impl TicketLock {
 
 impl RawLock for TicketLock {
     fn acquire(&self) {
-        SyncCounters::bump(&self.stats.lock_acquires);
-        SyncCounters::bump(&self.stats.atomic_rmws);
+        self.stats.bump(Counter::LockAcquires);
+        self.stats.bump(Counter::AtomicRmws);
         let ticket = self.next_ticket.fetch_add(1, Ordering::AcqRel);
         if self.now_serving.load(Ordering::Acquire) != ticket {
-            SyncCounters::bump(&self.stats.lock_contended);
-            SyncCounters::timed(&self.stats.lock_wait_ns, || {
-                let mut spins = 0u32;
+            self.stats.bump(Counter::LockContended);
+            self.stats.timed(Counter::LockWaitNs, || {
+                let mut backoff = crate::backoff::Backoff::new();
                 while self.now_serving.load(Ordering::Acquire) != ticket {
-                    crate::barrier::spin_wait(&mut spins);
+                    backoff.snooze();
                 }
             });
         }
@@ -184,8 +184,8 @@ impl TasLock {
 
 impl RawLock for TasLock {
     fn acquire(&self) {
-        SyncCounters::bump(&self.stats.lock_acquires);
-        SyncCounters::bump(&self.stats.atomic_rmws);
+        self.stats.bump(Counter::LockAcquires);
+        self.stats.bump(Counter::AtomicRmws);
         if self
             .locked
             .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
@@ -193,15 +193,15 @@ impl RawLock for TasLock {
         {
             return;
         }
-        SyncCounters::bump(&self.stats.lock_contended);
-        SyncCounters::timed(&self.stats.lock_wait_ns, || {
-            let mut spins = 0u32;
+        self.stats.bump(Counter::LockContended);
+        self.stats.timed(Counter::LockWaitNs, || {
+            let mut backoff = crate::backoff::Backoff::new();
             loop {
                 // Test loop: spin on a plain load to avoid hammering the line.
                 while self.locked.load(Ordering::Relaxed) {
-                    crate::barrier::spin_wait(&mut spins);
+                    backoff.snooze();
                 }
-                SyncCounters::bump(&self.stats.atomic_rmws);
+                self.stats.bump(Counter::AtomicRmws);
                 if self
                     .locked
                     .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
@@ -209,7 +209,7 @@ impl RawLock for TasLock {
                 {
                     return;
                 }
-                SyncCounters::bump(&self.stats.cas_failures);
+                self.stats.bump(Counter::CasFailures);
             }
         });
     }

@@ -1,0 +1,83 @@
+//! Cache-line padding.
+//!
+//! [`CachePadded`] aligns (and therefore pads) its contents to 128 bytes —
+//! two 64-byte lines — so adjacent instances never share a cache line even
+//! on processors that prefetch line pairs (Intel's spatial prefetcher, and
+//! the 128-byte coherence granule on recent Apple/ARM parts). This is the
+//! standard false-sharing defence used by the Splash-4 runtime wherever
+//! per-thread or per-node hot words sit next to each other in an array:
+//! tree-barrier nodes, striped instrumentation lanes, and any future
+//! per-core scratch.
+
+use std::ops::{Deref, DerefMut};
+
+/// Pads and aligns `T` to 128 bytes to avoid false sharing.
+///
+/// `CachePadded<T>` derefs to `T`, so wrapped values are used exactly like
+/// bare ones; only their placement in memory changes.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Wrap `value` in alignment padding.
+    pub const fn new(value: T) -> CachePadded<T> {
+        CachePadded { value }
+    }
+
+    /// Unwrap, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(value: T) -> CachePadded<T> {
+        CachePadded::new(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn padded_values_are_line_sized_apart() {
+        let arr = [CachePadded::new(0u8), CachePadded::new(1u8)];
+        let a = &arr[0] as *const _ as usize;
+        let b = &arr[1] as *const _ as usize;
+        assert_eq!(b - a, 128);
+        assert_eq!(a % 128, 0);
+    }
+
+    #[test]
+    fn deref_roundtrip() {
+        let mut p = CachePadded::new(41u64);
+        *p += 1;
+        assert_eq!(*p, 42);
+        assert_eq!(p.into_inner(), 42);
+    }
+
+    #[test]
+    fn size_is_multiple_of_alignment() {
+        assert_eq!(std::mem::size_of::<CachePadded<u8>>(), 128);
+        assert_eq!(std::mem::size_of::<CachePadded<[u64; 12]>>(), 128);
+        assert_eq!(std::mem::size_of::<CachePadded<[u64; 17]>>(), 256);
+    }
+}

@@ -15,7 +15,7 @@
 
 use crate::lock::{RawLock, SleepLock};
 use crate::spec::{TicketSpec, TreiberSpec};
-use crate::stats::SyncCounters;
+use crate::stats::{Counter, SyncCounters};
 use crate::trace::TraceEvent;
 use std::collections::VecDeque;
 use std::fmt;
@@ -63,7 +63,7 @@ impl<T> LockedQueue<T> {
 
 impl<T: Send> TaskQueue<T> for LockedQueue<T> {
     fn push(&self, task: T) {
-        SyncCounters::bump(&self.stats.queue_ops);
+        self.stats.bump(Counter::QueueOps);
         self.stats.trace(TraceEvent::Enqueue);
         self.lock.acquire();
         // SAFETY: lock held.
@@ -72,7 +72,7 @@ impl<T: Send> TaskQueue<T> for LockedQueue<T> {
     }
 
     fn pop(&self) -> Option<T> {
-        SyncCounters::bump(&self.stats.queue_ops);
+        self.stats.bump(Counter::QueueOps);
         self.stats.trace(TraceEvent::Dequeue);
         self.lock.acquire();
         // SAFETY: lock held.
@@ -145,7 +145,7 @@ impl<T> TreiberStack<T> {
 impl<T: Send> TaskQueue<T> for TreiberStack<T> {
     fn push(&self, task: T) {
         const S: TreiberSpec = TreiberSpec::SPLASH4;
-        SyncCounters::bump(&self.stats.queue_ops);
+        self.stats.bump(Counter::QueueOps);
         self.stats.trace(TraceEvent::Enqueue);
         let node = Box::into_raw(Box::new(Node {
             value: ManuallyDrop::new(task),
@@ -155,14 +155,14 @@ impl<T: Send> TaskQueue<T> for TreiberStack<T> {
         loop {
             // SAFETY: node not yet published; we own it.
             unsafe { (*node).next = cur };
-            SyncCounters::bump(&self.stats.atomic_rmws);
+            self.stats.bump(Counter::AtomicRmws);
             match self
                 .head
                 .compare_exchange_weak(cur, node, S.push_cas_ok, S.push_cas_fail)
             {
                 Ok(_) => break,
                 Err(actual) => {
-                    SyncCounters::bump(&self.stats.cas_failures);
+                    self.stats.bump(Counter::CasFailures);
                     cur = actual;
                 }
             }
@@ -172,7 +172,7 @@ impl<T: Send> TaskQueue<T> for TreiberStack<T> {
 
     fn pop(&self) -> Option<T> {
         const S: TreiberSpec = TreiberSpec::SPLASH4;
-        SyncCounters::bump(&self.stats.queue_ops);
+        self.stats.bump(Counter::QueueOps);
         self.stats.trace(TraceEvent::Dequeue);
         let mut cur = self.head.load(S.pop_load);
         loop {
@@ -183,7 +183,7 @@ impl<T: Send> TaskQueue<T> for TreiberStack<T> {
             // stack is alive (retire-until-drop), so reading `next` from a
             // stale head is safe even if another thread popped it first.
             let next = unsafe { (*cur).next };
-            SyncCounters::bump(&self.stats.atomic_rmws);
+            self.stats.bump(Counter::AtomicRmws);
             match self
                 .head
                 .compare_exchange_weak(cur, next, S.pop_cas_ok, S.pop_cas_fail)
@@ -197,7 +197,7 @@ impl<T: Send> TaskQueue<T> for TreiberStack<T> {
                     return Some(value);
                 }
                 Err(actual) => {
-                    SyncCounters::bump(&self.stats.cas_failures);
+                    self.stats.bump(Counter::CasFailures);
                     cur = actual;
                 }
             }
@@ -264,8 +264,8 @@ impl<T: Sync> TicketDispenser<T> {
 
     /// Claim the next task, or `None` when all are claimed.
     pub fn claim(&self) -> Option<&T> {
-        SyncCounters::bump(&self.stats.queue_ops);
-        SyncCounters::bump(&self.stats.atomic_rmws);
+        self.stats.bump(Counter::QueueOps);
+        self.stats.bump(Counter::AtomicRmws);
         self.stats.trace(TraceEvent::Dequeue);
         let i = self.next.fetch_add(1, TicketSpec::SPLASH4.claim_rmw);
         self.tasks.get(i)

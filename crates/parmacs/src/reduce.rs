@@ -9,7 +9,7 @@
 
 use crate::lock::{RawLock, SleepLock};
 use crate::mode::ConstructClass;
-use crate::stats::SyncCounters;
+use crate::stats::{Counter, SyncCounters};
 use crate::trace::TraceEvent;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -65,7 +65,7 @@ impl LockedReducer {
     }
 
     fn update(&self, f: impl FnOnce(&mut f64, &mut u64)) {
-        SyncCounters::bump(&self.stats.reduce_ops);
+        self.stats.bump(Counter::ReduceOps);
         self.stats.trace(TraceEvent::Rmw {
             class: ConstructClass::Reduction,
             n: 1,
@@ -150,7 +150,7 @@ impl AtomicF64 {
     /// Apply `f` atomically via a compare-exchange loop.
     pub fn fetch_update(&self, f: impl Fn(f64) -> f64) {
         const S: crate::spec::CasF64Spec = crate::spec::CasF64Spec::SPLASH4;
-        SyncCounters::bump(&self.stats.atomic_rmws);
+        self.stats.bump(Counter::AtomicRmws);
         let mut cur = self.bits.load(S.load);
         loop {
             let new = f(f64::from_bits(cur)).to_bits();
@@ -160,8 +160,8 @@ impl AtomicF64 {
             {
                 Ok(_) => return,
                 Err(actual) => {
-                    SyncCounters::bump(&self.stats.cas_failures);
-                    SyncCounters::bump(&self.stats.atomic_rmws);
+                    self.stats.bump(Counter::CasFailures);
+                    self.stats.bump(Counter::AtomicRmws);
                     cur = actual;
                 }
             }
@@ -212,7 +212,7 @@ impl AtomicReducer {
 
 impl ReduceF64 for AtomicReducer {
     fn add(&self, v: f64) {
-        SyncCounters::bump(&self.stats.reduce_ops);
+        self.stats.bump(Counter::ReduceOps);
         self.stats.trace(TraceEvent::Rmw {
             class: ConstructClass::Reduction,
             n: 1,
@@ -220,7 +220,7 @@ impl ReduceF64 for AtomicReducer {
         self.float.add(v);
     }
     fn max(&self, v: f64) {
-        SyncCounters::bump(&self.stats.reduce_ops);
+        self.stats.bump(Counter::ReduceOps);
         self.stats.trace(TraceEvent::Rmw {
             class: ConstructClass::Reduction,
             n: 1,
@@ -228,7 +228,7 @@ impl ReduceF64 for AtomicReducer {
         self.float.fetch_update(|x| x.max(v));
     }
     fn min(&self, v: f64) {
-        SyncCounters::bump(&self.stats.reduce_ops);
+        self.stats.bump(Counter::ReduceOps);
         self.stats.trace(TraceEvent::Rmw {
             class: ConstructClass::Reduction,
             n: 1,
@@ -245,8 +245,8 @@ impl ReduceF64 for AtomicReducer {
 
 impl ReduceU64 for AtomicReducer {
     fn add(&self, v: u64) {
-        SyncCounters::bump(&self.stats.reduce_ops);
-        SyncCounters::bump(&self.stats.atomic_rmws);
+        self.stats.bump(Counter::ReduceOps);
+        self.stats.bump(Counter::AtomicRmws);
         self.stats.trace(TraceEvent::Rmw {
             class: ConstructClass::Reduction,
             n: 1,

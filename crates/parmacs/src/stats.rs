@@ -7,53 +7,96 @@
 //! barriers, flags, queue blocking) where the cost of two `Instant::now`
 //! calls is negligible relative to the operation itself.
 //!
+//! # Striping
+//!
+//! The counters are *striped*: the block holds one cache-line-padded lane of
+//! counters per team member (see [`CachePadded`](crate::pad::CachePadded)),
+//! and each increment lands in the lane indexed by the calling thread's
+//! [`current_tid`]. A shared flat block would make every sync op from every
+//! thread RMW the *same* cache lines — exactly the contended-line ping-pong
+//! (60–130 ns per access on current server parts) that the instrumentation
+//! is supposed to measure, not cause. With striping, `bump`/`add`/`timed`
+//! are uncontended relaxed increments on a thread-private line, and
+//! [`SyncCounters::snapshot`] folds the lanes on read. Logical counts are
+//! striping-invariant: the fold of N lanes equals what a single shared slot
+//! would have accumulated.
+//!
+//! Threads beyond the registered lane count (oversubscription, or threads
+//! outside any [`Team`](crate::Team)) wrap onto existing lanes — counts stay
+//! exact, only the no-sharing guarantee degrades.
+//!
 //! The harness snapshots the counters into a serializable [`SyncProfile`]
 //! which feeds the paper's `T2-changes`, `T3-syncops` and `F5-sync-breakdown`
 //! artifacts, and parameterizes the timing-simulator workload models.
 
 use crate::json::{Json, ToJson};
+use crate::pad::CachePadded;
 use crate::team::current_tid;
 use crate::trace::{TraceEvent, TraceSink};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
-/// Shared instrumentation block. Cheap to bump from many threads; all fields
-/// are monotonically increasing dynamic-operation counters.
+/// Names one instrumentation counter inside a [`SyncCounters`] block.
+///
+/// The discriminant is the counter's slot index within a lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Counter {
+    /// Lock acquisitions (sleeping locks only; spin locks count here too).
+    LockAcquires = 0,
+    /// Lock acquisitions that found the lock held (slow path taken).
+    LockContended = 1,
+    /// Nanoseconds spent acquiring locks (slow path only).
+    LockWaitNs = 2,
+    /// Barrier episodes *per thread* (N threads crossing once = N).
+    BarrierWaits = 3,
+    /// Nanoseconds spent waiting at barriers, summed over threads.
+    BarrierWaitNs = 4,
+    /// Atomic read-modify-write operations issued by lock-free back-ends
+    /// (fetch_add, CAS attempts, exchanges). CAS retries count individually.
+    AtomicRmws = 5,
+    /// `GETSUB`-style dynamic index grabs (both back-ends).
+    GetsubCalls = 6,
+    /// Reduction contributions (both back-ends).
+    ReduceOps = 7,
+    /// Pause/flag waits that actually blocked or spun.
+    FlagWaits = 8,
+    /// Nanoseconds spent waiting on flags.
+    FlagWaitNs = 9,
+    /// Task-queue operations (push + pop attempts, both back-ends).
+    QueueOps = 10,
+    /// CAS failures (retries) observed in lock-free loops; a proxy for
+    /// cache-line contention intensity.
+    CasFailures = 11,
+}
+
+/// Number of distinct counters per lane.
+pub const NUM_COUNTERS: usize = 12;
+
+/// One striping lane: all twelve counters for one thread, padded so adjacent
+/// lanes never share a cache line. 12 × 8 = 96 bytes of payload fits one
+/// 128-byte padding granule, so a lane costs exactly one aligned slot.
+type Lane = CachePadded<[AtomicU64; NUM_COUNTERS]>;
+
+fn zero_lane() -> Lane {
+    CachePadded::new(std::array::from_fn(|_| AtomicU64::new(0)))
+}
+
+/// Shared instrumentation block. Cheap to bump from many threads; all
+/// counters are monotonically increasing dynamic-operation tallies, striped
+/// across per-thread lanes (see module docs) and folded on
+/// [`snapshot`](SyncCounters::snapshot).
 ///
 /// The block also carries the (optional) trace sink and the barrier-id
 /// allocator, so every primitive that already holds an
 /// `Arc<SyncCounters>` can emit [`TraceEvent`]s without signature changes.
 /// Tracing never touches the counters themselves: `T3-syncops` counts are
 /// identical with and without a sink attached.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct SyncCounters {
-    /// Lock acquisitions (sleeping locks only; spin locks count here too).
-    pub lock_acquires: AtomicU64,
-    /// Lock acquisitions that found the lock held (slow path taken).
-    pub lock_contended: AtomicU64,
-    /// Nanoseconds spent acquiring locks (slow path only).
-    pub lock_wait_ns: AtomicU64,
-    /// Barrier episodes *per thread* (N threads crossing once = N).
-    pub barrier_waits: AtomicU64,
-    /// Nanoseconds spent waiting at barriers, summed over threads.
-    pub barrier_wait_ns: AtomicU64,
-    /// Atomic read-modify-write operations issued by lock-free back-ends
-    /// (fetch_add, CAS attempts, exchanges). CAS retries count individually.
-    pub atomic_rmws: AtomicU64,
-    /// `GETSUB`-style dynamic index grabs (both back-ends).
-    pub getsub_calls: AtomicU64,
-    /// Reduction contributions (both back-ends).
-    pub reduce_ops: AtomicU64,
-    /// Pause/flag waits that actually blocked or spun.
-    pub flag_waits: AtomicU64,
-    /// Nanoseconds spent waiting on flags.
-    pub flag_wait_ns: AtomicU64,
-    /// Task-queue operations (push + pop attempts, both back-ends).
-    pub queue_ops: AtomicU64,
-    /// CAS failures (retries) observed in lock-free loops; a proxy for
-    /// cache-line contention intensity.
-    pub cas_failures: AtomicU64,
+    /// Per-thread counter lanes; indexed by `current_tid() % lanes.len()`.
+    lanes: Box<[Lane]>,
     /// Attached trace sink, if any (see
     /// [`SyncEnv::with_trace`](crate::SyncEnv::with_trace)). Write-once.
     tracer: OnceLock<Arc<dyn TraceSink>>,
@@ -61,31 +104,76 @@ pub struct SyncCounters {
     next_barrier_id: AtomicU64,
 }
 
+impl Default for SyncCounters {
+    fn default() -> SyncCounters {
+        SyncCounters::new()
+    }
+}
+
 impl SyncCounters {
-    /// Fresh, zeroed counter block.
+    /// Lanes allocated by [`SyncCounters::new`] when no team size is known.
+    /// Covers the thread counts used by direct-construction tests; larger
+    /// teams should size explicitly via [`SyncCounters::with_lanes`].
+    pub const DEFAULT_LANES: usize = 8;
+
+    /// Fresh, zeroed counter block with [`Self::DEFAULT_LANES`] lanes.
     pub fn new() -> SyncCounters {
-        SyncCounters::default()
+        SyncCounters::with_lanes(Self::DEFAULT_LANES)
     }
 
-    /// Increment an instrumentation counter by one (relaxed).
-    #[inline]
-    pub fn bump(field: &AtomicU64) {
-        field.fetch_add(1, Ordering::Relaxed);
+    /// Fresh, zeroed counter block with one padded lane per expected team
+    /// member. `lanes` is clamped to at least 1; a 1-lane block degenerates
+    /// to the classic single shared slot (useful as a striping-off
+    /// reference).
+    pub fn with_lanes(lanes: usize) -> SyncCounters {
+        let lanes = lanes.max(1);
+        SyncCounters {
+            lanes: (0..lanes).map(|_| zero_lane()).collect(),
+            tracer: OnceLock::new(),
+            next_barrier_id: AtomicU64::new(0),
+        }
     }
 
-    /// Increment an instrumentation counter by `n` (relaxed).
-    #[inline]
-    pub fn add(field: &AtomicU64, n: u64) {
-        field.fetch_add(n, Ordering::Relaxed);
+    /// Number of striping lanes in this block.
+    pub fn lanes(&self) -> usize {
+        self.lanes.len()
     }
 
-    /// Time `f`, adding the elapsed nanoseconds to `ns_field`.
+    /// The calling thread's lane.
     #[inline]
-    pub fn timed<T>(ns_field: &AtomicU64, f: impl FnOnce() -> T) -> T {
+    fn lane(&self) -> &[AtomicU64; NUM_COUNTERS] {
+        // `current_tid()` is the team index set by `Team::run`, 0 outside a
+        // team; the modulo wraps oversubscribed tids onto existing lanes.
+        &self.lanes[current_tid() % self.lanes.len()]
+    }
+
+    /// Increment `counter` by one (relaxed, thread-private lane).
+    #[inline]
+    pub fn bump(&self, counter: Counter) {
+        self.lane()[counter as usize].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increment `counter` by `n` (relaxed, thread-private lane).
+    #[inline]
+    pub fn add(&self, counter: Counter, n: u64) {
+        self.lane()[counter as usize].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Time `f`, adding the elapsed nanoseconds to `counter`.
+    #[inline]
+    pub fn timed<T>(&self, counter: Counter, f: impl FnOnce() -> T) -> T {
         let t0 = Instant::now();
         let out = f();
-        Self::add(ns_field, t0.elapsed().as_nanos() as u64);
+        self.add(counter, t0.elapsed().as_nanos() as u64);
         out
+    }
+
+    /// Fold one counter across all lanes.
+    fn fold(&self, counter: Counter) -> u64 {
+        self.lanes
+            .iter()
+            .map(|lane| lane[counter as usize].load(Ordering::Relaxed))
+            .sum()
     }
 
     /// Attach `sink`; every subsequent sync op on primitives sharing this
@@ -114,21 +202,21 @@ impl SyncCounters {
         self.next_barrier_id.fetch_add(1, Ordering::Relaxed) as u32
     }
 
-    /// Immutable snapshot of all counters.
+    /// Immutable snapshot of all counters, folded across lanes.
     pub fn snapshot(&self) -> SyncProfile {
         SyncProfile {
-            lock_acquires: self.lock_acquires.load(Ordering::Relaxed),
-            lock_contended: self.lock_contended.load(Ordering::Relaxed),
-            lock_wait_ns: self.lock_wait_ns.load(Ordering::Relaxed),
-            barrier_waits: self.barrier_waits.load(Ordering::Relaxed),
-            barrier_wait_ns: self.barrier_wait_ns.load(Ordering::Relaxed),
-            atomic_rmws: self.atomic_rmws.load(Ordering::Relaxed),
-            getsub_calls: self.getsub_calls.load(Ordering::Relaxed),
-            reduce_ops: self.reduce_ops.load(Ordering::Relaxed),
-            flag_waits: self.flag_waits.load(Ordering::Relaxed),
-            flag_wait_ns: self.flag_wait_ns.load(Ordering::Relaxed),
-            queue_ops: self.queue_ops.load(Ordering::Relaxed),
-            cas_failures: self.cas_failures.load(Ordering::Relaxed),
+            lock_acquires: self.fold(Counter::LockAcquires),
+            lock_contended: self.fold(Counter::LockContended),
+            lock_wait_ns: self.fold(Counter::LockWaitNs),
+            barrier_waits: self.fold(Counter::BarrierWaits),
+            barrier_wait_ns: self.fold(Counter::BarrierWaitNs),
+            atomic_rmws: self.fold(Counter::AtomicRmws),
+            getsub_calls: self.fold(Counter::GetsubCalls),
+            reduce_ops: self.fold(Counter::ReduceOps),
+            flag_waits: self.fold(Counter::FlagWaits),
+            flag_wait_ns: self.fold(Counter::FlagWaitNs),
+            queue_ops: self.fold(Counter::QueueOps),
+            cas_failures: self.fold(Counter::CasFailures),
         }
     }
 }
@@ -261,13 +349,14 @@ impl ToJson for SyncProfile {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::team::Team;
 
     #[test]
     fn snapshot_reflects_bumps() {
         let c = SyncCounters::new();
-        SyncCounters::bump(&c.lock_acquires);
-        SyncCounters::add(&c.atomic_rmws, 41);
-        SyncCounters::bump(&c.atomic_rmws);
+        c.bump(Counter::LockAcquires);
+        c.add(Counter::AtomicRmws, 41);
+        c.bump(Counter::AtomicRmws);
         let p = c.snapshot();
         assert_eq!(p.lock_acquires, 1);
         assert_eq!(p.atomic_rmws, 42);
@@ -277,12 +366,50 @@ mod tests {
     #[test]
     fn timed_accumulates_nanoseconds() {
         let c = SyncCounters::new();
-        let out = SyncCounters::timed(&c.lock_wait_ns, || {
+        let out = c.timed(Counter::LockWaitNs, || {
             std::thread::sleep(std::time::Duration::from_millis(2));
             7
         });
         assert_eq!(out, 7);
-        assert!(c.lock_wait_ns.load(Ordering::Relaxed) >= 1_000_000);
+        assert!(c.snapshot().lock_wait_ns >= 1_000_000);
+    }
+
+    #[test]
+    fn fold_sums_all_lanes() {
+        // Bumps from a full team land in distinct lanes; the snapshot fold
+        // must equal what one shared slot would have counted.
+        const PER_THREAD: u64 = 1000;
+        let c = SyncCounters::with_lanes(4);
+        Team::new(4).run(|_| {
+            for _ in 0..PER_THREAD {
+                c.bump(Counter::QueueOps);
+            }
+        });
+        assert_eq!(c.snapshot().queue_ops, 4 * PER_THREAD);
+    }
+
+    #[test]
+    fn oversubscribed_tids_wrap_onto_lanes_without_losing_counts() {
+        // More team members than registered lanes: counts stay exact.
+        const PER_THREAD: u64 = 500;
+        let c = SyncCounters::with_lanes(2);
+        Team::new(7).run(|_| {
+            for _ in 0..PER_THREAD {
+                c.bump(Counter::ReduceOps);
+            }
+        });
+        assert_eq!(c.lanes(), 2);
+        assert_eq!(c.snapshot().reduce_ops, 7 * PER_THREAD);
+    }
+
+    #[test]
+    fn single_lane_degenerates_to_shared_slot() {
+        let c = SyncCounters::with_lanes(1);
+        Team::new(3).run(|_| c.bump(Counter::GetsubCalls));
+        assert_eq!(c.lanes(), 1);
+        assert_eq!(c.snapshot().getsub_calls, 3);
+        // Requesting zero lanes still yields a usable block.
+        assert_eq!(SyncCounters::with_lanes(0).lanes(), 1);
     }
 
     #[test]

@@ -9,6 +9,24 @@
 //! for sense/tree barriers, a serialized wake-up chain for condvar barriers.
 //!
 //! The engine is deterministic: ties in virtual time are broken by core id.
+//!
+//! # Implementation
+//!
+//! Each core has exactly *one* outstanding event (its next ready time), so
+//! the classic `BinaryHeap` event queue is overkill: [`Engine`] keeps a flat
+//! `ready[core]` array (parked and finished cores at `u64::MAX`) and picks
+//! the next event with a linear min-scan at small core counts, switching to
+//! a flat winner (tournament) tree above [`SCAN_CORES_MAX`] cores — O(1)
+//! dispatch from the root, O(log p) per retime, one O(p) rebuild per barrier
+//! release — while preserving the lowest-core-wins tie-break exactly.
+//! Unlike the heap, neither path ever allocates or moves `(time, core)`
+//! tuples through sift-up/sift-down. All per-run state (`ready`, program
+//! counters, per-core breakdowns, server clocks, barrier episodes) lives in
+//! reusable scratch buffers inside the `Engine`, so a core-count sweep
+//! allocates nothing in the event loop. The original heap-based engine is
+//! preserved as [`run_reference`]; the equivalence tests and the
+//! `splash4-report --bench` harness hold the two implementations
+//! result-identical while measuring the speedup.
 
 use crate::machine::MachineParams;
 use crate::program::{BarrierKind, Op, Program};
@@ -71,20 +89,382 @@ impl SimResult {
     }
 }
 
-#[derive(Debug)]
-struct BarrierState {
-    kind: BarrierKind,
+/// Number of tree-barrier combining levels for `n` participants (arity 4,
+/// minimum one level) — mirrors `TreeBarrier` in the runtime.
+fn tree_levels(n: usize) -> u64 {
+    let mut levels = 0u64;
+    let mut w = n;
+    while w > 1 {
+        w = w.div_ceil(4);
+        levels += 1;
+    }
+    levels.max(1)
+}
+
+/// A core that is parked (at a barrier) or finished: never selected by the
+/// min-scan.
+const NEVER: u64 = u64::MAX;
+
+/// One barrier's episode state (reused across runs; `arrived` keeps its
+/// capacity).
+#[derive(Debug, Default)]
+struct BarrierScratch {
+    kind: Option<BarrierKind>,
     /// (core, arrival_time, arrival_done_time) of the current episode.
     arrived: Vec<(usize, u64, u64)>,
     /// Arrival-serialization server (sense counter line / condvar mutex).
     server_free: u64,
 }
 
-/// Run `program` on `machine`.
+/// Core counts up to this use the linear min-scan; above it the winner tree
+/// takes over (the scan's O(p) per event loses to O(log p) around here).
+const SCAN_CORES_MAX: usize = 16;
+
+/// Reusable simulation engine: owns every per-run buffer, so repeated
+/// [`Engine::run`] calls (a 1–64-core sweep, a repeat-capped phase loop)
+/// perform no allocation inside the event loop and only grow — never
+/// reallocate — their scratch.
+#[derive(Debug, Default)]
+pub struct Engine {
+    /// Next ready time per core; [`NEVER`] = parked or finished.
+    ready: Vec<u64>,
+    /// Next op index per core.
+    pc: Vec<usize>,
+    /// Per-core attribution being accumulated.
+    breakdown: Vec<CoreBreakdown>,
+    /// FCFS free-at times per shared server.
+    servers: Vec<u64>,
+    /// Per-barrier episode state.
+    barriers: Vec<BarrierScratch>,
+    /// Winner-tree node times (implicit binary tree, leaves at
+    /// `tsize..tsize+p`); only maintained when `p > SCAN_CORES_MAX`.
+    tree: Vec<u64>,
+    /// Winning core per winner-tree node.
+    tree_win: Vec<u32>,
+    /// Winner-tree leaf offset (next power of two ≥ p).
+    tsize: usize,
+    /// Flattened op streams, all cores back to back, with runs of adjacent
+    /// `Compute` ops fused into one (identical timing: back-to-back local
+    /// compute interacts with nothing, so the intermediate event is pure
+    /// queue traffic). `pc[c]` indexes into this buffer.
+    ops: Vec<Op>,
+    /// Per-core end-of-stream index into `ops`.
+    stream_end: Vec<usize>,
+}
+
+impl Engine {
+    /// Fresh engine with empty scratch (grown on first use).
+    pub fn new() -> Engine {
+        Engine::default()
+    }
+
+    /// Reset scratch for a program with `p` cores, `nservers` servers and
+    /// the given barrier kinds, growing buffers as needed.
+    fn reset(&mut self, p: usize, nservers: usize, kinds: &[BarrierKind]) {
+        self.ready.clear();
+        self.ready.resize(p, 0);
+        self.pc.clear();
+        self.pc.resize(p, 0);
+        self.breakdown.clear();
+        self.breakdown.resize(p, CoreBreakdown::default());
+        self.servers.clear();
+        self.servers.resize(nservers, 0);
+        if self.barriers.len() < kinds.len() {
+            self.barriers
+                .resize_with(kinds.len(), BarrierScratch::default);
+        }
+        for (b, &kind) in self.barriers.iter_mut().zip(kinds) {
+            b.kind = Some(kind);
+            b.arrived.clear();
+            b.server_free = 0;
+        }
+        if p > SCAN_CORES_MAX {
+            self.tsize = p.next_power_of_two();
+            self.tree.clear();
+            self.tree.resize(2 * self.tsize, NEVER);
+            self.tree_win.clear();
+            self.tree_win.resize(2 * self.tsize, 0);
+            self.tree_rebuild();
+        } else {
+            self.tsize = 0;
+        }
+    }
+
+    /// Retime `core`, keeping the winner tree (when active) in sync.
+    #[inline]
+    fn set_ready(&mut self, core: usize, v: u64) {
+        self.ready[core] = v;
+        if self.tsize > 0 {
+            self.tree_update(core, v);
+        }
+    }
+
+    /// Recompute the whole winner tree from `ready` (used after barrier
+    /// releases, which retime many cores at once — one O(2p) rebuild beats
+    /// p separate O(log p) leaf updates).
+    fn tree_rebuild(&mut self) {
+        let n = self.tsize;
+        for c in 0..n {
+            self.tree[n + c] = self.ready.get(c).copied().unwrap_or(NEVER);
+            self.tree_win[n + c] = c as u32;
+        }
+        for i in (1..n).rev() {
+            let (l, r) = (2 * i, 2 * i + 1);
+            // `<=` keeps the left (lower-index) child on ties — exactly the
+            // lowest-core-wins tie-break of the scan and the heap reference.
+            if self.tree[l] <= self.tree[r] {
+                self.tree[i] = self.tree[l];
+                self.tree_win[i] = self.tree_win[l];
+            } else {
+                self.tree[i] = self.tree[r];
+                self.tree_win[i] = self.tree_win[r];
+            }
+        }
+    }
+
+    /// Retime one leaf and replay its path to the root.
+    #[inline]
+    fn tree_update(&mut self, core: usize, v: u64) {
+        let mut i = self.tsize + core;
+        self.tree[i] = v;
+        i /= 2;
+        while i >= 1 {
+            let (l, r) = (2 * i, 2 * i + 1);
+            if self.tree[l] <= self.tree[r] {
+                self.tree[i] = self.tree[l];
+                self.tree_win[i] = self.tree_win[l];
+            } else {
+                self.tree[i] = self.tree[r];
+                self.tree_win[i] = self.tree_win[r];
+            }
+            i /= 2;
+        }
+    }
+
+    /// Run `program` on `machine`.
+    ///
+    /// Identical results to [`run_reference`] (the original heap-based
+    /// engine), asserted by the equivalence test battery.
+    ///
+    /// # Panics
+    /// Panics if the program fails [`Program::validate`].
+    pub fn run(&mut self, program: &Program, machine: &MachineParams) -> SimResult {
+        program
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid program: {e}"));
+        let p = program.ncores();
+        let nservers = program
+            .cores
+            .iter()
+            .flatten()
+            .filter_map(|op| match op {
+                Op::Access { server, .. } => Some(*server as usize + 1),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0);
+        self.reset(p, nservers, &program.barriers);
+
+        // Flatten the per-core op vectors into one contiguous fused stream:
+        // one cache-friendly buffer instead of p separately-allocated
+        // vectors, and every run of adjacent `Compute` ops collapses into a
+        // single event (event fusion — the dominant op in model-expanded
+        // programs, where each batch contributes back-to-back compute).
+        self.ops.clear();
+        self.stream_end.clear();
+        for (c, core_ops) in program.cores.iter().enumerate() {
+            let start = self.ops.len();
+            self.pc[c] = start;
+            for &op in core_ops {
+                if self.ops.len() > start {
+                    if let (Op::Compute { ns }, Some(Op::Compute { ns: acc })) =
+                        (op, self.ops.last_mut())
+                    {
+                        *acc += ns;
+                        continue;
+                    }
+                }
+                self.ops.push(op);
+            }
+            self.stream_end.push(self.ops.len());
+        }
+
+        loop {
+            // Next event: earliest ready core, lowest id on ties. At small
+            // core counts a linear scan over the `ready` array is a handful
+            // of cache lines and beats any tree; past SCAN_CORES_MAX the
+            // winner tree answers from its root in O(1) and absorbs retimes
+            // in O(log p). Both break ties toward the lowest core id.
+            let (t, core) = if self.tsize > 0 {
+                let t = self.tree[1];
+                if t == NEVER {
+                    break;
+                }
+                (t, self.tree_win[1] as usize)
+            } else {
+                let mut t = NEVER;
+                let mut core = usize::MAX;
+                for (c, &r) in self.ready.iter().enumerate() {
+                    if r < t {
+                        t = r;
+                        core = c;
+                    }
+                }
+                if core == usize::MAX {
+                    break;
+                }
+                (t, core)
+            };
+            let i = self.pc[core];
+            if i >= self.stream_end[core] {
+                let b = &mut self.breakdown[core];
+                b.end_ns = b.end_ns.max(t);
+                self.set_ready(core, NEVER);
+                continue;
+            }
+            let op = self.ops[i];
+            self.pc[core] = i + 1;
+            match op {
+                Op::Compute { ns } => {
+                    self.breakdown[core].compute_ns += ns;
+                    self.set_ready(core, t + ns);
+                }
+                Op::Access {
+                    server,
+                    n,
+                    service_ns,
+                    local_ns,
+                    contended_ns,
+                } => {
+                    let free = &mut self.servers[server as usize];
+                    let start = (*free).max(t);
+                    let queue_wait = start - t;
+                    let busy = start > t;
+                    // A contended sleeping lock hands off through a futex
+                    // wake, during which the lock is effectively occupied:
+                    // the penalty extends the server's busy window (convoy
+                    // formation), not just this core's latency.
+                    let penalty = if busy { n * contended_ns } else { 0 };
+                    let service_total = n * service_ns + penalty;
+                    *free = start + service_total;
+                    let local_total = n * local_ns;
+                    let b = &mut self.breakdown[core];
+                    b.wait_ns += queue_wait + penalty;
+                    b.service_ns += n * service_ns;
+                    b.sync_local_ns += local_total;
+                    self.set_ready(core, start + service_total + local_total);
+                }
+                Op::Barrier { id } => {
+                    let bar = &mut self.barriers[id as usize];
+                    let kind = bar.kind.expect("barrier scratch not initialized");
+                    // Arrival cost by kind.
+                    let arr_done = match kind {
+                        BarrierKind::Sense => {
+                            let service = if p > 1 {
+                                machine.rmw_service_ns
+                            } else {
+                                machine.rmw_local_ns
+                            };
+                            let start = bar.server_free.max(t);
+                            bar.server_free = start + service;
+                            start + service
+                        }
+                        BarrierKind::Condvar => {
+                            let start = bar.server_free.max(t);
+                            bar.server_free = start + machine.lock_pair_ns;
+                            start + machine.lock_pair_ns
+                        }
+                        BarrierKind::Tree => t + tree_levels(p) * machine.rmw_local_ns,
+                    };
+                    bar.arrived.push((core, t, arr_done));
+                    if bar.arrived.len() < p {
+                        // Parked — resumed when the last core arrives.
+                        self.set_ready(core, NEVER);
+                        continue;
+                    }
+                    // Release the episode (in place: `arrived` keeps its
+                    // capacity for the next episode).
+                    let last = bar.arrived.iter().map(|&(_, _, d)| d).max().unwrap_or(t);
+                    match kind {
+                        BarrierKind::Sense => {
+                            let resume = last + machine.line_transfer_ns;
+                            for &(c, at, _) in &bar.arrived {
+                                self.breakdown[c].barrier_ns += resume - at;
+                                self.ready[c] = resume;
+                            }
+                        }
+                        BarrierKind::Tree => {
+                            let resume = last + tree_levels(p) * machine.line_transfer_ns;
+                            for &(c, at, _) in &bar.arrived {
+                                self.breakdown[c].barrier_ns += resume - at;
+                                self.ready[c] = resume;
+                            }
+                        }
+                        BarrierKind::Condvar => {
+                            // The final arriver proceeds immediately;
+                            // sleepers wake one at a time, in arrival order.
+                            // In-place unstable sort: keys are unique (core
+                            // ids differ), so stability is irrelevant and no
+                            // merge-sort scratch is allocated per episode.
+                            bar.arrived.sort_unstable_by_key(|&(c, at, _)| (at, c));
+                            let n_sleepers = bar.arrived.len().saturating_sub(1);
+                            for (rank, &(c, at, _)) in bar.arrived.iter().enumerate() {
+                                let resume = if rank == n_sleepers {
+                                    last + machine.lock_pair_ns
+                                } else {
+                                    last + (rank as u64 + 1) * machine.condvar_wake_ns
+                                };
+                                self.breakdown[c].barrier_ns += resume - at;
+                                self.ready[c] = resume;
+                            }
+                        }
+                    }
+                    bar.arrived.clear();
+                    // A release retimes every core at once: one flat rebuild
+                    // instead of p root-walks.
+                    if self.tsize > 0 {
+                        self.tree_rebuild();
+                    }
+                }
+            }
+        }
+
+        let total_ns = self.breakdown.iter().map(|b| b.end_ns).max().unwrap_or(0);
+        SimResult {
+            name: program.name.clone(),
+            machine: machine.name.to_string(),
+            ncores: p,
+            total_ns,
+            cores: self.breakdown.clone(),
+        }
+    }
+}
+
+/// Run `program` on `machine` with a fresh [`Engine`].
+///
+/// Sweeps and repeated calls should hold an [`Engine`] (or a
+/// [`Simulator`](crate::Simulator)) to reuse its scratch buffers.
 ///
 /// # Panics
 /// Panics if the program fails [`Program::validate`].
 pub fn run(program: &Program, machine: &MachineParams) -> SimResult {
+    Engine::new().run(program, machine)
+}
+
+/// The original heap-based engine, preserved verbatim as the reference
+/// implementation: the equivalence tests pin [`Engine::run`] to its results,
+/// and `splash4-report --bench` measures the new engine's speedup against it.
+///
+/// # Panics
+/// Panics if the program fails [`Program::validate`].
+pub fn run_reference(program: &Program, machine: &MachineParams) -> SimResult {
+    #[derive(Debug)]
+    struct BarrierState {
+        kind: BarrierKind,
+        arrived: Vec<(usize, u64, u64)>,
+        server_free: u64,
+    }
+
     program
         .validate()
         .unwrap_or_else(|e| panic!("invalid program: {e}"));
@@ -114,15 +494,6 @@ pub fn run(program: &Program, machine: &MachineParams) -> SimResult {
     let mut breakdown = vec![CoreBreakdown::default(); p];
     // Min-heap of (ready_time, core).
     let mut heap: BinaryHeap<Reverse<(u64, usize)>> = (0..p).map(|c| Reverse((0, c))).collect();
-    let tree_levels = |n: usize| -> u64 {
-        let mut levels = 0u64;
-        let mut w = n;
-        while w > 1 {
-            w = w.div_ceil(4);
-            levels += 1;
-        }
-        levels.max(1)
-    };
 
     while let Some(Reverse((t, core))) = heap.pop() {
         let Some(op) = program.cores[core].get(pc[core]).copied() else {
@@ -146,10 +517,6 @@ pub fn run(program: &Program, machine: &MachineParams) -> SimResult {
                 let start = (*free).max(t);
                 let queue_wait = start - t;
                 let busy = start > t;
-                // A contended sleeping lock hands off through a futex wake,
-                // during which the lock is effectively occupied: the penalty
-                // extends the server's busy window (convoy formation), not
-                // just this core's latency.
                 let penalty = if busy { n * contended_ns } else { 0 };
                 let service_total = n * service_ns + penalty;
                 *free = start + service_total;
@@ -161,7 +528,6 @@ pub fn run(program: &Program, machine: &MachineParams) -> SimResult {
             }
             Op::Barrier { id } => {
                 let bar = &mut barriers[id as usize];
-                // Arrival cost by kind.
                 let arr_done = match bar.kind {
                     BarrierKind::Sense => {
                         let service = if p > 1 {
@@ -182,7 +548,6 @@ pub fn run(program: &Program, machine: &MachineParams) -> SimResult {
                 };
                 bar.arrived.push((core, t, arr_done));
                 if bar.arrived.len() == p {
-                    // Release the episode.
                     let last = bar.arrived.iter().map(|&(_, _, d)| d).max().unwrap_or(t);
                     let episode = std::mem::take(&mut bar.arrived);
                     match bar.kind {
@@ -201,8 +566,6 @@ pub fn run(program: &Program, machine: &MachineParams) -> SimResult {
                             }
                         }
                         BarrierKind::Condvar => {
-                            // The final arriver proceeds immediately; sleepers
-                            // wake one at a time, in arrival order.
                             let mut order = episode;
                             order.sort_by_key(|&(c, at, _)| (at, c));
                             let n_sleepers = order.len().saturating_sub(1);
@@ -218,7 +581,6 @@ pub fn run(program: &Program, machine: &MachineParams) -> SimResult {
                         }
                     }
                 }
-                // else: parked — resumed when the last core arrives.
             }
         }
     }
@@ -435,5 +797,79 @@ mod tests {
         let r = run(&p, &machine());
         assert!(r.total_ns > 0);
         // All cores end at the same episode count — validated structurally.
+    }
+
+    /// A deliberately heterogeneous program: staggered compute, shared and
+    /// private servers, contention penalties, and every barrier kind in one
+    /// stream.
+    fn stress_program(p: usize, kind: BarrierKind, seed: u64) -> Program {
+        let cores = (0..p)
+            .map(|c| {
+                let c64 = c as u64;
+                vec![
+                    Op::Compute {
+                        ns: 50 + (c64 * 37 + seed) % 400,
+                    },
+                    Op::Access {
+                        server: 0,
+                        n: 1 + c64 % 5,
+                        service_ns: 40,
+                        local_ns: 12,
+                        contended_ns: 90,
+                    },
+                    Op::Barrier { id: 0 },
+                    Op::Access {
+                        server: (c % 3) as u32,
+                        n: 3,
+                        service_ns: 25,
+                        local_ns: 5,
+                        contended_ns: 0,
+                    },
+                    Op::Compute {
+                        ns: (c64 * 13 + seed * 7) % 777,
+                    },
+                    Op::Barrier { id: 1 },
+                    Op::Barrier { id: 0 },
+                ]
+            })
+            .collect();
+        Program {
+            name: "stress".into(),
+            cores,
+            barriers: vec![kind, BarrierKind::Sense],
+        }
+    }
+
+    #[test]
+    fn engine_matches_reference_across_kinds_and_core_counts() {
+        let m = machine();
+        let mut engine = Engine::new();
+        for kind in [BarrierKind::Sense, BarrierKind::Condvar, BarrierKind::Tree] {
+            for p in [1, 2, 3, 4, 8, 16, 33, 64] {
+                for seed in [0, 5] {
+                    let prog = stress_program(p, kind, seed);
+                    let fast = engine.run(&prog, &m);
+                    let reference = run_reference(&prog, &m);
+                    assert_eq!(
+                        fast, reference,
+                        "engine diverged from reference: kind {kind:?}, p {p}, seed {seed}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn engine_scratch_reuse_does_not_leak_state_across_runs() {
+        // Run a big program, then a small one, in the same engine; the small
+        // one must match a fresh engine bit-for-bit.
+        let m = machine();
+        let mut engine = Engine::new();
+        let big = stress_program(64, BarrierKind::Condvar, 3);
+        let small = stress_program(2, BarrierKind::Tree, 9);
+        let _ = engine.run(&big, &m);
+        let reused = engine.run(&small, &m);
+        let fresh = Engine::new().run(&small, &m);
+        assert_eq!(reused, fresh);
     }
 }

@@ -41,15 +41,149 @@ pub mod machine;
 pub mod model;
 pub mod program;
 
-pub use engine::{CoreBreakdown, SimResult};
+pub use engine::{CoreBreakdown, Engine, SimResult};
 pub use machine::MachineParams;
 pub use model::{class_cost, OpCost};
 pub use program::{BarrierKind, Op, Program};
+
+use splash4_parmacs::{PhaseSpec, SyncPolicy, WorkModel};
+use std::collections::HashMap;
 
 /// Maximum repeats simulated per phase; longer phases are simulated at this
 /// depth and linearly extrapolated (phases are barrier-separated, so the
 /// steady-state per-repeat time is representative).
 pub const MAX_SIM_REPEATS: u64 = 64;
+
+/// Key for one memoized lowered phase: the full (capped) phase content plus
+/// everything `model::expand` consumes. Keying on the complete `PhaseSpec`
+/// (not just its name) makes the cache exact — two same-named phases with
+/// different calibrations never alias.
+#[derive(Debug, Clone, PartialEq)]
+struct PhaseKey {
+    work_name: String,
+    phase: PhaseSpec,
+    policy: SyncPolicy,
+    cores: usize,
+}
+
+/// A machine-bound simulator that reuses its [`Engine`] scratch buffers and
+/// memoizes lowered [`Program`]s across calls.
+///
+/// The harness sweeps every workload over 1–64 simulated cores and often
+/// revisits the same `(work, policy, cores)` point (speedup numerators,
+/// breakdown re-reads, CSV + JSON emission). Lowering a `WorkModel` through
+/// [`model::expand`] allocates per-core op streams; the cache makes each
+/// distinct lowering happen exactly once per simulator. The simulator is
+/// bound to one [`MachineParams`] — sensitivity studies that perturb machine
+/// parameters must use one simulator per variant (the cache key deliberately
+/// excludes the machine).
+#[derive(Debug)]
+pub struct Simulator {
+    machine: MachineParams,
+    eng: Engine,
+    /// Lowered-program cache, bucketed by a cheap hash key; each bucket
+    /// stores its full keys so hits are verified exactly.
+    programs: HashMap<(usize, u64), Vec<(PhaseKey, Program)>>,
+}
+
+impl Simulator {
+    /// Simulator for `machine` with an empty program cache.
+    pub fn new(machine: MachineParams) -> Simulator {
+        Simulator {
+            machine,
+            eng: Engine::new(),
+            programs: HashMap::new(),
+        }
+    }
+
+    /// The machine this simulator is bound to.
+    pub fn machine(&self) -> &MachineParams {
+        &self.machine
+    }
+
+    /// Number of distinct lowered programs currently memoized.
+    pub fn cached_programs(&self) -> usize {
+        self.programs.values().map(Vec::len).sum()
+    }
+
+    /// Expand and simulate `work`, phase by phase — the memoized, scratch-
+    /// reusing equivalent of the free function [`simulate`], with identical
+    /// results.
+    pub fn simulate(
+        &mut self,
+        work: &WorkModel,
+        policy: impl Into<SyncPolicy>,
+        cores: usize,
+    ) -> SimResult {
+        let policy = policy.into();
+        let mut total = SimResult {
+            name: work.name.clone(),
+            machine: self.machine.name.to_string(),
+            ncores: cores,
+            total_ns: 0,
+            cores: vec![CoreBreakdown::default(); cores],
+        };
+        // Disjoint field borrows: the program cache and the engine scratch
+        // are used simultaneously below.
+        let Simulator {
+            machine,
+            eng,
+            programs,
+        } = self;
+        let mut capped = PhaseSpec::compute("", 0, 0);
+        for phase in &work.phases {
+            let sim_repeats = phase.repeats.min(MAX_SIM_REPEATS);
+            if sim_repeats == 0 {
+                continue;
+            }
+            capped.clone_from(phase);
+            capped.repeats = sim_repeats;
+            let bucket = (
+                cores,
+                capped.repeats.wrapping_mul(31).wrapping_add(capped.items),
+            );
+            let entries = programs.entry(bucket).or_default();
+            let pos = entries.iter().position(|(k, _)| {
+                k.cores == cores
+                    && k.policy == policy
+                    && k.work_name == work.name
+                    && k.phase == capped
+            });
+            let pos = match pos {
+                Some(p) => p,
+                None => {
+                    let single = WorkModel {
+                        name: work.name.clone(),
+                        phases: vec![capped.clone()],
+                    };
+                    entries.push((
+                        PhaseKey {
+                            work_name: work.name.clone(),
+                            phase: capped.clone(),
+                            policy,
+                            cores,
+                        },
+                        model::expand(&single, policy, cores, machine),
+                    ));
+                    entries.len() - 1
+                }
+            };
+            let res = eng.run(&entries[pos].1, machine);
+            let scale = phase.repeats as f64 / sim_repeats as f64;
+            let up = |x: u64| (x as f64 * scale).round() as u64;
+            total.total_ns += up(res.total_ns);
+            for (acc, c) in total.cores.iter_mut().zip(&res.cores) {
+                acc.compute_ns += up(c.compute_ns);
+                acc.service_ns += up(c.service_ns);
+                acc.wait_ns += up(c.wait_ns);
+                acc.sync_local_ns += up(c.sync_local_ns);
+                acc.barrier_ns += up(c.barrier_ns);
+                acc.end_ns += up(c.end_ns);
+            }
+        }
+        total
+    }
+}
 
 /// Expand and simulate `work`, phase by phase.
 ///
@@ -58,46 +192,16 @@ pub const MAX_SIM_REPEATS: u64 = 64;
 /// capped at [`MAX_SIM_REPEATS`] and the resulting time scaled back up. This
 /// keeps the event count bounded for iteration-heavy kernels like `ocean`
 /// while preserving per-episode barrier and contention behaviour.
+///
+/// Convenience wrapper over a throwaway [`Simulator`]; sweeps should hold a
+/// `Simulator` to amortize lowering and engine scratch across calls.
 pub fn simulate(
     work: &splash4_parmacs::WorkModel,
     policy: impl Into<splash4_parmacs::SyncPolicy>,
     cores: usize,
     machine: &MachineParams,
 ) -> SimResult {
-    let policy = policy.into();
-    let mut total = SimResult {
-        name: work.name.clone(),
-        machine: machine.name.to_string(),
-        ncores: cores,
-        total_ns: 0,
-        cores: vec![CoreBreakdown::default(); cores],
-    };
-    for phase in &work.phases {
-        let sim_repeats = phase.repeats.min(MAX_SIM_REPEATS);
-        if sim_repeats == 0 {
-            continue;
-        }
-        let mut capped = phase.clone();
-        capped.repeats = sim_repeats;
-        let single = splash4_parmacs::WorkModel {
-            name: work.name.clone(),
-            phases: vec![capped],
-        };
-        let program = model::expand(&single, policy, cores, machine);
-        let res = engine::run(&program, machine);
-        let scale = phase.repeats as f64 / sim_repeats as f64;
-        let up = |x: u64| (x as f64 * scale).round() as u64;
-        total.total_ns += up(res.total_ns);
-        for (acc, c) in total.cores.iter_mut().zip(&res.cores) {
-            acc.compute_ns += up(c.compute_ns);
-            acc.service_ns += up(c.service_ns);
-            acc.wait_ns += up(c.wait_ns);
-            acc.sync_local_ns += up(c.sync_local_ns);
-            acc.barrier_ns += up(c.barrier_ns);
-            acc.end_ns += up(c.end_ns);
-        }
-    }
-    total
+    Simulator::new(*machine).simulate(work, policy, cores)
 }
 
 #[cfg(test)]
@@ -126,6 +230,33 @@ mod tests {
             (9.9..=10.1).contains(&ratio),
             "extrapolation should be linear, ratio {ratio}"
         );
+    }
+
+    #[test]
+    fn simulator_matches_free_function_and_caches() {
+        let m = MachineParams::epyc_like();
+        let w = WorkModel::new("w")
+            .phase(
+                PhaseSpec::compute("a", 4000, 80)
+                    .reduces(0.02)
+                    .barriers(1)
+                    .repeats(200),
+            )
+            .phase(PhaseSpec::compute("b", 1000, 40).barriers(2).repeats(10));
+        let mut sim = Simulator::new(m);
+        for cores in [1, 2, 8, 32] {
+            for mode in [SyncMode::LockBased, SyncMode::LockFree] {
+                let memoized = sim.simulate(&w, mode, cores);
+                let fresh = simulate(&w, mode, cores, &m);
+                assert_eq!(memoized, fresh, "cores {cores}, mode {mode:?}");
+            }
+        }
+        // 2 phases × 4 core counts × 2 modes lowered exactly once each.
+        assert_eq!(sim.cached_programs(), 16);
+        // Re-simulating hits the cache instead of growing it.
+        let again = sim.simulate(&w, SyncMode::LockFree, 32);
+        assert_eq!(again, simulate(&w, SyncMode::LockFree, 32, &m));
+        assert_eq!(sim.cached_programs(), 16);
     }
 
     #[test]

@@ -9,6 +9,7 @@ fn quick_ctx() -> ExperimentCtx {
         native_threads: vec![1, 2],
         sim_threads: vec![1, 16, 64],
         snapshot_cores: 8,
+        ..ExperimentCtx::default()
     }
 }
 
