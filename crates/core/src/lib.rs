@@ -79,8 +79,9 @@
 pub use splash4_check as check;
 pub use splash4_check::{check_mutants, check_suite, CheckBudget};
 pub use splash4_harness::{
-    geomean, pct_change, record_trace, run_bench, run_experiment, BenchConfig, ExperimentCtx,
-    ModelCache, Report, Table, ALL_EXPERIMENTS,
+    compare_texts as compare_bench_docs, geomean, pct_change, record_trace, run_bench,
+    run_experiment, validate as validate_bench_doc, BenchConfig, BenchDoc, CompareReport,
+    ExperimentCtx, MeasureConfig, MetricClass, ModelCache, Report, Summary, Table, ALL_EXPERIMENTS,
 };
 pub use splash4_kernels::{
     barnes, cholesky, close, fft, fmm, lu, ocean, radiosity, radix, raytrace, volrend, water_nsq,

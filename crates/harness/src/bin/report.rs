@@ -6,19 +6,32 @@
 //! splash4-report --all [--json-out results.json]
 //! splash4-report --experiment F1-native --threads 1,2,4
 //! splash4-report --all --csv-dir results/csv
-//! splash4-report --bench [--quick] [--bench-out BENCH_results.json]
+//! splash4-report --bench [--quick] [--bench-out BENCH_results.json] [--force]
+//! splash4-report --validate BENCH_results.json
+//! splash4-report --compare results/BENCH_results.json BENCH_results.json
 //! ```
+//!
+//! `--validate` checks a bench document's schema and statistical invariants
+//! (exit 1 on any violation); `--compare` runs the noise-aware regression
+//! gate and exits non-zero only on a statistically resolvable regression —
+//! the same binary serves local perf work and CI gating, with no Python on
+//! the runners.
 
-use splash4_harness::{run_bench, run_experiment, BenchConfig, ExperimentCtx, ALL_EXPERIMENTS};
+use splash4_harness::{
+    compare_texts, run_bench, run_experiment, validate, write_guarded, BenchConfig, ExperimentCtx,
+    ALL_EXPERIMENTS,
+};
 use splash4_kernels::InputClass;
 use splash4_parmacs::json;
+use std::path::Path;
 use std::process::ExitCode;
 
 fn usage() -> &'static str {
-    "usage: splash4-report (--list | --all | --experiment <id> | --bench) \
+    "usage: splash4-report (--list | --all | --experiment <id> | --bench \
+     | --validate <file> | --compare <baseline> <candidate>) \
      [--class test|small|native] [--threads a,b,c] [--sim-threads a,b,c] \
      [--snapshot-cores N] [--json-out FILE] [--csv-dir DIR] \
-     [--quick] [--bench-out FILE]"
+     [--quick] [--bench-out FILE] [--force]"
 }
 
 fn main() -> ExitCode {
@@ -28,6 +41,9 @@ fn main() -> ExitCode {
     let mut list = false;
     let mut bench = false;
     let mut quick = false;
+    let mut force = false;
+    let mut validate_path: Option<String> = None;
+    let mut compare_paths: Option<(String, String)> = None;
     let mut bench_out = "BENCH_results.json".to_string();
     let mut ctx = ExperimentCtx::default();
     let mut json_out: Option<String> = None;
@@ -40,6 +56,21 @@ fn main() -> ExitCode {
             "--all" => all = true,
             "--bench" => bench = true,
             "--quick" => quick = true,
+            "--force" => force = true,
+            "--validate" => {
+                let Some(path) = it.next() else {
+                    eprintln!("--validate needs a path\n{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                validate_path = Some(path.clone());
+            }
+            "--compare" => {
+                let (Some(base), Some(cand)) = (it.next(), it.next()) else {
+                    eprintln!("--compare needs <baseline> <candidate> paths\n{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                compare_paths = Some((base.clone(), cand.clone()));
+            }
             "--bench-out" => {
                 let Some(path) = it.next() else {
                     eprintln!("--bench-out needs a path\n{}", usage());
@@ -126,21 +157,71 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
+    if let Some(path) = validate_path {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("failed to read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return match validate(&text) {
+            Ok(msg) => {
+                println!("{path}: {msg}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{path}: invalid bench document: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    if let Some((base_path, cand_path)) = compare_paths {
+        let read =
+            |p: &str| std::fs::read_to_string(p).map_err(|e| format!("failed to read {p}: {e}"));
+        let report = read(&base_path)
+            .and_then(|b| read(&cand_path).map(|c| (b, c)))
+            .and_then(|(b, c)| compare_texts(&b, &c));
+        return match report {
+            Ok(r) => {
+                print!("{}", r.to_text());
+                if r.pass() {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                }
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
     if bench {
         let cfg = if quick {
             BenchConfig::quick()
         } else {
             BenchConfig::full()
         };
+        // Refuse to clobber an existing results file before spending minutes
+        // measuring; the same guard runs again at write time.
+        if Path::new(&bench_out).exists() && !force {
+            eprintln!("refusing to overwrite existing {bench_out} (pass --force to replace it)");
+            return ExitCode::FAILURE;
+        }
         eprintln!(
-            "running perf bench ({} mode, {} reps)...",
+            "running perf bench ({} mode, {}-{} adaptive reps, CI target ±{:.0}%)...",
             if quick { "quick" } else { "full" },
-            cfg.repetitions
+            cfg.measure.min_reps,
+            cfg.measure.max_reps,
+            cfg.measure.target_rci * 100.0
         );
         let (text, doc) = run_bench(&cfg);
         print!("{text}");
-        if let Err(e) = std::fs::write(&bench_out, doc.to_string_pretty()) {
-            eprintln!("failed to write {bench_out}: {e}");
+        if let Err(e) = write_guarded(Path::new(&bench_out), &doc.to_string_pretty(), force) {
+            eprintln!("{e}");
             return ExitCode::FAILURE;
         }
         eprintln!("wrote {bench_out}");

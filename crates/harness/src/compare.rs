@@ -1,0 +1,699 @@
+//! Bench-document model, validation, and the noise-aware regression gate.
+//!
+//! `splash4-report --validate` and `--compare` both run on the document
+//! model in this module. A [`BenchDoc`] is the decoded form of a
+//! `BENCH_results.json`: a flat list of named metrics, each carrying a
+//! [`Summary`] and a [`MetricClass`]. Two schema generations decode into it:
+//!
+//! - **`splash4-bench-v2`** (current): every metric is a full
+//!   `{median, ci_lo, ci_hi, reps, cv, samples}` object produced by
+//!   [`crate::measure`];
+//! - **`splash4-bench-v1`** (legacy, read-side shim): metrics are bare point
+//!   estimates. They decode to summaries widened by an assumed legacy noise
+//!   floor ([`LEGACY_RCI`], ±10 %) — the honest statement that a v1 number
+//!   carries no confidence information — so pre-v2 history stays diffable
+//!   and comparable without ever looking more certain than it is.
+//!
+//! The comparison itself is paired and class-aware. A delta only *gates*
+//! (non-zero exit) when it is **statistically resolvable**: the two 95 %
+//! intervals are disjoint in the regressing direction *and* the median
+//! effect exceeds the metric class's minimum-effect threshold. Overlapping
+//! intervals or sub-threshold effects report as within-noise. Absolute
+//! metrics (throughput, wall seconds) additionally require the two
+//! documents' workload configs to match — absolute rates from different
+//! hosts or bench sizes are not commensurable — while ratio-class metrics
+//! (lock-free/lock-based, engine/reference) are host-normalized and gate
+//! unconditionally; this is the ratio-of-ratios trick that makes the gate
+//! usable on noisy shared CI runners.
+
+use crate::measure::{geomean_ratios, Summary};
+use crate::tables::Table;
+use splash4_parmacs::Json;
+use std::path::Path;
+
+/// Assumed relative noise floor for legacy v1 point estimates (half-width as
+/// a fraction of the value).
+pub const LEGACY_RCI: f64 = 0.10;
+
+/// What a metric measures, which fixes its regression direction and its
+/// minimum resolvable effect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricClass {
+    /// Operations per second; higher is better. Host-absolute.
+    Throughput,
+    /// Wall-clock seconds; lower is better. Host-absolute.
+    Wall,
+    /// A dimensionless ratio of two same-host measurements; higher is
+    /// better. Host-normalized, so comparable across hosts and bench sizes.
+    Ratio,
+}
+
+impl MetricClass {
+    /// Minimum median effect (fractional departure from 1.0) a regression
+    /// must show before it can gate. Below this, even a statistically
+    /// resolved delta is reported but not enforced.
+    pub fn min_effect(self) -> f64 {
+        match self {
+            // Native sync microbenches swing with scheduler placement.
+            MetricClass::Throughput => 0.10,
+            // End-to-end wall time folds in everything; be generous.
+            MetricClass::Wall => 0.15,
+            // Cross-host gating needs the widest margin of the three.
+            MetricClass::Ratio => 0.20,
+        }
+    }
+
+    /// `true` when smaller values are improvements (wall seconds).
+    pub fn lower_is_better(self) -> bool {
+        matches!(self, MetricClass::Wall)
+    }
+
+    /// `true` when the metric is comparable across hosts and bench sizes.
+    pub fn portable(self) -> bool {
+        matches!(self, MetricClass::Ratio)
+    }
+
+    /// Short label for tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            MetricClass::Throughput => "thru",
+            MetricClass::Wall => "wall",
+            MetricClass::Ratio => "ratio",
+        }
+    }
+}
+
+/// One named, classed, summarized metric.
+#[derive(Debug, Clone)]
+pub struct Metric {
+    /// Flattened name, e.g. `reducer_ops_per_sec/splash4`.
+    pub name: String,
+    /// Regression semantics.
+    pub class: MetricClass,
+    /// The measurement.
+    pub summary: Summary,
+}
+
+/// A decoded bench document.
+#[derive(Debug, Clone)]
+pub struct BenchDoc {
+    /// Schema generation: 1 or 2.
+    pub version: u32,
+    /// The raw `config` block (workload sizing; compared for commensurability).
+    pub config: Json,
+    /// All metrics, in document order.
+    pub metrics: Vec<Metric>,
+}
+
+/// The per-backend metric groups every document must carry.
+const BACKEND_METRICS: [&str; 3] = [
+    "reducer_ops_per_sec",
+    "counter_grabs_per_sec",
+    "barrier_crossings_per_sec",
+];
+
+/// The two sync back-end labels used as JSON keys.
+const BACKENDS: [&str; 2] = ["splash3", "splash4"];
+
+/// Config keys that define the workload shape; absolute metrics are only
+/// gateable when these match between baseline and candidate.
+const SHAPE_KEYS: [&str; 6] = [
+    "quick",
+    "threads",
+    "sync_ops",
+    "barrier_crossings",
+    "sim_cores",
+    "sim_ops_per_core",
+];
+
+impl BenchDoc {
+    /// Parse and validate bench JSON text (either schema generation).
+    pub fn parse(text: &str) -> Result<BenchDoc, String> {
+        let doc = Json::parse(text)?;
+        BenchDoc::from_json(&doc)
+    }
+
+    /// Decode a bench document, dispatching on its `schema` field.
+    pub fn from_json(doc: &Json) -> Result<BenchDoc, String> {
+        match doc["schema"].as_str() {
+            Some("splash4-bench-v2") => BenchDoc::decode(doc, 2),
+            Some("splash4-bench-v1") => BenchDoc::decode(doc, 1),
+            Some(other) => Err(format!("unknown bench schema `{other}`")),
+            None => Err("document has no `schema` string".into()),
+        }
+    }
+
+    fn decode(doc: &Json, version: u32) -> Result<BenchDoc, String> {
+        let config = doc["config"].clone();
+        if config.as_object().is_none() {
+            return Err("document has no `config` object".into());
+        }
+        if config["quick"].as_bool().is_none() {
+            return Err("config has no boolean `quick`".into());
+        }
+        let metrics_json = &doc["metrics"];
+        if metrics_json.as_object().is_none() {
+            return Err("document has no `metrics` object".into());
+        }
+        // v1 stores bare numbers; v2 stores summary objects. `read` closes
+        // over the difference so the flattening below is shared.
+        let read = |v: &Json, what: &str| -> Result<Summary, String> {
+            let s = if version == 1 {
+                let n = v
+                    .as_f64()
+                    .ok_or_else(|| format!("metric `{what}`: expected a number (v1)"))?;
+                widen_legacy(n)
+            } else {
+                Summary::from_json(v).map_err(|e| format!("metric `{what}`: {e}"))?
+            };
+            if !(s.median.is_finite() && s.median > 0.0) {
+                return Err(format!("metric `{what}`: median must be positive"));
+            }
+            Ok(s)
+        };
+
+        let mut metrics = Vec::new();
+        for group in BACKEND_METRICS {
+            let g = &metrics_json[group];
+            if g.as_object().is_none() {
+                return Err(format!("missing metric group `{group}`"));
+            }
+            let mut per_backend = Vec::new();
+            for backend in BACKENDS {
+                let name = format!("{group}/{backend}");
+                let s = read(&g[backend], &name)?;
+                per_backend.push(s.clone());
+                metrics.push(Metric {
+                    name,
+                    class: MetricClass::Throughput,
+                    summary: s,
+                });
+            }
+            // Lock-free over lock-based: the host-normalized form of the
+            // group. v2 documents carry it; for v1 we derive it from the two
+            // (already widened) point estimates.
+            let ratio = match &g["ratio"] {
+                Json::Null if version == 1 => per_backend[1].ratio_vs(&per_backend[0]),
+                Json::Null => return Err(format!("metric group `{group}` missing `ratio`")),
+                v => read(v, &format!("{group}/ratio"))?,
+            };
+            metrics.push(Metric {
+                name: format!("{group}/ratio"),
+                class: MetricClass::Ratio,
+                summary: ratio,
+            });
+        }
+
+        let sim = &metrics_json["sim_events_per_sec"];
+        if sim.as_object().is_none() {
+            return Err("missing metric group `sim_events_per_sec`".into());
+        }
+        for part in ["engine", "reference"] {
+            metrics.push(Metric {
+                name: format!("sim_events_per_sec/{part}"),
+                class: MetricClass::Throughput,
+                summary: read(&sim[part], &format!("sim_events_per_sec/{part}"))?,
+            });
+        }
+        metrics.push(Metric {
+            name: "sim_events_per_sec/speedup".into(),
+            class: MetricClass::Ratio,
+            summary: read(&sim["speedup"], "sim_events_per_sec/speedup")?,
+        });
+        metrics.push(Metric {
+            name: "report_wall_secs".into(),
+            class: MetricClass::Wall,
+            summary: read(&metrics_json["report_wall_secs"], "report_wall_secs")?,
+        });
+
+        for m in &metrics {
+            m.summary
+                .check()
+                .map_err(|e| format!("metric `{}`: {e}", m.name))?;
+        }
+        Ok(BenchDoc {
+            version,
+            config,
+            metrics,
+        })
+    }
+
+    /// `true` when the two documents ran the same workload shape (same
+    /// quick/size knobs), making absolute metrics commensurable.
+    pub fn config_matches(&self, other: &BenchDoc) -> bool {
+        SHAPE_KEYS
+            .iter()
+            .all(|k| self.config[*k] == other.config[*k])
+    }
+
+    /// Look up a metric by flattened name.
+    pub fn metric(&self, name: &str) -> Option<&Metric> {
+        self.metrics.iter().find(|m| m.name == name)
+    }
+}
+
+/// A legacy point estimate widened by the assumed v1 noise floor.
+fn widen_legacy(value: f64) -> Summary {
+    let hw = value.abs() * LEGACY_RCI;
+    Summary {
+        median: value,
+        ci_lo: value - hw,
+        ci_hi: value + hw,
+        reps: 1,
+        cv: LEGACY_RCI,
+        samples: vec![value],
+    }
+}
+
+/// Validate bench JSON text: schema, structure, and summary invariants.
+/// Returns a short human-readable description of what was checked.
+pub fn validate(text: &str) -> Result<String, String> {
+    let doc = BenchDoc::parse(text)?;
+    Ok(format!(
+        "splash4-bench-v{}: {} metrics ok ({} gateable cross-host)",
+        doc.version,
+        doc.metrics.len(),
+        doc.metrics.iter().filter(|m| m.class.portable()).count()
+    ))
+}
+
+/// Outcome for one metric in a comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Delta within noise or below the class's minimum effect.
+    WithinNoise,
+    /// Statistically resolved improvement.
+    Improved,
+    /// Statistically resolved regression — gates.
+    Regressed,
+    /// Absolute metric under mismatched configs: reported, never gated.
+    Informational,
+}
+
+impl Verdict {
+    fn label(self) -> &'static str {
+        match self {
+            Verdict::WithinNoise => "ok",
+            Verdict::Improved => "improved",
+            Verdict::Regressed => "REGRESSED",
+            Verdict::Informational => "info-only",
+        }
+    }
+}
+
+/// One row of a comparison.
+#[derive(Debug, Clone)]
+pub struct Delta {
+    /// Flattened metric name.
+    pub name: String,
+    /// Metric semantics.
+    pub class: MetricClass,
+    /// Baseline summary.
+    pub base: Summary,
+    /// Candidate summary.
+    pub cand: Summary,
+    /// Candidate median over baseline median.
+    pub ratio: f64,
+    /// `true` when the two 95 % CIs are disjoint (in either direction).
+    pub resolvable: bool,
+    /// Gate outcome.
+    pub verdict: Verdict,
+}
+
+/// Full result of a document comparison.
+#[derive(Debug, Clone)]
+pub struct CompareReport {
+    /// Per-metric outcomes, in document order.
+    pub deltas: Vec<Delta>,
+    /// Geometric mean of candidate/baseline ratios over metrics where
+    /// higher-is-better (wall times enter inverted), i.e. > 1.0 means the
+    /// candidate is faster overall.
+    pub geomean_speedup: f64,
+    /// `true` when absolute metrics were gateable (configs matched).
+    pub configs_match: bool,
+}
+
+impl CompareReport {
+    /// Names of the metrics that gate (resolved regressions).
+    pub fn regressions(&self) -> Vec<&str> {
+        self.deltas
+            .iter()
+            .filter(|d| d.verdict == Verdict::Regressed)
+            .map(|d| d.name.as_str())
+            .collect()
+    }
+
+    /// `true` when nothing gates.
+    pub fn pass(&self) -> bool {
+        self.regressions().is_empty()
+    }
+
+    /// Render the human-readable delta table plus verdict footer.
+    pub fn to_text(&self) -> String {
+        let mut t = Table::new(vec![
+            "metric",
+            "class",
+            "baseline",
+            "candidate",
+            "delta",
+            "95% CI",
+            "verdict",
+        ]);
+        for d in &self.deltas {
+            t.row(vec![
+                d.name.clone(),
+                d.class.label().into(),
+                fmt_value(d.base.median),
+                fmt_value(d.cand.median),
+                format!("{:+.1}%", (d.ratio - 1.0) * 100.0),
+                if d.resolvable { "disjoint" } else { "overlap" }.into(),
+                d.verdict.label().into(),
+            ]);
+        }
+        let mut out = t.render();
+        if !self.configs_match {
+            out.push_str(
+                "note: workload configs differ — absolute metrics (thru/wall) are\n\
+                 info-only; ratio metrics gate cross-host.\n",
+            );
+        }
+        out.push_str(&format!(
+            "geomean speedup (candidate vs baseline, >1 is faster): {:.3}\n",
+            self.geomean_speedup
+        ));
+        let regs = self.regressions();
+        if regs.is_empty() {
+            out.push_str("PASS: no statistically resolvable regression\n");
+        } else {
+            out.push_str(&format!(
+                "FAIL: resolvable regression in {}\n",
+                regs.join(", ")
+            ));
+        }
+        out
+    }
+}
+
+/// Adaptive value formatting for the delta table (rates in M/k, small
+/// quantities plain).
+fn fmt_value(v: f64) -> String {
+    if v >= 1e6 {
+        format!("{:.3} M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.1} k", v / 1e3)
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// Noise-aware paired comparison of two decoded documents.
+///
+/// Metrics present in both documents are compared by name. A metric gates
+/// as regressed only when (a) its class is gateable under the config match
+/// state, (b) the two intervals are disjoint in the regressing direction,
+/// and (c) the median effect exceeds the class minimum. Disjoint
+/// improvements are labeled, everything else is within-noise.
+pub fn compare(base: &BenchDoc, cand: &BenchDoc) -> CompareReport {
+    let configs_match = base.config_matches(cand);
+    let mut deltas = Vec::new();
+    let mut speedup_ratios = Vec::new();
+    for bm in &base.metrics {
+        let Some(cm) = cand.metric(&bm.name) else {
+            continue;
+        };
+        let (b, c) = (&bm.summary, &cm.summary);
+        let ratio = c.median / b.median.max(1e-300);
+        // Direction-normalized speedup: >1 always means "candidate better".
+        speedup_ratios.push(if bm.class.lower_is_better() {
+            1.0 / ratio.max(1e-300)
+        } else {
+            ratio
+        });
+        let cand_worse_resolved = if bm.class.lower_is_better() {
+            c.ci_lo > b.ci_hi
+        } else {
+            c.ci_hi < b.ci_lo
+        };
+        let cand_better_resolved = if bm.class.lower_is_better() {
+            c.ci_hi < b.ci_lo
+        } else {
+            c.ci_lo > b.ci_hi
+        };
+        let effect = if bm.class.lower_is_better() {
+            ratio - 1.0 // slower = ratio above 1
+        } else {
+            1.0 - ratio // slower = ratio below 1
+        };
+        // Incommensurable deltas (absolute metrics across differing configs
+        // or hosts) are reported in both directions but never interpreted:
+        // a "2× faster engine" on a 10× smaller program means nothing.
+        let gateable = configs_match || bm.class.portable();
+        let verdict = if !gateable && (cand_worse_resolved || cand_better_resolved) {
+            Verdict::Informational
+        } else if cand_worse_resolved && effect >= bm.class.min_effect() {
+            Verdict::Regressed
+        } else if cand_better_resolved && -effect >= bm.class.min_effect() {
+            Verdict::Improved
+        } else {
+            Verdict::WithinNoise
+        };
+        deltas.push(Delta {
+            name: bm.name.clone(),
+            class: bm.class,
+            base: b.clone(),
+            cand: c.clone(),
+            ratio,
+            resolvable: cand_worse_resolved || cand_better_resolved,
+            verdict,
+        });
+    }
+    CompareReport {
+        deltas,
+        geomean_speedup: geomean_ratios(&speedup_ratios),
+        configs_match,
+    }
+}
+
+/// Compare two bench documents from JSON text (either schema generation on
+/// either side).
+pub fn compare_texts(base: &str, cand: &str) -> Result<CompareReport, String> {
+    let b = BenchDoc::parse(base).map_err(|e| format!("baseline: {e}"))?;
+    let c = BenchDoc::parse(cand).map_err(|e| format!("candidate: {e}"))?;
+    Ok(compare(&b, &c))
+}
+
+/// Write `contents` to `path`, refusing to clobber an existing file unless
+/// `force` is set. `--bench-out` goes through this: silently overwriting the
+/// previous results document loses the local baseline the user was about to
+/// compare against.
+pub fn write_guarded(path: &Path, contents: &str, force: bool) -> Result<(), String> {
+    if path.exists() && !force {
+        return Err(format!(
+            "refusing to overwrite existing {} (pass --force to replace it)",
+            path.display()
+        ));
+    }
+    std::fs::write(path, contents).map_err(|e| format!("failed to write {}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::Summary;
+    use splash4_parmacs::json;
+
+    /// A minimal, structurally complete v2 document where every rate metric
+    /// scales with `scale`, every CI is ±`rci`·median, and 5 reps.
+    fn synth_v2(scale: f64, rci: f64, quick: bool) -> String {
+        synth_v2_with(scale, rci, quick, 30.0 / 17.0)
+    }
+
+    fn synth_v2_with(scale: f64, rci: f64, quick: bool, speedup: f64) -> String {
+        let s = |median: f64| -> Json {
+            Summary {
+                median,
+                ci_lo: median * (1.0 - rci),
+                ci_hi: median * (1.0 + rci),
+                reps: 5,
+                cv: rci,
+                samples: vec![median; 5],
+            }
+            .to_json()
+        };
+        let group = |m3: f64, m4: f64| {
+            json!({
+                "splash3": s(m3 * scale),
+                "splash4": s(m4 * scale),
+                "ratio": s(m4 / m3),
+            })
+        };
+        json!({
+            "schema": "splash4-bench-v2",
+            "config": json!({
+                "quick": quick,
+                "repetitions": 5u64,
+                "threads": 4u64,
+                "sync_ops": 1000u64,
+                "barrier_crossings": 100u64,
+                "sim_cores": 8u64,
+                "sim_ops_per_core": 100u64,
+            }),
+            "metrics": json!({
+                "reducer_ops_per_sec": group(5.0e6, 40.0e6),
+                "counter_grabs_per_sec": group(4.5e6, 40.0e6),
+                "barrier_crossings_per_sec": group(1.5e5, 1.1e5),
+                "sim_events_per_sec": json!({
+                    "engine": s(30.0e6 * scale),
+                    "reference": s(17.0e6 * scale),
+                    "speedup": s(speedup),
+                }),
+                "report_wall_secs": s(0.25 / scale),
+            }),
+        })
+        .to_string_pretty()
+    }
+
+    fn synth_v1() -> String {
+        json!({
+            "schema": "splash4-bench-v1",
+            "config": json!({"quick": false, "repetitions": 5u64, "threads": 4u64,
+                "sync_ops": 1000u64, "barrier_crossings": 100u64,
+                "sim_cores": 8u64, "sim_ops_per_core": 100u64}),
+            "metrics": json!({
+                "reducer_ops_per_sec": json!({"splash3": 5.0e6, "splash4": 40.0e6}),
+                "counter_grabs_per_sec": json!({"splash3": 4.5e6, "splash4": 40.0e6}),
+                "barrier_crossings_per_sec": json!({"splash3": 1.5e5, "splash4": 1.1e5}),
+                "sim_events_per_sec": json!({"engine": 30.0e6, "reference": 17.0e6,
+                    "speedup": 30.0/17.0}),
+                "report_wall_secs": 0.25,
+            }),
+        })
+        .to_string_pretty()
+    }
+
+    #[test]
+    fn v2_documents_validate_and_decode() {
+        let text = synth_v2(1.0, 0.03, false);
+        let msg = validate(&text).expect("valid");
+        assert!(msg.contains("v2"), "{msg}");
+        let doc = BenchDoc::parse(&text).unwrap();
+        assert_eq!(doc.version, 2);
+        assert_eq!(doc.metrics.len(), 3 * 3 + 3 + 1);
+        assert!(doc.metric("reducer_ops_per_sec/ratio").is_some());
+    }
+
+    #[test]
+    fn v1_documents_decode_through_the_shim() {
+        let doc = BenchDoc::parse(&synth_v1()).expect("legacy parses");
+        assert_eq!(doc.version, 1);
+        let m = doc.metric("reducer_ops_per_sec/splash4").unwrap();
+        assert_eq!(m.summary.reps, 1);
+        assert!(m.summary.ci_lo < m.summary.median && m.summary.median < m.summary.ci_hi);
+        // Derived ratio exists even though v1 never recorded one.
+        let r = doc.metric("reducer_ops_per_sec/ratio").unwrap();
+        assert!((r.summary.median - 8.0).abs() < 1e-9);
+        assert_eq!(r.class, MetricClass::Ratio);
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        assert!(validate("{}").is_err());
+        assert!(validate(&synth_v2(1.0, 0.03, false).replace("splash4-bench-v2", "v9")).is_err());
+        // Drop a required group.
+        let text = synth_v2(1.0, 0.03, false).replace("report_wall_secs", "renamed");
+        assert!(validate(&text).is_err());
+        // CI that does not bracket the median.
+        let mut s = Summary::point(1.0);
+        s.ci_lo = 2.0;
+        assert!(s.check().is_err());
+    }
+
+    #[test]
+    fn self_comparison_passes() {
+        let text = synth_v2(1.0, 0.03, false);
+        let r = compare_texts(&text, &text).expect("compares");
+        assert!(r.pass());
+        assert!((r.geomean_speedup - 1.0).abs() < 1e-9);
+        assert!(r.deltas.iter().all(|d| d.verdict == Verdict::WithinNoise));
+        assert!(r.to_text().contains("PASS"));
+    }
+
+    #[test]
+    fn resolvable_slowdown_gates() {
+        let base = synth_v2(1.0, 0.03, false);
+        let slow = synth_v2(0.5, 0.03, false); // all rates halved, wall doubled
+        let r = compare_texts(&base, &slow).expect("compares");
+        assert!(!r.pass());
+        let regs = r.regressions();
+        assert!(regs.contains(&"reducer_ops_per_sec/splash4"));
+        assert!(regs.contains(&"report_wall_secs"));
+        // The ratio metrics did not move (both sides scaled), so they pass.
+        assert!(!regs.iter().any(|n| n.ends_with("/ratio")));
+        // 9 absolute metrics at 0.5×, 4 ratio metrics at 1.0×: 0.5^(9/13).
+        assert!((r.geomean_speedup - 0.5f64.powf(9.0 / 13.0)).abs() < 1e-9);
+        assert!(r.to_text().contains("FAIL"));
+    }
+
+    #[test]
+    fn within_noise_wiggle_does_not_gate() {
+        let base = synth_v2(1.0, 0.06, false);
+        let wiggle = synth_v2(1.04, 0.06, false); // 4% shift, inside ±6% CIs
+        let r = compare_texts(&base, &wiggle).expect("compares");
+        assert!(r.pass(), "regressions: {:?}", r.regressions());
+    }
+
+    #[test]
+    fn config_mismatch_demotes_absolute_metrics() {
+        let base = synth_v2(1.0, 0.02, false);
+        let cand = synth_v2(0.4, 0.02, true); // much slower host, quick config
+        let r = compare_texts(&base, &cand).expect("compares");
+        assert!(!r.configs_match);
+        // Absolute collapses are info-only; ratios unchanged → pass.
+        assert!(r.pass(), "regressions: {:?}", r.regressions());
+        assert!(r.deltas.iter().any(|d| d.verdict == Verdict::Informational));
+        assert!(r.to_text().contains("info-only"));
+    }
+
+    #[test]
+    fn ratio_regression_gates_even_cross_config() {
+        let base = synth_v2(1.0, 0.02, false);
+        // Candidate from a different config (quick) — but the engine speedup
+        // collapsed from 1.76× to 1.05×, which is host-normalized and gates.
+        let cand = synth_v2_with(1.0, 0.02, true, 1.05);
+        let r = compare_texts(&base, &cand).expect("compares");
+        assert!(r.regressions().contains(&"sim_events_per_sec/speedup"));
+    }
+
+    #[test]
+    fn sub_threshold_resolved_delta_reports_but_does_not_gate() {
+        // 5% drop with razor-thin CIs: resolved, but under the 10% floor.
+        let base = synth_v2(1.0, 0.001, false);
+        let cand = synth_v2(0.95, 0.001, false);
+        let r = compare_texts(&base, &cand).expect("compares");
+        assert!(r.pass(), "regressions: {:?}", r.regressions());
+        assert!(r.deltas.iter().any(|d| d.resolvable));
+    }
+
+    #[test]
+    fn v1_vs_v2_mixed_comparison_works() {
+        let r = compare_texts(&synth_v1(), &synth_v2(1.0, 0.03, false)).expect("mixed");
+        assert!(r.pass(), "regressions: {:?}", r.regressions());
+        let r = compare_texts(&synth_v1(), &synth_v1()).expect("v1 self");
+        assert!(r.pass());
+        assert!((r.geomean_speedup - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn write_guard_refuses_then_forces() {
+        let dir = std::env::temp_dir().join(format!("splash4-guard-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_results.json");
+        write_guarded(&path, "first", false).expect("fresh write ok");
+        let err = write_guarded(&path, "second", false).expect_err("must refuse");
+        assert!(err.contains("--force"), "{err}");
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "first");
+        write_guarded(&path, "second", true).expect("forced write ok");
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "second");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

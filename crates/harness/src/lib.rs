@@ -7,14 +7,20 @@
 
 #![warn(missing_docs)]
 
+pub mod compare;
 pub mod experiments;
+pub mod measure;
 pub mod perfbench;
 pub mod registry;
 pub mod tables;
 
+pub use compare::{
+    compare, compare_texts, validate, write_guarded, BenchDoc, CompareReport, MetricClass, Verdict,
+};
 pub use experiments::{
     record_trace, run_experiment, work_model, ExperimentCtx, ModelCache, ALL_EXPERIMENTS,
 };
+pub use measure::{bootstrap_ci, measure_adaptive, time_adaptive, MeasureConfig, Summary};
 pub use perfbench::{run_bench, BenchConfig};
 pub use registry::BenchmarkId;
 pub use tables::{geomean, pct_change, Report, Table};

@@ -1,31 +1,38 @@
 //! Perf-regression harness: microbenchmarks for the suite's hot paths.
 //!
-//! `splash4-report --bench` runs this and writes `BENCH_results.json`. Every
-//! workload is fixed (deterministic construction, no RNG at run time beyond a
-//! seeded LCG), every metric is a median over repetitions after a warmup
-//! pass, so two runs on the same host are comparable and CI can archive the
-//! numbers per commit without flaky threshold gating.
+//! `splash4-report --bench` runs this and writes `BENCH_results.json` in the
+//! `splash4-bench-v2` schema. Every workload is fixed (deterministic
+//! construction, no RNG at run time beyond a seeded LCG); every metric is
+//! measured through [`crate::measure`]: adaptive repetition until the
+//! bootstrap 95 % CI of the median is tight (or a rep cap), summarized as
+//! `{median, ci_lo, ci_hi, reps, cv, samples}`. Carrying the interval is
+//! what lets `splash4-report --compare` gate regressions on noisy hosts
+//! instead of merely archiving numbers (`DESIGN.md` §11).
 //!
 //! Covered surfaces, per `DESIGN.md` §10:
-//! - reducer ops/sec for both back-ends (lock-based vs CAS-loop),
-//! - `GETSUB` counter grabs/sec for both back-ends,
-//! - barrier crossings/sec for both back-ends (condvar vs sense-reversing),
+//! - reducer ops/sec for both back-ends (lock-based vs CAS-loop), plus the
+//!   host-normalized lock-free/lock-based ratio,
+//! - `GETSUB` counter grabs/sec for both back-ends, plus the ratio,
+//! - barrier crossings/sec for both back-ends, plus the ratio,
 //! - simulator events/sec for the indexed [`Engine`] against the preserved
-//!   binary-heap reference ([`engine::run_reference`]) on identical programs,
+//!   binary-heap reference ([`engine::run_reference`]) on identical
+//!   programs, with the speedup summarized from *paired per-repetition
+//!   ratios* so host frequency drift cancels,
 //! - end-to-end wall time of one simulation-driven report experiment.
 
 use crate::experiments::ExperimentCtx;
-use crate::tables::Table;
+use crate::measure::{measure_adaptive, time_adaptive, MeasureConfig, Summary};
+use crate::tables::{geomean, Table};
 use splash4_kernels::InputClass;
-use splash4_parmacs::{json, PhaseSpec, SyncEnv, SyncMode, Team, WorkModel};
+use splash4_parmacs::{json, Json, PhaseSpec, SyncEnv, SyncMode, Team, WorkModel};
 use splash4_sim::{engine, model, BarrierKind, MachineParams, Op, Program};
 use std::time::Instant;
 
 /// Tuning knobs for one bench run.
 #[derive(Debug, Clone, Copy)]
 pub struct BenchConfig {
-    /// Measured repetitions per metric (one extra warmup pass always runs).
-    pub repetitions: usize,
+    /// Statistical stopping rule (reps, CI target, bootstrap size).
+    pub measure: MeasureConfig,
     /// Threads used for the native synchronization microbenchmarks.
     pub threads: usize,
     /// Per-thread operations in the reducer / counter microbenchmarks.
@@ -44,7 +51,7 @@ impl BenchConfig {
     /// Full-size configuration (local perf tracking).
     pub fn full() -> BenchConfig {
         BenchConfig {
-            repetitions: 5,
+            measure: MeasureConfig::full(),
             threads: 4,
             sync_ops: 100_000,
             barrier_crossings: 10_000,
@@ -54,10 +61,10 @@ impl BenchConfig {
         }
     }
 
-    /// CI-sized configuration: same shape, ~10× less work.
+    /// CI-sized configuration: same shape, ~10× less work, looser CI target.
     pub fn quick() -> BenchConfig {
         BenchConfig {
-            repetitions: 3,
+            measure: MeasureConfig::quick(),
             threads: 4,
             sync_ops: 10_000,
             barrier_crossings: 1_000,
@@ -66,70 +73,61 @@ impl BenchConfig {
             quick: true,
         }
     }
+
+    /// The stopping rule for the end-to-end wall benchmark: same CI target,
+    /// but fewer repetitions — one sample is a whole report experiment.
+    fn wall_measure(&self) -> MeasureConfig {
+        MeasureConfig {
+            min_reps: self.measure.min_reps.min(3),
+            max_reps: self.measure.max_reps.min(5),
+            ..self.measure
+        }
+    }
 }
 
-/// Median of `reps` timed runs of `f` (plus one untimed warmup), in seconds.
-fn median_secs(reps: usize, mut f: impl FnMut()) -> f64 {
-    f(); // warmup: faults pages, warms caches, resolves lazy init
-    let mut samples: Vec<f64> = (0..reps.max(1))
-        .map(|_| {
-            let t0 = Instant::now();
-            f();
-            t0.elapsed().as_secs_f64()
-        })
-        .collect();
-    samples.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN timing"));
-    samples[samples.len() / 2]
-}
-
-/// ops/sec for `total_ops` operations taking `secs` seconds.
-fn rate(total_ops: u64, secs: f64) -> f64 {
-    total_ops as f64 / secs.max(1e-12)
-}
-
-/// Reducer `add` throughput under full contention, one rate per back-end.
-fn bench_reducers(cfg: &BenchConfig) -> [(SyncMode, f64); 2] {
+/// Reducer `add` throughput under full contention, one summary per back-end.
+fn bench_reducers(cfg: &BenchConfig) -> [(SyncMode, Summary); 2] {
     SyncMode::ALL.map(|mode| {
         let env = SyncEnv::new(mode, cfg.threads);
         let r = env.reducer_f64();
-        let secs = median_secs(cfg.repetitions, || {
+        let secs = time_adaptive(&cfg.measure, || {
             Team::new(cfg.threads).run(|_| {
                 for i in 0..cfg.sync_ops {
                     r.add(i as f64);
                 }
             });
         });
-        (mode, rate((cfg.threads * cfg.sync_ops) as u64, secs))
+        (mode, secs.to_rate((cfg.threads * cfg.sync_ops) as u64))
     })
 }
 
 /// `GETSUB` grab throughput: the team drains a shared index range.
-fn bench_counters(cfg: &BenchConfig) -> [(SyncMode, f64); 2] {
+fn bench_counters(cfg: &BenchConfig) -> [(SyncMode, Summary); 2] {
     SyncMode::ALL.map(|mode| {
         let env = SyncEnv::new(mode, cfg.threads);
         let total = cfg.threads * cfg.sync_ops;
         let c = env.counter("bench", 0..total);
-        let secs = median_secs(cfg.repetitions, || {
+        let secs = time_adaptive(&cfg.measure, || {
             c.reset();
             Team::new(cfg.threads).run(|_| while c.next().is_some() {});
         });
-        (mode, rate(total as u64, secs))
+        (mode, secs.to_rate(total as u64))
     })
 }
 
 /// Barrier crossing throughput (whole-team crossings per second).
-fn bench_barriers(cfg: &BenchConfig) -> [(SyncMode, f64); 2] {
+fn bench_barriers(cfg: &BenchConfig) -> [(SyncMode, Summary); 2] {
     SyncMode::ALL.map(|mode| {
         let env = SyncEnv::new(mode, cfg.threads);
         let b = env.barrier();
-        let secs = median_secs(cfg.repetitions, || {
+        let secs = time_adaptive(&cfg.measure, || {
             Team::new(cfg.threads).run(|ctx| {
                 for _ in 0..cfg.barrier_crossings {
                     b.wait(ctx.tid);
                 }
             });
         });
-        (mode, rate(cfg.barrier_crossings as u64, secs))
+        (mode, secs.to_rate(cfg.barrier_crossings as u64))
     })
 }
 
@@ -193,15 +191,19 @@ fn synthetic_program(cores: usize, ops_per_core: usize, kind: BarrierKind, seed:
 }
 
 /// Simulator throughput: the indexed engine vs the preserved heap reference
-/// on byte-identical programs. Returns `(engine_eps, reference_eps)`; the
-/// two runs are also checked for result equality, so the bench doubles as an
-/// equivalence test on programs far larger than the unit tests use.
+/// on byte-identical programs. Returns `(engine, reference, speedup)`
+/// summaries; the two runs are also checked for result equality, so the
+/// bench doubles as an equivalence test on programs far larger than the
+/// unit tests use.
 ///
-/// The program set mirrors what F2/F3 regeneration feeds the engine: a
-/// fixed, kernel-shaped `WorkModel` lowered through `model::expand` under
-/// both sync policies across the core sweep, plus one LCG-built stress
-/// program per barrier kind so server queueing is exercised too.
-fn bench_sim_events(cfg: &BenchConfig) -> (f64, f64) {
+/// The two engines are interleaved within each repetition and the speedup is
+/// summarized from the **per-repetition ratio** `reference_secs /
+/// engine_secs`: CPU frequency and thermal drift shift both halves of a
+/// pair together and cancel out of the ratio (back-to-back blocks were
+/// observed to swing the measured speedup by ±40 % on a busy host). The
+/// adaptive stopping rule watches the ratio's CI — the quantity the gate
+/// cares about — not the absolute rates.
+fn bench_sim_events(cfg: &BenchConfig) -> (Summary, Summary, Summary) {
     let machine = MachineParams::epyc_like();
     let work = WorkModel::new("perfbench")
         .phase(
@@ -249,45 +251,43 @@ fn bench_sim_events(cfg: &BenchConfig) -> (f64, f64) {
         );
     }
 
-    // Interleave the two engines within each repetition: CPU frequency and
-    // thermal drift then shift both samples of a pair together instead of
-    // biasing the ratio (back-to-back blocks were observed to swing the
-    // measured speedup by ±40% on a busy host).
-    let reps = cfg.repetitions.max(1);
-    let mut fast_samples = Vec::with_capacity(reps);
-    let mut ref_samples = Vec::with_capacity(reps);
-    for _ in 0..reps {
+    let mut fast_secs: Vec<f64> = Vec::new();
+    let mut ref_secs: Vec<f64> = Vec::new();
+    // One adaptive measurement over the paired ratio; the absolute per-side
+    // samples are collected alongside and summarized afterwards.
+    let speedup = measure_adaptive(&cfg.measure, || {
         let t0 = Instant::now();
         for p in &programs {
             let _ = eng.run(p, &machine);
         }
-        fast_samples.push(t0.elapsed().as_secs_f64());
+        let fast = t0.elapsed().as_secs_f64();
         let t0 = Instant::now();
         for p in &programs {
             let _ = engine::run_reference(p, &machine);
         }
-        ref_samples.push(t0.elapsed().as_secs_f64());
-    }
-    let median = |mut v: Vec<f64>| {
-        v.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN timing"));
-        v[v.len() / 2]
-    };
+        let reference = t0.elapsed().as_secs_f64();
+        fast_secs.push(fast);
+        ref_secs.push(reference);
+        reference / fast.max(1e-12)
+    });
+    let resamples = cfg.measure.resamples;
     (
-        rate(total_events, median(fast_samples)),
-        rate(total_events, median(ref_samples)),
+        Summary::from_samples(&fast_secs, resamples).to_rate(total_events),
+        Summary::from_samples(&ref_secs, resamples).to_rate(total_events),
+        speedup,
     )
 }
 
 /// Wall time of one full simulation-driven report experiment (F2), in
 /// seconds. Uses a fresh ctx per repetition so the model cache and program
 /// memoization are exercised exactly as a cold `splash4-report` run would.
-fn bench_report_wall(cfg: &BenchConfig) -> f64 {
+fn bench_report_wall(cfg: &BenchConfig) -> Summary {
     let sim_threads = if cfg.quick {
         vec![1, 8, 64]
     } else {
         vec![1, 2, 4, 8, 16, 32, 64]
     };
-    median_secs(cfg.repetitions.min(3), || {
+    time_adaptive(&cfg.wall_measure(), || {
         let ctx = ExperimentCtx {
             class: InputClass::Test,
             sim_threads: sim_threads.clone(),
@@ -297,92 +297,137 @@ fn bench_report_wall(cfg: &BenchConfig) -> f64 {
     })
 }
 
+/// Format one summary as `median [ci_lo, ci_hi] (n=reps)` with a unit scale.
+fn fmt_summary(s: &Summary, scale: f64, unit: &str) -> String {
+    format!(
+        "{:.3} [{:.3}, {:.3}] {unit} (n={})",
+        s.median / scale,
+        s.ci_lo / scale,
+        s.ci_hi / scale,
+        s.reps
+    )
+}
+
 /// Run every microbenchmark and render the results.
 ///
 /// The returned `(text, json)` pair is what `splash4-report --bench` prints
-/// and writes: the JSON document is the `BENCH_results.json` schema CI
-/// checks (`schema`, `config`, `metrics.*`).
-pub fn run_bench(cfg: &BenchConfig) -> (String, splash4_parmacs::json::Json) {
+/// and writes: the JSON document is the `splash4-bench-v2` schema that
+/// `splash4-report --validate` checks and `--compare` gates on.
+pub fn run_bench(cfg: &BenchConfig) -> (String, Json) {
     let reducers = bench_reducers(cfg);
     let counters = bench_counters(cfg);
     let barriers = bench_barriers(cfg);
-    let (engine_eps, reference_eps) = bench_sim_events(cfg);
-    let engine_speedup = engine_eps / reference_eps.max(1e-12);
-    let report_secs = bench_report_wall(cfg);
+    let (engine_eps, reference_eps, speedup) = bench_sim_events(cfg);
+    let report_wall = bench_report_wall(cfg);
 
-    let mut t = Table::new(vec!["metric", "backend", "rate"]);
-    let fmt_rate = |r: f64| format!("{:.3} Mops/s", r / 1e6);
-    for (mode, r) in &reducers {
+    // Host-normalized lock-free/lock-based ratios, one per primitive group.
+    // `SyncMode::ALL` orders lock-based (splash3) first.
+    let group_ratio = |pairs: &[(SyncMode, Summary); 2]| pairs[1].1.ratio_vs(&pairs[0].1);
+    let reducer_ratio = group_ratio(&reducers);
+    let counter_ratio = group_ratio(&counters);
+    let barrier_ratio = group_ratio(&barriers);
+
+    let mut t = Table::new(vec!["metric", "backend", "median [95% CI]"]);
+    for (label, pairs, ratio) in [
+        ("reducer add", &reducers, &reducer_ratio),
+        ("counter grab", &counters, &counter_ratio),
+        ("barrier crossing", &barriers, &barrier_ratio),
+    ] {
+        let (scale, unit) = if label == "barrier crossing" {
+            (1e3, "k/s")
+        } else {
+            (1e6, "Mops/s")
+        };
+        for (mode, s) in pairs {
+            t.row(vec![
+                label.into(),
+                mode.label().into(),
+                fmt_summary(s, scale, unit),
+            ]);
+        }
         t.row(vec![
-            "reducer add".into(),
-            mode.label().into(),
-            fmt_rate(*r),
-        ]);
-    }
-    for (mode, r) in &counters {
-        t.row(vec![
-            "counter grab".into(),
-            mode.label().into(),
-            fmt_rate(*r),
-        ]);
-    }
-    for (mode, r) in &barriers {
-        t.row(vec![
-            "barrier crossing".into(),
-            mode.label().into(),
-            format!("{:.1} k/s", r / 1e3),
+            label.into(),
+            "lockfree/lock ratio".into(),
+            fmt_summary(ratio, 1.0, "x"),
         ]);
     }
     t.row(vec![
         "sim events".into(),
         "indexed engine".into(),
-        fmt_rate(engine_eps),
+        fmt_summary(&engine_eps, 1e6, "Mops/s"),
     ]);
     t.row(vec![
         "sim events".into(),
         "heap reference".into(),
-        fmt_rate(reference_eps),
+        fmt_summary(&reference_eps, 1e6, "Mops/s"),
     ]);
     t.row(vec![
         "sim engine speedup".into(),
-        "indexed/heap".into(),
-        format!("{engine_speedup:.2}x"),
+        "indexed/heap (paired)".into(),
+        fmt_summary(&speedup, 1.0, "x"),
     ]);
     t.row(vec![
         "F2 report wall".into(),
         "end-to-end".into(),
-        format!("{:.3} s", report_secs),
+        fmt_summary(&report_wall, 1.0, "s"),
     ]);
 
-    let by_mode = |pairs: &[(SyncMode, f64); 2]| {
-        splash4_parmacs::json::Json::Object(
+    let throughput_geomean = geomean(&[
+        reducers[0].1.median,
+        reducers[1].1.median,
+        counters[0].1.median,
+        counters[1].1.median,
+        barriers[0].1.median,
+        barriers[1].1.median,
+        engine_eps.median,
+        reference_eps.median,
+    ]);
+    let ratio_geomean = geomean(&[
+        reducer_ratio.median,
+        counter_ratio.median,
+        barrier_ratio.median,
+        speedup.median,
+    ]);
+
+    let group = |pairs: &[(SyncMode, Summary); 2], ratio: &Summary| {
+        Json::Object(
             pairs
                 .iter()
-                .map(|(m, r)| (m.label().to_string(), json!(*r)))
+                .map(|(m, s)| (m.label().to_string(), s.to_json()))
+                .chain(std::iter::once(("ratio".to_string(), ratio.to_json())))
                 .collect(),
         )
     };
     let doc = json!({
-        "schema": "splash4-bench-v1",
+        "schema": "splash4-bench-v2",
         "config": json!({
             "quick": cfg.quick,
-            "repetitions": cfg.repetitions as u64,
             "threads": cfg.threads as u64,
             "sync_ops": cfg.sync_ops as u64,
             "barrier_crossings": cfg.barrier_crossings as u64,
             "sim_cores": cfg.sim_cores as u64,
             "sim_ops_per_core": cfg.sim_ops_per_core as u64,
+            "measure": json!({
+                "min_reps": cfg.measure.min_reps as u64,
+                "max_reps": cfg.measure.max_reps as u64,
+                "target_rci": cfg.measure.target_rci,
+                "resamples": cfg.measure.resamples as u64,
+            }),
         }),
         "metrics": json!({
-            "reducer_ops_per_sec": by_mode(&reducers),
-            "counter_grabs_per_sec": by_mode(&counters),
-            "barrier_crossings_per_sec": by_mode(&barriers),
+            "reducer_ops_per_sec": group(&reducers, &reducer_ratio),
+            "counter_grabs_per_sec": group(&counters, &counter_ratio),
+            "barrier_crossings_per_sec": group(&barriers, &barrier_ratio),
             "sim_events_per_sec": json!({
-                "engine": engine_eps,
-                "reference": reference_eps,
-                "speedup": engine_speedup,
+                "engine": engine_eps.to_json(),
+                "reference": reference_eps.to_json(),
+                "speedup": speedup.to_json(),
             }),
-            "report_wall_secs": report_secs,
+            "report_wall_secs": report_wall.to_json(),
+        }),
+        "aggregate": json!({
+            "throughput_geomean_ops_per_sec": throughput_geomean,
+            "ratio_geomean": ratio_geomean,
         }),
     });
     (t.render(), doc)
@@ -391,10 +436,16 @@ pub fn run_bench(cfg: &BenchConfig) -> (String, splash4_parmacs::json::Json) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::compare::{compare_texts, validate, BenchDoc};
 
     fn tiny() -> BenchConfig {
         BenchConfig {
-            repetitions: 1,
+            measure: MeasureConfig {
+                min_reps: 2,
+                max_reps: 3,
+                target_rci: 0.5,
+                resamples: 100,
+            },
             threads: 2,
             sync_ops: 500,
             barrier_crossings: 50,
@@ -415,37 +466,33 @@ mod tests {
     }
 
     #[test]
-    fn bench_emits_expected_schema() {
+    fn bench_emits_v2_schema_that_validates_and_self_compares() {
         let (text, doc) = run_bench(&tiny());
         assert!(text.contains("sim engine speedup"));
-        assert_eq!(doc["schema"].as_str(), Some("splash4-bench-v1"));
-        let metrics = &doc["metrics"];
-        for key in [
-            "reducer_ops_per_sec",
-            "counter_grabs_per_sec",
-            "barrier_crossings_per_sec",
-            "sim_events_per_sec",
-            "report_wall_secs",
-        ] {
-            assert!(!metrics[key].is_null(), "missing metric {key}");
-        }
-        for backend_metric in [
-            "reducer_ops_per_sec",
-            "counter_grabs_per_sec",
-            "barrier_crossings_per_sec",
-        ] {
-            for mode in SyncMode::ALL {
-                let v = metrics[backend_metric][mode.label()].as_f64();
-                assert!(
-                    v.is_some_and(|x| x > 0.0),
-                    "{backend_metric}/{} must be positive",
-                    mode.label()
-                );
-            }
-        }
-        assert!(metrics["sim_events_per_sec"]["speedup"].as_f64().unwrap() > 0.0);
-        // The document round-trips through the JSON writer.
+        assert_eq!(doc["schema"].as_str(), Some("splash4-bench-v2"));
         let rendered = doc.to_string_pretty();
-        assert!(rendered.contains("splash4-bench-v1"));
+        // The document passes its own validator and decodes fully.
+        validate(&rendered).expect("fresh bench document validates");
+        let decoded = BenchDoc::parse(&rendered).expect("decodes");
+        assert_eq!(decoded.version, 2);
+        for m in &decoded.metrics {
+            assert!(m.summary.median > 0.0, "{} must be positive", m.name);
+            assert!(m.summary.reps >= 2, "{} must carry real reps", m.name);
+            assert!(
+                !m.summary.samples.is_empty() || m.name.ends_with("ratio"),
+                "{} should record samples",
+                m.name
+            );
+        }
+        // Self-comparison of a fresh document can never gate.
+        let report = compare_texts(&rendered, &rendered).expect("self compare");
+        assert!(report.pass());
+        // Aggregates are present and sane.
+        assert!(doc["aggregate"]["throughput_geomean_ops_per_sec"]
+            .as_f64()
+            .is_some_and(|v| v > 0.0));
+        assert!(doc["aggregate"]["ratio_geomean"]
+            .as_f64()
+            .is_some_and(|v| v > 0.0));
     }
 }

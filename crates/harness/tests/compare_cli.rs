@@ -1,0 +1,237 @@
+//! End-to-end tests of the `splash4-report --validate` / `--compare` CLI:
+//! the exact invocations CI runs, checked at the exit-code level.
+
+use splash4_harness::measure::Summary;
+use splash4_parmacs::{json, Json};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn report_bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_splash4-report"))
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("splash4-cli-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+/// The committed reference baseline at the repository root.
+fn committed_baseline() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results/BENCH_results.json")
+}
+
+/// A structurally complete v2 document: every rate metric scales with
+/// `scale`, every CI is ±`rci`·median.
+fn synth_v2(scale: f64, rci: f64) -> String {
+    let s = |median: f64| -> Json {
+        Summary {
+            median,
+            ci_lo: median * (1.0 - rci),
+            ci_hi: median * (1.0 + rci),
+            reps: 5,
+            cv: rci,
+            samples: vec![median; 5],
+        }
+        .to_json()
+    };
+    let group = |m3: f64, m4: f64| {
+        json!({
+            "splash3": s(m3 * scale),
+            "splash4": s(m4 * scale),
+            "ratio": s(m4 / m3),
+        })
+    };
+    json!({
+        "schema": "splash4-bench-v2",
+        "config": json!({
+            "quick": false,
+            "threads": 4u64,
+            "sync_ops": 100000u64,
+            "barrier_crossings": 10000u64,
+            "sim_cores": 32u64,
+            "sim_ops_per_core": 4000u64,
+        }),
+        "metrics": json!({
+            "reducer_ops_per_sec": group(5.0e6, 40.0e6),
+            "counter_grabs_per_sec": group(4.5e6, 40.0e6),
+            "barrier_crossings_per_sec": group(1.5e5, 1.1e5),
+            "sim_events_per_sec": json!({
+                "engine": s(30.0e6 * scale),
+                "reference": s(17.0e6 * scale),
+                "speedup": s(30.0 / 17.0),
+            }),
+            "report_wall_secs": s(0.25 / scale),
+        }),
+    })
+    .to_string_pretty()
+}
+
+/// A legacy v1 document (bare point estimates), as PR 3 wrote them.
+fn synth_v1() -> String {
+    json!({
+        "schema": "splash4-bench-v1",
+        "config": json!({
+            "quick": false,
+            "repetitions": 5u64,
+            "threads": 4u64,
+            "sync_ops": 100000u64,
+            "barrier_crossings": 10000u64,
+            "sim_cores": 32u64,
+            "sim_ops_per_core": 4000u64,
+        }),
+        "metrics": json!({
+            "reducer_ops_per_sec": json!({"splash3": 4.86e6, "splash4": 40.28e6}),
+            "counter_grabs_per_sec": json!({"splash3": 4.57e6, "splash4": 40.42e6}),
+            "barrier_crossings_per_sec": json!({"splash3": 1.47e5, "splash4": 1.14e5}),
+            "sim_events_per_sec": json!({
+                "engine": 30.88e6,
+                "reference": 17.54e6,
+                "speedup": 1.76,
+            }),
+            "report_wall_secs": 0.242,
+        }),
+    })
+    .to_string_pretty()
+}
+
+#[test]
+fn validate_accepts_committed_baseline_and_rejects_garbage() {
+    let out = report_bin()
+        .args(["--validate", committed_baseline().to_str().unwrap()])
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "committed baseline must validate: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let dir = tmp_dir("validate");
+    let bad = dir.join("garbage.json");
+    std::fs::write(&bad, "{\"schema\": \"splash4-bench-v2\"}").unwrap();
+    let out = report_bin()
+        .args(["--validate", bad.to_str().unwrap()])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success(), "garbage must be rejected");
+    let missing = dir.join("nope.json");
+    let out = report_bin()
+        .args(["--validate", missing.to_str().unwrap()])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success(), "missing file must be an error");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn compare_self_passes_on_committed_baseline() {
+    let base = committed_baseline();
+    let out = report_bin()
+        .args(["--compare", base.to_str().unwrap(), base.to_str().unwrap()])
+        .output()
+        .expect("runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "self-comparison must pass:\n{stdout}\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("PASS"), "{stdout}");
+}
+
+#[test]
+fn compare_gates_synthetic_2x_slowdown() {
+    let dir = tmp_dir("slowdown");
+    let base = dir.join("base.json");
+    let cand = dir.join("cand.json");
+    std::fs::write(&base, synth_v2(1.0, 0.03)).unwrap();
+    std::fs::write(&cand, synth_v2(0.5, 0.03)).unwrap();
+    let out = report_bin()
+        .args(["--compare", base.to_str().unwrap(), cand.to_str().unwrap()])
+        .output()
+        .expect("runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(!out.status.success(), "2x slowdown must gate:\n{stdout}");
+    assert!(stdout.contains("FAIL"), "{stdout}");
+    assert!(stdout.contains("REGRESSED"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn compare_tolerates_within_noise_wiggle() {
+    let dir = tmp_dir("wiggle");
+    let base = dir.join("base.json");
+    let cand = dir.join("cand.json");
+    std::fs::write(&base, synth_v2(1.0, 0.06)).unwrap();
+    // 4 % shift with ±6 % intervals: overlapping, sub-threshold.
+    std::fs::write(&cand, synth_v2(0.96, 0.06)).unwrap();
+    let out = report_bin()
+        .args(["--compare", base.to_str().unwrap(), cand.to_str().unwrap()])
+        .output()
+        .expect("runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "within-noise wiggle must pass:\n{stdout}"
+    );
+    assert!(stdout.contains("PASS"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn compare_reads_legacy_v1_documents() {
+    let dir = tmp_dir("legacy");
+    let v1 = dir.join("v1.json");
+    let v2 = dir.join("v2.json");
+    std::fs::write(&v1, synth_v1()).unwrap();
+    std::fs::write(&v2, synth_v2(1.0, 0.03)).unwrap();
+    // v1 self-comparison: identical numbers, must pass.
+    let out = report_bin()
+        .args(["--compare", v1.to_str().unwrap(), v1.to_str().unwrap()])
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "v1 self-compare must pass:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    // Mixed v1 baseline vs v2 candidate with similar numbers: must parse
+    // and pass (the shim widens the v1 side by the legacy noise floor).
+    let out = report_bin()
+        .args(["--compare", v1.to_str().unwrap(), v2.to_str().unwrap()])
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "v1→v2 history compare must pass:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bench_out_refuses_to_overwrite_without_force() {
+    let dir = tmp_dir("benchout");
+    let existing = dir.join("BENCH_results.json");
+    std::fs::write(&existing, "precious local baseline").unwrap();
+    // The guard fires before any measurement runs, so this is fast.
+    let out = report_bin()
+        .args([
+            "--bench",
+            "--quick",
+            "--bench-out",
+            existing.to_str().unwrap(),
+        ])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success(), "must refuse to overwrite");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--force"), "{stderr}");
+    assert_eq!(
+        std::fs::read_to_string(&existing).unwrap(),
+        "precious local baseline",
+        "refused write must leave the file untouched"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -93,6 +93,22 @@ impl Json {
         }
     }
 
+    /// Encode a float slice as a JSON array. Non-finite entries degrade to
+    /// `null` on write, like every other number in this module.
+    pub fn from_f64s(values: &[f64]) -> Json {
+        Json::Array(values.iter().map(|&v| Json::Num(v)).collect())
+    }
+
+    /// Decode an all-number array into a `Vec<f64>`. `None` if the value is
+    /// not an array or any element is not a number — a partial decode would
+    /// silently misalign per-repetition samples against their count.
+    pub fn as_f64_array(&self) -> Option<Vec<f64>> {
+        match self {
+            Json::Array(a) => a.iter().map(Json::as_f64).collect(),
+            _ => None,
+        }
+    }
+
     /// Pretty rendering with two-space indentation.
     pub fn to_string_pretty(&self) -> String {
         let mut out = String::new();
@@ -527,6 +543,19 @@ mod tests {
         for bad in ["", "{", "[1,]", "{\"a\" 1}", "tru", "1 2", "\"\\q\"", "nul"] {
             assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn float_arrays_round_trip() {
+        let vals = [1.5, -0.25, 3.0, 1e-9];
+        let j = Json::from_f64s(&vals);
+        assert_eq!(j.as_f64_array().as_deref(), Some(&vals[..]));
+        let reparsed = Json::parse(&j.to_string()).unwrap();
+        assert_eq!(reparsed.as_f64_array().as_deref(), Some(&vals[..]));
+        // Mixed or non-array values refuse to decode rather than truncate.
+        assert_eq!(json!([1, "x"]).as_f64_array(), None);
+        assert_eq!(json!("not-an-array").as_f64_array(), None);
+        assert_eq!(Json::from_f64s(&[]).as_f64_array(), Some(vec![]));
     }
 
     #[test]
