@@ -1,0 +1,325 @@
+//! Kernel-level model checking: real kernel bodies under the scheduler.
+//!
+//! The V1-check scenarios exercise each lock-free construct in isolation;
+//! these scenarios close the remaining gap by exploring the constructs *as
+//! the kernels compose them*, with inputs, ownership splits and invariants
+//! taken from the shipped kernel code at [`InputClass::Check`] scale:
+//!
+//! * [`radix_rank_scenario`] re-enacts radix's pass-0 pipeline — `GETSUB`
+//!   bucket claims publish prefix-scanned bucket starts, a sense barrier
+//!   separates the phases, then per-bucket **fetch_add rank dispensing**
+//!   scatters the real generated keys — and its finale replays the kernel's
+//!   own validation: every key lands exactly once inside its digit's bucket
+//!   region.
+//! * [`water_energy_scenario`] re-enacts water-nsquared's energy reduction:
+//!   the real Lennard-Jones pair energies of the `Check`-scale fluid
+//!   (cyclic pair ownership, exactly as `ctx.cyclic` splits them) flow into
+//!   the **CAS-loop `AtomicF64`** with a concurrent reader, and the finale
+//!   demands the sequential sum.
+//!
+//! Both read their orderings from the same `splash4_parmacs::spec` structs
+//! the native kernels consume, so mutating one spec field — or swapping the
+//! CAS loop for a blind store — turns a scenario into a kernel-shaped
+//! mutation test ([`kernel_mutants`]).
+
+use crate::engine::Sandbox;
+use crate::explore::Scenario;
+use crate::linearize::SpecModel;
+use crate::shadow::{ShadowAtomicF64, ShadowCounter, ShadowSenseBarrier};
+use crate::suite::{run_construct, run_mutant_catalog, CheckBudget, ConstructReport, MutantReport};
+use splash4_kernels::{radix, water_nsq, InputClass};
+use splash4_parmacs::{CasF64Spec, SenseBarrierSpec, TicketSpec};
+use std::sync::atomic::Ordering;
+
+/// Number of scheduler threads the kernel scenarios run (mirrors the
+/// three-thread shape of the V1-check scenarios).
+const NTHREADS: usize = 3;
+
+/// Radix pass-0 at `Check` scale: bucket claims → barrier → rank
+/// dispensing → permutation, over the kernel's real key array.
+///
+/// With `lost_rank`, the per-bucket `fetch_add` is weakened to a
+/// load/compute/store pair — the lost-CAS-retry bug class — which the
+/// checker must catch as a duplicate-slot data race or a finale violation.
+pub fn radix_rank_scenario(lost_rank: bool) -> impl Fn(&mut Sandbox) + Sync {
+    let cfg = radix::RadixConfig::class(InputClass::Check);
+    let keys = radix::generate_keys(&cfg);
+    let r = cfg.buckets();
+    let mask = (r - 1) as u32;
+    // Pass-0 digits and exclusive bucket starts, as the kernel's histogram +
+    // master prefix scan would produce them.
+    let digits: Vec<usize> = keys.iter().map(|&k| (k & mask) as usize).collect();
+    let mut starts = vec![0u64; r + 1];
+    for &d in &digits {
+        starts[d + 1] += 1;
+    }
+    for d in 0..r {
+        starts[d + 1] += starts[d];
+    }
+    let n = keys.len();
+
+    move |sb: &mut Sandbox| {
+        let spec = TicketSpec::SPLASH4;
+        let bucket_claims = ShadowCounter::new(sb, r as u64, spec);
+        let barrier = ShadowSenseBarrier::new(sb, NTHREADS, SenseBarrierSpec::SPLASH4);
+        let ranks: Vec<usize> = (0..r).map(|_| sb.alloc_atomic("radix.rank", 0)).collect();
+        // Bucket starts are *published* by whichever thread claims the
+        // bucket (plain data: the barrier's release/acquire edge is what
+        // makes the permute phase's reads race-free, as in the kernel).
+        let published: Vec<usize> = (0..r)
+            .map(|_| sb.alloc_data("radix.start", u64::MAX))
+            .collect();
+        let out: Vec<usize> = (0..n)
+            .map(|_| sb.alloc_data("radix.out", u64::MAX))
+            .collect();
+
+        for tid in 0..NTHREADS {
+            let keys = keys.clone();
+            let digits = digits.clone();
+            let starts = starts.clone();
+            let ranks = ranks.clone();
+            let published = published.clone();
+            let out = out.clone();
+            sb.thread(move |ctx| {
+                // Rank phase: claim buckets dynamically (GETSUB), publish
+                // each claimed bucket's start offset.
+                while let Some(d) = bucket_claims.next(ctx) {
+                    ctx.data_write(published[d as usize], starts[d as usize]);
+                }
+                barrier.wait(ctx);
+                // Permute phase: cyclic key ownership, one fetch_add rank
+                // per key, write into the claimed slot.
+                for i in (tid..n).step_by(NTHREADS) {
+                    let d = digits[i];
+                    let rank = if lost_rank {
+                        let v = ctx.op_load(ranks[d], Ordering::Acquire);
+                        ctx.op_store(ranks[d], v + 1, Ordering::Release);
+                        v
+                    } else {
+                        ctx.op_rmw(ranks[d], spec.claim_rmw, |v| v + 1)
+                    };
+                    let base = ctx.data_read(published[d]);
+                    let slot = (base + rank) as usize;
+                    ctx.check(
+                        (slot as u64) < starts[d + 1],
+                        "radix: rank stays inside its bucket region",
+                    );
+                    ctx.data_write(out[slot], keys[i] as u64);
+                }
+            });
+        }
+
+        let peek = sb.peek();
+        let keys_f = keys.clone();
+        let starts_f = starts.clone();
+        let out_f = out.clone();
+        sb.finale(move || {
+            let got: Vec<u64> = out_f.iter().map(|&c| peek.data(c)).collect();
+            if got.contains(&u64::MAX) {
+                return Err("radix: an output slot was never written (lost rank)".to_string());
+            }
+            for d in 0..starts_f.len() - 1 {
+                for s in starts_f[d]..starts_f[d + 1] {
+                    if (got[s as usize] as u32 & mask) as usize != d {
+                        return Err(format!(
+                            "radix: slot {s} holds a key of digit {}, want {d}",
+                            got[s as usize] as u32 & mask
+                        ));
+                    }
+                }
+            }
+            let mut sorted_got = got;
+            let mut want: Vec<u64> = keys_f.iter().map(|&k| k as u64).collect();
+            sorted_got.sort_unstable();
+            want.sort_unstable();
+            if sorted_got != want {
+                return Err("radix: output is not a permutation of the input keys".to_string());
+            }
+            Ok(())
+        });
+    }
+}
+
+/// Water-nsquared's energy reduction at `Check` scale: the real fluid's
+/// Lennard-Jones pair energies accumulate into the CAS-loop `AtomicF64`
+/// under a concurrent reader; the finale demands the sequential sum.
+///
+/// With `lost_update`, the CAS loop degrades to load/compute/store — the
+/// seeded lost-CAS-retry mutant the checker must catch.
+pub fn water_energy_scenario(lost_update: bool) -> impl Fn(&mut Sandbox) + Sync {
+    let cfg = water_nsq::WaterNsqConfig::class(InputClass::Check);
+    let fluid = water_nsq::initialize(cfg.n, cfg.seed);
+    let side = fluid.side;
+    // The kernel's pair sweep: all i<j pairs inside the cutoff, energies
+    // from the shipped `lj`.
+    let mut deltas = Vec::new();
+    for i in 0..cfg.n {
+        for j in (i + 1)..cfg.n {
+            let dx = water_nsq::min_image(fluid.pos[3 * i] - fluid.pos[3 * j], side);
+            let dy = water_nsq::min_image(fluid.pos[3 * i + 1] - fluid.pos[3 * j + 1], side);
+            let dz = water_nsq::min_image(fluid.pos[3 * i + 2] - fluid.pos[3 * j + 2], side);
+            let r2 = dx * dx + dy * dy + dz * dz;
+            if r2 < water_nsq::CUTOFF * water_nsq::CUTOFF {
+                let (u, _f_over_r) = water_nsq::lj(r2);
+                deltas.push(u);
+            }
+        }
+    }
+    let expected: f64 = deltas.iter().sum();
+
+    move |sb: &mut Sandbox| {
+        let mut cell = ShadowAtomicF64::new(sb, 0.0, CasF64Spec::SPLASH4);
+        if lost_update {
+            cell = cell.with_lost_update();
+        }
+        sb.spec(SpecModel::SumF64(0f64.to_bits()));
+        let peek = sb.peek();
+        // Two force threads with cyclic pair ownership (as `ctx.cyclic`
+        // splits the kernel's pair loop), plus the kernel's per-step
+        // energy reader.
+        for tid in 0..2usize {
+            let mine: Vec<f64> = deltas.iter().copied().skip(tid).step_by(2).collect();
+            sb.thread(move |ctx| {
+                for &u in &mine {
+                    cell.fetch_add(ctx, u);
+                }
+            });
+        }
+        sb.thread(move |ctx| {
+            cell.load(ctx);
+            cell.load(ctx);
+        });
+        sb.finale(move || {
+            let v = cell.final_value(&peek);
+            let tol = 1e-9 * expected.abs().max(1.0);
+            if (v - expected).abs() <= tol {
+                Ok(())
+            } else {
+                Err(format!(
+                    "water: energy reduction lost updates: final sum {v}, want {expected}"
+                ))
+            }
+        });
+    }
+}
+
+/// Check the kernel-body scenarios (the `V2-kernel-check` table).
+/// Deterministic for a fixed budget, like [`crate::check_suite`].
+pub fn check_kernels(budget: &CheckBudget) -> Vec<ConstructReport> {
+    let rows: Vec<(&'static str, &'static str, Box<Scenario>)> = vec![
+        (
+            "kernel/radix-rank",
+            "pass-0 permutation: every key lands once in its bucket",
+            Box::new(radix_rank_scenario(false)),
+        ),
+        (
+            "kernel/water-energy",
+            "linearizable energy sum, no lost updates",
+            Box::new(water_energy_scenario(false)),
+        ),
+    ];
+    rows.into_iter()
+        .enumerate()
+        .map(|(i, (construct, property, scenario))| {
+            run_construct(
+                construct,
+                property,
+                &*scenario,
+                &budget.to_budget(200 + i as u64),
+            )
+        })
+        .collect()
+}
+
+/// The kernel-scenario mutant catalog: the same bug classes as
+/// [`crate::mutants`], seeded inside real kernel bodies.
+pub fn kernel_mutants() -> Vec<(
+    &'static str,
+    &'static str,
+    &'static [&'static str],
+    Box<Scenario>,
+)> {
+    vec![
+        (
+            "radix-lost-rank",
+            "radix rank dispensing weakened: fetch_add -> load/store",
+            &["data-race", "invariant"] as &[_],
+            Box::new(radix_rank_scenario(true)),
+        ),
+        (
+            "water-lost-cas-retry",
+            "water energy CAS loop drops the retry: load/compute/store",
+            &["invariant", "not-linearizable"] as &[_],
+            Box::new(water_energy_scenario(true)),
+        ),
+    ]
+}
+
+/// Run the checker against the kernel-scenario mutant catalog.
+pub fn check_kernel_mutants(budget: &CheckBudget) -> Vec<MutantReport> {
+    run_mutant_catalog(kernel_mutants(), budget, 300)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::Verdict;
+
+    #[test]
+    fn check_scale_pair_list_is_nontrivial() {
+        // The water scenario needs enough interacting pairs for each force
+        // thread to contend, and a sum a lost update visibly dents.
+        let cfg = water_nsq::WaterNsqConfig::class(InputClass::Check);
+        let fluid = water_nsq::initialize(cfg.n, cfg.seed);
+        let mut pairs = 0;
+        let mut total = 0.0f64;
+        let mut min_mag = f64::INFINITY;
+        for i in 0..cfg.n {
+            for j in (i + 1)..cfg.n {
+                let dx = water_nsq::min_image(fluid.pos[3 * i] - fluid.pos[3 * j], fluid.side);
+                let dy =
+                    water_nsq::min_image(fluid.pos[3 * i + 1] - fluid.pos[3 * j + 1], fluid.side);
+                let dz =
+                    water_nsq::min_image(fluid.pos[3 * i + 2] - fluid.pos[3 * j + 2], fluid.side);
+                let r2 = dx * dx + dy * dy + dz * dz;
+                if r2 < water_nsq::CUTOFF * water_nsq::CUTOFF {
+                    let (u, _) = water_nsq::lj(r2);
+                    pairs += 1;
+                    total += u;
+                    min_mag = min_mag.min(u.abs());
+                }
+            }
+        }
+        assert!(pairs >= 4, "only {pairs} interacting pairs at Check scale");
+        assert!(
+            min_mag > 1e-6 * total.abs().max(1.0),
+            "a lost pair energy ({min_mag:e}) would hide inside the finale tolerance"
+        );
+    }
+
+    #[test]
+    fn kernel_scenarios_pass_at_small_budget() {
+        for row in check_kernels(&CheckBudget::small(17)) {
+            assert_eq!(
+                row.verdict,
+                Verdict::Pass,
+                "{}: {}",
+                row.construct,
+                row.counterexample
+            );
+            assert!(
+                row.schedules >= 200,
+                "{}: only {} schedules",
+                row.construct,
+                row.schedules
+            );
+        }
+    }
+
+    #[test]
+    fn kernel_mutants_are_detected_at_small_budget() {
+        for m in check_kernel_mutants(&CheckBudget::small(19)) {
+            assert!(m.detected, "{} not detected: {}", m.name, m.counterexample);
+        }
+    }
+}

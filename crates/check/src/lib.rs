@@ -27,6 +27,10 @@
 //!   (Wing & Gong search with memoization).
 //! * [`suite`] packages one scenario per construct class into the
 //!   `V1-check` experiment table, plus the mutant catalog.
+//! * [`kernel`] lifts the same machinery to real kernel bodies at
+//!   [`splash4_kernels::InputClass::Check`] scale — radix's fetch-add rank
+//!   dispensing and water-nsquared's CAS-loop energy reduction — for the
+//!   `V2-kernel-check` experiment.
 //!
 //! ```
 //! use splash4_check::{explore, Budget, treiber_scenario};
@@ -44,6 +48,7 @@
 pub mod clock;
 pub mod engine;
 pub mod explore;
+pub mod kernel;
 pub mod linearize;
 pub mod shadow;
 pub mod suite;
@@ -51,6 +56,9 @@ pub mod suite;
 pub use clock::VClock;
 pub use engine::{Failure, Peek, Sandbox, ThreadCtx};
 pub use explore::{explore, replay, Budget, CounterExample, ExploreReport, Replayed, Schedule};
+pub use kernel::{
+    check_kernel_mutants, check_kernels, kernel_mutants, radix_rank_scenario, water_energy_scenario,
+};
 pub use linearize::{check_history, Op, OpRecord, RetVal, SpecModel};
 pub use shadow::{
     ShadowAtomicF64, ShadowCounter, ShadowFlag, ShadowLock, ShadowLockedQueue, ShadowReduceU64,

@@ -53,7 +53,7 @@ impl CheckBudget {
         }
     }
 
-    fn to_budget(&self, construct_idx: u64) -> Budget {
+    pub(crate) fn to_budget(&self, construct_idx: u64) -> Budget {
         Budget {
             min_schedules: self.min_schedules,
             // Let DFS overshoot the target a little before cutting over.
@@ -367,7 +367,7 @@ pub fn locked_queue_scenario() -> impl Fn(&mut Sandbox) + Sync {
     }
 }
 
-fn run_construct(
+pub(crate) fn run_construct(
     construct: &'static str,
     property: &'static str,
     scenario: &Scenario,
@@ -482,11 +482,25 @@ pub fn mutants() -> Vec<(
 
 /// Run the checker against the mutant catalog.
 pub fn check_mutants(budget: &CheckBudget) -> Vec<MutantReport> {
-    mutants()
+    run_mutant_catalog(mutants(), budget, 100)
+}
+
+/// Shared mutant-catalog driver (also used by the kernel-scenario catalog).
+pub(crate) fn run_mutant_catalog(
+    catalog: Vec<(
+        &'static str,
+        &'static str,
+        &'static [&'static str],
+        Box<Scenario>,
+    )>,
+    budget: &CheckBudget,
+    base_idx: u64,
+) -> Vec<MutantReport> {
+    catalog
         .into_iter()
         .enumerate()
         .map(|(i, (name, description, expect, scenario))| {
-            let rep = explore(&*scenario, &budget.to_budget(100 + i as u64));
+            let rep = explore(&*scenario, &budget.to_budget(base_idx + i as u64));
             let (detected, counterexample) = match rep.counterexample {
                 Some(c) if expect.contains(&c.failure.kind()) => (true, c.to_string()),
                 Some(c) => (false, format!("unexpected {c}")),

@@ -77,7 +77,9 @@
 #![warn(missing_docs)]
 
 pub use splash4_check as check;
-pub use splash4_check::{check_mutants, check_suite, CheckBudget};
+pub use splash4_check::{
+    check_kernel_mutants, check_kernels, check_mutants, check_suite, CheckBudget,
+};
 pub use splash4_harness::{
     compare_texts as compare_bench_docs, geomean, pct_change, record_trace, run_bench,
     run_experiment, validate as validate_bench_doc, BenchConfig, BenchDoc, CompareReport,
@@ -85,7 +87,7 @@ pub use splash4_harness::{
 };
 pub use splash4_kernels::{
     barnes, cholesky, close, fft, fmm, lu, ocean, radiosity, radix, raytrace, volrend, water_nsq,
-    water_sp, InputClass, KernelResult, SharedAccum, SharedSlice,
+    water_sp, workload, InputClass, KernelResult, SharedAccum, SharedSlice, Workload, SUITE,
 };
 pub use splash4_parmacs as parmacs;
 pub use splash4_parmacs::{

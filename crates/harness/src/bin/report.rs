@@ -5,6 +5,7 @@
 //! splash4-report --experiment F2-sim-epyc [--class test|small|native]
 //! splash4-report --all [--json-out results.json]
 //! splash4-report --experiment F1-native --threads 1,2,4
+//! splash4-report --all --only fft,radix
 //! splash4-report --all --csv-dir results/csv
 //! splash4-report --bench [--quick] [--bench-out BENCH_results.json] [--force]
 //! splash4-report --validate BENCH_results.json
@@ -16,10 +17,16 @@
 //! gate and exits non-zero only on a statistically resolvable regression —
 //! the same binary serves local perf work and CI gating, with no Python on
 //! the runners.
+//!
+//! `--only` narrows the per-workload experiments (and the `--bench`
+//! end-to-end wall benchmark) to a comma list of workload names, resolved
+//! leniently through the registry (`FFT`, `water-nsquared`, and
+//! `Water_NSquared` all work); `--list` prints both the experiment ids and
+//! the workload names those filters accept.
 
 use splash4_harness::{
-    compare_texts, run_bench, run_experiment, validate, write_guarded, BenchConfig, ExperimentCtx,
-    ALL_EXPERIMENTS,
+    compare_texts, run_bench, run_experiment, validate, write_guarded, BenchConfig, BenchmarkId,
+    ExperimentCtx, ALL_EXPERIMENTS,
 };
 use splash4_kernels::InputClass;
 use splash4_parmacs::json;
@@ -29,7 +36,8 @@ use std::process::ExitCode;
 fn usage() -> &'static str {
     "usage: splash4-report (--list | --all | --experiment <id> | --bench \
      | --validate <file> | --compare <baseline> <candidate>) \
-     [--class test|small|native] [--threads a,b,c] [--sim-threads a,b,c] \
+     [--only bench[,bench...]] [--class test|small|native] \
+     [--threads a,b,c] [--sim-threads a,b,c] \
      [--snapshot-cores N] [--json-out FILE] [--csv-dir DIR] \
      [--quick] [--bench-out FILE] [--force]"
 }
@@ -48,11 +56,40 @@ fn main() -> ExitCode {
     let mut ctx = ExperimentCtx::default();
     let mut json_out: Option<String> = None;
     let mut csv_dir: Option<String> = None;
+    let mut only: Option<Vec<BenchmarkId>> = None;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--list" => list = true,
+            "--only" => {
+                let Some(spec) = it.next() else {
+                    eprintln!("--only needs a comma list of workload names\n{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                let mut picked: Vec<BenchmarkId> = Vec::new();
+                for name in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+                    let Some(b) = BenchmarkId::from_name(name) else {
+                        let known: Vec<&str> = BenchmarkId::ALL.iter().map(|b| b.name()).collect();
+                        eprintln!(
+                            "unknown workload '{name}'; known workloads: {}",
+                            known.join(", ")
+                        );
+                        return ExitCode::FAILURE;
+                    };
+                    if !picked.contains(&b) {
+                        picked.push(b);
+                    }
+                }
+                if picked.is_empty() {
+                    eprintln!("--only needs at least one workload name\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+                // Keep suite order regardless of how the user listed them,
+                // so filtered tables stay aligned with the full ones.
+                picked.sort_by_key(|&b| b as usize);
+                only = Some(picked);
+            }
             "--all" => all = true,
             "--bench" => bench = true,
             "--quick" => quick = true,
@@ -150,9 +187,18 @@ fn main() -> ExitCode {
         }
     }
 
+    if let Some(benches) = &only {
+        ctx.benchmarks = benches.clone();
+    }
+
     if list {
+        println!("experiments:");
         for id in ALL_EXPERIMENTS {
-            println!("{id}");
+            println!("  {id}");
+        }
+        println!("workloads (accepted by --only):");
+        for b in BenchmarkId::ALL {
+            println!("  {:<16} {}", b.name(), b.input_description(ctx.class));
         }
         return ExitCode::SUCCESS;
     }
@@ -200,11 +246,14 @@ fn main() -> ExitCode {
     }
 
     if bench {
-        let cfg = if quick {
+        let mut cfg = if quick {
             BenchConfig::quick()
         } else {
             BenchConfig::full()
         };
+        if let Some(benches) = &only {
+            cfg.benchmarks = benches.clone();
+        }
         // Refuse to clobber an existing results file before spending minutes
         // measuring; the same guard runs again at write time.
         if Path::new(&bench_out).exists() && !force {

@@ -52,6 +52,9 @@ impl ModelCache {
 pub struct ExperimentCtx {
     /// Input class for kernel executions.
     pub class: InputClass,
+    /// Benchmarks the per-workload experiments cover (`--only` narrows this
+    /// from the full suite).
+    pub benchmarks: Vec<BenchmarkId>,
     /// Thread counts for native (host) runs.
     pub native_threads: Vec<usize>,
     /// Core counts for simulated runs.
@@ -66,6 +69,7 @@ impl Default for ExperimentCtx {
     fn default() -> ExperimentCtx {
         ExperimentCtx {
             class: InputClass::Test,
+            benchmarks: BenchmarkId::ALL.to_vec(),
             native_threads: vec![1, 2, 4],
             sim_threads: vec![1, 2, 4, 8, 16, 32, 64],
             snapshot_cores: 32,
@@ -80,10 +84,16 @@ impl ExperimentCtx {
     pub fn work_model(&self, b: BenchmarkId) -> WorkModel {
         self.models.get(b, self.class)
     }
+
+    /// The benchmarks this ctx's per-workload experiments iterate, in suite
+    /// order.
+    pub fn benchmarks(&self) -> impl Iterator<Item = BenchmarkId> + '_ {
+        self.benchmarks.iter().copied()
+    }
 }
 
 /// All known experiment ids, in presentation order.
-pub const ALL_EXPERIMENTS: [&str; 12] = [
+pub const ALL_EXPERIMENTS: [&str; 13] = [
     "T1-inputs",
     "T2-changes",
     "T3-syncops",
@@ -96,6 +106,7 @@ pub const ALL_EXPERIMENTS: [&str; 12] = [
     "F8-trace-replay",
     "S1-sensitivity",
     "V1-check",
+    "V2-kernel-check",
 ];
 
 /// Dispatch an experiment by id.
@@ -124,6 +135,7 @@ pub fn run_experiment(id: &str, ctx: &ExperimentCtx) -> Result<Report, String> {
         "F8-trace-replay" => Ok(f8_trace_replay(ctx)),
         "S1-sensitivity" => Ok(s1_sensitivity(ctx)),
         "V1-check" => Ok(v1_check(ctx)),
+        "V2-kernel-check" => Ok(v2_kernel_check(ctx)),
         _ => Err(format!(
             "unknown experiment '{id}'; known: {}",
             ALL_EXPERIMENTS.join(", ")
@@ -173,7 +185,7 @@ pub fn record_trace(
 fn t1_inputs(ctx: &ExperimentCtx) -> Report {
     let mut t = Table::new(vec!["benchmark", "test", "small", "native"]);
     let mut rows = Vec::new();
-    for b in BenchmarkId::ALL {
+    for b in ctx.benchmarks() {
         let cells: Vec<String> = InputClass::ALL
             .iter()
             .map(|&c| b.input_description(c))
@@ -189,7 +201,6 @@ fn t1_inputs(ctx: &ExperimentCtx) -> Report {
             cells[2].clone(),
         ]);
     }
-    let _ = ctx;
     Report {
         id: "T1-inputs".into(),
         title: "Workloads and input parameters per class".into(),
@@ -211,7 +222,7 @@ fn t2_changes(ctx: &ExperimentCtx) -> Report {
         "reduces",
     ]);
     let mut rows = Vec::new();
-    for b in BenchmarkId::ALL {
+    for b in ctx.benchmarks() {
         let lb = b
             .run(ctx.class, &SyncEnv::new(SyncMode::LockBased, 2))
             .profile;
@@ -257,7 +268,7 @@ fn t3_syncops(ctx: &ExperimentCtx) -> Report {
         "flag-waits",
     ]);
     let mut rows = Vec::new();
-    for b in BenchmarkId::ALL {
+    for b in ctx.benchmarks() {
         for mode in SyncMode::ALL {
             let p = b.run(ctx.class, &SyncEnv::new(mode, 4)).profile;
             t.row(vec![
@@ -294,7 +305,7 @@ fn f1_native(ctx: &ExperimentCtx) -> Report {
     let mut t = Table::new(header);
     let mut per_thread_ratios: Vec<Vec<f64>> = vec![Vec::new(); ctx.native_threads.len()];
     let mut rows = Vec::new();
-    for b in BenchmarkId::ALL {
+    for b in ctx.benchmarks() {
         let mut cells = vec![b.name().to_string()];
         let mut jrow = vec![];
         for (i, &p) in ctx.native_threads.iter().enumerate() {
@@ -340,7 +351,7 @@ fn sim_normalized(id: &str, machine: MachineParams, ctx: &ExperimentCtx) -> Repo
     let mut per_core_ratios: Vec<Vec<f64>> = vec![Vec::new(); ctx.sim_threads.len()];
     let mut rows = Vec::new();
     let mut sim = Simulator::new(machine);
-    for b in BenchmarkId::ALL {
+    for b in ctx.benchmarks() {
         let work = ctx.work_model(b);
         let mut cells = vec![b.name().to_string()];
         let mut jrow = vec![];
@@ -398,7 +409,7 @@ fn f4_scalability(ctx: &ExperimentCtx) -> Report {
     let mut t = Table::new(header);
     let mut rows = Vec::new();
     let mut sim = Simulator::new(machine);
-    for b in BenchmarkId::ALL {
+    for b in ctx.benchmarks() {
         let work = ctx.work_model(b);
         for mode in SyncMode::ALL {
             let t1 = sim.simulate(&work, mode, 1).total_ns as f64;
@@ -439,7 +450,7 @@ fn f5_breakdown(ctx: &ExperimentCtx) -> Report {
     ]);
     let mut rows = Vec::new();
     let mut sim = Simulator::new(machine);
-    for b in BenchmarkId::ALL {
+    for b in ctx.benchmarks() {
         let work = ctx.work_model(b);
         for mode in SyncMode::ALL {
             let res = sim.simulate(&work, mode, p);
@@ -482,7 +493,7 @@ fn f6_ablation(ctx: &ExperimentCtx) -> Report {
     let mut rows = Vec::new();
     let mut per_class: Vec<Vec<f64>> = vec![Vec::new(); classes.len() + 1];
     let mut sim = Simulator::new(machine);
-    for b in BenchmarkId::ALL {
+    for b in ctx.benchmarks() {
         let work = ctx.work_model(b);
         let base = sim.simulate(&work, SyncMode::LockBased, p).total_ns as f64;
         let mut cells = vec![b.name().to_string()];
@@ -548,7 +559,7 @@ fn f8_trace_replay(ctx: &ExperimentCtx) -> Report {
     let mut sims: Vec<Simulator> = machines.iter().map(|&m| Simulator::new(m)).collect();
     let mut eng = engine::Engine::new();
 
-    for b in BenchmarkId::ALL {
+    for b in ctx.benchmarks() {
         let (result, trace) = record_trace(b, ctx.class, SyncMode::LockFree, TRACE_THREADS);
         let summary = TraceSummary::from_trace(&trace);
         let mut jpoints = Vec::new();
@@ -643,10 +654,7 @@ fn f8_trace_replay(ctx: &ExperimentCtx) -> Report {
 fn s1_sensitivity(ctx: &ExperimentCtx) -> Report {
     let base = MachineParams::epyc_like();
     let cores = *ctx.sim_threads.iter().max().unwrap_or(&64);
-    let works: Vec<WorkModel> = BenchmarkId::ALL
-        .iter()
-        .map(|&b| ctx.work_model(b))
-        .collect();
+    let works: Vec<WorkModel> = ctx.benchmarks().map(|b| ctx.work_model(b)).collect();
     let scales = [0.5f64, 1.0, 2.0];
     let mut t = Table::new(vec!["convoy×", "condvar×", "geomean ratio", "reduction"]);
     let mut rows = Vec::new();
@@ -702,7 +710,53 @@ fn v1_check(_ctx: &ExperimentCtx) -> Report {
     let budget = splash4_check::CheckBudget::default();
     let rows = splash4_check::check_suite(&budget);
     let muts = splash4_check::check_mutants(&budget);
+    check_report(
+        "V1-check",
+        format!(
+            "Model checking the lock-free constructs ({} schedules/construct minimum, seed {:#x})",
+            budget.min_schedules, budget.seed
+        ),
+        &budget,
+        &rows,
+        &muts,
+    )
+}
 
+/// `V2-kernel-check` (extension): the model checker applied to real kernel
+/// bodies at `Check` scale.
+///
+/// Where `V1-check` verifies each lock-free construct in isolation, this
+/// experiment explores the constructs *as the kernels compose them*: radix's
+/// pass-0 rank dispensing (GETSUB bucket claims + barrier + per-bucket
+/// `fetch_add`) over the kernel's real key array, and water-nsquared's
+/// CAS-loop energy reduction over the real Lennard-Jones pair energies. The
+/// mutation table seeds kernel-shaped bugs — a lost rank, a lost CAS retry —
+/// that the checker must catch with a minimized counterexample schedule.
+fn v2_kernel_check(_ctx: &ExperimentCtx) -> Report {
+    let budget = splash4_check::CheckBudget::default();
+    let rows = splash4_check::check_kernels(&budget);
+    let muts = splash4_check::check_kernel_mutants(&budget);
+    check_report(
+        "V2-kernel-check",
+        format!(
+            "Model checking real kernel bodies at Check scale ({} schedules/scenario minimum, seed {:#x})",
+            budget.min_schedules, budget.seed
+        ),
+        &budget,
+        &rows,
+        &muts,
+    )
+}
+
+/// Render a construct + mutant checker run as a [`Report`] (shared by
+/// `V1-check` and `V2-kernel-check`).
+fn check_report(
+    id: &str,
+    title: String,
+    budget: &splash4_check::CheckBudget,
+    rows: &[splash4_check::ConstructReport],
+    muts: &[splash4_check::MutantReport],
+) -> Report {
     let mut t = Table::new(vec![
         "construct",
         "property",
@@ -711,7 +765,7 @@ fn v1_check(_ctx: &ExperimentCtx) -> Report {
         "verdict",
     ]);
     let mut jrows = Vec::new();
-    for r in &rows {
+    for r in rows {
         t.row(vec![
             r.construct.to_string(),
             r.property.to_string(),
@@ -731,7 +785,7 @@ fn v1_check(_ctx: &ExperimentCtx) -> Report {
 
     let mut mt = Table::new(vec!["mutant", "schedules", "detected", "counterexample"]);
     let mut jmuts = Vec::new();
-    for m in &muts {
+    for m in muts {
         mt.row(vec![
             m.name.to_string(),
             m.schedules.to_string(),
@@ -758,11 +812,8 @@ fn v1_check(_ctx: &ExperimentCtx) -> Report {
         mt.render()
     );
     Report {
-        id: "V1-check".into(),
-        title: format!(
-            "Model checking the lock-free constructs ({} schedules/construct minimum, seed {:#x})",
-            budget.min_schedules, budget.seed
-        ),
+        id: id.into(),
+        title,
         text,
         json: json!({ "min_schedules": budget.min_schedules as u64, "seed": budget.seed, "constructs": jrows, "mutants": jmuts }),
         csv: t.to_csv(),
@@ -876,6 +927,44 @@ mod tests {
             assert_eq!(m["detected"].as_bool(), Some(true), "mutant escaped: {m}");
             assert_ne!(m["counterexample"].as_str(), Some("-"), "no schedule: {m}");
         }
+    }
+
+    #[test]
+    fn v2_kernel_check_explores_real_kernel_bodies() {
+        let r = run_experiment("V2-kernel-check", &quick_ctx()).unwrap();
+        let constructs = r.json["constructs"].as_array().unwrap();
+        assert!(constructs.len() >= 2, "expected at least two kernel bodies");
+        for row in constructs {
+            assert_eq!(
+                row["verdict"].as_str().unwrap(),
+                "pass",
+                "kernel scenario failed: {row}"
+            );
+            assert!(
+                row["schedules"].as_f64().unwrap() >= 1000.0,
+                "too few schedules: {row}"
+            );
+        }
+        for m in r.json["mutants"].as_array().unwrap() {
+            assert_eq!(m["detected"].as_bool(), Some(true), "mutant escaped: {m}");
+            assert_ne!(m["counterexample"].as_str(), Some("-"), "no schedule: {m}");
+        }
+    }
+
+    #[test]
+    fn experiments_honor_the_benchmark_filter() {
+        let ctx = ExperimentCtx {
+            benchmarks: vec![BenchmarkId::Fft, BenchmarkId::Radix],
+            ..quick_ctx()
+        };
+        let r = run_experiment("T1-inputs", &ctx).unwrap();
+        assert!(r.text.contains("fft") && r.text.contains("radix"));
+        assert!(
+            !r.text.contains("barnes"),
+            "filtered workload leaked:\n{}",
+            r.text
+        );
+        assert_eq!(r.json["rows"].as_array().unwrap().len(), 2);
     }
 
     #[test]

@@ -22,6 +22,7 @@
 
 use crate::experiments::ExperimentCtx;
 use crate::measure::{measure_adaptive, time_adaptive, MeasureConfig, Summary};
+use crate::registry::BenchmarkId;
 use crate::tables::{geomean, Table};
 use splash4_kernels::InputClass;
 use splash4_parmacs::{json, Json, PhaseSpec, SyncEnv, SyncMode, Team, WorkModel};
@@ -29,7 +30,7 @@ use splash4_sim::{engine, model, BarrierKind, MachineParams, Op, Program};
 use std::time::Instant;
 
 /// Tuning knobs for one bench run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct BenchConfig {
     /// Statistical stopping rule (reps, CI target, bootstrap size).
     pub measure: MeasureConfig,
@@ -45,6 +46,10 @@ pub struct BenchConfig {
     pub sim_ops_per_core: usize,
     /// `true` for the CI-sized run (`--quick`).
     pub quick: bool,
+    /// Workloads the end-to-end report benchmark covers (`--only` narrows
+    /// this; the synchronization and simulator microbenchmarks are
+    /// workload-independent and always run).
+    pub benchmarks: Vec<BenchmarkId>,
 }
 
 impl BenchConfig {
@@ -58,6 +63,7 @@ impl BenchConfig {
             sim_cores: 32,
             sim_ops_per_core: 4_000,
             quick: false,
+            benchmarks: BenchmarkId::ALL.to_vec(),
         }
     }
 
@@ -71,6 +77,7 @@ impl BenchConfig {
             sim_cores: 16,
             sim_ops_per_core: 800,
             quick: true,
+            benchmarks: BenchmarkId::ALL.to_vec(),
         }
     }
 
@@ -291,6 +298,7 @@ fn bench_report_wall(cfg: &BenchConfig) -> Summary {
         let ctx = ExperimentCtx {
             class: InputClass::Test,
             sim_threads: sim_threads.clone(),
+            benchmarks: cfg.benchmarks.clone(),
             ..ExperimentCtx::default()
         };
         crate::experiments::run_experiment("F2-sim-epyc", &ctx).expect("F2 runs");
@@ -452,6 +460,7 @@ mod tests {
             sim_cores: 4,
             sim_ops_per_core: 120,
             quick: true,
+            benchmarks: vec![BenchmarkId::Fft, BenchmarkId::Radix],
         }
     }
 

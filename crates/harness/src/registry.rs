@@ -1,9 +1,14 @@
 //! The benchmark registry: one entry per suite workload.
+//!
+//! Since the kernels crate grew its own [`Workload`] trait and flat
+//! [`SUITE`] table, the registry is a thin veneer: `BenchmarkId` stays the
+//! harness's copyable handle (enum discriminants index straight into the
+//! table), and every query — name, input description, run — delegates to
+//! the workload object. Adding a 15th workload means appending one enum
+//! variant here and one table line in the kernels crate; there are no
+//! per-workload `match` arms left to keep in sync.
 
-use splash4_kernels::{
-    barnes, cholesky, fft, fmm, lu, ocean, radiosity, radix, raytrace, volrend, water_nsq,
-    water_sp, InputClass, KernelResult,
-};
+use splash4_kernels::{workload, InputClass, KernelResult, Workload, SUITE};
 use splash4_parmacs::SyncEnv;
 use std::fmt;
 
@@ -46,116 +51,36 @@ impl BenchmarkId {
         BenchmarkId::WaterSpatial,
     ];
 
-    /// Canonical suite name.
-    pub fn name(self) -> &'static str {
-        match self {
-            BenchmarkId::Barnes => "barnes",
-            BenchmarkId::Cholesky => "cholesky",
-            BenchmarkId::Fft => "fft",
-            BenchmarkId::Fmm => "fmm",
-            BenchmarkId::Lu => "lu",
-            BenchmarkId::LuNoncont => "lu-noncont",
-            BenchmarkId::Ocean => "ocean",
-            BenchmarkId::OceanNoncont => "ocean-noncont",
-            BenchmarkId::Radiosity => "radiosity",
-            BenchmarkId::Radix => "radix",
-            BenchmarkId::Raytrace => "raytrace",
-            BenchmarkId::Volrend => "volrend",
-            BenchmarkId::WaterNsquared => "water-nsquared",
-            BenchmarkId::WaterSpatial => "water-spatial",
-        }
+    /// The [`Workload`] object behind this id (discriminants are the
+    /// [`SUITE`] indices; a test pins the correspondence).
+    pub fn workload(self) -> &'static (dyn Workload + Send + Sync) {
+        SUITE[self as usize]
     }
 
-    /// Parse a suite name.
+    /// Canonical suite name.
+    pub fn name(self) -> &'static str {
+        self.workload().name()
+    }
+
+    /// Parse a suite name. Matching is lenient: case-insensitive, with `_`
+    /// and `-` interchangeable (`water_nsquared` ≡ `WATER-NSQUARED`).
     pub fn from_name(s: &str) -> Option<BenchmarkId> {
-        BenchmarkId::ALL.into_iter().find(|b| b.name() == s)
+        let w = workload::find(s)?;
+        SUITE
+            .iter()
+            .position(|entry| std::ptr::eq(*entry, w))
+            .map(|i| BenchmarkId::ALL[i])
     }
 
     /// Human description of the configured input for `class` (the `T1-inputs`
     /// table content).
     pub fn input_description(self, class: InputClass) -> String {
-        match self {
-            BenchmarkId::Barnes => {
-                let c = barnes::BarnesConfig::class(class);
-                format!("{} bodies, {} steps, θ={}", c.n, c.steps, c.theta)
-            }
-            BenchmarkId::Cholesky => {
-                let c = cholesky::CholeskyConfig::class(class);
-                format!("{0}×{0} SPD matrix, {1}×{1} blocks", c.n, c.block)
-            }
-            BenchmarkId::Fft => {
-                let c = fft::FftConfig::class(class);
-                format!("{} complex points (√n={})", c.n(), c.m)
-            }
-            BenchmarkId::Fmm => {
-                let c = fmm::FmmConfig::class(class);
-                format!("{} particles, depth {}, p={}", c.n, c.levels, c.order)
-            }
-            BenchmarkId::Lu => {
-                let c = lu::LuConfig::class(class);
-                format!("{0}×{0} matrix, {1}×{1} blocks", c.n, c.block)
-            }
-            BenchmarkId::LuNoncont => {
-                let c = lu::LuConfig::class_noncont(class);
-                format!("{0}×{0} matrix, {1}×{1} blocks, row-major", c.n, c.block)
-            }
-            BenchmarkId::Ocean => {
-                let c = ocean::OceanConfig::class(class);
-                format!("{0}×{0} grid, tol {1:.0e}", c.n, c.tolerance)
-            }
-            BenchmarkId::OceanNoncont => {
-                let c = ocean::OceanConfig::class_noncont(class);
-                format!("{0}×{0} grid, tol {1:.0e}, row arrays", c.n, c.tolerance)
-            }
-            BenchmarkId::Radiosity => {
-                let c = radiosity::RadiosityConfig::class(class);
-                format!("{} patches (6 walls × {}²)", c.patches(), c.m)
-            }
-            BenchmarkId::Radix => {
-                let c = radix::RadixConfig::class(class);
-                format!("{} keys, radix {}", c.n, c.buckets())
-            }
-            BenchmarkId::Raytrace => {
-                let c = raytrace::RaytraceConfig::class(class);
-                format!("{0}×{0} image, depth {1}", c.size, c.max_depth)
-            }
-            BenchmarkId::Volrend => {
-                let c = volrend::VolrendConfig::class(class);
-                format!("{0}³ volume → {1}² image", c.volume, c.image)
-            }
-            BenchmarkId::WaterNsquared => {
-                let c = water_nsq::WaterNsqConfig::class(class);
-                format!("{} molecules, {} steps", c.n, c.steps)
-            }
-            BenchmarkId::WaterSpatial => {
-                let c = water_sp::WaterSpConfig::class(class);
-                format!("{} molecules, {} steps, cell lists", c.n, c.steps)
-            }
-        }
+        self.workload().input_description(class)
     }
 
     /// Run the workload at `class` under `env`.
     pub fn run(self, class: InputClass, env: &SyncEnv) -> KernelResult {
-        match self {
-            BenchmarkId::Barnes => barnes::run(&barnes::BarnesConfig::class(class), env),
-            BenchmarkId::Cholesky => cholesky::run(&cholesky::CholeskyConfig::class(class), env),
-            BenchmarkId::Fft => fft::run(&fft::FftConfig::class(class), env),
-            BenchmarkId::Fmm => fmm::run(&fmm::FmmConfig::class(class), env),
-            BenchmarkId::Lu => lu::run(&lu::LuConfig::class(class), env),
-            BenchmarkId::LuNoncont => lu::run(&lu::LuConfig::class_noncont(class), env),
-            BenchmarkId::Ocean => ocean::run(&ocean::OceanConfig::class(class), env),
-            BenchmarkId::OceanNoncont => ocean::run(&ocean::OceanConfig::class_noncont(class), env),
-            BenchmarkId::Radiosity => {
-                radiosity::run(&radiosity::RadiosityConfig::class(class), env)
-            }
-            BenchmarkId::Radix => radix::run(&radix::RadixConfig::class(class), env),
-            BenchmarkId::Raytrace => raytrace::run(&raytrace::RaytraceConfig::class(class), env),
-            BenchmarkId::Volrend => volrend::run(&volrend::VolrendConfig::class(class), env),
-            BenchmarkId::WaterNsquared => {
-                water_nsq::run(&water_nsq::WaterNsqConfig::class(class), env)
-            }
-            BenchmarkId::WaterSpatial => water_sp::run(&water_sp::WaterSpConfig::class(class), env),
-        }
+        self.workload().run(class, env)
     }
 }
 
@@ -171,11 +96,34 @@ mod tests {
     use splash4_parmacs::SyncMode;
 
     #[test]
+    fn discriminants_index_the_suite_table() {
+        // `workload()` relies on enum order == SUITE order; pin it.
+        assert_eq!(BenchmarkId::ALL.len(), SUITE.len());
+        for (i, b) in BenchmarkId::ALL.into_iter().enumerate() {
+            assert_eq!(b as usize, i);
+            assert_eq!(b.name(), SUITE[i].name(), "table order drifted at {i}");
+        }
+    }
+
+    #[test]
     fn names_round_trip() {
         for b in BenchmarkId::ALL {
             assert_eq!(BenchmarkId::from_name(b.name()), Some(b));
         }
         assert_eq!(BenchmarkId::from_name("doom"), None);
+    }
+
+    #[test]
+    fn from_name_accepts_aliases() {
+        for (alias, want) in [
+            ("water_nsquared", BenchmarkId::WaterNsquared),
+            ("WATER-NSQUARED", BenchmarkId::WaterNsquared),
+            ("Lu_Noncont", BenchmarkId::LuNoncont),
+            ("FFT", BenchmarkId::Fft),
+            ("Ocean-Noncont", BenchmarkId::OceanNoncont),
+        ] {
+            assert_eq!(BenchmarkId::from_name(alias), Some(want), "{alias}");
+        }
     }
 
     #[test]

@@ -13,10 +13,10 @@
 
 use crate::common::{KernelResult, SharedSlice};
 use crate::inputs::InputClass;
+use crate::workload::{driver, Workload};
 use splash4_parmacs::SmallRng;
-use splash4_parmacs::{Counter, Dispatch, PhaseSpec, RawLock, SyncEnv, Team, WorkModel};
+use splash4_parmacs::{Counter, Dispatch, PhaseSpec, RawLock, SyncEnv, WorkModel};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Instant;
 
 /// Barnes-Hut kernel configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -39,6 +39,7 @@ impl BarnesConfig {
     /// Standard configuration for an input class.
     pub fn class(class: InputClass) -> BarnesConfig {
         let (n, steps) = match class {
+            InputClass::Check => (16, 1),
             InputClass::Test => (512, 2),
             InputClass::Small => (2048, 2),
             InputClass::Native => (16384, 3), // paper: 16K–64K bodies
@@ -184,7 +185,6 @@ pub fn run(cfg: &BarnesConfig, env: &SyncEnv) -> KernelResult {
         .map(|s| env.counter(&format!("com-step{s}"), 0..8))
         .collect();
     let checksum = env.reducer_f64();
-    let team = Team::new(nthreads);
 
     // Insert body `i`; see module docs for the two disciplines.
     let insert = |i: usize, alloc: &mut ThreadAlloc| {
@@ -356,8 +356,7 @@ pub fn run(cfg: &BarnesConfig, env: &SyncEnv) -> KernelResult {
         a
     };
 
-    let t0 = Instant::now();
-    team.run(|ctx| {
+    let elapsed = driver::roi(env, |ctx| {
         for step in 0..cfg.steps {
             // Reset the arena (chunked) and the root.
             let per = cap.div_ceil(nthreads);
@@ -474,7 +473,6 @@ pub fn run(cfg: &BarnesConfig, env: &SyncEnv) -> KernelResult {
         checksum.add(local);
         barrier.wait(ctx.tid);
     });
-    let elapsed = t0.elapsed();
 
     // Validation: BH accelerations vs direct summation on the final state.
     // NOTE: the tree at this point is from the last step's build, i.e. one
@@ -535,15 +533,31 @@ pub fn run(cfg: &BarnesConfig, env: &SyncEnv) -> KernelResult {
                 .dispatch(Dispatch::GetSub { chunk: 8 }),
         )
         .phase(PhaseSpec::compute("advance", nu, 12).repeats(steps))
-        .phase(PhaseSpec::compute("checksum", nu, 4).reduces(nthreads as f64 / nu as f64))
-        .calibrated(elapsed.as_nanos() as u64 * nthreads as u64, 2.0);
+        .phase(PhaseSpec::compute("checksum", nu, 4).reduces(nthreads as f64 / nu as f64));
 
-    KernelResult {
-        elapsed,
-        checksum: checksum.load(),
-        validated,
-        profile: env.profile(),
-        work,
+    driver::finish(env, elapsed, checksum.load(), validated, work)
+}
+
+/// `barnes`'s suite registration.
+#[derive(Debug, Clone, Copy)]
+pub struct Barnes;
+
+impl Workload for Barnes {
+    fn name(&self) -> &'static str {
+        "barnes"
+    }
+
+    fn input_description(&self, class: InputClass) -> String {
+        let c = BarnesConfig::class(class);
+        format!("{} bodies, {} steps, θ={}", c.n, c.steps, c.theta)
+    }
+
+    fn phases(&self) -> &'static [&'static str] {
+        &["build", "com", "forces", "advance", "checksum"]
+    }
+
+    fn run(&self, class: InputClass, env: &SyncEnv) -> KernelResult {
+        run(&BarnesConfig::class(class), env)
     }
 }
 

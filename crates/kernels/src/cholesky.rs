@@ -15,10 +15,10 @@
 
 use crate::common::{KernelResult, SharedCounters, SharedSlice};
 use crate::inputs::InputClass;
+use crate::workload::{driver, Workload};
 use splash4_parmacs::SmallRng;
-use splash4_parmacs::{Dispatch, PhaseSpec, SyncEnv, Team, WorkModel};
+use splash4_parmacs::{Dispatch, PhaseSpec, SyncEnv, WorkModel};
 use std::collections::HashMap;
-use std::time::Instant;
 
 /// Cholesky kernel configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,6 +35,7 @@ impl CholeskyConfig {
     /// Standard configuration for an input class.
     pub fn class(class: InputClass) -> CholeskyConfig {
         let (n, block) = match class {
+            InputClass::Check => (8, 4), // 2×2 blocks → 6-task graph
             InputClass::Test => (64, 8),
             InputClass::Small => (192, 16),
             InputClass::Native => (512, 32), // paper: tk15/tk29 sparse inputs
@@ -301,9 +302,7 @@ pub fn run(cfg: &CholeskyConfig, env: &SyncEnv) -> KernelResult {
         }],
     );
 
-    let team = Team::new(nthreads);
-    let t0 = Instant::now();
-    team.run(|ctx| {
+    let elapsed = driver::roi(env, |ctx| {
         loop {
             let Some(id) = queue.pop() else {
                 if done.load(0) as usize >= total {
@@ -365,7 +364,6 @@ pub fn run(cfg: &CholeskyConfig, env: &SyncEnv) -> KernelResult {
         checksum.add(local);
         barrier.wait(ctx.tid);
     });
-    let elapsed = t0.elapsed();
 
     let validated = if cfg.n <= 256 {
         validate(cfg, &original, &a)
@@ -392,15 +390,31 @@ pub fn run(cfg: &CholeskyConfig, env: &SyncEnv) -> KernelResult {
         .phase(
             PhaseSpec::compute("checksum", (nb * nb) as u64 / 2, bb as u64 * 4)
                 .reduces(2.0 * nthreads as f64 / (nb * nb) as f64),
-        )
-        .calibrated(elapsed.as_nanos() as u64 * nthreads as u64, 2.0);
+        );
 
-    KernelResult {
-        elapsed,
-        checksum: checksum.load(),
-        validated,
-        profile: env.profile(),
-        work,
+    driver::finish(env, elapsed, checksum.load(), validated, work)
+}
+
+/// `cholesky`'s suite registration.
+#[derive(Debug, Clone, Copy)]
+pub struct Cholesky;
+
+impl Workload for Cholesky {
+    fn name(&self) -> &'static str {
+        "cholesky"
+    }
+
+    fn input_description(&self, class: InputClass) -> String {
+        let c = CholeskyConfig::class(class);
+        format!("{0}×{0} SPD matrix, {1}×{1} blocks", c.n, c.block)
+    }
+
+    fn phases(&self) -> &'static [&'static str] {
+        &["tasks", "checksum"]
+    }
+
+    fn run(&self, class: InputClass, env: &SyncEnv) -> KernelResult {
+        run(&CholeskyConfig::class(class), env)
     }
 }
 

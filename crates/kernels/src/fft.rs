@@ -14,9 +14,9 @@
 
 use crate::common::{KernelResult, SharedSlice};
 use crate::inputs::InputClass;
+use crate::workload::{driver, Workload};
 use splash4_parmacs::SmallRng;
-use splash4_parmacs::{Dispatch, PhaseSpec, SyncEnv, Team, WorkModel};
-use std::time::Instant;
+use splash4_parmacs::{Dispatch, PhaseSpec, SyncEnv, WorkModel};
 
 /// A complex number (the kernels carry their own minimal arithmetic, as the
 /// original C code does).
@@ -81,6 +81,7 @@ impl FftConfig {
     /// Standard configuration for an input class.
     pub fn class(class: InputClass) -> FftConfig {
         let m = match class {
+            InputClass::Check => 4,     // 16 points
             InputClass::Test => 64,     // 4 Ki points
             InputClass::Small => 256,   // 64 Ki points
             InputClass::Native => 1024, // 1 Mi points (paper: 2^20/2^22)
@@ -177,7 +178,6 @@ pub fn run(cfg: &FftConfig, env: &SyncEnv) -> KernelResult {
 
     let barrier = env.barrier();
     let checksum = env.reducer_f64();
-    let team = Team::new(nthreads);
 
     // Transpose src -> dst for this thread's row chunk of dst.
     // SAFETY (all uses): each thread writes only rows in its chunk of the
@@ -192,8 +192,7 @@ pub fn run(cfg: &FftConfig, env: &SyncEnv) -> KernelResult {
             }
         };
 
-    let t0 = Instant::now();
-    team.run(|ctx| {
+    let elapsed = driver::roi(env, |ctx| {
         let rows = ctx.chunk(m);
         // Step 1: B = Aᵀ (B[j2][j1] = A[j1][j2]).
         transpose(&va, &vb, rows.clone());
@@ -236,7 +235,6 @@ pub fn run(cfg: &FftConfig, env: &SyncEnv) -> KernelResult {
         checksum.add(local);
         barrier.wait(ctx.tid);
     });
-    let elapsed = t0.elapsed();
 
     let sum = checksum.load();
     let validated = if n <= 1 << 16 {
@@ -264,15 +262,39 @@ pub fn run(cfg: &FftConfig, env: &SyncEnv) -> KernelResult {
             PhaseSpec::compute("checksum", m as u64, 6 * m as u64)
                 .dispatch(Dispatch::Static)
                 .reduces(1.0 / m as f64 * nthreads as f64),
-        )
-        .calibrated(elapsed.as_nanos() as u64 * nthreads as u64, 2.0);
+        );
 
-    KernelResult {
-        elapsed,
-        checksum: sum,
-        validated,
-        profile: env.profile(),
-        work,
+    driver::finish(env, elapsed, sum, validated, work)
+}
+
+/// `fft`'s suite registration.
+#[derive(Debug, Clone, Copy)]
+pub struct Fft;
+
+impl Workload for Fft {
+    fn name(&self) -> &'static str {
+        "fft"
+    }
+
+    fn input_description(&self, class: InputClass) -> String {
+        let c = FftConfig::class(class);
+        format!("{} complex points (√n={})", c.n(), c.m)
+    }
+
+    fn phases(&self) -> &'static [&'static str] {
+        &[
+            "transpose1",
+            "fft1",
+            "twiddle",
+            "transpose2",
+            "fft2",
+            "transpose3",
+            "checksum",
+        ]
+    }
+
+    fn run(&self, class: InputClass, env: &SyncEnv) -> KernelResult {
+        run(&FftConfig::class(class), env)
     }
 }
 

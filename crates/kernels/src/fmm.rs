@@ -15,9 +15,9 @@
 use crate::common::{KernelResult, SharedCounters, SharedSlice};
 use crate::fft::Cpx;
 use crate::inputs::InputClass;
+use crate::workload::{driver, Workload};
 use splash4_parmacs::SmallRng;
-use splash4_parmacs::{Dispatch, PhaseSpec, SyncEnv, Team, WorkModel};
-use std::time::Instant;
+use splash4_parmacs::{Dispatch, PhaseSpec, SyncEnv, WorkModel};
 
 /// FMM kernel configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,6 +36,7 @@ impl FmmConfig {
     /// Standard configuration for an input class.
     pub fn class(class: InputClass) -> FmmConfig {
         let (n, levels) = match class {
+            InputClass::Check => (32, 2),
             InputClass::Test => (512, 3),
             InputClass::Small => (2048, 4),
             InputClass::Native => (16384, 5), // paper: 16K–64K particles
@@ -173,10 +174,8 @@ pub fn run(cfg: &FmmConfig, env: &SyncEnv) -> KernelResult {
         .collect();
     let leaf_counter = env.counter("leaf-eval", 0..nleaf);
     let checksum = env.reducer_f64();
-    let team = Team::new(nthreads);
 
-    let t0 = Instant::now();
-    team.run(|ctx| {
+    let elapsed = driver::roi(env, |ctx| {
         // Phase 1: bin particles into leaves (contended slot claims).
         for i in ctx.chunk(n) {
             let (ix, iy) = leaf_of(pos[i]);
@@ -379,7 +378,6 @@ pub fn run(cfg: &FmmConfig, env: &SyncEnv) -> KernelResult {
         checksum.add(local);
         barrier.wait(ctx.tid);
     });
-    let elapsed = t0.elapsed();
 
     // Validation against direct summation.
     let validated = if n <= 4096 {
@@ -427,15 +425,31 @@ pub fn run(cfg: &FmmConfig, env: &SyncEnv) -> KernelResult {
             .dispatch(Dispatch::GetSub { chunk: 1 })
             .reduces(nthreads as f64 / nleaf as f64)
             .barriers(2),
-        )
-        .calibrated(elapsed.as_nanos() as u64 * nthreads as u64, 2.0);
+        );
 
-    KernelResult {
-        elapsed,
-        checksum: checksum.load(),
-        validated,
-        profile: env.profile(),
-        work,
+    driver::finish(env, elapsed, checksum.load(), validated, work)
+}
+
+/// `fmm`'s suite registration.
+#[derive(Debug, Clone, Copy)]
+pub struct Fmm;
+
+impl Workload for Fmm {
+    fn name(&self) -> &'static str {
+        "fmm"
+    }
+
+    fn input_description(&self, class: InputClass) -> String {
+        let c = FmmConfig::class(class);
+        format!("{} particles, depth {}, p={}", c.n, c.levels, c.order)
+    }
+
+    fn phases(&self) -> &'static [&'static str] {
+        &["bin", "p2m", "m2m", "m2l", "l2p+p2p"]
+    }
+
+    fn run(&self, class: InputClass, env: &SyncEnv) -> KernelResult {
+        run(&FmmConfig::class(class), env)
     }
 }
 

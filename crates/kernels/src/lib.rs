@@ -12,6 +12,7 @@
 
 pub mod common;
 pub mod inputs;
+pub mod workload;
 
 pub mod barnes;
 pub mod cholesky;
@@ -28,3 +29,4 @@ pub mod water_sp;
 
 pub use common::{close, KernelResult, SharedAccum, SharedSlice};
 pub use inputs::InputClass;
+pub use workload::{Workload, SUITE};

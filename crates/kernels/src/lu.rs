@@ -19,9 +19,9 @@
 
 use crate::common::{KernelResult, SharedSlice};
 use crate::inputs::InputClass;
+use crate::workload::{driver, Workload};
 use splash4_parmacs::SmallRng;
-use splash4_parmacs::{PhaseSpec, SyncEnv, Team, WorkModel};
-use std::time::Instant;
+use splash4_parmacs::{PhaseSpec, SyncEnv, WorkModel};
 
 /// Matrix storage layout (the suite's contiguous / non-contiguous pair).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,6 +49,7 @@ impl LuConfig {
     /// Standard configuration for an input class (contiguous layout).
     pub fn class(class: InputClass) -> LuConfig {
         let (n, block) = match class {
+            InputClass::Check => (8, 4), // 2×2 blocks
             InputClass::Test => (64, 8),
             InputClass::Small => (256, 16),
             InputClass::Native => (1024, 16), // paper default: 512–2048, B=16
@@ -235,10 +236,8 @@ pub fn run(cfg: &LuConfig, env: &SyncEnv) -> KernelResult {
     let barrier = env.barrier();
     let diag_done = env.flag_array(nb);
     let checksum = env.reducer_f64();
-    let team = Team::new(nthreads);
 
-    let t0 = Instant::now();
-    team.run(|ctx| {
+    let elapsed = driver::roi(env, |ctx| {
         #[allow(clippy::needless_range_loop)] // k is the elimination step index
         for k in 0..nb {
             // Diagonal factorization by its owner.
@@ -305,7 +304,6 @@ pub fn run(cfg: &LuConfig, env: &SyncEnv) -> KernelResult {
         checksum.add(local);
         barrier.wait(ctx.tid);
     });
-    let elapsed = t0.elapsed();
 
     let validated = if cfg.n <= 512 {
         validate(cfg, &original, &a)
@@ -343,15 +341,54 @@ pub fn run(cfg: &LuConfig, env: &SyncEnv) -> KernelResult {
     .phase(
         PhaseSpec::compute("checksum", nbu * nbu, (b * b) as u64 * 4)
             .reduces(nthreads as f64 / (nbu * nbu) as f64),
-    )
-    .calibrated(elapsed.as_nanos() as u64 * nthreads as u64, 2.0);
+    );
 
-    KernelResult {
-        elapsed,
-        checksum: checksum.load(),
-        validated,
-        profile: env.profile(),
-        work,
+    driver::finish(env, elapsed, checksum.load(), validated, work)
+}
+
+/// `lu`'s suite registration (contiguous-block layout).
+#[derive(Debug, Clone, Copy)]
+pub struct Lu;
+
+impl Workload for Lu {
+    fn name(&self) -> &'static str {
+        "lu"
+    }
+
+    fn input_description(&self, class: InputClass) -> String {
+        let c = LuConfig::class(class);
+        format!("{0}×{0} matrix, {1}×{1} blocks", c.n, c.block)
+    }
+
+    fn phases(&self) -> &'static [&'static str] {
+        &["diag", "perimeter", "interior", "checksum"]
+    }
+
+    fn run(&self, class: InputClass, env: &SyncEnv) -> KernelResult {
+        run(&LuConfig::class(class), env)
+    }
+}
+
+/// `lu-noncont`'s suite registration (row-major layout).
+#[derive(Debug, Clone, Copy)]
+pub struct LuNoncont;
+
+impl Workload for LuNoncont {
+    fn name(&self) -> &'static str {
+        "lu-noncont"
+    }
+
+    fn input_description(&self, class: InputClass) -> String {
+        let c = LuConfig::class_noncont(class);
+        format!("{0}×{0} matrix, {1}×{1} blocks, row-major", c.n, c.block)
+    }
+
+    fn phases(&self) -> &'static [&'static str] {
+        &["diag", "perimeter", "interior", "checksum"]
+    }
+
+    fn run(&self, class: InputClass, env: &SyncEnv) -> KernelResult {
+        run(&LuConfig::class_noncont(class), env)
     }
 }
 

@@ -21,9 +21,9 @@
 
 use crate::common::{KernelResult, SharedSlice};
 use crate::inputs::InputClass;
-use splash4_parmacs::{PhaseSpec, SyncEnv, Team, WorkModel};
+use crate::workload::{driver, Workload};
+use splash4_parmacs::{PhaseSpec, SyncEnv, WorkModel};
 use std::f64::consts::PI;
-use std::time::Instant;
 
 /// Grid storage layout (the suite's contiguous / non-contiguous pair).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,6 +53,7 @@ impl OceanConfig {
     /// Standard configuration for an input class (contiguous layout).
     pub fn class(class: InputClass) -> OceanConfig {
         let n = match class {
+            InputClass::Check => 8,
             InputClass::Test => 64,
             InputClass::Small => 128,
             InputClass::Native => 512, // paper: 258–1026 grids
@@ -139,10 +140,8 @@ pub fn run(cfg: &OceanConfig, env: &SyncEnv) -> KernelResult {
     let mut iters_store = [0u64];
     let iters_out = SharedSlice::new(&mut iters_store);
     let checksum = env.reducer_f64();
-    let team = Team::new(nthreads);
 
-    let t0 = Instant::now();
-    team.run(|ctx| {
+    let elapsed = driver::roi(env, |ctx| {
         let rows = ctx.chunk(n); // interior rows tid owns
         let mut iter = 0usize;
         loop {
@@ -204,7 +203,6 @@ pub fn run(cfg: &OceanConfig, env: &SyncEnv) -> KernelResult {
         checksum.add(local);
         barrier.wait(ctx.tid);
     });
-    let elapsed = t0.elapsed();
 
     let iters = iters_store[0];
     // Validation: converged and close to the analytic solution.
@@ -233,16 +231,9 @@ pub fn run(cfg: &OceanConfig, env: &SyncEnv) -> KernelResult {
     )
     .phase(
         PhaseSpec::compute("checksum", (n * n) as u64, 2).reduces(nthreads as f64 / (n * n) as f64),
-    )
-    .calibrated(elapsed.as_nanos() as u64 * nthreads as u64, 2.0);
+    );
 
-    KernelResult {
-        elapsed,
-        checksum: checksum.load(),
-        validated,
-        profile: env.profile(),
-        work,
-    }
+    driver::finish(env, elapsed, checksum.load(), validated, work)
 }
 
 /// Run the **multigrid extension**: a parallel two-grid V-cycle (pre-smooth,
@@ -293,7 +284,6 @@ pub fn run_multigrid(cfg: &OceanConfig, env: &SyncEnv) -> KernelResult {
     let done = SharedSlice::new(&mut done_store);
     let mut cycles_store = [0u64];
     let cycles_out = SharedSlice::new(&mut cycles_store);
-    let team = Team::new(nthreads);
 
     // One red-black Gauss-Seidel sweep (both colors) on the fine grid for
     // this thread's rows, with a barrier after each color.
@@ -320,8 +310,7 @@ pub fn run_multigrid(cfg: &OceanConfig, env: &SyncEnv) -> KernelResult {
         }
     };
 
-    let t0 = Instant::now();
-    team.run(|ctx| {
+    let elapsed = driver::roi(env, |ctx| {
         let rows = ctx.chunk(n);
         let rows_c = ctx.chunk(nc);
         let mut cycle = 0usize;
@@ -452,7 +441,6 @@ pub fn run_multigrid(cfg: &OceanConfig, env: &SyncEnv) -> KernelResult {
         checksum.add(local);
         barrier.wait(ctx.tid);
     });
-    let elapsed = t0.elapsed();
 
     let cycles = cycles_store[0];
     let mut max_err = 0.0f64;
@@ -491,15 +479,54 @@ pub fn run_multigrid(cfg: &OceanConfig, env: &SyncEnv) -> KernelResult {
             PhaseSpec::compute("check", nthreads as u64, 30)
                 .repeats(cycles)
                 .barriers(1),
-        )
-        .calibrated(elapsed.as_nanos() as u64 * nthreads as u64, 2.0);
+        );
 
-    KernelResult {
-        elapsed,
-        checksum: checksum.load(),
-        validated,
-        profile: env.profile(),
-        work,
+    driver::finish(env, elapsed, checksum.load(), validated, work)
+}
+
+/// `ocean`'s suite registration (contiguous layout).
+#[derive(Debug, Clone, Copy)]
+pub struct Ocean;
+
+impl Workload for Ocean {
+    fn name(&self) -> &'static str {
+        "ocean"
+    }
+
+    fn input_description(&self, class: InputClass) -> String {
+        let c = OceanConfig::class(class);
+        format!("{0}×{0} grid, tol {1:.0e}", c.n, c.tolerance)
+    }
+
+    fn phases(&self) -> &'static [&'static str] {
+        &["red", "black", "reduce+check", "checksum"]
+    }
+
+    fn run(&self, class: InputClass, env: &SyncEnv) -> KernelResult {
+        run(&OceanConfig::class(class), env)
+    }
+}
+
+/// `ocean-noncont`'s suite registration (row-array layout).
+#[derive(Debug, Clone, Copy)]
+pub struct OceanNoncont;
+
+impl Workload for OceanNoncont {
+    fn name(&self) -> &'static str {
+        "ocean-noncont"
+    }
+
+    fn input_description(&self, class: InputClass) -> String {
+        let c = OceanConfig::class_noncont(class);
+        format!("{0}×{0} grid, tol {1:.0e}, row arrays", c.n, c.tolerance)
+    }
+
+    fn phases(&self) -> &'static [&'static str] {
+        &["red", "black", "reduce+check", "checksum"]
+    }
+
+    fn run(&self, class: InputClass, env: &SyncEnv) -> KernelResult {
+        run(&OceanConfig::class_noncont(class), env)
     }
 }
 

@@ -18,8 +18,8 @@
 
 use crate::common::{KernelResult, SharedAccum, SharedSlice};
 use crate::inputs::InputClass;
-use splash4_parmacs::{Dispatch, PhaseSpec, SyncEnv, Team, WorkModel};
-use std::time::Instant;
+use crate::workload::{driver, Workload};
+use splash4_parmacs::{Dispatch, PhaseSpec, SyncEnv, WorkModel};
 
 /// Radiosity kernel configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -39,6 +39,7 @@ impl RadiosityConfig {
     /// Standard configuration for an input class.
     pub fn class(class: InputClass) -> RadiosityConfig {
         let m = match class {
+            InputClass::Check => 2,
             InputClass::Test => 6,
             InputClass::Small => 10,
             InputClass::Native => 16, // paper: room scene, ~1–2k elements
@@ -214,11 +215,9 @@ pub fn run(cfg: &RadiosityConfig, env: &SyncEnv) -> KernelResult {
     let vshooter = SharedSlice::new(&mut shooter_store);
     let mut iters_store = [0u64; 1];
     let viters = SharedSlice::new(&mut iters_store);
-    let team = Team::new(nthreads);
     let nbatches = np.div_ceil(cfg.batch);
 
-    let t0 = Instant::now();
-    team.run(|ctx| {
+    let elapsed = driver::roi(env, |ctx| {
         let mut iter = 0usize;
         loop {
             // Master: pick the patch with max unshot energy, enqueue tasks.
@@ -287,7 +286,6 @@ pub fn run(cfg: &RadiosityConfig, env: &SyncEnv) -> KernelResult {
             iter += 1;
         }
     });
-    let elapsed = t0.elapsed();
 
     let iters = iters_store[0];
     let remaining: f64 = (0..np).map(|i| unshot.load(i)).sum();
@@ -325,15 +323,31 @@ pub fn run(cfg: &RadiosityConfig, env: &SyncEnv) -> KernelResult {
             PhaseSpec::compute("select", npu, 6)
                 .repeats(iters)
                 .barriers(1),
-        )
-        .calibrated(elapsed.as_nanos() as u64 * nthreads as u64, 2.0);
+        );
 
-    KernelResult {
-        elapsed,
-        checksum,
-        validated,
-        profile: env.profile(),
-        work,
+    driver::finish(env, elapsed, checksum, validated, work)
+}
+
+/// `radiosity`'s suite registration.
+#[derive(Debug, Clone, Copy)]
+pub struct Radiosity;
+
+impl Workload for Radiosity {
+    fn name(&self) -> &'static str {
+        "radiosity"
+    }
+
+    fn input_description(&self, class: InputClass) -> String {
+        let c = RadiosityConfig::class(class);
+        format!("{} patches (6 walls × {}²)", c.patches(), c.m)
+    }
+
+    fn phases(&self) -> &'static [&'static str] {
+        &["shoot", "select"]
+    }
+
+    fn run(&self, class: InputClass, env: &SyncEnv) -> KernelResult {
+        run(&RadiosityConfig::class(class), env)
     }
 }
 

@@ -13,9 +13,9 @@
 
 use crate::common::{KernelResult, SharedCounters, SharedSlice};
 use crate::inputs::InputClass;
+use crate::workload::{driver, Workload};
 use splash4_parmacs::SmallRng;
-use splash4_parmacs::{Dispatch, PhaseSpec, SyncEnv, Team, WorkModel};
-use std::time::Instant;
+use splash4_parmacs::{Dispatch, PhaseSpec, SyncEnv, WorkModel};
 
 /// Radix-sort kernel configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,14 +31,17 @@ pub struct RadixConfig {
 impl RadixConfig {
     /// Standard configuration for an input class.
     pub fn class(class: InputClass) -> RadixConfig {
-        let n = match class {
-            InputClass::Test => 1 << 14,
-            InputClass::Small => 1 << 18,
-            InputClass::Native => 1 << 22, // paper: up to 64M keys, radix 1024
+        // `Check` keeps the bucket count at 4 so one pass of the rank
+        // dispensing loop stays short enough for exhaustive scheduling.
+        let (n, bits) = match class {
+            InputClass::Check => (8, 2),
+            InputClass::Test => (1 << 14, 8),
+            InputClass::Small => (1 << 18, 8),
+            InputClass::Native => (1 << 22, 8), // paper: up to 64M keys, radix 1024
         };
         RadixConfig {
             n,
-            bits: 8,
+            bits,
             seed: 0x5eed_4ad1,
         }
     }
@@ -89,10 +92,8 @@ pub fn run(cfg: &RadixConfig, env: &SyncEnv) -> KernelResult {
         .map(|p| env.counter(&format!("rank-pass{p}"), 0..r))
         .collect();
     let checksum = env.reducer_f64();
-    let team = Team::new(nthreads);
 
-    let t0 = Instant::now();
-    team.run(|ctx| {
+    let elapsed = driver::roi(env, |ctx| {
         let my = ctx.chunk(n);
         for pass in 0..passes {
             let shift = pass * cfg.bits;
@@ -178,7 +179,6 @@ pub fn run(cfg: &RadixConfig, env: &SyncEnv) -> KernelResult {
         checksum.add(local);
         barrier.wait(ctx.tid);
     });
-    let elapsed = t0.elapsed();
 
     let out = if passes.is_multiple_of(2) { &src } else { &dst };
     let sorted = out.windows(2).all(|w| w[0] <= w[1]);
@@ -206,15 +206,31 @@ pub fn run(cfg: &RadixConfig, env: &SyncEnv) -> KernelResult {
                 .barriers(2),
         )
         .phase(PhaseSpec::compute("permute", nu, 6).repeats(passes as u64))
-        .phase(PhaseSpec::compute("checksum", nu, 2).reduces(nthreads as f64 / nu as f64))
-        .calibrated(elapsed.as_nanos() as u64 * nthreads as u64, 2.0);
+        .phase(PhaseSpec::compute("checksum", nu, 2).reduces(nthreads as f64 / nu as f64));
 
-    KernelResult {
-        elapsed,
-        checksum: checksum.load(),
-        validated,
-        profile: env.profile(),
-        work,
+    driver::finish(env, elapsed, checksum.load(), validated, work)
+}
+
+/// `radix`'s suite registration.
+#[derive(Debug, Clone, Copy)]
+pub struct Radix;
+
+impl Workload for Radix {
+    fn name(&self) -> &'static str {
+        "radix"
+    }
+
+    fn input_description(&self, class: InputClass) -> String {
+        let c = RadixConfig::class(class);
+        format!("{} keys, radix {}", c.n, c.buckets())
+    }
+
+    fn phases(&self) -> &'static [&'static str] {
+        &["histogram", "prefix", "rank", "permute", "checksum"]
+    }
+
+    fn run(&self, class: InputClass, env: &SyncEnv) -> KernelResult {
+        run(&RadixConfig::class(class), env)
     }
 }
 

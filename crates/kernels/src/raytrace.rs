@@ -10,8 +10,8 @@
 
 use crate::common::{KernelResult, SharedSlice};
 use crate::inputs::InputClass;
-use splash4_parmacs::{Dispatch, PhaseSpec, SyncEnv, Team, WorkModel};
-use std::time::Instant;
+use crate::workload::{driver, Workload};
+use splash4_parmacs::{Dispatch, PhaseSpec, SyncEnv, WorkModel};
 
 /// Ray-tracer configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,6 +28,7 @@ impl RaytraceConfig {
     /// Standard configuration for an input class.
     pub fn class(class: InputClass) -> RaytraceConfig {
         let size = match class {
+            InputClass::Check => 16,
             InputClass::Test => 64,
             InputClass::Small => 160,
             InputClass::Native => 384, // paper: balls4/teapot scenes
@@ -233,10 +234,8 @@ pub fn run(cfg: &RaytraceConfig, env: &SyncEnv) -> KernelResult {
 
     let mut image = vec![0.0f64; size * size * 3];
     let vimg = SharedSlice::new(&mut image);
-    let team = Team::new(nthreads);
 
-    let t0 = Instant::now();
-    team.run(|ctx| {
+    let elapsed = driver::roi(env, |ctx| {
         let mut stats = RayStats::default();
         let mut local_sum = 0.0;
         while let Some(tile) = pool.claim() {
@@ -267,7 +266,6 @@ pub fn run(cfg: &RaytraceConfig, env: &SyncEnv) -> KernelResult {
         checksum.add(local_sum);
         barrier.wait(ctx.tid);
     });
-    let elapsed = t0.elapsed();
 
     // Deterministic digest: sequential sum over the image (the per-thread
     // reduction above exercises the sync path but is order-sensitive).
@@ -282,22 +280,37 @@ pub fn run(cfg: &RaytraceConfig, env: &SyncEnv) -> KernelResult {
 
     let rays = (size * size) as u64;
     let tiles = cfg.tiles() as u64;
-    let work = WorkModel::new("raytrace")
-        .phase(
-            PhaseSpec::compute("render", rays, 1400)
-                .dispatch(Dispatch::GetSub { chunk: 1 }) // the per-ray RayID claim
-                .pushes(tiles as f64 / rays as f64) // tile-pool claims
-                .reduces(3.0 * nthreads as f64 / rays as f64)
-                .barriers(1),
-        )
-        .calibrated(elapsed.as_nanos() as u64 * nthreads as u64, 2.0);
+    let work = WorkModel::new("raytrace").phase(
+        PhaseSpec::compute("render", rays, 1400)
+            .dispatch(Dispatch::GetSub { chunk: 1 }) // the per-ray RayID claim
+            .pushes(tiles as f64 / rays as f64) // tile-pool claims
+            .reduces(3.0 * nthreads as f64 / rays as f64)
+            .barriers(1),
+    );
 
-    KernelResult {
-        elapsed,
-        checksum: digest,
-        validated,
-        profile: env.profile(),
-        work,
+    driver::finish(env, elapsed, digest, validated, work)
+}
+
+/// `raytrace`'s suite registration.
+#[derive(Debug, Clone, Copy)]
+pub struct Raytrace;
+
+impl Workload for Raytrace {
+    fn name(&self) -> &'static str {
+        "raytrace"
+    }
+
+    fn input_description(&self, class: InputClass) -> String {
+        let c = RaytraceConfig::class(class);
+        format!("{0}×{0} image, depth {1}", c.size, c.max_depth)
+    }
+
+    fn phases(&self) -> &'static [&'static str] {
+        &["render"]
+    }
+
+    fn run(&self, class: InputClass, env: &SyncEnv) -> KernelResult {
+        run(&RaytraceConfig::class(class), env)
     }
 }
 

@@ -13,8 +13,8 @@
 
 use crate::common::{KernelResult, SharedSlice};
 use crate::inputs::InputClass;
-use splash4_parmacs::{Dispatch, PhaseSpec, SyncEnv, Team, WorkModel};
-use std::time::Instant;
+use crate::workload::{driver, Workload};
+use splash4_parmacs::{Dispatch, PhaseSpec, SyncEnv, WorkModel};
 
 /// Volume renderer configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -33,6 +33,7 @@ impl VolrendConfig {
     /// Standard configuration for an input class.
     pub fn class(class: InputClass) -> VolrendConfig {
         let (volume, image) = match class {
+            InputClass::Check => (16, 16),
             InputClass::Test => (32, 64),
             InputClass::Small => (64, 128),
             InputClass::Native => (128, 256), // paper: 256³ head dataset
@@ -94,10 +95,8 @@ pub fn run(cfg: &VolrendConfig, env: &SyncEnv) -> KernelResult {
     let samples = env.reducer_u64();
     let terminated = env.reducer_u64();
     let checksum = env.reducer_f64();
-    let team = Team::new(nthreads);
 
-    let t0 = Instant::now();
-    team.run(|ctx| {
+    let elapsed = driver::roi(env, |ctx| {
         // Phase 1: opacity volume (static slabs).
         for i in ctx.chunk(n * n * n) {
             let (z, rem) = (i / (n * n), i % (n * n));
@@ -188,7 +187,6 @@ pub fn run(cfg: &VolrendConfig, env: &SyncEnv) -> KernelResult {
         checksum.add(sum);
         barrier.wait(ctx.tid);
     });
-    let elapsed = t0.elapsed();
 
     let digest: f64 = image.iter().sum();
     let in_bounds = image
@@ -213,15 +211,31 @@ pub fn run(cfg: &VolrendConfig, env: &SyncEnv) -> KernelResult {
                 .dispatch(Dispatch::Pool)
                 .reduces(4.0 * nthreads as f64 / pixels as f64)
                 .barriers(2),
-        )
-        .calibrated(elapsed.as_nanos() as u64 * nthreads as u64, 2.0);
+        );
 
-    KernelResult {
-        elapsed,
-        checksum: digest,
-        validated,
-        profile: env.profile(),
-        work,
+    driver::finish(env, elapsed, digest, validated, work)
+}
+
+/// `volrend`'s suite registration.
+#[derive(Debug, Clone, Copy)]
+pub struct Volrend;
+
+impl Workload for Volrend {
+    fn name(&self) -> &'static str {
+        "volrend"
+    }
+
+    fn input_description(&self, class: InputClass) -> String {
+        let c = VolrendConfig::class(class);
+        format!("{0}³ volume → {1}² image", c.volume, c.image)
+    }
+
+    fn phases(&self) -> &'static [&'static str] {
+        &["opacity", "macrocells", "render"]
+    }
+
+    fn run(&self, class: InputClass, env: &SyncEnv) -> KernelResult {
+        run(&VolrendConfig::class(class), env)
     }
 }
 

@@ -15,9 +15,9 @@
 
 use crate::common::{KernelResult, SharedAccum, SharedSlice};
 use crate::inputs::InputClass;
+use crate::workload::{driver, Workload};
 use splash4_parmacs::SmallRng;
-use splash4_parmacs::{PhaseSpec, SyncEnv, Team, WorkModel};
-use std::time::Instant;
+use splash4_parmacs::{PhaseSpec, SyncEnv, WorkModel};
 
 /// Water-nsquared kernel configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -36,6 +36,7 @@ impl WaterNsqConfig {
     /// Standard configuration for an input class.
     pub fn class(class: InputClass) -> WaterNsqConfig {
         let (n, steps) = match class {
+            InputClass::Check => (4, 1), // 6 pairs: schedulable exhaustively
             InputClass::Test => (216, 3),
             InputClass::Small => (512, 3),
             InputClass::Native => (1728, 5), // paper: 512–4096 molecules
@@ -92,7 +93,7 @@ pub fn initialize(n: usize, seed: u64) -> Fluid {
 
 /// Minimum-image displacement component.
 #[inline]
-pub(crate) fn min_image(mut d: f64, side: f64) -> f64 {
+pub fn min_image(mut d: f64, side: f64) -> f64 {
     if d > side * 0.5 {
         d -= side;
     } else if d < -side * 0.5 {
@@ -101,11 +102,12 @@ pub(crate) fn min_image(mut d: f64, side: f64) -> f64 {
     d
 }
 
-pub(crate) const CUTOFF: f64 = 2.5;
+/// Lennard-Jones interaction cutoff radius (reduced units).
+pub const CUTOFF: f64 = 2.5;
 
 /// Shifted Lennard-Jones pair energy and force magnitude over r (ε=σ=1).
 #[inline]
-pub(crate) fn lj(r2: f64) -> (f64, f64) {
+pub fn lj(r2: f64) -> (f64, f64) {
     let inv2 = 1.0 / r2;
     let inv6 = inv2 * inv2 * inv2;
     let inv12 = inv6 * inv6;
@@ -138,7 +140,6 @@ pub fn run(cfg: &WaterNsqConfig, env: &SyncEnv) -> KernelResult {
     // Energy trace recorded by the master between barriers.
     let mut energy_store = vec![0.0f64; cfg.steps + 1];
     let venergy = SharedSlice::new(&mut energy_store);
-    let team = Team::new(nthreads);
 
     let compute_forces = |ctx: &splash4_parmacs::TeamCtx| -> f64 {
         let mut local_pot = 0.0;
@@ -168,8 +169,7 @@ pub fn run(cfg: &WaterNsqConfig, env: &SyncEnv) -> KernelResult {
         local_pot
     };
 
-    let t0 = Instant::now();
-    team.run(|ctx| {
+    let elapsed = driver::roi(env, |ctx| {
         let my = ctx.chunk(3 * n);
         // Initial force evaluation.
         for k in my.clone() {
@@ -241,7 +241,6 @@ pub fn run(cfg: &WaterNsqConfig, env: &SyncEnv) -> KernelResult {
         checksum.add(local);
         barrier.wait(ctx.tid);
     });
-    let elapsed = t0.elapsed();
 
     // Momentum conservation.
     let mut max_momentum = 0.0f64;
@@ -274,15 +273,31 @@ pub fn run(cfg: &WaterNsqConfig, env: &SyncEnv) -> KernelResult {
         .phase(
             PhaseSpec::compute("checksum", (3 * n) as u64, 2)
                 .reduces(nthreads as f64 / (3 * n) as f64),
-        )
-        .calibrated(elapsed.as_nanos() as u64 * nthreads as u64, 2.0);
+        );
 
-    KernelResult {
-        elapsed,
-        checksum: checksum.load(),
-        validated,
-        profile: env.profile(),
-        work,
+    driver::finish(env, elapsed, checksum.load(), validated, work)
+}
+
+/// `water-nsquared`'s suite registration.
+#[derive(Debug, Clone, Copy)]
+pub struct WaterNsquared;
+
+impl Workload for WaterNsquared {
+    fn name(&self) -> &'static str {
+        "water-nsquared"
+    }
+
+    fn input_description(&self, class: InputClass) -> String {
+        let c = WaterNsqConfig::class(class);
+        format!("{} molecules, {} steps", c.n, c.steps)
+    }
+
+    fn phases(&self) -> &'static [&'static str] {
+        &["forces", "integrate", "checksum"]
+    }
+
+    fn run(&self, class: InputClass, env: &SyncEnv) -> KernelResult {
+        run(&WaterNsqConfig::class(class), env)
     }
 }
 

@@ -11,8 +11,8 @@
 use crate::common::{KernelResult, SharedAccum, SharedCounters, SharedSlice};
 use crate::inputs::InputClass;
 use crate::water_nsq::{initialize, lj, min_image, CUTOFF};
-use splash4_parmacs::{PhaseSpec, SyncEnv, Team, WorkModel};
-use std::time::Instant;
+use crate::workload::{driver, Workload};
+use splash4_parmacs::{PhaseSpec, SyncEnv, WorkModel};
 
 /// Water-spatial kernel configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -31,6 +31,7 @@ impl WaterSpConfig {
     /// Standard configuration for an input class.
     pub fn class(class: InputClass) -> WaterSpConfig {
         let (n, steps) = match class {
+            InputClass::Check => (8, 1),
             InputClass::Test => (216, 3),
             InputClass::Small => (1000, 3),
             InputClass::Native => (4096, 5), // paper: up to 8³·8 molecules
@@ -107,7 +108,6 @@ pub fn run(cfg: &WaterSpConfig, env: &SyncEnv) -> KernelResult {
     let checksum = env.reducer_f64();
     let mut energy_store = vec![0.0f64; cfg.steps + 1];
     let venergy = SharedSlice::new(&mut energy_store);
-    let team = Team::new(nthreads);
 
     // Bin this thread's molecules into the shared cell lists.
     let bin = |ctx: &splash4_parmacs::TeamCtx| {
@@ -166,8 +166,7 @@ pub fn run(cfg: &WaterSpConfig, env: &SyncEnv) -> KernelResult {
         local_pot
     };
 
-    let t0 = Instant::now();
-    team.run(|ctx| {
+    let elapsed = driver::roi(env, |ctx| {
         let my = ctx.chunk(3 * n);
         for k in my.clone() {
             forces.set(k, 0.0);
@@ -248,7 +247,6 @@ pub fn run(cfg: &WaterSpConfig, env: &SyncEnv) -> KernelResult {
         checksum.add(local);
         barrier.wait(ctx.tid);
     });
-    let elapsed = t0.elapsed();
 
     let mut max_momentum = 0.0f64;
     for c in 0..3 {
@@ -282,15 +280,33 @@ pub fn run(cfg: &WaterSpConfig, env: &SyncEnv) -> KernelResult {
                 .reduces(nthreads as f64 / (3 * nu) as f64)
                 .barriers(2),
         )
-        .phase(PhaseSpec::compute("checksum", 3 * nu, 2).reduces(nthreads as f64 / (3 * nu) as f64))
-        .calibrated(elapsed.as_nanos() as u64 * nthreads as u64, 2.0);
+        .phase(
+            PhaseSpec::compute("checksum", 3 * nu, 2).reduces(nthreads as f64 / (3 * nu) as f64),
+        );
 
-    KernelResult {
-        elapsed,
-        checksum: checksum.load(),
-        validated,
-        profile: env.profile(),
-        work,
+    driver::finish(env, elapsed, checksum.load(), validated, work)
+}
+
+/// `water-spatial`'s suite registration.
+#[derive(Debug, Clone, Copy)]
+pub struct WaterSpatial;
+
+impl Workload for WaterSpatial {
+    fn name(&self) -> &'static str {
+        "water-spatial"
+    }
+
+    fn input_description(&self, class: InputClass) -> String {
+        let c = WaterSpConfig::class(class);
+        format!("{} molecules, {} steps, cell lists", c.n, c.steps)
+    }
+
+    fn phases(&self) -> &'static [&'static str] {
+        &["rebin", "forces", "integrate", "checksum"]
+    }
+
+    fn run(&self, class: InputClass, env: &SyncEnv) -> KernelResult {
+        run(&WaterSpConfig::class(class), env)
     }
 }
 

@@ -1,0 +1,187 @@
+//! The suite's workload abstraction: one object-safe trait, one driver.
+//!
+//! The paper's core claim is that the *same* workloads run under both
+//! synchronization generations; this module turns that sameness from a
+//! convention into a structure. Every kernel implements [`Workload`] —
+//! name, input description, phase structure, and a `run` whose parallel
+//! region goes through the shared [`driver`] — and registers itself in the
+//! flat [`SUITE`] table. Everything downstream (the harness registry,
+//! experiments, perf bench, trace capture, the model checker's kernel
+//! scenarios) consumes workloads through this one seam, so adding a 15th
+//! workload is one kernel file plus one table line.
+
+use crate::common::KernelResult;
+use crate::inputs::InputClass;
+use splash4_parmacs::{SyncEnv, TeamCtx, WorkModel};
+
+/// A suite workload, object-safe so the whole suite fits in a flat
+/// `&'static [&'static dyn Workload]` table.
+///
+/// Implementations are zero-sized marker structs (one per kernel module,
+/// e.g. [`crate::radix::Radix`]); the per-class parameters live in the
+/// kernel's `Config::class` constructor and the algorithmic parallel region
+/// in the kernel's `run`, which routes its scaffolding through [`driver`].
+pub trait Workload: Sync {
+    /// Canonical suite name (lowercase, `-`-separated: `water-nsquared`).
+    fn name(&self) -> &'static str;
+
+    /// Human description of the configured input at `class` (the
+    /// `T1-inputs` table content).
+    fn input_description(&self, class: InputClass) -> String;
+
+    /// Names of the ROI phases, in execution order. These match the phase
+    /// names of the [`WorkModel`] every run exports, which is pinned by a
+    /// registry test.
+    fn phases(&self) -> &'static [&'static str];
+
+    /// Run the workload at `class` under `env`.
+    fn run(&self, class: InputClass, env: &SyncEnv) -> KernelResult;
+}
+
+impl std::fmt::Debug for dyn Workload + '_ {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("Workload").field(&self.name()).finish()
+    }
+}
+
+/// The suite table, in canonical order. The harness registry, the facade
+/// and the experiment driver all enumerate workloads from here; the
+/// `BenchmarkId` discriminants index straight into it.
+pub static SUITE: [&(dyn Workload + Send + Sync); 14] = [
+    &crate::barnes::Barnes,
+    &crate::cholesky::Cholesky,
+    &crate::fft::Fft,
+    &crate::fmm::Fmm,
+    &crate::lu::Lu,
+    &crate::lu::LuNoncont,
+    &crate::ocean::Ocean,
+    &crate::ocean::OceanNoncont,
+    &crate::radiosity::Radiosity,
+    &crate::radix::Radix,
+    &crate::raytrace::Raytrace,
+    &crate::volrend::Volrend,
+    &crate::water_nsq::WaterNsquared,
+    &crate::water_sp::WaterSpatial,
+];
+
+/// Find a suite workload by its canonical name. Matching is lenient the
+/// same way `SyncMode::from_label` is: case-insensitive, and `_` and `-`
+/// are interchangeable (`water_nsquared` ≡ `WATER-NSQUARED`).
+pub fn find(name: &str) -> Option<&'static (dyn Workload + Send + Sync)> {
+    let canon = |s: &str| {
+        s.chars()
+            .map(|c| match c {
+                '_' => '-',
+                c => c.to_ascii_lowercase(),
+            })
+            .collect::<String>()
+    };
+    let wanted = canon(name);
+    SUITE.iter().copied().find(|w| canon(w.name()) == wanted)
+}
+
+/// The shared kernel driver: everything the fourteen kernels used to
+/// duplicate around their parallel regions.
+///
+/// A kernel `run` builds its inputs and shared state, hands the parallel
+/// region to [`roi`] (team spawn + ROI wall-clock timing), then hands its
+/// checksum, validation verdict and *uncalibrated* [`WorkModel`] to
+/// [`finish`] (profile snapshot + model calibration + result assembly).
+/// The ROI timing convention — the team exists before the clock starts,
+/// input generation and validation are excluded — and the calibration rule
+/// live here, once.
+pub mod driver {
+    use super::*;
+    use splash4_parmacs::Team;
+    use std::time::{Duration, Instant};
+
+    /// Calibration head-room factor shared by every kernel model: measured
+    /// per-item cycles may undershoot the analytic estimate by at most 2×.
+    const CALIBRATION_SLACK: f64 = 2.0;
+
+    /// Spawn a team of `env.nthreads()` threads, run `body` once per
+    /// thread, and return the wall-clock time of the parallel region (the
+    /// suite's ROI convention: the team is created *before* the clock
+    /// starts, so spawn cost is excluded on the multi-thread path too).
+    pub fn roi(env: &SyncEnv, body: impl Fn(TeamCtx) + Sync) -> Duration {
+        let team = Team::new(env.nthreads());
+        let t0 = Instant::now();
+        team.run(body);
+        t0.elapsed()
+    }
+
+    /// Snapshot the environment's [`SyncProfile`](splash4_parmacs::SyncProfile)
+    /// and assemble the [`KernelResult`], calibrating `work` to the measured
+    /// ROI (`elapsed × nthreads` core-nanoseconds, with the suite-wide slack).
+    pub fn finish(
+        env: &SyncEnv,
+        elapsed: Duration,
+        checksum: f64,
+        validated: bool,
+        work: WorkModel,
+    ) -> KernelResult {
+        KernelResult {
+            elapsed,
+            checksum,
+            validated,
+            profile: env.profile(),
+            work: work.calibrated(
+                elapsed.as_nanos() as u64 * env.nthreads() as u64,
+                CALIBRATION_SLACK,
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splash4_parmacs::SyncMode;
+
+    #[test]
+    fn suite_names_are_unique_and_canonical() {
+        let mut seen = std::collections::HashSet::new();
+        for w in SUITE {
+            assert!(seen.insert(w.name()), "duplicate workload {}", w.name());
+            assert!(
+                w.name()
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'),
+                "{} is not canonical",
+                w.name()
+            );
+            assert!(!w.phases().is_empty(), "{} exports no phases", w.name());
+        }
+    }
+
+    #[test]
+    fn find_is_lenient() {
+        assert!(find("water_nsquared").is_some());
+        assert!(find("WATER-NSQUARED").is_some());
+        assert!(find("Lu_Noncont").is_some());
+        assert!(find("doom").is_none());
+    }
+
+    #[test]
+    fn every_workload_runs_at_check_scale() {
+        // `InputClass::Check` is the model checker's preset, but it must
+        // stay a valid native input: every kernel validates there too.
+        for w in SUITE {
+            for mode in SyncMode::ALL {
+                let env = SyncEnv::new(mode, 2);
+                let r = w.run(InputClass::Check, &env);
+                assert!(r.validated, "{} failed at check scale, {mode}", w.name());
+            }
+        }
+    }
+
+    #[test]
+    fn work_model_phases_match_declared_phases() {
+        for w in SUITE {
+            let env = SyncEnv::new(SyncMode::LockFree, 1);
+            let r = w.run(InputClass::Test, &env);
+            let got: Vec<&str> = r.work.phases.iter().map(|p| p.name.as_str()).collect();
+            assert_eq!(got, w.phases(), "{} phase list drifted", w.name());
+        }
+    }
+}

@@ -23,9 +23,13 @@ fn every_experiment_renders() {
         assert!(r.text.lines().count() >= 3, "{id} rendered too little");
         assert!(!r.json.is_null());
         // Every benchmark appears in every per-benchmark artifact
-        // (T1 lists inputs; S1 aggregates to geomeans only; V1 is a
-        // per-construct table, not per-benchmark).
-        if id != "T1-inputs" && id != "S1-sensitivity" && id != "V1-check" {
+        // (T1 lists inputs; S1 aggregates to geomeans only; V1 and
+        // V2-kernel-check are per-construct tables, not per-benchmark).
+        if id != "T1-inputs"
+            && id != "S1-sensitivity"
+            && id != "V1-check"
+            && id != "V2-kernel-check"
+        {
             for b in Benchmark::ALL {
                 assert!(r.text.contains(b.name()), "{id} missing row for {b}");
             }

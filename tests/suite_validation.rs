@@ -1,7 +1,7 @@
 //! Cross-crate integration: every workload validates and produces the same
 //! answer under both suite generations and across thread counts.
 
-use splash4::{Benchmark, BenchmarkExt as _, InputClass, SyncMode};
+use splash4::{close, Benchmark, BenchmarkExt as _, InputClass, SyncEnv, SyncMode, SUITE};
 
 #[test]
 fn every_benchmark_validates_in_both_modes_and_thread_counts() {
@@ -29,6 +29,30 @@ fn checksums_agree_across_generations() {
             "{b}: splash3={} splash4={}",
             cmp.splash3.checksum,
             cmp.splash4.checksum
+        );
+    }
+}
+
+/// Table-driven parity over the trait object table itself: every entry in
+/// [`SUITE`] — not the registry enum — validates and produces the same
+/// checksum under both suite generations. A 15th workload added to the
+/// table is covered here with no test edit.
+#[test]
+fn suite_table_parity_across_generations() {
+    for w in SUITE {
+        let [lock_based, lock_free] = SyncMode::ALL.map(|mode| {
+            let env = SyncEnv::new(mode, 2);
+            let r = w.run(InputClass::Test, &env);
+            assert!(r.validated, "{} invalid under {mode}", w.name());
+            assert!(r.checksum.is_finite(), "{} checksum not finite", w.name());
+            r
+        });
+        assert!(
+            close(lock_based.checksum, lock_free.checksum, 1e-6),
+            "{}: lock-based={} lock-free={}",
+            w.name(),
+            lock_based.checksum,
+            lock_free.checksum
         );
     }
 }
