@@ -59,7 +59,8 @@
 //! | simulator | `splash4-sim` | machine models, DES engine, model expansion |
 //! | tracing | `splash4-trace` | sync-event recording, codec, replay lowering |
 //! | model checking | `splash4-check` | deterministic schedule exploration + linearizability |
-//! | experiments | `splash4-harness` | paper table/figure regeneration |
+//! | experiments | `splash4-harness` | paper table/figure regeneration + the experiment-service core |
+//! | service | `splash4-serve` | `splash4-serve` binary: the service's JSON-over-TCP front end |
 //!
 //! ## Model checking the constructs
 //!
@@ -84,6 +85,12 @@ pub use splash4_harness::{
     compare_texts as compare_bench_docs, geomean, pct_change, record_trace, run_bench,
     run_experiment, validate as validate_bench_doc, BenchConfig, BenchDoc, CompareReport,
     ExperimentCtx, MeasureConfig, MetricClass, ModelCache, Report, Summary, Table, ALL_EXPERIMENTS,
+};
+// The experiment service's network-free core (DESIGN.md §13); the
+// `splash4-serve` crate wraps this in the JSON-over-TCP front end.
+pub use splash4_harness::{
+    dispatch, drain_events, run_loadgen, JobCtl, JobEvent, LoadgenReport, Request, RequestKind,
+    ResultCache, ServiceConfig, WorkerPool,
 };
 pub use splash4_kernels::{
     barnes, cholesky, close, fft, fmm, lu, ocean, radiosity, radix, raytrace, volrend, water_nsq,

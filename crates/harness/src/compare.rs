@@ -116,14 +116,19 @@ const BACKEND_METRICS: [&str; 3] = [
 const BACKENDS: [&str; 2] = ["splash3", "splash4"];
 
 /// Config keys that define the workload shape; absolute metrics are only
-/// gateable when these match between baseline and candidate.
-const SHAPE_KEYS: [&str; 6] = [
+/// gateable when these match between baseline and candidate. The two serve
+/// keys decode as `Null` in documents predating the serve subsystem, so
+/// old-vs-old comparisons still match (`Null == Null`) while old-vs-new
+/// correctly demote absolute metrics to info-only.
+const SHAPE_KEYS: [&str; 8] = [
     "quick",
     "threads",
     "sync_ops",
     "barrier_crossings",
     "sim_cores",
     "sim_ops_per_core",
+    "serve_sim_cores",
+    "serve_requests",
 ];
 
 impl BenchDoc {
@@ -225,6 +230,28 @@ impl BenchDoc {
             class: MetricClass::Wall,
             summary: read(&metrics_json["report_wall_secs"], "report_wall_secs")?,
         });
+
+        // The serve group (experiment-service throughput and the many-core
+        // barrier-release retime ratio) arrived after v2 shipped; it is
+        // optional so pre-serve documents keep validating and comparing.
+        // When both sides carry it, `compare` picks it up by name like any
+        // other metric.
+        let serve = &metrics_json["serve"];
+        if serve.as_object().is_some() {
+            for (part, class) in [
+                ("requests_per_sec", MetricClass::Throughput),
+                ("events_per_sec_p1024", MetricClass::Throughput),
+                ("retime_speedup", MetricClass::Ratio),
+            ] {
+                metrics.push(Metric {
+                    name: format!("serve/{part}"),
+                    class,
+                    summary: read(&serve[part], &format!("serve/{part}"))?,
+                });
+            }
+        } else if !serve.is_null() {
+            return Err("`serve` metric group must be an object when present".into());
+        }
 
         for m in &metrics {
             m.summary
@@ -509,6 +536,10 @@ mod tests {
     }
 
     fn synth_v2_with(scale: f64, rci: f64, quick: bool, speedup: f64) -> String {
+        synth_v2_serve(scale, rci, quick, speedup, 1.6)
+    }
+
+    fn synth_v2_serve(scale: f64, rci: f64, quick: bool, speedup: f64, retime: f64) -> String {
         let s = |median: f64| -> Json {
             Summary {
                 median,
@@ -537,6 +568,8 @@ mod tests {
                 "barrier_crossings": 100u64,
                 "sim_cores": 8u64,
                 "sim_ops_per_core": 100u64,
+                "serve_sim_cores": 1024u64,
+                "serve_requests": 8u64,
             }),
             "metrics": json!({
                 "reducer_ops_per_sec": group(5.0e6, 40.0e6),
@@ -548,6 +581,11 @@ mod tests {
                     "speedup": s(speedup),
                 }),
                 "report_wall_secs": s(0.25 / scale),
+                "serve": json!({
+                    "requests_per_sec": s(120.0 * scale),
+                    "events_per_sec_p1024": s(2.0e6 * scale),
+                    "retime_speedup": s(retime),
+                }),
             }),
         })
         .to_string_pretty()
@@ -578,8 +616,58 @@ mod tests {
         assert!(msg.contains("v2"), "{msg}");
         let doc = BenchDoc::parse(&text).unwrap();
         assert_eq!(doc.version, 2);
-        assert_eq!(doc.metrics.len(), 3 * 3 + 3 + 1);
+        assert_eq!(doc.metrics.len(), 3 * 3 + 3 + 1 + 3);
         assert!(doc.metric("reducer_ops_per_sec/ratio").is_some());
+        assert_eq!(
+            doc.metric("serve/retime_speedup").unwrap().class,
+            MetricClass::Ratio
+        );
+        assert_eq!(
+            doc.metric("serve/requests_per_sec").unwrap().class,
+            MetricClass::Throughput
+        );
+    }
+
+    #[test]
+    fn pre_serve_v2_documents_still_validate_and_compare() {
+        // Strip the serve group and its config keys: the shape a pre-serve
+        // checkout wrote.
+        let doc = Json::parse(&synth_v2(1.0, 0.03, false)).unwrap();
+        let prune = |v: &Json, dead: &[&str]| {
+            Json::Object(
+                v.as_object()
+                    .unwrap()
+                    .iter()
+                    .filter(|(k, _)| !dead.contains(&k.as_str()))
+                    .cloned()
+                    .collect(),
+            )
+        };
+        let old = json!({
+            "schema": "splash4-bench-v2",
+            "config": prune(&doc["config"], &["serve_sim_cores", "serve_requests"]),
+            "metrics": prune(&doc["metrics"], &["serve"]),
+        })
+        .to_string_pretty();
+        let parsed = BenchDoc::parse(&old).expect("pre-serve documents must keep decoding");
+        assert!(parsed.metric("serve/requests_per_sec").is_none());
+        // Old vs old still shape-matches (Null == Null on the serve keys)…
+        let r = compare_texts(&old, &old).expect("old self-compare");
+        assert!(r.configs_match && r.pass());
+        // …while old vs new correctly demotes absolute metrics.
+        let r = compare_texts(&old, &synth_v2(1.0, 0.03, false)).expect("old vs new");
+        assert!(!r.configs_match);
+        assert!(r.pass(), "regressions: {:?}", r.regressions());
+    }
+
+    #[test]
+    fn serve_retime_collapse_gates_even_cross_config() {
+        let base = synth_v2(1.0, 0.02, false);
+        // Different shape (quick), but the barrier-release retime ratio is
+        // host-normalized: collapsing from 1.6× to 1.0× must gate.
+        let cand = synth_v2_serve(1.0, 0.02, true, 30.0 / 17.0, 1.0);
+        let r = compare_texts(&base, &cand).expect("compares");
+        assert!(r.regressions().contains(&"serve/retime_speedup"));
     }
 
     #[test]
@@ -629,8 +717,8 @@ mod tests {
         assert!(regs.contains(&"report_wall_secs"));
         // The ratio metrics did not move (both sides scaled), so they pass.
         assert!(!regs.iter().any(|n| n.ends_with("/ratio")));
-        // 9 absolute metrics at 0.5×, 4 ratio metrics at 1.0×: 0.5^(9/13).
-        assert!((r.geomean_speedup - 0.5f64.powf(9.0 / 13.0)).abs() < 1e-9);
+        // 11 absolute metrics at 0.5×, 5 ratio metrics at 1.0×: 0.5^(11/16).
+        assert!((r.geomean_speedup - 0.5f64.powf(11.0 / 16.0)).abs() < 1e-9);
         assert!(r.to_text().contains("FAIL"));
     }
 

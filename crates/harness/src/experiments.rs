@@ -4,14 +4,16 @@
 //! with an aligned text table (what the paper's figure/table shows) and a
 //! JSON payload for downstream plotting.
 
+use crate::cache::{fnv1a, ResultCache};
 use crate::registry::BenchmarkId;
 use crate::tables::{geomean, pct_change, Report, Table};
 use splash4_kernels::InputClass;
-use splash4_parmacs::{json, ConstructClass, SyncEnv, SyncMode, SyncPolicy, ToJson, WorkModel};
+use splash4_parmacs::{
+    json, ConstructClass, SyncCounters, SyncEnv, SyncMode, SyncPolicy, ToJson, WorkModel,
+};
 use splash4_sim::{engine, MachineParams, Simulator};
 use splash4_trace::{lower::lower, RingRecorder, TraceSummary};
-use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// Cache of calibrated workload models, shared by every experiment run from
 /// one [`ExperimentCtx`].
@@ -20,30 +22,44 @@ use std::sync::{Arc, Mutex};
 /// wall time rescales the per-item cycle estimates), so before this cache a
 /// full `--all` report re-executed every kernel once per simulation-driven
 /// experiment (F2, F3, F4, F5, F6, S1). Cloning the ctx shares the cache.
-#[derive(Debug, Default, Clone)]
+/// A thin wrapper over the generic content-hashed [`ResultCache`]: the key
+/// is the `(benchmark, class)` pair, and concurrent requests for the same
+/// model coalesce instead of calibrating twice.
+#[derive(Debug, Clone)]
 pub struct ModelCache {
-    inner: Arc<Mutex<HashMap<(BenchmarkId, InputClass), WorkModel>>>,
+    cache: ResultCache<WorkModel>,
+}
+
+impl Default for ModelCache {
+    fn default() -> ModelCache {
+        // Every (benchmark, class) pair fits with headroom: calibrated
+        // models must never be evicted mid-report, or two experiments could
+        // see different calibrations of the same kernel.
+        ModelCache {
+            cache: ResultCache::new(
+                BenchmarkId::ALL.len() * InputClass::ALL.len(),
+                Arc::new(SyncCounters::new()),
+            ),
+        }
+    }
 }
 
 impl ModelCache {
     /// The cached calibrated model for `(b, class)`, running the kernel once
     /// on miss.
     pub fn get(&self, b: BenchmarkId, class: InputClass) -> WorkModel {
-        let mut inner = self.inner.lock().expect("model cache poisoned");
-        inner
-            .entry((b, class))
-            .or_insert_with(|| work_model(b, class))
-            .clone()
+        let key = fnv1a(format!("model/{}/{}", b.name(), class.label()).as_bytes());
+        self.cache.get_or_compute(key, || work_model(b, class)).0
     }
 
     /// Number of models currently cached.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("model cache poisoned").len()
+        self.cache.len()
     }
 
     /// `true` if no models have been cached yet.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.cache.is_empty()
     }
 }
 

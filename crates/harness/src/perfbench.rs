@@ -23,6 +23,7 @@
 use crate::experiments::ExperimentCtx;
 use crate::measure::{measure_adaptive, time_adaptive, MeasureConfig, Summary};
 use crate::registry::BenchmarkId;
+use crate::service::{run_loadgen, ServiceConfig, WorkerPool};
 use crate::tables::{geomean, Table};
 use splash4_kernels::InputClass;
 use splash4_parmacs::{json, Json, PhaseSpec, SyncEnv, SyncMode, Team, WorkModel};
@@ -46,6 +47,13 @@ pub struct BenchConfig {
     pub sim_ops_per_core: usize,
     /// `true` for the CI-sized run (`--quick`).
     pub quick: bool,
+    /// Simulated cores for the serve scale-out benchmarks (the scaling
+    /// study's headline point, 1024).
+    pub serve_sim_cores: usize,
+    /// Requests the serve load generator drives through the worker pool.
+    pub serve_requests: usize,
+    /// Operations per core in each serve sim request.
+    pub serve_ops_per_core: usize,
     /// Workloads the end-to-end report benchmark covers (`--only` narrows
     /// this; the synchronization and simulator microbenchmarks are
     /// workload-independent and always run).
@@ -63,11 +71,17 @@ impl BenchConfig {
             sim_cores: 32,
             sim_ops_per_core: 4_000,
             quick: false,
+            serve_sim_cores: 1024,
+            serve_requests: 24,
+            serve_ops_per_core: 400,
             benchmarks: BenchmarkId::ALL.to_vec(),
         }
     }
 
     /// CI-sized configuration: same shape, ~10× less work, looser CI target.
+    /// The serve benchmarks keep p=1024 even here — demonstrating a
+    /// 1024-core simulation completing under CI is the point — and shrink
+    /// only the per-core work and request count.
     pub fn quick() -> BenchConfig {
         BenchConfig {
             measure: MeasureConfig::quick(),
@@ -77,6 +91,9 @@ impl BenchConfig {
             sim_cores: 16,
             sim_ops_per_core: 800,
             quick: true,
+            serve_sim_cores: 1024,
+            serve_requests: 8,
+            serve_ops_per_core: 100,
             benchmarks: BenchmarkId::ALL.to_vec(),
         }
     }
@@ -141,8 +158,15 @@ fn bench_barriers(cfg: &BenchConfig) -> [(SyncMode, Summary); 2] {
 /// Deterministic synthetic simulator program: staggered compute, a mix of
 /// shared and private server accesses with occasional contention penalties,
 /// and periodic barriers — the op mix the experiment sweeps produce, built
-/// from a seeded LCG so every bench run replays the same program.
-fn synthetic_program(cores: usize, ops_per_core: usize, kind: BarrierKind, seed: u64) -> Program {
+/// from a seeded LCG so every bench run replays the same program. Public
+/// because the serve service's `sim` requests are defined as exactly these
+/// programs (same seed → same program → content-hashable result).
+pub fn synthetic_program(
+    cores: usize,
+    ops_per_core: usize,
+    kind: BarrierKind,
+    seed: u64,
+) -> Program {
     let mut state = seed
         .wrapping_mul(2862933555777941757)
         .wrapping_add(3037000493);
@@ -285,6 +309,116 @@ fn bench_sim_events(cfg: &BenchConfig) -> (Summary, Summary, Summary) {
     )
 }
 
+/// Serve throughput: requests/sec and simulated events/sec of the worker
+/// pool under the scale-out load (8 concurrent clients, p=1024 sim
+/// requests, 50 % duplicates exercising the content-hashed cache exactly as
+/// the service does). One repetition is a whole service lifecycle — pool
+/// start, mixed concurrent load, graceful drain — so the rates include
+/// every cost a real `splash4-serve` deployment pays except the sockets.
+fn bench_serve_throughput(cfg: &BenchConfig) -> (Summary, Summary, u64) {
+    const CLIENTS: usize = 8;
+    let mut sim_events = 0u64;
+    let wall = time_adaptive(&cfg.wall_measure(), || {
+        let pool = WorkerPool::start(ServiceConfig {
+            workers: 4,
+            cache_capacity: 64,
+            queue_capacity: 64,
+            default_timeout_ms: None,
+            // The sim-only load never touches the ctx; keep it minimal so a
+            // repetition costs nothing beyond the service itself.
+            ctx: ExperimentCtx {
+                benchmarks: Vec::new(),
+                ..ExperimentCtx::default()
+            },
+        });
+        let report = run_loadgen(
+            &pool,
+            cfg.serve_requests,
+            CLIENTS,
+            cfg.serve_sim_cores,
+            cfg.serve_ops_per_core,
+        )
+        .expect("serve loadgen");
+        sim_events = report.sim_events;
+        pool.shutdown();
+    });
+    (
+        wall.to_rate(cfg.serve_requests as u64),
+        wall.to_rate(sim_events),
+        sim_events,
+    )
+}
+
+/// The many-core retime optimization, measured as a paired ratio at
+/// p=`serve_sim_cores`: the preserved binary-heap reference (which pays
+/// O(p log p) re-insertions on every broadcast barrier release) against the
+/// winner-tree engine with the uniform template fill and early-exit retimes.
+/// Identical programs, interleaved timings, so host frequency drift cancels;
+/// the ratio is the before/after of the scale-out work and gates cross-host
+/// like every other ratio metric. The returned note is the human-readable
+/// before/after line.
+///
+/// (The `set_full_rebuild_release` knob A/Bs the release fill against the
+/// compare-based rebuild inside the same engine; both are O(p) per release,
+/// so that pair does not statistically resolve on end-to-end runs — the
+/// equivalence tests use the knob, the bench measures against the heap.)
+fn bench_serve_retime(cfg: &BenchConfig) -> (Summary, String) {
+    let machine = MachineParams::manycore(cfg.serve_sim_cores);
+    let programs: Vec<Program> = [BarrierKind::Sense, BarrierKind::Tree]
+        .iter()
+        .enumerate()
+        .map(|(i, &k)| {
+            synthetic_program(
+                cfg.serve_sim_cores,
+                cfg.serve_ops_per_core,
+                k,
+                0xba5e + i as u64,
+            )
+        })
+        .collect();
+    let mut tree_engine = engine::Engine::new();
+    // Warmup, doubling as an equivalence check: the winner-tree engine must
+    // be bit-identical to the heap reference at this scale (the release
+    // template fill and the early-exit retimes change no result).
+    for p in &programs {
+        assert_eq!(
+            tree_engine.run(p, &machine),
+            engine::run_reference(p, &machine),
+            "winner-tree engine must match the heap reference on {}",
+            p.name
+        );
+    }
+    let mut ref_secs: Vec<f64> = Vec::new();
+    let mut tree_secs: Vec<f64> = Vec::new();
+    let speedup = measure_adaptive(&cfg.measure, || {
+        let t0 = Instant::now();
+        for p in &programs {
+            let _ = engine::run_reference(p, &machine);
+        }
+        let reference = t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        for p in &programs {
+            let _ = tree_engine.run(p, &machine);
+        }
+        let tree = t0.elapsed().as_secs_f64();
+        ref_secs.push(reference);
+        tree_secs.push(tree);
+        reference / tree.max(1e-12)
+    });
+    let median = |v: &mut Vec<f64>| {
+        v.sort_by(f64::total_cmp);
+        v[v.len() / 2]
+    };
+    let note = format!(
+        "serve retime note: barrier retime at p={} — heap reference {:.2} ms vs winner-tree engine {:.2} ms per pass ({:.2}x)",
+        cfg.serve_sim_cores,
+        median(&mut ref_secs) * 1e3,
+        median(&mut tree_secs) * 1e3,
+        speedup.median,
+    );
+    (speedup, note)
+}
+
 /// Wall time of one full simulation-driven report experiment (F2), in
 /// seconds. Uses a fresh ctx per repetition so the model cache and program
 /// memoization are exercised exactly as a cold `splash4-report` run would.
@@ -327,6 +461,8 @@ pub fn run_bench(cfg: &BenchConfig) -> (String, Json) {
     let barriers = bench_barriers(cfg);
     let (engine_eps, reference_eps, speedup) = bench_sim_events(cfg);
     let report_wall = bench_report_wall(cfg);
+    let (serve_rps, serve_eps, serve_events) = bench_serve_throughput(cfg);
+    let (serve_retime, retime_note) = bench_serve_retime(cfg);
 
     // Host-normalized lock-free/lock-based ratios, one per primitive group.
     // `SyncMode::ALL` orders lock-based (splash3) first.
@@ -379,6 +515,21 @@ pub fn run_bench(cfg: &BenchConfig) -> (String, Json) {
         "end-to-end".into(),
         fmt_summary(&report_wall, 1.0, "s"),
     ]);
+    t.row(vec![
+        "serve requests".into(),
+        format!("pool, p={}", cfg.serve_sim_cores),
+        fmt_summary(&serve_rps, 1.0, "req/s"),
+    ]);
+    t.row(vec![
+        "serve sim events".into(),
+        format!("pool, p={}", cfg.serve_sim_cores),
+        fmt_summary(&serve_eps, 1e6, "Mops/s"),
+    ]);
+    t.row(vec![
+        "serve retime speedup".into(),
+        format!("heap-ref/winner-tree, p={} (paired)", cfg.serve_sim_cores),
+        fmt_summary(&serve_retime, 1.0, "x"),
+    ]);
 
     let throughput_geomean = geomean(&[
         reducers[0].1.median,
@@ -389,12 +540,15 @@ pub fn run_bench(cfg: &BenchConfig) -> (String, Json) {
         barriers[1].1.median,
         engine_eps.median,
         reference_eps.median,
+        serve_rps.median,
+        serve_eps.median,
     ]);
     let ratio_geomean = geomean(&[
         reducer_ratio.median,
         counter_ratio.median,
         barrier_ratio.median,
         speedup.median,
+        serve_retime.median,
     ]);
 
     let group = |pairs: &[(SyncMode, Summary); 2], ratio: &Summary| {
@@ -415,6 +569,9 @@ pub fn run_bench(cfg: &BenchConfig) -> (String, Json) {
             "barrier_crossings": cfg.barrier_crossings as u64,
             "sim_cores": cfg.sim_cores as u64,
             "sim_ops_per_core": cfg.sim_ops_per_core as u64,
+            "serve_sim_cores": cfg.serve_sim_cores as u64,
+            "serve_requests": cfg.serve_requests as u64,
+            "serve_ops_per_core": cfg.serve_ops_per_core as u64,
             "measure": json!({
                 "min_reps": cfg.measure.min_reps as u64,
                 "max_reps": cfg.measure.max_reps as u64,
@@ -432,13 +589,22 @@ pub fn run_bench(cfg: &BenchConfig) -> (String, Json) {
                 "speedup": speedup.to_json(),
             }),
             "report_wall_secs": report_wall.to_json(),
+            "serve": json!({
+                "requests_per_sec": serve_rps.to_json(),
+                "events_per_sec_p1024": serve_eps.to_json(),
+                "retime_speedup": serve_retime.to_json(),
+                "sim_events_per_run": serve_events,
+            }),
         }),
         "aggregate": json!({
             "throughput_geomean_ops_per_sec": throughput_geomean,
             "ratio_geomean": ratio_geomean,
         }),
     });
-    (t.render(), doc)
+    let mut text = t.render();
+    text.push_str(&retime_note);
+    text.push('\n');
+    (text, doc)
 }
 
 #[cfg(test)]
@@ -460,6 +626,9 @@ mod tests {
             sim_cores: 4,
             sim_ops_per_core: 120,
             quick: true,
+            serve_sim_cores: 64,
+            serve_requests: 4,
+            serve_ops_per_core: 30,
             benchmarks: vec![BenchmarkId::Fft, BenchmarkId::Radix],
         }
     }
@@ -478,7 +647,21 @@ mod tests {
     fn bench_emits_v2_schema_that_validates_and_self_compares() {
         let (text, doc) = run_bench(&tiny());
         assert!(text.contains("sim engine speedup"));
+        assert!(text.contains("serve requests"));
+        assert!(
+            text.contains("serve retime note"),
+            "the before/after retime line must be in the bench output:\n{text}"
+        );
         assert_eq!(doc["schema"].as_str(), Some("splash4-bench-v2"));
+        assert!(doc["metrics"]["serve"]["requests_per_sec"]
+            .get("median")
+            .and_then(Json::as_f64)
+            .is_some_and(|v| v > 0.0));
+        assert!(doc["metrics"]["serve"]["retime_speedup"]
+            .get("median")
+            .and_then(Json::as_f64)
+            .is_some_and(|v| v > 0.0));
+        assert_eq!(doc["config"]["serve_sim_cores"].as_u64(), Some(64));
         let rendered = doc.to_string_pretty();
         // The document passes its own validator and decodes fully.
         validate(&rendered).expect("fresh bench document validates");

@@ -80,7 +80,9 @@ pub use json::{Json, ToJson};
 pub use lock::{RawLock, SleepLock, TasLock, TicketLock};
 pub use mode::{ConstructClass, SyncMode, SyncPolicy};
 pub use pad::CachePadded;
-pub use queue::{LockedQueue, StealPool, TaskQueue, TicketDispenser, TreiberStack};
+pub use queue::{
+    BoundedMpmcQueue, LockedQueue, StealPool, TaskQueue, TicketDispenser, TreiberStack,
+};
 pub use reduce::{AtomicF64, AtomicReducer, LockedReducer, ReduceF64, ReduceU64};
 pub use rng::SmallRng;
 pub use spec::{CasF64Spec, FlagSpec, SenseBarrierSpec, TicketSpec, TreiberSpec};

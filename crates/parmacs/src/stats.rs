@@ -69,14 +69,20 @@ pub enum Counter {
     /// CAS failures (retries) observed in lock-free loops; a proxy for
     /// cache-line contention intensity.
     CasFailures = 11,
+    /// Result-cache lookups served without recomputation (includes lookups
+    /// coalesced onto an in-flight computation of the same key).
+    CacheHits = 12,
+    /// Result-cache lookups that triggered a fresh computation.
+    CacheMisses = 13,
 }
 
 /// Number of distinct counters per lane.
-pub const NUM_COUNTERS: usize = 12;
+pub const NUM_COUNTERS: usize = 14;
 
-/// One striping lane: all twelve counters for one thread, padded so adjacent
-/// lanes never share a cache line. 12 × 8 = 96 bytes of payload fits one
-/// 128-byte padding granule, so a lane costs exactly one aligned slot.
+/// One striping lane: all fourteen counters for one thread, padded so
+/// adjacent lanes never share a cache line. 14 × 8 = 112 bytes of payload
+/// fits one 128-byte padding granule, so a lane costs exactly one aligned
+/// slot.
 type Lane = CachePadded<[AtomicU64; NUM_COUNTERS]>;
 
 fn zero_lane() -> Lane {
@@ -217,6 +223,8 @@ impl SyncCounters {
             flag_wait_ns: self.fold(Counter::FlagWaitNs),
             queue_ops: self.fold(Counter::QueueOps),
             cas_failures: self.fold(Counter::CasFailures),
+            cache_hits: self.fold(Counter::CacheHits),
+            cache_misses: self.fold(Counter::CacheMisses),
         }
     }
 }
@@ -241,6 +249,8 @@ pub struct SyncProfile {
     pub flag_wait_ns: u64,
     pub queue_ops: u64,
     pub cas_failures: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
 }
 
 impl SyncProfile {
@@ -260,6 +270,8 @@ impl SyncProfile {
             flag_wait_ns: self.flag_wait_ns + other.flag_wait_ns,
             queue_ops: self.queue_ops + other.queue_ops,
             cas_failures: self.cas_failures + other.cas_failures,
+            cache_hits: self.cache_hits + other.cache_hits,
+            cache_misses: self.cache_misses + other.cache_misses,
         }
     }
 
@@ -279,11 +291,15 @@ impl SyncProfile {
             flag_wait_ns: self.flag_wait_ns.saturating_sub(other.flag_wait_ns),
             queue_ops: self.queue_ops.saturating_sub(other.queue_ops),
             cas_failures: self.cas_failures.saturating_sub(other.cas_failures),
+            cache_hits: self.cache_hits.saturating_sub(other.cache_hits),
+            cache_misses: self.cache_misses.saturating_sub(other.cache_misses),
         }
     }
 
     /// Total dynamic synchronization operations (all classes, excluding the
-    /// nanosecond fields).
+    /// nanosecond fields and the cache-outcome tallies — a cache hit or miss
+    /// is a service-layer event, not a kernel sync op, so the paper's
+    /// `T3-syncops` totals are unaffected by serving).
     pub fn total_ops(&self) -> u64 {
         self.lock_acquires
             + self.barrier_waits
@@ -341,6 +357,11 @@ impl ToJson for SyncProfile {
             (
                 "cas_failures".to_string(),
                 Json::Num(self.cas_failures as f64),
+            ),
+            ("cache_hits".to_string(), Json::Num(self.cache_hits as f64)),
+            (
+                "cache_misses".to_string(),
+                Json::Num(self.cache_misses as f64),
             ),
         ])
     }
@@ -410,6 +431,22 @@ mod tests {
         assert_eq!(c.snapshot().getsub_calls, 3);
         // Requesting zero lanes still yields a usable block.
         assert_eq!(SyncCounters::with_lanes(0).lanes(), 1);
+    }
+
+    #[test]
+    fn cache_counters_fold_but_stay_out_of_sync_totals() {
+        let c = SyncCounters::new();
+        c.bump(Counter::CacheHits);
+        c.bump(Counter::CacheHits);
+        c.bump(Counter::CacheMisses);
+        let p = c.snapshot();
+        assert_eq!(p.cache_hits, 2);
+        assert_eq!(p.cache_misses, 1);
+        // Cache outcomes are service-layer events, not kernel sync ops.
+        assert_eq!(p.total_ops(), 0);
+        let m = p.merged(&p);
+        assert_eq!((m.cache_hits, m.cache_misses), (4, 2));
+        assert_eq!(m.delta(&p).cache_hits, 2);
     }
 
     #[test]

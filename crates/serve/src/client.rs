@@ -1,0 +1,170 @@
+//! Blocking client for the serve protocol, with `Backoff`-paced connect
+//! retry so launch scripts can start client and server concurrently.
+
+use crate::proto::{read_frame, write_frame};
+use splash4_harness::{JobEvent, Request};
+use splash4_parmacs::{json, Backoff, Json};
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::thread;
+use std::time::Duration;
+
+/// One connection to a `splash4-serve` server. All calls are blocking; a
+/// connection serializes its operations (submit streams run to their
+/// terminal event before the next op), matching the server's per-connection
+/// loop — concurrency comes from opening more clients.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl std::fmt::Debug for Client {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Client").finish_non_exhaustive()
+    }
+}
+
+impl Client {
+    /// Connect once.
+    ///
+    /// # Errors
+    /// Propagates connect/clone failures as messages.
+    pub fn connect(addr: &str) -> Result<Client, String> {
+        let stream =
+            TcpStream::connect(addr).map_err(|e| format!("connect to {addr} failed: {e}"))?;
+        Client::from_stream(stream)
+    }
+
+    /// Connect with retry: spin/yield through a [`Backoff`] first (the
+    /// server usually appears within microseconds when launched together),
+    /// then fall back to escalating sleeps between attempts.
+    ///
+    /// # Errors
+    /// Returns the last connect error once `attempts` are exhausted.
+    pub fn connect_with_retry(addr: &str, attempts: u32) -> Result<Client, String> {
+        let attempts = attempts.max(1);
+        let mut backoff = Backoff::new();
+        let mut last = String::new();
+        for attempt in 0..attempts {
+            match TcpStream::connect(addr) {
+                Ok(stream) => return Client::from_stream(stream),
+                Err(e) => last = e.to_string(),
+            }
+            if backoff.is_completed() {
+                thread::sleep(Duration::from_millis(10 * u64::from(attempt) + 10));
+            } else {
+                backoff.snooze();
+            }
+        }
+        Err(format!(
+            "connect to {addr} failed after {attempts} attempts: {last}"
+        ))
+    }
+
+    fn from_stream(stream: TcpStream) -> Result<Client, String> {
+        stream.set_nodelay(true).ok();
+        let reader = BufReader::new(
+            stream
+                .try_clone()
+                .map_err(|e| format!("clone stream failed: {e}"))?,
+        );
+        Ok(Client {
+            reader,
+            writer: stream,
+        })
+    }
+
+    fn send(&mut self, v: &Json) -> Result<(), String> {
+        write_frame(&mut self.writer, v).map_err(|e| format!("write failed: {e}"))
+    }
+
+    fn recv(&mut self) -> Result<Json, String> {
+        read_frame(&mut self.reader)?.ok_or_else(|| "server closed the connection".to_string())
+    }
+
+    /// One non-submit round trip, unwrapping the `{"ok":...}` envelope.
+    fn call(&mut self, op: &Json) -> Result<Json, String> {
+        self.send(op)?;
+        let reply = self.recv()?;
+        match reply.get("ok").and_then(Json::as_bool) {
+            Some(true) => Ok(reply),
+            Some(false) => Err(reply
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("unknown server error")
+                .to_string()),
+            None => Err(format!("malformed server reply: {reply}")),
+        }
+    }
+
+    /// Liveness check.
+    ///
+    /// # Errors
+    /// Fails on I/O errors or a non-`ok` reply.
+    pub fn ping(&mut self) -> Result<(), String> {
+        self.call(&json!({ "op": "ping" })).map(|_| ())
+    }
+
+    /// Server counters: jobs submitted, cache hits/misses, queue ops.
+    ///
+    /// # Errors
+    /// Fails on I/O errors or a non-`ok` reply.
+    pub fn stats(&mut self) -> Result<Json, String> {
+        self.call(&json!({ "op": "stats" }))
+    }
+
+    /// Ask the server to begin its graceful shutdown (drain, then exit).
+    ///
+    /// # Errors
+    /// Fails on I/O errors or a non-`ok` reply.
+    pub fn shutdown_server(&mut self) -> Result<(), String> {
+        self.call(&json!({ "op": "shutdown" })).map(|_| ())
+    }
+
+    /// Submit one request and collect its full event stream (ending in
+    /// `done` or `error` — an `error` *event* is still `Ok` here; it means
+    /// the job ran and failed, not that the protocol broke).
+    ///
+    /// # Errors
+    /// Fails if the server rejects the submission (`{"ok":false}`) or the
+    /// connection breaks mid-stream.
+    pub fn submit(&mut self, request: &Request) -> Result<Vec<JobEvent>, String> {
+        self.submit_with(request, |_| {})
+    }
+
+    /// Like [`Client::submit`], invoking `on_event` as each event arrives.
+    ///
+    /// # Errors
+    /// Same as [`Client::submit`].
+    pub fn submit_with(
+        &mut self,
+        request: &Request,
+        mut on_event: impl FnMut(&JobEvent),
+    ) -> Result<Vec<JobEvent>, String> {
+        self.send(&json!({ "op": "submit", "request": request.to_json() }))?;
+        let mut events = Vec::new();
+        loop {
+            let frame = self.recv().map_err(|e| {
+                if events.is_empty() {
+                    e
+                } else {
+                    format!("stream ended without a terminal event: {e}")
+                }
+            })?;
+            if frame.get("ok").and_then(Json::as_bool) == Some(false) {
+                return Err(frame
+                    .get("error")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unknown server error")
+                    .to_string());
+            }
+            let ev = JobEvent::from_json(&frame)?;
+            let terminal = ev.is_terminal();
+            on_event(&ev);
+            events.push(ev);
+            if terminal {
+                return Ok(events);
+            }
+        }
+    }
+}

@@ -17,8 +17,9 @@
 //! `ready[core]` array (parked and finished cores at `u64::MAX`) and picks
 //! the next event with a linear min-scan at small core counts, switching to
 //! a flat winner (tournament) tree above [`SCAN_CORES_MAX`] cores — O(1)
-//! dispatch from the root, O(log p) per retime, one O(p) rebuild per barrier
-//! release — while preserving the lowest-core-wins tie-break exactly.
+//! dispatch from the root, early-exiting O(log p) per retime, and a
+//! branch-light template fill per barrier release — while preserving the
+//! lowest-core-wins tie-break exactly.
 //! Unlike the heap, neither path ever allocates or moves `(time, core)`
 //! tuples through sift-up/sift-down. All per-run state (`ready`, program
 //! counters, per-core breakdowns, server clocks, barrier episodes) lives in
@@ -143,6 +144,17 @@ pub struct Engine {
     tree_win: Vec<u32>,
     /// Winner-tree leaf offset (next power of two ≥ p).
     tsize: usize,
+    /// Leftmost leaf id under each winner-tree node, precomputed at reset.
+    /// When every in-range leaf holds the *same* time (a sense/tree barrier
+    /// release), node `i`'s winner is exactly `uniform_win[i]` — the
+    /// lowest-core tie-break — so a release can template-fill the tree
+    /// without any compare chains (see [`Engine::tree_fill_uniform`]).
+    uniform_win: Vec<u32>,
+    /// Test knob: force the full compare-based rebuild on every barrier
+    /// release instead of the uniform template fill. The equivalence tests
+    /// pin both paths to identical results up to p=1024; results are
+    /// identical either way.
+    full_rebuild_release: bool,
     /// Flattened op streams, all cores back to back, with runs of adjacent
     /// `Compute` ops fused into one (identical timing: back-to-back local
     /// compute interacts with nothing, so the intermediate event is pure
@@ -184,10 +196,30 @@ impl Engine {
             self.tree.resize(2 * self.tsize, NEVER);
             self.tree_win.clear();
             self.tree_win.resize(2 * self.tsize, 0);
+            // Leftmost leaf per node: leaves map to themselves, internal
+            // nodes inherit from their left child (visited first by the
+            // reverse sweep).
+            self.uniform_win.clear();
+            self.uniform_win.resize(2 * self.tsize, 0);
+            for i in (1..2 * self.tsize).rev() {
+                self.uniform_win[i] = if i >= self.tsize {
+                    (i - self.tsize) as u32
+                } else {
+                    self.uniform_win[2 * i]
+                };
+            }
             self.tree_rebuild();
         } else {
             self.tsize = 0;
         }
+    }
+
+    /// Force the O(2p) compare-based [`Engine::tree_rebuild`] on every
+    /// barrier release instead of the uniform template fill. Results are
+    /// bit-identical on both paths; the equivalence tests use this knob to
+    /// pin the template fill against the rebuild at high core counts.
+    pub fn set_full_rebuild_release(&mut self, force: bool) {
+        self.full_rebuild_release = force;
     }
 
     /// Retime `core`, keeping the winner tree (when active) in sync.
@@ -199,9 +231,10 @@ impl Engine {
         }
     }
 
-    /// Recompute the whole winner tree from `ready` (used after barrier
-    /// releases, which retime many cores at once — one O(2p) rebuild beats
-    /// p separate O(log p) leaf updates).
+    /// Recompute the whole winner tree from `ready`. Used at reset, after
+    /// condvar-barrier releases (per-core resume times differ, so there is
+    /// no shared value to template-fill), and on the test-only
+    /// `full_rebuild_release` path.
     fn tree_rebuild(&mut self) {
         let n = self.tsize;
         for c in 0..n {
@@ -222,7 +255,13 @@ impl Engine {
         }
     }
 
-    /// Retime one leaf and replay its path to the root.
+    /// Retime one leaf and replay its path to the root, stopping as soon as
+    /// a node's `(time, winner)` comes out unchanged: every ancestor is a
+    /// pure function of its children, and no other child changed, so the
+    /// rest of the path is already correct. After a uniform barrier release
+    /// most retimes stop at the first level (the sibling holds the same
+    /// resume time), which is what keeps per-event work flat as p grows to
+    /// 1024.
     #[inline]
     fn tree_update(&mut self, core: usize, v: u64) {
         let mut i = self.tsize + core;
@@ -230,14 +269,40 @@ impl Engine {
         i /= 2;
         while i >= 1 {
             let (l, r) = (2 * i, 2 * i + 1);
-            if self.tree[l] <= self.tree[r] {
-                self.tree[i] = self.tree[l];
-                self.tree_win[i] = self.tree_win[l];
+            let (t, w) = if self.tree[l] <= self.tree[r] {
+                (self.tree[l], self.tree_win[l])
             } else {
-                self.tree[i] = self.tree[r];
-                self.tree_win[i] = self.tree_win[r];
+                (self.tree[r], self.tree_win[r])
+            };
+            if self.tree[i] == t && self.tree_win[i] == w {
+                return;
             }
+            self.tree[i] = t;
+            self.tree_win[i] = w;
             i /= 2;
+        }
+    }
+
+    /// Template-fill the winner tree for a uniform release: every live core
+    /// resumes at the same `resume` time (sense and tree barriers release by
+    /// broadcast), so node times are `resume` wherever the subtree reaches a
+    /// live leaf and winners are the precomputed leftmost leaves — no
+    /// compare chains, no `ready` re-reads. Nodes whose subtrees lie
+    /// entirely in the power-of-two padding (`uniform_win[i] ≥ p`) stay at
+    /// [`NEVER`] from reset and are never written by any path, so they are
+    /// skipped here.
+    fn tree_fill_uniform(&mut self, resume: u64) {
+        let n = self.tsize;
+        let p = self.ready.len();
+        for c in 0..p {
+            self.tree[n + c] = resume;
+        }
+        for i in (1..n).rev() {
+            let w = self.uniform_win[i];
+            if (w as usize) < p {
+                self.tree[i] = resume;
+                self.tree_win[i] = w;
+            }
         }
     }
 
@@ -385,6 +450,10 @@ impl Engine {
                     // Release the episode (in place: `arrived` keeps its
                     // capacity for the next episode).
                     let last = bar.arrived.iter().map(|&(_, _, d)| d).max().unwrap_or(t);
+                    // Sense/tree barriers release by broadcast: every core
+                    // resumes at one shared time, and the tree can be
+                    // template-filled instead of rebuilt with compares.
+                    let mut uniform_resume = None;
                     match kind {
                         BarrierKind::Sense => {
                             let resume = last + machine.line_transfer_ns;
@@ -392,6 +461,7 @@ impl Engine {
                                 self.breakdown[c].barrier_ns += resume - at;
                                 self.ready[c] = resume;
                             }
+                            uniform_resume = Some(resume);
                         }
                         BarrierKind::Tree => {
                             let resume = last + tree_levels(p) * machine.line_transfer_ns;
@@ -399,6 +469,7 @@ impl Engine {
                                 self.breakdown[c].barrier_ns += resume - at;
                                 self.ready[c] = resume;
                             }
+                            uniform_resume = Some(resume);
                         }
                         BarrierKind::Condvar => {
                             // The final arriver proceeds immediately;
@@ -420,10 +491,17 @@ impl Engine {
                         }
                     }
                     bar.arrived.clear();
-                    // A release retimes every core at once: one flat rebuild
-                    // instead of p root-walks.
+                    // A release retimes every core at once: one flat pass
+                    // instead of p root-walks. Uniform (broadcast) releases
+                    // take the template fill; condvar releases, whose
+                    // per-core resume times differ, rebuild with compares.
                     if self.tsize > 0 {
-                        self.tree_rebuild();
+                        match uniform_resume {
+                            Some(resume) if !self.full_rebuild_release => {
+                                self.tree_fill_uniform(resume);
+                            }
+                            _ => self.tree_rebuild(),
+                        }
                     }
                 }
             }
@@ -855,6 +933,48 @@ mod tests {
                         "engine diverged from reference: kind {kind:?}, p {p}, seed {seed}"
                     );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn engine_matches_reference_at_manycore_scale() {
+        // The serve scaling study pushes the engine to p=1024; the winner
+        // tree (template fill + early-exit retime) must stay bit-identical
+        // to the heap reference, including at non-power-of-two p where the
+        // tree carries padding leaves.
+        let m = MachineParams::manycore(1024);
+        let mut engine = Engine::new();
+        for kind in [BarrierKind::Sense, BarrierKind::Condvar, BarrierKind::Tree] {
+            for p in [100, 256, 512, 777, 1024] {
+                let prog = stress_program(p, kind, 11);
+                let fast = engine.run(&prog, &m);
+                let reference = run_reference(&prog, &m);
+                assert_eq!(
+                    fast, reference,
+                    "engine diverged from reference: kind {kind:?}, p {p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_release_fill_matches_full_rebuild() {
+        // The template-fill release path and the preserved compare-based
+        // rebuild are two implementations of the same retime; the bench
+        // knob must never change results.
+        let m = MachineParams::manycore(1024);
+        let mut filled = Engine::new();
+        let mut rebuilt = Engine::new();
+        rebuilt.set_full_rebuild_release(true);
+        for kind in [BarrierKind::Sense, BarrierKind::Tree, BarrierKind::Condvar] {
+            for p in [33, 100, 512, 1024] {
+                let prog = stress_program(p, kind, 7);
+                assert_eq!(
+                    filled.run(&prog, &m),
+                    rebuilt.run(&prog, &m),
+                    "fill/rebuild divergence: kind {kind:?}, p {p}"
+                );
             }
         }
     }

@@ -78,6 +78,30 @@ impl MachineParams {
         }
     }
 
+    /// Many-core scale-out preset for `cores` simulated hardware threads
+    /// (256–1024), in the spirit of the SPARC T3-class machines used for
+    /// historical many-core Splash characterizations: lower clocks, a larger
+    /// coherence fabric (costlier line transfers and shared-line RMW
+    /// service), and the same futex-dominated sleeping-lock costs as the
+    /// EPYC preset. `cores` is clamped to at least 256 and rounded up to a
+    /// power of two so the preset's `max_cores` always covers the sweep
+    /// points of the serve scaling study (256/512/1024).
+    pub fn manycore(cores: usize) -> MachineParams {
+        MachineParams {
+            name: "manycore-t3-like",
+            ghz: 1.65,
+            max_cores: cores.max(256).next_power_of_two(),
+            rmw_local_ns: 18,
+            rmw_service_ns: 160,
+            lock_pair_ns: 55,
+            futex_wake_ns: 2600,
+            condvar_wake_ns: 340,
+            line_transfer_ns: 140,
+            data_collision: 0.06,
+            convoy_fraction: 0.10,
+        }
+    }
+
     /// Convert workload-model cycles to nanoseconds on this machine.
     pub fn cycles_to_ns(&self, cycles: u64) -> u64 {
         (cycles as f64 / self.ghz).round() as u64
@@ -104,6 +128,21 @@ mod tests {
         let i = MachineParams::icelake_like();
         assert!(e.rmw_service_ns > i.rmw_service_ns);
         assert!(e.futex_wake_ns > i.futex_wake_ns);
+    }
+
+    #[test]
+    fn manycore_preset_scales_to_requested_cores() {
+        let m = MachineParams::manycore(1024);
+        assert_eq!(m.max_cores, 1024);
+        assert!(m.futex_wake_ns > m.rmw_service_ns);
+        assert!(m.rmw_service_ns > m.rmw_local_ns);
+        assert!(m.condvar_wake_ns > m.line_transfer_ns);
+        // Requests are clamped up to the study floor and rounded to a power
+        // of two so winner-tree sizing stays aligned.
+        assert_eq!(MachineParams::manycore(0).max_cores, 256);
+        assert_eq!(MachineParams::manycore(300).max_cores, 512);
+        // A bigger fabric costs more per transfer than the 64-core presets.
+        assert!(m.line_transfer_ns > MachineParams::epyc_like().line_transfer_ns);
     }
 
     #[test]
