@@ -541,6 +541,18 @@ impl ThreadCtx {
         st.data.len() - 1
     }
 
+    /// Allocate a fresh atomic location mid-execution (e.g. the `next` link
+    /// of a dynamically allocated queue node). Not a schedule point.
+    pub(crate) fn alloc_atomic(&self, name: &'static str, init: u64) -> usize {
+        let mut st = self.shared.lock();
+        st.atomics.push(AtomicMeta {
+            name,
+            value: init,
+            release: VClock::default(),
+        });
+        st.atomics.len() - 1
+    }
+
     /// Record an operation invocation for the linearizability history.
     pub(crate) fn invoke(&self, op: Op) {
         let mut st = self.shared.lock();

@@ -50,6 +50,7 @@ pub mod engine;
 pub mod explore;
 pub mod kernel;
 pub mod linearize;
+pub mod reclaim;
 pub mod shadow;
 pub mod suite;
 
@@ -60,6 +61,11 @@ pub use kernel::{
     check_kernel_mutants, check_kernels, kernel_mutants, radix_rank_scenario, water_energy_scenario,
 };
 pub use linearize::{check_history, Op, OpRecord, RetVal, SpecModel};
+pub use reclaim::{
+    check_reclaim, check_reclaim_mutants, elimination_scenario, epoch_reclaim_scenario,
+    hazard_reclaim_scenario, ms_queue_scenario, reclaim_mutants, ShadowEliminationStack,
+    ShadowMsQueue,
+};
 pub use shadow::{
     ShadowAtomicF64, ShadowCounter, ShadowFlag, ShadowLock, ShadowLockedQueue, ShadowReduceU64,
     ShadowSenseBarrier, ShadowTicketDispenser, ShadowTreiberStack,

@@ -55,6 +55,7 @@
 //! | layer | crate | docs |
 //! |---|---|---|
 //! | sync runtime | `splash4-parmacs` | PARMACS constructs, both back-ends, instrumentation |
+//! | reclamation | `splash4-reclaim` | epoch/hazard safe memory reclamation, dynamic task pools |
 //! | workloads | `splash4-kernels` | the twelve ports with oracles |
 //! | simulator | `splash4-sim` | machine models, DES engine, model expansion |
 //! | tracing | `splash4-trace` | sync-event recording, codec, replay lowering |
@@ -101,6 +102,11 @@ pub use splash4_parmacs::{
     Backoff, Barrier, CachePadded, ConstructClass, Dispatch, IndexCounter, Json, PauseVar,
     PhaseSpec, RawLock, ReduceF64, ReduceU64, SmallRng, SyncEnv, SyncMode, SyncPolicy, SyncProfile,
     TaskQueue, Team, TeamCtx, ToJson, TraceEvent, TraceSink, WorkModel,
+};
+pub use splash4_reclaim as reclaim;
+pub use splash4_reclaim::{
+    EliminationStack, EpochReclaimer, HazardReclaimer, MsQueue, PoolShape, ReclaimKind,
+    ReclaimStats, Reclaimer, TaskPool,
 };
 pub use splash4_sim::{
     engine, simulate, BarrierKind, Engine, MachineParams, Program, SimResult, Simulator,

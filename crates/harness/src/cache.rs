@@ -149,7 +149,10 @@ impl<V: Clone> ResultCache<V> {
                         last_used: tick,
                     },
                 );
-                Self::evict_over_capacity(&mut inner, s.capacity);
+                let evicted = Self::evict_over_capacity(&mut inner, s.capacity);
+                if evicted > 0 {
+                    s.stats.add(Counter::CacheEvictions, evicted);
+                }
                 drop(inner);
                 s.cond.notify_all();
                 Ok((v, false))
@@ -171,8 +174,10 @@ impl<V: Clone> ResultCache<V> {
         }
     }
 
-    /// Drop least-recently-used ready entries until the bound holds.
-    fn evict_over_capacity(inner: &mut CacheInner<V>, capacity: usize) {
+    /// Drop least-recently-used ready entries until the bound holds; returns
+    /// how many entries were dropped.
+    fn evict_over_capacity(inner: &mut CacheInner<V>, capacity: usize) -> u64 {
+        let mut evicted = 0;
         loop {
             let ready = inner
                 .map
@@ -180,7 +185,7 @@ impl<V: Clone> ResultCache<V> {
                 .filter(|s| matches!(s, Slot::Ready { .. }))
                 .count();
             if ready <= capacity {
-                return;
+                return evicted;
             }
             let oldest = inner
                 .map
@@ -194,8 +199,9 @@ impl<V: Clone> ResultCache<V> {
             match oldest {
                 Some(k) => {
                     inner.map.remove(&k);
+                    evicted += 1;
                 }
-                None => return,
+                None => return evicted,
             }
         }
     }
@@ -237,6 +243,11 @@ impl<V> ResultCache<V> {
     /// Cache misses (computations started) recorded so far.
     pub fn misses(&self) -> u64 {
         self.shared.stats.snapshot().cache_misses
+    }
+
+    /// Ready values evicted by the capacity bound so far.
+    pub fn evictions(&self) -> u64 {
+        self.shared.stats.snapshot().cache_evictions
     }
 }
 
@@ -295,9 +306,11 @@ mod tests {
         assert_eq!(c.len(), 2);
         assert!(c.contains(1) && c.contains(3));
         assert!(!c.contains(2), "LRU entry must be evicted");
-        // Re-requesting the evicted key recomputes.
+        assert_eq!(c.evictions(), 1, "the eviction must be counted");
+        // Re-requesting the evicted key recomputes (and evicts again).
         let (_, hit) = c.get_or_compute(2, || "two again".into());
         assert!(!hit);
+        assert_eq!(c.evictions(), 2);
     }
 
     #[test]

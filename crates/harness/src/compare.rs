@@ -253,6 +253,29 @@ impl BenchDoc {
             return Err("`serve` metric group must be an object when present".into());
         }
 
+        // The reclaim group (dynamic-pool churn vs the index-based stack,
+        // and the EBR/HP crossover ratio) is optional for the same reason:
+        // baselines written before the reclamation layer keep validating
+        // and comparing on the metrics both sides carry.
+        let reclaim = &metrics_json["reclaim"];
+        if reclaim.as_object().is_some() {
+            for (part, class) in [
+                ("index_pool_ops_per_sec", MetricClass::Throughput),
+                ("epoch_pool_ops_per_sec", MetricClass::Throughput),
+                ("hazard_pool_ops_per_sec", MetricClass::Throughput),
+                ("epoch_vs_index_ratio", MetricClass::Ratio),
+                ("epoch_vs_hazard_ratio", MetricClass::Ratio),
+            ] {
+                metrics.push(Metric {
+                    name: format!("reclaim/{part}"),
+                    class,
+                    summary: read(&reclaim[part], &format!("reclaim/{part}"))?,
+                });
+            }
+        } else if !reclaim.is_null() {
+            return Err("`reclaim` metric group must be an object when present".into());
+        }
+
         for m in &metrics {
             m.summary
                 .check()
@@ -540,6 +563,17 @@ mod tests {
     }
 
     fn synth_v2_serve(scale: f64, rci: f64, quick: bool, speedup: f64, retime: f64) -> String {
+        synth_v2_reclaim(scale, rci, quick, speedup, retime, 8.0 / 5.0)
+    }
+
+    fn synth_v2_reclaim(
+        scale: f64,
+        rci: f64,
+        quick: bool,
+        speedup: f64,
+        retime: f64,
+        crossover: f64,
+    ) -> String {
         let s = |median: f64| -> Json {
             Summary {
                 median,
@@ -586,6 +620,13 @@ mod tests {
                     "events_per_sec_p1024": s(2.0e6 * scale),
                     "retime_speedup": s(retime),
                 }),
+                "reclaim": json!({
+                    "index_pool_ops_per_sec": s(12.0e6 * scale),
+                    "epoch_pool_ops_per_sec": s(8.0e6 * scale),
+                    "hazard_pool_ops_per_sec": s(5.0e6 * scale),
+                    "epoch_vs_index_ratio": s(8.0 / 12.0),
+                    "epoch_vs_hazard_ratio": s(crossover),
+                }),
             }),
         })
         .to_string_pretty()
@@ -616,8 +657,16 @@ mod tests {
         assert!(msg.contains("v2"), "{msg}");
         let doc = BenchDoc::parse(&text).unwrap();
         assert_eq!(doc.version, 2);
-        assert_eq!(doc.metrics.len(), 3 * 3 + 3 + 1 + 3);
+        assert_eq!(doc.metrics.len(), 3 * 3 + 3 + 1 + 3 + 5);
         assert!(doc.metric("reducer_ops_per_sec/ratio").is_some());
+        assert_eq!(
+            doc.metric("reclaim/epoch_vs_hazard_ratio").unwrap().class,
+            MetricClass::Ratio
+        );
+        assert_eq!(
+            doc.metric("reclaim/epoch_pool_ops_per_sec").unwrap().class,
+            MetricClass::Throughput
+        );
         assert_eq!(
             doc.metric("serve/retime_speedup").unwrap().class,
             MetricClass::Ratio
@@ -658,6 +707,47 @@ mod tests {
         let r = compare_texts(&old, &synth_v2(1.0, 0.03, false)).expect("old vs new");
         assert!(!r.configs_match);
         assert!(r.pass(), "regressions: {:?}", r.regressions());
+    }
+
+    #[test]
+    fn pre_reclaim_v2_documents_still_validate_and_compare() {
+        // The shape a pre-reclaim checkout wrote: no `reclaim` group (its
+        // churn knob reuses `sync_ops`, so the config is untouched).
+        let doc = Json::parse(&synth_v2(1.0, 0.03, false)).unwrap();
+        let metrics = Json::Object(
+            doc["metrics"]
+                .as_object()
+                .unwrap()
+                .iter()
+                .filter(|(k, _)| k != "reclaim")
+                .cloned()
+                .collect(),
+        );
+        let old = json!({
+            "schema": "splash4-bench-v2",
+            "config": doc["config"].clone(),
+            "metrics": metrics,
+        })
+        .to_string_pretty();
+        let parsed = BenchDoc::parse(&old).expect("pre-reclaim documents must keep decoding");
+        assert!(parsed.metric("reclaim/epoch_vs_index_ratio").is_none());
+        let r = compare_texts(&old, &old).expect("old self-compare");
+        assert!(r.configs_match && r.pass());
+        // Old baseline vs new candidate: the reclaim metrics are simply not
+        // shared, and everything both sides carry still gates.
+        let r = compare_texts(&old, &synth_v2(1.0, 0.03, false)).expect("old vs new");
+        assert!(r.configs_match, "reclaim adds no shape keys");
+        assert!(r.pass(), "regressions: {:?}", r.regressions());
+    }
+
+    #[test]
+    fn epoch_hazard_crossover_collapse_gates_even_cross_config() {
+        let base = synth_v2(1.0, 0.02, false);
+        // The EBR/HP crossover is host-normalized: an epoch back-end that
+        // drops to hazard-pointer speed must gate even across bench sizes.
+        let cand = synth_v2_reclaim(1.0, 0.02, true, 30.0 / 17.0, 1.6, 1.0);
+        let r = compare_texts(&base, &cand).expect("compares");
+        assert!(r.regressions().contains(&"reclaim/epoch_vs_hazard_ratio"));
     }
 
     #[test]
@@ -717,8 +807,8 @@ mod tests {
         assert!(regs.contains(&"report_wall_secs"));
         // The ratio metrics did not move (both sides scaled), so they pass.
         assert!(!regs.iter().any(|n| n.ends_with("/ratio")));
-        // 11 absolute metrics at 0.5×, 5 ratio metrics at 1.0×: 0.5^(11/16).
-        assert!((r.geomean_speedup - 0.5f64.powf(11.0 / 16.0)).abs() < 1e-9);
+        // 14 absolute metrics at 0.5×, 7 ratio metrics at 1.0×: 0.5^(14/21).
+        assert!((r.geomean_speedup - 0.5f64.powf(14.0 / 21.0)).abs() < 1e-9);
         assert!(r.to_text().contains("FAIL"));
     }
 

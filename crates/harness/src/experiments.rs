@@ -109,7 +109,7 @@ impl ExperimentCtx {
 }
 
 /// All known experiment ids, in presentation order.
-pub const ALL_EXPERIMENTS: [&str; 13] = [
+pub const ALL_EXPERIMENTS: [&str; 14] = [
     "T1-inputs",
     "T2-changes",
     "T3-syncops",
@@ -123,6 +123,7 @@ pub const ALL_EXPERIMENTS: [&str; 13] = [
     "S1-sensitivity",
     "V1-check",
     "V2-kernel-check",
+    "R1-reclaim",
 ];
 
 /// Dispatch an experiment by id.
@@ -152,6 +153,7 @@ pub fn run_experiment(id: &str, ctx: &ExperimentCtx) -> Result<Report, String> {
         "S1-sensitivity" => Ok(s1_sensitivity(ctx)),
         "V1-check" => Ok(v1_check(ctx)),
         "V2-kernel-check" => Ok(v2_kernel_check(ctx)),
+        "R1-reclaim" => Ok(r1_reclaim(ctx)),
         _ => Err(format!(
             "unknown experiment '{id}'; known: {}",
             ALL_EXPERIMENTS.join(", ")
@@ -764,8 +766,36 @@ fn v2_kernel_check(_ctx: &ExperimentCtx) -> Report {
     )
 }
 
+/// `R1-reclaim` (extension): model checking the reclamation layer and the
+/// dynamic task pools built on it.
+///
+/// Shadow replicas of the Michael-Scott queue and the elimination-backoff
+/// exchange run against FIFO/LIFO linearizability specs, and two protocol
+/// scenarios model the reclamation invariants directly: a free is a poison
+/// write, so a premature free is a data race or a poisoned-value invariant
+/// failure, and a retire that never frees fails the leak-at-quiescence
+/// finale. The mutant table seeds exactly those bugs — premature free,
+/// never-retire leak, lost tail-link CAS, duplicate elimination take,
+/// skipped hazard validation — and each must fall with a replayable
+/// counterexample schedule.
+fn r1_reclaim(_ctx: &ExperimentCtx) -> Report {
+    let budget = splash4_check::CheckBudget::default();
+    let rows = splash4_check::check_reclaim(&budget);
+    let muts = splash4_check::check_reclaim_mutants(&budget);
+    check_report(
+        "R1-reclaim",
+        format!(
+            "Model checking memory reclamation and dynamic task pools ({} schedules/scenario minimum, seed {:#x})",
+            budget.min_schedules, budget.seed
+        ),
+        &budget,
+        &rows,
+        &muts,
+    )
+}
+
 /// Render a construct + mutant checker run as a [`Report`] (shared by
-/// `V1-check` and `V2-kernel-check`).
+/// `V1-check`, `V2-kernel-check`, and `R1-reclaim`).
 fn check_report(
     id: &str,
     title: String,
@@ -962,6 +992,34 @@ mod tests {
             );
         }
         for m in r.json["mutants"].as_array().unwrap() {
+            assert_eq!(m["detected"].as_bool(), Some(true), "mutant escaped: {m}");
+            assert_ne!(m["counterexample"].as_str(), Some("-"), "no schedule: {m}");
+        }
+    }
+
+    #[test]
+    fn r1_reclaim_verifies_pools_and_catches_reclamation_mutants() {
+        let r = run_experiment("R1-reclaim", &quick_ctx()).unwrap();
+        let constructs = r.json["constructs"].as_array().unwrap();
+        assert_eq!(
+            constructs.len(),
+            4,
+            "two pools and two reclamation protocols"
+        );
+        for row in constructs {
+            assert_eq!(
+                row["verdict"].as_str().unwrap(),
+                "pass",
+                "reclaim scenario failed: {row}"
+            );
+            assert!(
+                row["schedules"].as_f64().unwrap() >= 1000.0,
+                "too few schedules: {row}"
+            );
+        }
+        let muts = r.json["mutants"].as_array().unwrap();
+        assert_eq!(muts.len(), 5, "the full reclamation mutant catalog");
+        for m in muts {
             assert_eq!(m["detected"].as_bool(), Some(true), "mutant escaped: {m}");
             assert_ne!(m["counterexample"].as_str(), Some("-"), "no schedule: {m}");
         }

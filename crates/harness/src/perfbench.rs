@@ -26,7 +26,8 @@ use crate::registry::BenchmarkId;
 use crate::service::{run_loadgen, ServiceConfig, WorkerPool};
 use crate::tables::{geomean, Table};
 use splash4_kernels::InputClass;
-use splash4_parmacs::{json, Json, PhaseSpec, SyncEnv, SyncMode, Team, WorkModel};
+use splash4_parmacs::{json, Json, PhaseSpec, SyncEnv, SyncMode, TaskQueue, Team, WorkModel};
+use splash4_reclaim::{PoolShape, ReclaimKind, TaskPool};
 use splash4_sim::{engine, model, BarrierKind, MachineParams, Op, Program};
 use std::time::Instant;
 
@@ -153,6 +154,53 @@ fn bench_barriers(cfg: &BenchConfig) -> [(SyncMode, Summary); 2] {
         });
         (mode, secs.to_rate(cfg.barrier_crossings as u64))
     })
+}
+
+/// Dynamic-pool churn throughput: the reclaiming task pools against the
+/// suite's index-based retire-list stack, `cfg.threads` threads each doing
+/// `cfg.sync_ops` push+pop pairs on one shared LIFO pool.
+///
+/// Churn is the shape that separates the designs: every push allocates a
+/// node and every pop retires one, so the reclaiming pools pay their
+/// protocol (epoch announce/advance vs hazard publish/scan) on every
+/// operation while the index-based stack recycles from its retire list for
+/// free — the measured ratios are the price of unbounded producers, and the
+/// epoch-vs-hazard ratio is the paper-familiar EBR/HP crossover under
+/// maximum reclamation pressure.
+fn bench_reclaim(cfg: &BenchConfig) -> ([Summary; 3], Summary, Summary) {
+    let churn = |pool: &dyn TaskQueue<usize>| -> Summary {
+        let secs = time_adaptive(&cfg.measure, || {
+            Team::new(cfg.threads).run(|_| {
+                for i in 0..cfg.sync_ops {
+                    pool.push(i);
+                    let _ = pool.pop();
+                }
+            });
+            // Interleaved pops can transiently leave items behind; drain so
+            // repetitions start from the same (empty) state.
+            while pool.pop().is_some() {}
+        });
+        secs.to_rate((cfg.threads * cfg.sync_ops * 2) as u64)
+    };
+    let env = SyncEnv::new(SyncMode::LockFree, cfg.threads);
+    let index = churn(&*env.task_queue::<usize>());
+    let pool = |kind| {
+        TaskPool::<usize>::new(
+            PoolShape::Lifo,
+            kind,
+            cfg.threads + 1,
+            std::sync::Arc::clone(env.stats()),
+        )
+    };
+    let epoch = churn(&pool(ReclaimKind::Epoch));
+    let hazard = churn(&pool(ReclaimKind::Hazard));
+    let epoch_vs_index_ratio = epoch.ratio_vs(&index);
+    let epoch_vs_hazard_ratio = epoch.ratio_vs(&hazard);
+    (
+        [index, epoch, hazard],
+        epoch_vs_index_ratio,
+        epoch_vs_hazard_ratio,
+    )
 }
 
 /// Deterministic synthetic simulator program: staggered compute, a mix of
@@ -463,6 +511,11 @@ pub fn run_bench(cfg: &BenchConfig) -> (String, Json) {
     let report_wall = bench_report_wall(cfg);
     let (serve_rps, serve_eps, serve_events) = bench_serve_throughput(cfg);
     let (serve_retime, retime_note) = bench_serve_retime(cfg);
+    let (
+        [reclaim_index, reclaim_epoch, reclaim_hazard],
+        epoch_vs_index_ratio,
+        epoch_vs_hazard_ratio,
+    ) = bench_reclaim(cfg);
 
     // Host-normalized lock-free/lock-based ratios, one per primitive group.
     // `SyncMode::ALL` orders lock-based (splash3) first.
@@ -530,6 +583,27 @@ pub fn run_bench(cfg: &BenchConfig) -> (String, Json) {
         format!("heap-ref/winner-tree, p={} (paired)", cfg.serve_sim_cores),
         fmt_summary(&serve_retime, 1.0, "x"),
     ]);
+    for (backend, s) in [
+        ("index retire-list", &reclaim_index),
+        ("epoch pool", &reclaim_epoch),
+        ("hazard pool", &reclaim_hazard),
+    ] {
+        t.row(vec![
+            "reclaim pool churn".into(),
+            backend.into(),
+            fmt_summary(s, 1e6, "Mops/s"),
+        ]);
+    }
+    t.row(vec![
+        "reclaim pool churn".into(),
+        "epoch/index ratio".into(),
+        fmt_summary(&epoch_vs_index_ratio, 1.0, "x"),
+    ]);
+    t.row(vec![
+        "reclaim pool churn".into(),
+        "epoch/hazard ratio".into(),
+        fmt_summary(&epoch_vs_hazard_ratio, 1.0, "x"),
+    ]);
 
     let throughput_geomean = geomean(&[
         reducers[0].1.median,
@@ -542,6 +616,9 @@ pub fn run_bench(cfg: &BenchConfig) -> (String, Json) {
         reference_eps.median,
         serve_rps.median,
         serve_eps.median,
+        reclaim_index.median,
+        reclaim_epoch.median,
+        reclaim_hazard.median,
     ]);
     let ratio_geomean = geomean(&[
         reducer_ratio.median,
@@ -549,6 +626,8 @@ pub fn run_bench(cfg: &BenchConfig) -> (String, Json) {
         barrier_ratio.median,
         speedup.median,
         serve_retime.median,
+        epoch_vs_index_ratio.median,
+        epoch_vs_hazard_ratio.median,
     ]);
 
     let group = |pairs: &[(SyncMode, Summary); 2], ratio: &Summary| {
@@ -594,6 +673,13 @@ pub fn run_bench(cfg: &BenchConfig) -> (String, Json) {
                 "events_per_sec_p1024": serve_eps.to_json(),
                 "retime_speedup": serve_retime.to_json(),
                 "sim_events_per_run": serve_events,
+            }),
+            "reclaim": json!({
+                "index_pool_ops_per_sec": reclaim_index.to_json(),
+                "epoch_pool_ops_per_sec": reclaim_epoch.to_json(),
+                "hazard_pool_ops_per_sec": reclaim_hazard.to_json(),
+                "epoch_vs_index_ratio": epoch_vs_index_ratio.to_json(),
+                "epoch_vs_hazard_ratio": epoch_vs_hazard_ratio.to_json(),
             }),
         }),
         "aggregate": json!({

@@ -24,9 +24,7 @@ use crate::cache::{fnv1a, ResultCache};
 use crate::experiments::{run_experiment, ExperimentCtx};
 use crate::perfbench::synthetic_program;
 use crate::registry::BenchmarkId;
-use splash4_parmacs::{
-    json, Backoff, BoundedMpmcQueue, Json, SyncCounters, SyncEnv, SyncMode, TaskQueue,
-};
+use splash4_parmacs::{json, Backoff, BoundedMpmcQueue, Json, SyncCounters, SyncEnv, SyncMode};
 use splash4_sim::{engine, BarrierKind, MachineParams};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
@@ -551,13 +549,26 @@ impl WorkerPool {
             .or(self.shared.default_timeout_ms)
             .map(|ms| Instant::now() + Duration::from_millis(ms));
         let _ = tx.send(JobEvent::Queued { job: id });
-        self.queue.push(Job {
+        // Bounded admission: when the ring is full, spin with the shared
+        // truncated-exponential `Backoff` (the same discipline the worker
+        // drain loop uses) instead of a bare busy-wait — submissions under
+        // a saturated pool yield the core instead of burning it.
+        let mut job = Job {
             id,
             request,
             deadline,
             events: tx,
-        });
-        Ok((id, rx))
+        };
+        let mut backoff = Backoff::new();
+        loop {
+            match self.queue.try_push(job) {
+                Ok(()) => return Ok((id, rx)),
+                Err(back) => {
+                    job = back;
+                    backoff.snooze();
+                }
+            }
+        }
     }
 
     /// The cache key `request` resolves to in this pool (exposed so tests
@@ -947,6 +958,32 @@ mod tests {
         assert_eq!(profile.cache_misses, 1);
         assert_eq!(profile.cache_hits, 1);
         assert!(profile.queue_ops > 0, "jobs flow through the MPMC queue");
+        pool.shutdown();
+    }
+
+    #[test]
+    fn submissions_back_off_through_a_full_queue_without_loss() {
+        // Capacity 2 (the queue rounds up to a power of two) with a single
+        // worker: a burst of distinct requests must saturate the ring and
+        // force submitters through the backoff path, yet every job completes.
+        let pool = WorkerPool::start(ServiceConfig {
+            workers: 1,
+            cache_capacity: 16,
+            queue_capacity: 2,
+            default_timeout_ms: None,
+            ctx: tiny_ctx(),
+        });
+        let receivers: Vec<_> = (0..12)
+            .map(|seed| pool.submit(sim_request(seed)).unwrap().1)
+            .collect();
+        for rx in receivers {
+            let events = drain_events(&rx);
+            assert!(
+                matches!(events.last(), Some(JobEvent::Done { .. })),
+                "job must complete despite a full queue: {events:?}"
+            );
+        }
+        assert_eq!(pool.submitted(), 12);
         pool.shutdown();
     }
 

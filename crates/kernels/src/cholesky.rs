@@ -14,10 +14,12 @@
 //! shared completed-task counter.
 
 use crate::common::{KernelResult, SharedCounters, SharedSlice};
+use crate::dynpool::dynamic_task_queue;
 use crate::inputs::InputClass;
 use crate::workload::{driver, Workload};
 use splash4_parmacs::SmallRng;
 use splash4_parmacs::{Dispatch, PhaseSpec, SyncEnv, WorkModel};
+use splash4_reclaim::{PoolShape, ReclaimKind};
 use std::collections::HashMap;
 
 /// Cholesky kernel configuration.
@@ -289,7 +291,10 @@ pub fn run(cfg: &CholeskyConfig, env: &SyncEnv) -> KernelResult {
     for (id, t) in tasks.iter().enumerate() {
         ready.store(id, pred_count(t));
     }
-    let queue = env.task_queue::<usize>();
+    // Dynamic pool: the elimination stack keeps the retire-list stack's
+    // LIFO order, but nodes are allocated per push and reclaimed through
+    // epochs, so the ready set is no longer capacity-bound.
+    let queue = dynamic_task_queue::<usize>(env, PoolShape::Lifo, ReclaimKind::Epoch);
     let done = SharedCounters::new(env, 1, 1);
     let checksum = env.reducer_f64();
     let barrier = env.barrier();

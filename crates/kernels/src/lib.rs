@@ -11,6 +11,7 @@
 #![warn(missing_docs)]
 
 pub mod common;
+pub mod dynpool;
 pub mod inputs;
 pub mod workload;
 
@@ -28,5 +29,6 @@ pub mod water_nsq;
 pub mod water_sp;
 
 pub use common::{close, KernelResult, SharedAccum, SharedSlice};
+pub use dynpool::{dynamic_steal_pool, dynamic_task_queue, seeded_task_pool};
 pub use inputs::InputClass;
 pub use workload::{Workload, SUITE};

@@ -17,9 +17,11 @@
 //! energy for the convergence test.
 
 use crate::common::{KernelResult, SharedAccum, SharedSlice};
+use crate::dynpool::dynamic_steal_pool;
 use crate::inputs::InputClass;
 use crate::workload::{driver, Workload};
 use splash4_parmacs::{Dispatch, PhaseSpec, SyncEnv, WorkModel};
+use splash4_reclaim::{PoolShape, ReclaimKind};
 
 /// Radiosity kernel configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -209,8 +211,10 @@ pub fn run(cfg: &RadiosityConfig, env: &SyncEnv) -> KernelResult {
     }
 
     let barrier = env.barrier();
-    // Distributed per-thread task queues with stealing, as in the original.
-    let queue = env.steal_pool::<(u32, u32)>();
+    // Distributed per-thread task queues with stealing, as in the original —
+    // each queue a dynamic hazard-pointer pool, so a visibility batch can
+    // always be enqueued regardless of how far the stealers have drained.
+    let queue = dynamic_steal_pool::<(u32, u32)>(env, PoolShape::Lifo, ReclaimKind::Hazard);
     let mut shooter_store = [0u32; 2]; // [shooter, stop-flag]
     let vshooter = SharedSlice::new(&mut shooter_store);
     let mut iters_store = [0u64; 1];

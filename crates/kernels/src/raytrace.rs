@@ -9,9 +9,11 @@
 //! paper.
 
 use crate::common::{KernelResult, SharedSlice};
+use crate::dynpool::seeded_task_pool;
 use crate::inputs::InputClass;
 use crate::workload::{driver, Workload};
 use splash4_parmacs::{Dispatch, PhaseSpec, SyncEnv, WorkModel};
+use splash4_reclaim::ReclaimKind;
 
 /// Ray-tracer configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -224,7 +226,9 @@ pub fn run(cfg: &RaytraceConfig, env: &SyncEnv) -> KernelResult {
     let spheres = scene();
     let tiles_per_side = size.div_ceil(cfg.tile);
     let tile_list: Vec<u32> = (0..cfg.tiles() as u32).collect();
-    let pool = env.work_pool(tile_list);
+    // Tiles drain from a dynamic hazard-pointer pool (FIFO keeps the scan
+    // order of the original tile dispenser).
+    let pool = seeded_task_pool(env, tile_list, ReclaimKind::Hazard);
     // The Splash RayID global: one claim per primary ray.
     let ray_ids = env.counter("ray-id", 0..size * size);
     let shadow_rays = env.reducer_u64();
@@ -238,7 +242,7 @@ pub fn run(cfg: &RaytraceConfig, env: &SyncEnv) -> KernelResult {
     let elapsed = driver::roi(env, |ctx| {
         let mut stats = RayStats::default();
         let mut local_sum = 0.0;
-        while let Some(tile) = pool.claim() {
+        while let Some(tile) = pool.pop() {
             let tx = (tile as usize % tiles_per_side) * cfg.tile;
             let ty = (tile as usize / tiles_per_side) * cfg.tile;
             for py in ty..(ty + cfg.tile).min(size) {

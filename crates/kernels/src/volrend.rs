@@ -12,9 +12,11 @@
 //! statistics reductions.
 
 use crate::common::{KernelResult, SharedSlice};
+use crate::dynpool::seeded_task_pool;
 use crate::inputs::InputClass;
 use crate::workload::{driver, Workload};
 use splash4_parmacs::{Dispatch, PhaseSpec, SyncEnv, WorkModel};
+use splash4_reclaim::ReclaimKind;
 
 /// Volume renderer configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -90,7 +92,13 @@ pub fn run(cfg: &VolrendConfig, env: &SyncEnv) -> KernelResult {
 
     let barrier = env.barrier();
     let tiles_per_side = img.div_ceil(cfg.tile);
-    let pool = env.work_pool((0..(tiles_per_side * tiles_per_side) as u32).collect::<Vec<_>>());
+    // Tiles drain from a dynamic epoch-reclaimed pool (FIFO keeps the scan
+    // order of the original tile dispenser).
+    let pool = seeded_task_pool(
+        env,
+        (0..(tiles_per_side * tiles_per_side) as u32).collect::<Vec<_>>(),
+        ReclaimKind::Epoch,
+    );
     let rays = env.reducer_u64();
     let samples = env.reducer_u64();
     let terminated = env.reducer_u64();
@@ -129,7 +137,7 @@ pub fn run(cfg: &VolrendConfig, env: &SyncEnv) -> KernelResult {
         barrier.wait(ctx.tid);
         // Phase 3: tiled ray casting.
         let mut local = (0u64, 0u64, 0u64); // rays, samples, terminated
-        while let Some(tile) = pool.claim() {
+        while let Some(tile) = pool.pop() {
             let tx = (tile as usize % tiles_per_side) * cfg.tile;
             let ty = (tile as usize / tiles_per_side) * cfg.tile;
             for py in ty..(ty + cfg.tile).min(img) {

@@ -85,7 +85,10 @@ pub use queue::{
 };
 pub use reduce::{AtomicF64, AtomicReducer, LockedReducer, ReduceF64, ReduceU64};
 pub use rng::SmallRng;
-pub use spec::{CasF64Spec, FlagSpec, SenseBarrierSpec, TicketSpec, TreiberSpec};
+pub use spec::{
+    CasF64Spec, EliminationSpec, EpochSpec, FlagSpec, HazardSpec, MsQueueSpec, SenseBarrierSpec,
+    TicketSpec, TreiberSpec,
+};
 pub use stats::{Counter, SyncCounters, SyncProfile};
 pub use team::{chunk_range, current_tid, Team, TeamCtx};
 pub use trace::{NoopSink, TraceEvent, TraceSink};

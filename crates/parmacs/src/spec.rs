@@ -138,6 +138,148 @@ impl TicketSpec {
     };
 }
 
+/// Orderings used by epoch-based reclamation (`splash4-reclaim`'s
+/// `EpochReclaimer`).
+///
+/// The invariant the orderings protect: a thread that observed epoch `e`
+/// while pinned can still hold references retired in `e` or `e - 1`, so a
+/// retired node is only freed once the global epoch has advanced two steps
+/// past its retirement epoch with every pinned thread having announced the
+/// newer epoch.
+#[derive(Debug, Clone, Copy)]
+pub struct EpochSpec {
+    /// A pinning thread's read of the global epoch. `SeqCst`: the
+    /// announcement below must not appear to predate a concurrent advance.
+    pub global_load: Ordering,
+    /// The pin announcement store into the thread's epoch slot. `SeqCst`
+    /// orders it against the collector's slot scan — with anything weaker
+    /// the scan can miss a freshly pinned thread and free under it.
+    pub announce_store: Ordering,
+    /// The unpin store of the quiescent sentinel.
+    pub quiesce_store: Ordering,
+    /// The collector's scan load of each announcement slot.
+    pub scan_load: Ordering,
+    /// The CAS that advances the global epoch.
+    pub advance_cas_ok: Ordering,
+    /// Failure ordering of the advance CAS (another collector advanced).
+    pub advance_cas_fail: Ordering,
+}
+
+impl EpochSpec {
+    /// The orderings the Splash-4 epoch reclaimer ships with.
+    pub const SPLASH4: EpochSpec = EpochSpec {
+        global_load: Ordering::SeqCst,
+        announce_store: Ordering::SeqCst,
+        quiesce_store: Ordering::Release,
+        scan_load: Ordering::SeqCst,
+        advance_cas_ok: Ordering::AcqRel,
+        advance_cas_fail: Ordering::Acquire,
+    };
+}
+
+/// Orderings used by hazard-pointer reclamation (`splash4-reclaim`'s
+/// `HazardReclaimer`).
+///
+/// The publish/validate pair is the load-bearing half of Michael's protocol:
+/// the hazard store must be globally visible before the pointer is re-read,
+/// or a concurrent scan can miss the hazard and free the protected node.
+#[derive(Debug, Clone, Copy)]
+pub struct HazardSpec {
+    /// The hazard publication store. `SeqCst` — see the struct docs.
+    pub publish_store: Ordering,
+    /// The re-read that validates the protected pointer is still reachable.
+    pub validate_load: Ordering,
+    /// The hazard clear after the protected region ends.
+    pub clear_store: Ordering,
+    /// The reclaimer's scan load of every hazard slot.
+    pub scan_load: Ordering,
+}
+
+impl HazardSpec {
+    /// The orderings the Splash-4 hazard reclaimer ships with.
+    pub const SPLASH4: HazardSpec = HazardSpec {
+        publish_store: Ordering::SeqCst,
+        validate_load: Ordering::SeqCst,
+        clear_store: Ordering::Release,
+        scan_load: Ordering::SeqCst,
+    };
+}
+
+/// Orderings used by the Michael-Scott queue (`splash4-reclaim`'s
+/// `MsQueue`).
+#[derive(Debug, Clone, Copy)]
+pub struct MsQueueSpec {
+    /// Loads of `head`/`tail` at the top of each attempt. `Acquire`: the
+    /// loaded node's `next` field and value cell are dereferenced.
+    pub ptr_load: Ordering,
+    /// Load of a node's `next` pointer.
+    pub next_load: Ordering,
+    /// The enqueue link CAS on `tail.next` — the linearization point of
+    /// `push`; `AcqRel` publishes the new node's fields.
+    pub link_cas_ok: Ordering,
+    /// Failure ordering of the link CAS (the loaded `next` is chased).
+    pub link_cas_fail: Ordering,
+    /// The helping tail-swing CAS (both in push and pop). `Release` would
+    /// suffice for correctness; `AcqRel` keeps the helping path symmetric.
+    pub tail_swing_ok: Ordering,
+    /// Failure ordering of the tail swing.
+    pub tail_swing_fail: Ordering,
+    /// The dequeue head CAS — the linearization point of `pop`.
+    pub head_cas_ok: Ordering,
+    /// Failure ordering of the head CAS.
+    pub head_cas_fail: Ordering,
+}
+
+impl MsQueueSpec {
+    /// The orderings the Splash-4 queue ships with.
+    pub const SPLASH4: MsQueueSpec = MsQueueSpec {
+        ptr_load: Ordering::Acquire,
+        next_load: Ordering::Acquire,
+        link_cas_ok: Ordering::AcqRel,
+        link_cas_fail: Ordering::Acquire,
+        tail_swing_ok: Ordering::AcqRel,
+        tail_swing_fail: Ordering::Relaxed,
+        head_cas_ok: Ordering::AcqRel,
+        head_cas_fail: Ordering::Acquire,
+    };
+}
+
+/// Orderings used by the elimination slot of the elimination-backoff stack
+/// (`splash4-reclaim`'s `EliminationStack`; the base stack reuses
+/// [`TreiberSpec`]).
+#[derive(Debug, Clone, Copy)]
+pub struct EliminationSpec {
+    /// A popper's read of the exchange slot. `Acquire`: a successful take
+    /// dereferences the offered node.
+    pub slot_load: Ordering,
+    /// The pusher's install CAS offering its node.
+    pub install_cas_ok: Ordering,
+    /// Failure ordering of the install CAS.
+    pub install_cas_fail: Ordering,
+    /// The pusher's withdraw CAS (slot back to empty). Failure means a
+    /// popper took the node — the exchange linearizes there.
+    pub withdraw_cas_ok: Ordering,
+    /// Failure ordering of the withdraw CAS.
+    pub withdraw_cas_fail: Ordering,
+    /// The popper's take CAS claiming the offered node.
+    pub take_cas_ok: Ordering,
+    /// Failure ordering of the take CAS.
+    pub take_cas_fail: Ordering,
+}
+
+impl EliminationSpec {
+    /// The orderings the Splash-4 elimination stack ships with.
+    pub const SPLASH4: EliminationSpec = EliminationSpec {
+        slot_load: Ordering::Acquire,
+        install_cas_ok: Ordering::AcqRel,
+        install_cas_fail: Ordering::Acquire,
+        withdraw_cas_ok: Ordering::AcqRel,
+        withdraw_cas_fail: Ordering::Acquire,
+        take_cas_ok: Ordering::AcqRel,
+        take_cas_fail: Ordering::Acquire,
+    };
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -153,5 +295,26 @@ mod tests {
         assert_eq!(FlagSpec::SPLASH4.wait_load, Ordering::Acquire);
         assert_eq!(SenseBarrierSpec::SPLASH4.generation_bump, Ordering::AcqRel);
         assert_eq!(CasF64Spec::SPLASH4.cas_ok, Ordering::AcqRel);
+    }
+
+    #[test]
+    fn shipped_reclaim_specs_keep_publication_and_scan_edges() {
+        // The reclamation protocols are only safe with sequentially
+        // consistent publish/scan pairs (Dekker-style visibility): a pin
+        // announcement or hazard publication that can be reordered past the
+        // protected load is exactly the premature-free mutant the checker
+        // catches.
+        assert_eq!(EpochSpec::SPLASH4.announce_store, Ordering::SeqCst);
+        assert_eq!(EpochSpec::SPLASH4.scan_load, Ordering::SeqCst);
+        assert_eq!(HazardSpec::SPLASH4.publish_store, Ordering::SeqCst);
+        assert_eq!(HazardSpec::SPLASH4.validate_load, Ordering::SeqCst);
+        assert_eq!(HazardSpec::SPLASH4.scan_load, Ordering::SeqCst);
+        // Queue/stack nodes carry plain-data payloads: the linearizing CAS
+        // must publish them and the pointer loads must acquire them.
+        assert_eq!(MsQueueSpec::SPLASH4.link_cas_ok, Ordering::AcqRel);
+        assert_eq!(MsQueueSpec::SPLASH4.ptr_load, Ordering::Acquire);
+        assert_eq!(MsQueueSpec::SPLASH4.next_load, Ordering::Acquire);
+        assert_eq!(EliminationSpec::SPLASH4.install_cas_ok, Ordering::AcqRel);
+        assert_eq!(EliminationSpec::SPLASH4.take_cas_ok, Ordering::AcqRel);
     }
 }

@@ -74,15 +74,23 @@ pub enum Counter {
     CacheHits = 12,
     /// Result-cache lookups that triggered a fresh computation.
     CacheMisses = 13,
+    /// Result-cache entries dropped by the LRU bound.
+    CacheEvictions = 14,
+    /// Nodes handed to a reclaimer for deferred destruction.
+    ReclaimRetires = 15,
+    /// Reclamation scans (epoch advance attempts / hazard sweeps).
+    ReclaimScans = 16,
+    /// Retired nodes actually freed by a reclaimer.
+    ReclaimFrees = 17,
 }
 
 /// Number of distinct counters per lane.
-pub const NUM_COUNTERS: usize = 14;
+pub const NUM_COUNTERS: usize = 18;
 
-/// One striping lane: all fourteen counters for one thread, padded so
-/// adjacent lanes never share a cache line. 14 × 8 = 112 bytes of payload
-/// fits one 128-byte padding granule, so a lane costs exactly one aligned
-/// slot.
+/// One striping lane: all eighteen counters for one thread, padded so
+/// adjacent lanes never share a cache line. 18 × 8 = 144 bytes of payload
+/// spans two 128-byte padding granules; the padding rounds the lane up so
+/// adjacent lanes still start on their own aligned slot.
 type Lane = CachePadded<[AtomicU64; NUM_COUNTERS]>;
 
 fn zero_lane() -> Lane {
@@ -225,6 +233,10 @@ impl SyncCounters {
             cas_failures: self.fold(Counter::CasFailures),
             cache_hits: self.fold(Counter::CacheHits),
             cache_misses: self.fold(Counter::CacheMisses),
+            cache_evictions: self.fold(Counter::CacheEvictions),
+            reclaim_retires: self.fold(Counter::ReclaimRetires),
+            reclaim_scans: self.fold(Counter::ReclaimScans),
+            reclaim_frees: self.fold(Counter::ReclaimFrees),
         }
     }
 }
@@ -251,6 +263,10 @@ pub struct SyncProfile {
     pub cas_failures: u64,
     pub cache_hits: u64,
     pub cache_misses: u64,
+    pub cache_evictions: u64,
+    pub reclaim_retires: u64,
+    pub reclaim_scans: u64,
+    pub reclaim_frees: u64,
 }
 
 impl SyncProfile {
@@ -272,6 +288,10 @@ impl SyncProfile {
             cas_failures: self.cas_failures + other.cas_failures,
             cache_hits: self.cache_hits + other.cache_hits,
             cache_misses: self.cache_misses + other.cache_misses,
+            cache_evictions: self.cache_evictions + other.cache_evictions,
+            reclaim_retires: self.reclaim_retires + other.reclaim_retires,
+            reclaim_scans: self.reclaim_scans + other.reclaim_scans,
+            reclaim_frees: self.reclaim_frees + other.reclaim_frees,
         }
     }
 
@@ -293,13 +313,18 @@ impl SyncProfile {
             cas_failures: self.cas_failures.saturating_sub(other.cas_failures),
             cache_hits: self.cache_hits.saturating_sub(other.cache_hits),
             cache_misses: self.cache_misses.saturating_sub(other.cache_misses),
+            cache_evictions: self.cache_evictions.saturating_sub(other.cache_evictions),
+            reclaim_retires: self.reclaim_retires.saturating_sub(other.reclaim_retires),
+            reclaim_scans: self.reclaim_scans.saturating_sub(other.reclaim_scans),
+            reclaim_frees: self.reclaim_frees.saturating_sub(other.reclaim_frees),
         }
     }
 
     /// Total dynamic synchronization operations (all classes, excluding the
-    /// nanosecond fields and the cache-outcome tallies — a cache hit or miss
-    /// is a service-layer event, not a kernel sync op, so the paper's
-    /// `T3-syncops` totals are unaffected by serving).
+    /// nanosecond fields, the cache-outcome tallies, and the reclamation
+    /// bookkeeping — a cache hit or a deferred free is a runtime-service
+    /// event, not an algorithmic sync op, so the paper's `T3-syncops` totals
+    /// are unaffected by serving or by which reclaimer backs a pool).
     pub fn total_ops(&self) -> u64 {
         self.lock_acquires
             + self.barrier_waits
@@ -362,6 +387,22 @@ impl ToJson for SyncProfile {
             (
                 "cache_misses".to_string(),
                 Json::Num(self.cache_misses as f64),
+            ),
+            (
+                "cache_evictions".to_string(),
+                Json::Num(self.cache_evictions as f64),
+            ),
+            (
+                "reclaim_retires".to_string(),
+                Json::Num(self.reclaim_retires as f64),
+            ),
+            (
+                "reclaim_scans".to_string(),
+                Json::Num(self.reclaim_scans as f64),
+            ),
+            (
+                "reclaim_frees".to_string(),
+                Json::Num(self.reclaim_frees as f64),
             ),
         ])
     }
@@ -447,6 +488,26 @@ mod tests {
         let m = p.merged(&p);
         assert_eq!((m.cache_hits, m.cache_misses), (4, 2));
         assert_eq!(m.delta(&p).cache_hits, 2);
+    }
+
+    #[test]
+    fn reclaim_counters_fold_but_stay_out_of_sync_totals() {
+        let c = SyncCounters::new();
+        c.add(Counter::ReclaimRetires, 5);
+        c.bump(Counter::ReclaimScans);
+        c.add(Counter::ReclaimFrees, 4);
+        c.bump(Counter::CacheEvictions);
+        let p = c.snapshot();
+        assert_eq!(p.reclaim_retires, 5);
+        assert_eq!(p.reclaim_scans, 1);
+        assert_eq!(p.reclaim_frees, 4);
+        assert_eq!(p.cache_evictions, 1);
+        // Reclamation bookkeeping is runtime-service work, not a kernel
+        // sync op: T3-syncops totals must not move with the reclaimer.
+        assert_eq!(p.total_ops(), 0);
+        let m = p.merged(&p);
+        assert_eq!((m.reclaim_retires, m.reclaim_frees), (10, 8));
+        assert_eq!(m.delta(&p).reclaim_scans, 1);
     }
 
     #[test]

@@ -1,0 +1,262 @@
+//! Epoch-based reclamation.
+//!
+//! The classic three-phase scheme: every thread announces the global epoch
+//! in its own padded slot while inside a protected region and a quiescent
+//! sentinel outside it; retired nodes land in the retiring slot's
+//! defer-destroy bag tagged with the epoch of retirement; when a bag grows
+//! past the retire threshold the owner scans all announcements and, if
+//! every active thread has caught up to the global epoch, advances it.
+//! A node retired in epoch `e` is destroyed once the global epoch reaches
+//! `e + 2`: two advances prove every thread pinned during `e` has left its
+//! protected region at least once, so no reference can survive.
+//!
+//! All orderings come from [`EpochSpec`]; the `splash4-check` shadow
+//! replica (`R1-reclaim`) explores the same state machine and catches the
+//! premature-free and never-retire mutants.
+
+use crate::registry::{self, SlotHolder};
+use crate::{ReclaimStats, Reclaimer, Retired, StatCells};
+use splash4_parmacs::{CachePadded, Counter, EpochSpec, SyncCounters};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Announcement value of a thread outside any protected region.
+const QUIESCENT: usize = usize::MAX;
+
+/// Retire-bag length that triggers a collection attempt.
+const RETIRE_THRESHOLD: usize = 64;
+
+/// One thread's record: the epoch announcement plus the defer-destroy bag.
+struct EpochSlot {
+    announce: CachePadded<AtomicUsize>,
+    /// `std::sync::Mutex`, deliberately uninstrumented: reclamation
+    /// bookkeeping must not show up as `lock_acquires` in kernel profiles.
+    /// Contention is nil — only the owning thread pushes; other threads
+    /// touch foreign bags only in [`EpochReclaimer::flush`].
+    bag: Mutex<Vec<Retired>>,
+}
+
+struct Inner {
+    global: CachePadded<AtomicUsize>,
+    slots: Box<[EpochSlot]>,
+    in_use: Box<[AtomicBool]>,
+    spec: EpochSpec,
+    stats: Arc<SyncCounters>,
+    local: StatCells,
+}
+
+impl SlotHolder for Inner {
+    fn vacate(&self, slot: usize) {
+        // The bag stays: a later thread leasing this slot (or a flush)
+        // inherits and eventually destroys its contents.
+        self.slots[slot]
+            .announce
+            .store(QUIESCENT, Ordering::Release);
+        self.in_use[slot].store(false, Ordering::Release);
+    }
+}
+
+/// Epoch-based reclaimer (see the module docs for the protocol).
+pub struct EpochReclaimer {
+    registry_id: usize,
+    inner: Arc<Inner>,
+    holder: Arc<dyn SlotHolder>,
+}
+
+impl EpochReclaimer {
+    /// Reclaimer with room for `capacity` concurrently live threads,
+    /// shipping [`EpochSpec::SPLASH4`] orderings and reporting into
+    /// `stats`.
+    pub fn new(capacity: usize, stats: Arc<SyncCounters>) -> EpochReclaimer {
+        EpochReclaimer::with_spec(capacity, stats, EpochSpec::SPLASH4)
+    }
+
+    /// Reclaimer with explicit orderings (ordering-sensitivity tests).
+    pub fn with_spec(capacity: usize, stats: Arc<SyncCounters>, spec: EpochSpec) -> EpochReclaimer {
+        let capacity = capacity.max(1);
+        let inner = Arc::new(Inner {
+            global: CachePadded::new(AtomicUsize::new(0)),
+            slots: (0..capacity)
+                .map(|_| EpochSlot {
+                    announce: CachePadded::new(AtomicUsize::new(QUIESCENT)),
+                    bag: Mutex::new(Vec::new()),
+                })
+                .collect(),
+            in_use: (0..capacity).map(|_| AtomicBool::new(false)).collect(),
+            spec,
+            stats,
+            local: StatCells::default(),
+        });
+        EpochReclaimer {
+            registry_id: registry::new_registry_id(),
+            holder: inner.clone(),
+            inner,
+        }
+    }
+
+    fn slot(&self) -> usize {
+        registry::thread_slot(self.registry_id, &self.holder, &self.inner.in_use)
+    }
+
+    /// Try to advance the global epoch; returns the (possibly new) epoch.
+    ///
+    /// Advance is legal only when every *active* announcement equals the
+    /// current global epoch — a thread still announcing an older epoch may
+    /// hold references retired under it.
+    fn try_advance(&self) -> usize {
+        let s = self.inner.spec;
+        let e = self.inner.global.load(s.global_load);
+        for slot in self.inner.slots.iter() {
+            let a = slot.announce.load(s.scan_load);
+            if a != QUIESCENT && a != e {
+                return e;
+            }
+        }
+        match self
+            .inner
+            .global
+            .compare_exchange(e, e + 1, s.advance_cas_ok, s.advance_cas_fail)
+        {
+            Ok(_) => e + 1,
+            Err(now) => now,
+        }
+    }
+
+    /// Destroy `slot`'s bag entries old enough for the two-epoch rule.
+    fn collect(&self, slot: usize) {
+        self.inner.local.scans.fetch_add(1, Ordering::Relaxed);
+        self.inner.stats.bump(Counter::ReclaimScans);
+        let global = self.try_advance();
+        let mut bag = self.inner.slots[slot]
+            .bag
+            .lock()
+            .expect("epoch bag poisoned");
+        let mut freed = 0u64;
+        bag.retain(|r| {
+            if r.epoch.saturating_add(2) <= global {
+                // SAFETY: retired under epoch `r.epoch`; the global epoch
+                // has advanced twice since, so every thread pinned at
+                // retirement has since quiesced — no reference survives.
+                unsafe { std::ptr::read(r).free() };
+                freed += 1;
+                false
+            } else {
+                true
+            }
+        });
+        drop(bag);
+        if freed > 0 {
+            self.inner.local.frees.fetch_add(freed, Ordering::Relaxed);
+            self.inner.stats.add(Counter::ReclaimFrees, freed);
+        }
+    }
+}
+
+impl Reclaimer for EpochReclaimer {
+    fn enter(&self) -> usize {
+        let slot = self.slot();
+        let s = self.inner.spec;
+        let announce = &self.inner.slots[slot].announce;
+        // Announce-and-revalidate: settle only once the announced epoch is
+        // the current global epoch, so the collector's scan can never
+        // observe this thread behind an epoch it missed.
+        loop {
+            let e = self.inner.global.load(s.global_load);
+            announce.store(e, s.announce_store);
+            if self.inner.global.load(s.global_load) == e {
+                return slot;
+            }
+        }
+    }
+
+    fn exit(&self, slot: usize) {
+        let s = self.inner.spec;
+        self.inner.slots[slot]
+            .announce
+            .store(QUIESCENT, s.quiesce_store);
+    }
+
+    fn protect(&self, _slot: usize, _hp: usize, _ptr: *mut u8) {
+        // Epoch reclamation protects whole regions, not single pointers.
+    }
+
+    unsafe fn retire(&self, slot: usize, ptr: *mut u8, drop_fn: unsafe fn(*mut u8)) {
+        let epoch = self.inner.global.load(self.inner.spec.global_load);
+        self.inner.local.retires.fetch_add(1, Ordering::Relaxed);
+        self.inner.stats.bump(Counter::ReclaimRetires);
+        let pending = {
+            let mut bag = self.inner.slots[slot]
+                .bag
+                .lock()
+                .expect("epoch bag poisoned");
+            bag.push(Retired {
+                ptr,
+                drop_fn,
+                epoch,
+            });
+            bag.len()
+        };
+        if pending >= RETIRE_THRESHOLD {
+            self.collect(slot);
+        }
+    }
+
+    fn flush(&self) {
+        // Advance as far as the active announcements allow, then apply the
+        // two-epoch rule to every bag (not just the caller's). At
+        // quiescence two advances always succeed, so everything frees.
+        self.inner.local.scans.fetch_add(1, Ordering::Relaxed);
+        self.inner.stats.bump(Counter::ReclaimScans);
+        let mut global = self.try_advance();
+        global = self.try_advance().max(global);
+        let mut freed = 0u64;
+        for slot in self.inner.slots.iter() {
+            let mut bag = slot.bag.lock().expect("epoch bag poisoned");
+            bag.retain(|r| {
+                if r.epoch.saturating_add(2) <= global {
+                    // SAFETY: same two-epoch argument as `collect`.
+                    unsafe { std::ptr::read(r).free() };
+                    freed += 1;
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        if freed > 0 {
+            self.inner.local.frees.fetch_add(freed, Ordering::Relaxed);
+            self.inner.stats.add(Counter::ReclaimFrees, freed);
+        }
+    }
+
+    fn reclaim_stats(&self) -> ReclaimStats {
+        self.inner.local.snapshot()
+    }
+}
+
+impl Drop for EpochReclaimer {
+    fn drop(&mut self) {
+        // Last owner going away: nothing can hold protected references, so
+        // destroy every remaining bag entry unconditionally.
+        for slot in self.inner.slots.iter() {
+            let mut bag = slot.bag.lock().expect("epoch bag poisoned");
+            for r in bag.drain(..) {
+                self.inner.local.frees.fetch_add(1, Ordering::Relaxed);
+                self.inner.stats.bump(Counter::ReclaimFrees);
+                // SAFETY: `&mut self` on the sole owner — quiescent.
+                unsafe { r.free() };
+            }
+        }
+    }
+}
+
+impl fmt::Debug for EpochReclaimer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EpochReclaimer")
+            .field("capacity", &self.inner.slots.len())
+            .field("global_epoch", &self.inner.global.load(Ordering::Relaxed))
+            .field("stats", &self.reclaim_stats())
+            .finish()
+    }
+}

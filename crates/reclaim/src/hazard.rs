@@ -1,0 +1,225 @@
+//! Hazard-pointer reclamation (Michael, 2004).
+//!
+//! Every thread owns a row of `HAZARDS_PER_SLOT` single-writer hazard
+//! records. Before dereferencing a shared pointer the thread *publishes* it
+//! into a record and then **re-validates** that the pointer is still
+//! reachable from the structure; only a validated publication protects.
+//! Retired nodes accumulate in the retiring slot's bag; past the retire
+//! threshold the owner *scans* every record and destroys exactly the
+//! retired nodes no record names.
+//!
+//! Memory bound: at most `slots × HAZARDS_PER_SLOT` nodes can be protected
+//! at once, so each bag never holds more than threshold + that many nodes —
+//! unlike epochs, a single stalled thread cannot delay unrelated frees.
+//!
+//! All orderings come from [`HazardSpec`]; the publish store and the scan
+//! load are both SeqCst because the protocol is a Dekker-style store/load
+//! handshake (publisher stores hazard then re-reads the structure; scanner
+//! "stores" the unlink first — the linearizing CAS — then reads hazards).
+
+use crate::registry::{self, SlotHolder};
+use crate::{ReclaimStats, Reclaimer, Retired, StatCells};
+use splash4_parmacs::{CachePadded, Counter, HazardSpec, SyncCounters};
+use std::fmt;
+use std::ptr;
+use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Hazard records per thread slot. Two suffice for every structure in this
+/// crate (Michael-Scott dequeue protects head and next simultaneously).
+pub const HAZARDS_PER_SLOT: usize = 2;
+
+/// Retire-bag length that triggers a scan.
+const RETIRE_THRESHOLD: usize = 64;
+
+/// One thread's hazard row plus its retired bag.
+struct HazardSlot {
+    hazards: CachePadded<[AtomicPtr<u8>; HAZARDS_PER_SLOT]>,
+    /// Uninstrumented `std::sync::Mutex` for the same reason as the epoch
+    /// bags: reclamation bookkeeping must not perturb kernel lock profiles,
+    /// and only the owning thread pushes.
+    bag: Mutex<Vec<Retired>>,
+}
+
+struct Inner {
+    slots: Box<[HazardSlot]>,
+    in_use: Box<[AtomicBool]>,
+    spec: HazardSpec,
+    stats: Arc<SyncCounters>,
+    local: StatCells,
+}
+
+impl SlotHolder for Inner {
+    fn vacate(&self, slot: usize) {
+        // Clear the departing thread's hazards so they stop pinning nodes;
+        // its bag stays for the next lease-holder (or `flush`) to drain.
+        for hp in self.slots[slot].hazards.iter() {
+            hp.store(ptr::null_mut(), Ordering::Release);
+        }
+        self.in_use[slot].store(false, Ordering::Release);
+    }
+}
+
+/// Hazard-pointer reclaimer (see the module docs for the protocol).
+pub struct HazardReclaimer {
+    registry_id: usize,
+    inner: Arc<Inner>,
+    holder: Arc<dyn SlotHolder>,
+}
+
+impl HazardReclaimer {
+    /// Reclaimer with room for `capacity` concurrently live threads,
+    /// shipping [`HazardSpec::SPLASH4`] orderings and reporting into
+    /// `stats`.
+    pub fn new(capacity: usize, stats: Arc<SyncCounters>) -> HazardReclaimer {
+        HazardReclaimer::with_spec(capacity, stats, HazardSpec::SPLASH4)
+    }
+
+    /// Reclaimer with explicit orderings (ordering-sensitivity tests).
+    pub fn with_spec(
+        capacity: usize,
+        stats: Arc<SyncCounters>,
+        spec: HazardSpec,
+    ) -> HazardReclaimer {
+        let capacity = capacity.max(1);
+        let inner = Arc::new(Inner {
+            slots: (0..capacity)
+                .map(|_| HazardSlot {
+                    hazards: CachePadded::new(std::array::from_fn(|_| {
+                        AtomicPtr::new(ptr::null_mut())
+                    })),
+                    bag: Mutex::new(Vec::new()),
+                })
+                .collect(),
+            in_use: (0..capacity).map(|_| AtomicBool::new(false)).collect(),
+            spec,
+            stats,
+            local: StatCells::default(),
+        });
+        HazardReclaimer {
+            registry_id: registry::new_registry_id(),
+            holder: inner.clone(),
+            inner,
+        }
+    }
+
+    fn slot(&self) -> usize {
+        registry::thread_slot(self.registry_id, &self.holder, &self.inner.in_use)
+    }
+
+    /// Scan every hazard record and destroy `slot`'s unprotected retirees.
+    fn scan(&self, slot: usize) {
+        self.inner.local.scans.fetch_add(1, Ordering::Relaxed);
+        self.inner.stats.bump(Counter::ReclaimScans);
+        let s = self.inner.spec;
+        let mut protected: Vec<*mut u8> =
+            Vec::with_capacity(self.inner.slots.len() * HAZARDS_PER_SLOT);
+        for row in self.inner.slots.iter() {
+            for hp in row.hazards.iter() {
+                let p = hp.load(s.scan_load);
+                if !p.is_null() {
+                    protected.push(p);
+                }
+            }
+        }
+        protected.sort_unstable();
+        let mut bag = self.inner.slots[slot]
+            .bag
+            .lock()
+            .expect("hazard bag poisoned");
+        let mut freed = 0u64;
+        bag.retain(|r| {
+            if protected.binary_search(&r.ptr).is_ok() {
+                true
+            } else {
+                // SAFETY: `r.ptr` was unlinked before retirement and no
+                // hazard record named it *after* the unlink became visible
+                // (SeqCst store/load pair), so no thread can still hold a
+                // validated reference.
+                unsafe { std::ptr::read(r).free() };
+                freed += 1;
+                false
+            }
+        });
+        drop(bag);
+        if freed > 0 {
+            self.inner.local.frees.fetch_add(freed, Ordering::Relaxed);
+            self.inner.stats.add(Counter::ReclaimFrees, freed);
+        }
+    }
+}
+
+impl Reclaimer for HazardReclaimer {
+    fn enter(&self) -> usize {
+        self.slot()
+    }
+
+    fn exit(&self, slot: usize) {
+        let s = self.inner.spec;
+        for hp in self.inner.slots[slot].hazards.iter() {
+            hp.store(ptr::null_mut(), s.clear_store);
+        }
+    }
+
+    fn protect(&self, slot: usize, hp: usize, ptr: *mut u8) {
+        let s = self.inner.spec;
+        self.inner.slots[slot].hazards[hp].store(ptr, s.publish_store);
+    }
+
+    unsafe fn retire(&self, slot: usize, ptr: *mut u8, drop_fn: unsafe fn(*mut u8)) {
+        self.inner.local.retires.fetch_add(1, Ordering::Relaxed);
+        self.inner.stats.bump(Counter::ReclaimRetires);
+        let pending = {
+            let mut bag = self.inner.slots[slot]
+                .bag
+                .lock()
+                .expect("hazard bag poisoned");
+            bag.push(Retired {
+                ptr,
+                drop_fn,
+                epoch: 0,
+            });
+            bag.len()
+        };
+        if pending >= RETIRE_THRESHOLD {
+            self.scan(slot);
+        }
+    }
+
+    fn flush(&self) {
+        // One scan per slot drains every bag of its unprotected entries; at
+        // quiescence all hazards are null, so everything frees.
+        for slot in 0..self.inner.slots.len() {
+            self.scan(slot);
+        }
+    }
+
+    fn reclaim_stats(&self) -> ReclaimStats {
+        self.inner.local.snapshot()
+    }
+}
+
+impl Drop for HazardReclaimer {
+    fn drop(&mut self) {
+        // Last owner: no thread can hold a validated reference anymore.
+        for slot in self.inner.slots.iter() {
+            let mut bag = slot.bag.lock().expect("hazard bag poisoned");
+            for r in bag.drain(..) {
+                self.inner.local.frees.fetch_add(1, Ordering::Relaxed);
+                self.inner.stats.bump(Counter::ReclaimFrees);
+                // SAFETY: `&mut self` on the sole owner — quiescent.
+                unsafe { r.free() };
+            }
+        }
+    }
+}
+
+impl fmt::Debug for HazardReclaimer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HazardReclaimer")
+            .field("capacity", &self.inner.slots.len())
+            .field("hazards_per_slot", &HAZARDS_PER_SLOT)
+            .field("stats", &self.reclaim_stats())
+            .finish()
+    }
+}

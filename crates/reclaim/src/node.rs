@@ -1,0 +1,44 @@
+//! Heap node shared by the dynamic pools.
+
+use std::cell::UnsafeCell;
+use std::ptr;
+use std::sync::atomic::AtomicPtr;
+
+/// One linked node. `value` is `None` for queue dummies and for nodes whose
+/// payload was already taken by the unique dequeue/pop winner.
+pub(crate) struct Node<T> {
+    pub(crate) value: UnsafeCell<Option<T>>,
+    pub(crate) next: AtomicPtr<Node<T>>,
+}
+
+impl<T> Node<T> {
+    /// Allocate a node holding `value`; the caller owns the raw pointer.
+    pub(crate) fn boxed(value: Option<T>) -> *mut Node<T> {
+        Box::into_raw(Box::new(Node {
+            value: UnsafeCell::new(value),
+            next: AtomicPtr::new(ptr::null_mut()),
+        }))
+    }
+
+    /// Type-erased destructor handed to [`Reclaimer::retire`].
+    ///
+    /// # Safety
+    /// `p` must be an owned `Box<Node<T>>` allocation, destroyed only once.
+    ///
+    /// [`Reclaimer::retire`]: crate::Reclaimer::retire
+    pub(crate) unsafe fn drop_erased(p: *mut u8) {
+        // SAFETY: forwarded contract — `p` came from `Node::<T>::boxed`.
+        drop(unsafe { Box::from_raw(p.cast::<Node<T>>()) });
+    }
+
+    /// Take the payload out of `p`.
+    ///
+    /// # Safety
+    /// The caller must hold the unique take right (it won the linearizing
+    /// CAS) and `p` must be protected from destruction.
+    pub(crate) unsafe fn take_value(p: *mut Node<T>) -> Option<T> {
+        // SAFETY: unique take right per the contract; no other thread
+        // accesses `value` concurrently.
+        unsafe { (*(*p).value.get()).take() }
+    }
+}

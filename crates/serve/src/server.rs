@@ -265,6 +265,7 @@ fn handle_connection(stream: TcpStream, shared: &ServerShared) -> io::Result<()>
                         "submitted": shared.pool.submitted(),
                         "cache_hits": p.cache_hits,
                         "cache_misses": p.cache_misses,
+                        "cache_evictions": p.cache_evictions,
                         "queue_ops": p.queue_ops,
                         "atomic_rmws": p.atomic_rmws,
                     }),

@@ -161,6 +161,39 @@ fn duplicate_submission_is_served_from_cache() {
             >= 1
     );
     assert!(stats.get("queue_ops").and_then(Json::as_u64).unwrap_or(0) > 0);
+    // The cached pair fits well within capacity: the eviction counter is
+    // exposed and still zero.
+    assert_eq!(stats.get("cache_evictions").and_then(Json::as_u64), Some(0));
+}
+
+#[test]
+fn stats_report_evictions_once_the_cache_overflows() {
+    // Capacity 2: a burst of distinct sim configs must evict LRU entries,
+    // and the stats op reports exactly how many.
+    let server = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        service: ServiceConfig {
+            workers: 2,
+            cache_capacity: 2,
+            queue_capacity: 64,
+            default_timeout_ms: None,
+            ctx: tiny_ctx(),
+        },
+    })
+    .expect("start server");
+    let mut client = Client::connect(&server.local_addr().to_string()).expect("connect");
+    for seed in 0..5 {
+        let (cached, _) = done_of(&client.submit(&sim_request(seed)).expect("submit"));
+        assert!(!cached, "distinct configs never hit");
+    }
+    let stats = client.stats().expect("stats");
+    // 5 inserts through a 2-entry cache leave 2 resident: 3 evictions.
+    assert_eq!(
+        stats.get("cache_evictions").and_then(Json::as_u64),
+        Some(3),
+        "stats: {stats:?}"
+    );
+    assert_eq!(stats.get("cache_misses").and_then(Json::as_u64), Some(5));
 }
 
 #[test]

@@ -23,12 +23,14 @@ fn every_experiment_renders() {
         assert!(r.text.lines().count() >= 3, "{id} rendered too little");
         assert!(!r.json.is_null());
         // Every benchmark appears in every per-benchmark artifact
-        // (T1 lists inputs; S1 aggregates to geomeans only; V1 and
-        // V2-kernel-check are per-construct tables, not per-benchmark).
+        // (T1 lists inputs; S1 aggregates to geomeans only; V1,
+        // V2-kernel-check, and R1-reclaim are per-construct tables, not
+        // per-benchmark).
         if id != "T1-inputs"
             && id != "S1-sensitivity"
             && id != "V1-check"
             && id != "V2-kernel-check"
+            && id != "R1-reclaim"
         {
             for b in Benchmark::ALL {
                 assert!(r.text.contains(b.name()), "{id} missing row for {b}");
