@@ -27,6 +27,10 @@
 //!   (Wing & Gong search with memoization).
 //! * [`suite`] packages one scenario per construct class into the
 //!   `V1-check` experiment table, plus the mutant catalog.
+//! * [`combining`] shadows the flat-combining core behind the third sync
+//!   generation (`splash4x`), modelling its record arguments and results as
+//!   plain data so any weakening of the publish/complete edges surfaces as
+//!   a data race — the `C1-combining` experiment table.
 //! * [`kernel`] lifts the same machinery to real kernel bodies at
 //!   [`splash4_kernels::InputClass::Check`] scale — radix's fetch-add rank
 //!   dispensing and water-nsquared's CAS-loop energy reduction — for the
@@ -46,6 +50,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod clock;
+pub mod combining;
 pub mod engine;
 pub mod explore;
 pub mod kernel;
@@ -55,6 +60,12 @@ pub mod shadow;
 pub mod suite;
 
 pub use clock::VClock;
+pub use combining::{
+    check_combining, check_combining_mutants, combining_barrier_scenario,
+    combining_getsub_scenario, combining_mutants, combining_reduce_f64_scenario,
+    combining_reduce_scenario, combining_ticket_scenario, ShadowCombiningBarrier,
+    ShadowCombiningCounter, ShadowCombiningDispenser, ShadowCombiningF64, ShadowCombiningReducer,
+};
 pub use engine::{Failure, Peek, Sandbox, ThreadCtx};
 pub use explore::{explore, replay, Budget, CounterExample, ExploreReport, Replayed, Schedule};
 pub use kernel::{

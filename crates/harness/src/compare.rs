@@ -112,8 +112,14 @@ const BACKEND_METRICS: [&str; 3] = [
     "barrier_crossings_per_sec",
 ];
 
-/// The two sync back-end labels used as JSON keys.
+/// The sync back-end labels every document must carry as JSON keys. The
+/// third generation (`splash4x`, flat combining) arrived later and decodes
+/// optionally — see [`OPTIONAL_BACKEND`].
 const BACKENDS: [&str; 2] = ["splash3", "splash4"];
+
+/// Back-end key that is decoded when present but not required, so documents
+/// written before the combining generation keep validating and comparing.
+const OPTIONAL_BACKEND: &str = "splash4x";
 
 /// Config keys that define the workload shape; absolute metrics are only
 /// gateable when these match between baseline and candidate. The two serve
@@ -192,6 +198,15 @@ impl BenchDoc {
                     name,
                     class: MetricClass::Throughput,
                     summary: s,
+                });
+            }
+            // The combining generation, when the document carries it.
+            if !g[OPTIONAL_BACKEND].is_null() {
+                let name = format!("{group}/{OPTIONAL_BACKEND}");
+                metrics.push(Metric {
+                    name: name.clone(),
+                    class: MetricClass::Throughput,
+                    summary: read(&g[OPTIONAL_BACKEND], &name)?,
                 });
             }
             // Lock-free over lock-based: the host-normalized form of the
@@ -274,6 +289,29 @@ impl BenchDoc {
             }
         } else if !reclaim.is_null() {
             return Err("`reclaim` metric group must be an object when present".into());
+        }
+
+        // The combining group (third-generation flat-combining primitives
+        // against the lock-free generation) is optional for the same
+        // reason. Every member is a host-normalized ratio, so all of it
+        // gates cross-host; `combining_vs_lockfree_ratio` is the paired
+        // headline the CI `--compare` step watches.
+        let combining = &metrics_json["combining"];
+        if combining.as_object().is_some() {
+            for part in [
+                "reducer_vs_lockfree_ratio",
+                "counter_vs_lockfree_ratio",
+                "barrier_vs_lockfree_ratio",
+                "combining_vs_lockfree_ratio",
+            ] {
+                metrics.push(Metric {
+                    name: format!("combining/{part}"),
+                    class: MetricClass::Ratio,
+                    summary: read(&combining[part], &format!("combining/{part}"))?,
+                });
+            }
+        } else if !combining.is_null() {
+            return Err("`combining` metric group must be an object when present".into());
         }
 
         for m in &metrics {
@@ -574,6 +612,19 @@ mod tests {
         retime: f64,
         crossover: f64,
     ) -> String {
+        synth_v2_combining(scale, rci, quick, speedup, retime, crossover, 1.3)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn synth_v2_combining(
+        scale: f64,
+        rci: f64,
+        quick: bool,
+        speedup: f64,
+        retime: f64,
+        crossover: f64,
+        combining: f64,
+    ) -> String {
         let s = |median: f64| -> Json {
             Summary {
                 median,
@@ -589,6 +640,7 @@ mod tests {
             json!({
                 "splash3": s(m3 * scale),
                 "splash4": s(m4 * scale),
+                "splash4x": s(m4 * 0.8 * scale),
                 "ratio": s(m4 / m3),
             })
         };
@@ -627,6 +679,12 @@ mod tests {
                     "epoch_vs_index_ratio": s(8.0 / 12.0),
                     "epoch_vs_hazard_ratio": s(crossover),
                 }),
+                "combining": json!({
+                    "reducer_vs_lockfree_ratio": s(0.8),
+                    "counter_vs_lockfree_ratio": s(0.8),
+                    "barrier_vs_lockfree_ratio": s(0.8),
+                    "combining_vs_lockfree_ratio": s(combining),
+                }),
             }),
         })
         .to_string_pretty()
@@ -657,8 +715,20 @@ mod tests {
         assert!(msg.contains("v2"), "{msg}");
         let doc = BenchDoc::parse(&text).unwrap();
         assert_eq!(doc.version, 2);
-        assert_eq!(doc.metrics.len(), 3 * 3 + 3 + 1 + 3 + 5);
+        // 3 backend groups of (splash3, splash4, splash4x, ratio), then sim,
+        // wall, serve, reclaim, combining.
+        assert_eq!(doc.metrics.len(), 3 * 4 + 3 + 1 + 3 + 5 + 4);
         assert!(doc.metric("reducer_ops_per_sec/ratio").is_some());
+        assert_eq!(
+            doc.metric("counter_grabs_per_sec/splash4x").unwrap().class,
+            MetricClass::Throughput
+        );
+        assert_eq!(
+            doc.metric("combining/combining_vs_lockfree_ratio")
+                .unwrap()
+                .class,
+            MetricClass::Ratio
+        );
         assert_eq!(
             doc.metric("reclaim/epoch_vs_hazard_ratio").unwrap().class,
             MetricClass::Ratio
@@ -741,6 +811,70 @@ mod tests {
     }
 
     #[test]
+    fn pre_combining_v2_documents_still_validate_and_compare() {
+        // The shape a pre-combining checkout wrote: no `splash4x` entries in
+        // the backend groups and no `combining` group (the generation adds
+        // no shape keys — same threads, same sync_ops).
+        let doc = Json::parse(&synth_v2(1.0, 0.03, false)).unwrap();
+        let strip_group = |v: &Json| {
+            Json::Object(
+                v.as_object()
+                    .unwrap()
+                    .iter()
+                    .filter(|(k, _)| k != "splash4x")
+                    .cloned()
+                    .collect(),
+            )
+        };
+        let metrics = Json::Object(
+            doc["metrics"]
+                .as_object()
+                .unwrap()
+                .iter()
+                .filter(|(k, _)| k != "combining")
+                .map(|(k, v)| {
+                    if BACKEND_METRICS.contains(&k.as_str()) {
+                        (k.clone(), strip_group(v))
+                    } else {
+                        (k.clone(), v.clone())
+                    }
+                })
+                .collect(),
+        );
+        let old = json!({
+            "schema": "splash4-bench-v2",
+            "config": doc["config"].clone(),
+            "metrics": metrics,
+        })
+        .to_string_pretty();
+        let parsed = BenchDoc::parse(&old).expect("pre-combining documents must keep decoding");
+        assert!(parsed.metric("counter_grabs_per_sec/splash4x").is_none());
+        assert!(parsed
+            .metric("combining/combining_vs_lockfree_ratio")
+            .is_none());
+        let r = compare_texts(&old, &old).expect("old self-compare");
+        assert!(r.configs_match && r.pass());
+        // Old baseline vs new candidate: combining metrics simply aren't
+        // shared; everything both sides carry still gates.
+        let r = compare_texts(&old, &synth_v2(1.0, 0.03, false)).expect("old vs new");
+        assert!(r.configs_match, "combining adds no shape keys");
+        assert!(r.pass(), "regressions: {:?}", r.regressions());
+    }
+
+    #[test]
+    fn combining_ratio_collapse_gates_even_cross_config() {
+        let base = synth_v2(1.0, 0.02, false);
+        // The paired splash4x/splash4 drain ratio is host-normalized: a
+        // combining core that falls from 1.3× to 1.0× of the lock-free
+        // counter must gate even when the bench sizes differ.
+        let cand = synth_v2_combining(1.0, 0.02, true, 30.0 / 17.0, 1.6, 8.0 / 5.0, 1.0);
+        let r = compare_texts(&base, &cand).expect("compares");
+        assert!(r
+            .regressions()
+            .contains(&"combining/combining_vs_lockfree_ratio"));
+    }
+
+    #[test]
     fn epoch_hazard_crossover_collapse_gates_even_cross_config() {
         let base = synth_v2(1.0, 0.02, false);
         // The EBR/HP crossover is host-normalized: an epoch back-end that
@@ -807,8 +941,8 @@ mod tests {
         assert!(regs.contains(&"report_wall_secs"));
         // The ratio metrics did not move (both sides scaled), so they pass.
         assert!(!regs.iter().any(|n| n.ends_with("/ratio")));
-        // 14 absolute metrics at 0.5×, 7 ratio metrics at 1.0×: 0.5^(14/21).
-        assert!((r.geomean_speedup - 0.5f64.powf(14.0 / 21.0)).abs() < 1e-9);
+        // 17 absolute metrics at 0.5×, 11 ratio metrics at 1.0×: 0.5^(17/28).
+        assert!((r.geomean_speedup - 0.5f64.powf(17.0 / 28.0)).abs() < 1e-9);
         assert!(r.to_text().contains("FAIL"));
     }
 

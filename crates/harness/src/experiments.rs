@@ -109,7 +109,7 @@ impl ExperimentCtx {
 }
 
 /// All known experiment ids, in presentation order.
-pub const ALL_EXPERIMENTS: [&str; 14] = [
+pub const ALL_EXPERIMENTS: [&str; 16] = [
     "T1-inputs",
     "T2-changes",
     "T3-syncops",
@@ -120,9 +120,11 @@ pub const ALL_EXPERIMENTS: [&str; 14] = [
     "F5-sync-breakdown",
     "F6-ablation",
     "F8-trace-replay",
+    "F9-combining",
     "S1-sensitivity",
     "V1-check",
     "V2-kernel-check",
+    "C1-combining",
     "R1-reclaim",
 ];
 
@@ -150,9 +152,11 @@ pub fn run_experiment(id: &str, ctx: &ExperimentCtx) -> Result<Report, String> {
         "F5-sync-breakdown" => Ok(f5_breakdown(ctx)),
         "F6-ablation" => Ok(f6_ablation(ctx)),
         "F8-trace-replay" => Ok(f8_trace_replay(ctx)),
+        "F9-combining" => Ok(f9_combining(ctx)),
         "S1-sensitivity" => Ok(s1_sensitivity(ctx)),
         "V1-check" => Ok(v1_check(ctx)),
         "V2-kernel-check" => Ok(v2_kernel_check(ctx)),
+        "C1-combining" => Ok(c1_combining(ctx)),
         "R1-reclaim" => Ok(r1_reclaim(ctx)),
         _ => Err(format!(
             "unknown experiment '{id}'; known: {}",
@@ -661,6 +665,89 @@ fn f8_trace_replay(ctx: &ExperimentCtx) -> Report {
     }
 }
 
+/// `F9-combining` (extension): the flat-combining crossover sweep.
+///
+/// The third sync generation (`splash4x`) funnels each contended update
+/// through a combiner instead of bouncing the line between `fetch_add`
+/// callers, so a combined op costs one record handoff plus an amortized
+/// share of the combiner's streaming pass — cheaper than a serialized line
+/// transfer once the drain batch is wide, but *more* expensive at low
+/// thread counts where the batch degenerates to the extra publish round
+/// trip. This sweep simulates all benchmarks under `splash4x` and `splash4`
+/// across the core grid and tabulates the normalized time
+/// (combining / lock-free, lower favors combining): the interesting output
+/// is the crossover core count where the geomean dips below parity and the
+/// speedup the batching buys at full scale.
+fn f9_combining(ctx: &ExperimentCtx) -> Report {
+    let machine = MachineParams::epyc_like();
+    let mut header = vec!["benchmark".to_string()];
+    for &p in &ctx.sim_threads {
+        header.push(format!("p={p}"));
+    }
+    let mut t = Table::new(header);
+    let mut per_core_ratios: Vec<Vec<f64>> = vec![Vec::new(); ctx.sim_threads.len()];
+    let mut rows = Vec::new();
+    let mut sim = Simulator::new(machine);
+    for b in ctx.benchmarks() {
+        let work = ctx.work_model(b);
+        let mut cells = vec![b.name().to_string()];
+        let mut jrow = vec![];
+        for (i, &p) in ctx.sim_threads.iter().enumerate() {
+            let lf = sim.simulate(&work, SyncMode::LockFree, p);
+            let cb = sim.simulate(&work, SyncMode::Combining, p);
+            let ratio = cb.total_ns as f64 / lf.total_ns.max(1) as f64;
+            per_core_ratios[i].push(ratio);
+            cells.push(format!("{ratio:.3}"));
+            jrow.push(json!({
+                "cores": p,
+                "splash4_ns": lf.total_ns,
+                "splash4x_ns": cb.total_ns,
+                "ratio": ratio,
+            }));
+        }
+        t.row(cells);
+        rows.push(json!({ "benchmark": b.name(), "points": jrow }));
+    }
+    let mut mean_cells = vec!["geomean".to_string()];
+    let mut means = vec![];
+    for r in &per_core_ratios {
+        let g = geomean(r);
+        means.push(g);
+        mean_cells.push(format!("{g:.3}"));
+    }
+    t.row(mean_cells);
+    // Speedup convention for the headline and the gate: lock-free time over
+    // combining time, > 1.0 means combining wins.
+    let speedups: Vec<f64> = means.iter().map(|&g| 1.0 / g.max(1e-12)).collect();
+    let headline = speedups.last().copied().unwrap_or(f64::NAN);
+    let crossover = ctx
+        .sim_threads
+        .iter()
+        .zip(&means)
+        .find(|&(_, &g)| g < 1.0)
+        .map(|(&p, _)| p);
+    Report {
+        id: "F9-combining".into(),
+        title: format!(
+            "Flat combining vs lock-free on {} — {headline:.2}x at {} cores, crossover at {}",
+            machine.name,
+            ctx.sim_threads.last().copied().unwrap_or(0),
+            crossover.map_or_else(|| "none".to_string(), |p| format!("p={p}")),
+        ),
+        text: t.render(),
+        json: json!({
+            "machine": machine.name,
+            "class": ctx.class.label(),
+            "cores": ctx.sim_threads.clone(),
+            "rows": rows,
+            "geomeans": means,
+            "combining_vs_lockfree": speedups,
+            "crossover_cores": crossover,
+        }),
+        csv: t.to_csv(),
+    }
+}
+
 /// `S1-sensitivity` (extension): robustness of the headline result to the
 /// two calibrated machine parameters.
 ///
@@ -758,6 +845,35 @@ fn v2_kernel_check(_ctx: &ExperimentCtx) -> Report {
         "V2-kernel-check",
         format!(
             "Model checking real kernel bodies at Check scale ({} schedules/scenario minimum, seed {:#x})",
+            budget.min_schedules, budget.seed
+        ),
+        &budget,
+        &rows,
+        &muts,
+    )
+}
+
+/// `C1-combining` (extension): model checking the flat-combining core and
+/// every construct ported to it.
+///
+/// Shadow replicas of the combining reducer (u64 and f64), `GETSUB`
+/// counter, ticket dispenser, and barrier run under the checker with the
+/// protocol's record arguments and results modeled as *plain data*: the
+/// real core keeps them in `Relaxed` atomics ordered only by the
+/// publish→scan and complete→wait edges, so any weakening of those edges
+/// surfaces as a vector-clock data race rather than a silently narrowed
+/// search. The mutant table seeds the three flat-combining protocol bugs —
+/// a lost publication record, a combiner that exits before draining, and a
+/// stale result handoff — plus a relaxed scan, each of which must fall with
+/// a replayable counterexample schedule.
+fn c1_combining(_ctx: &ExperimentCtx) -> Report {
+    let budget = splash4_check::CheckBudget::default();
+    let rows = splash4_check::check_combining(&budget);
+    let muts = splash4_check::check_combining_mutants(&budget);
+    check_report(
+        "C1-combining",
+        format!(
+            "Model checking the flat-combining sync generation ({} schedules/scenario minimum, seed {:#x})",
             budget.min_schedules, budget.seed
         ),
         &budget,
@@ -992,6 +1108,56 @@ mod tests {
             );
         }
         for m in r.json["mutants"].as_array().unwrap() {
+            assert_eq!(m["detected"].as_bool(), Some(true), "mutant escaped: {m}");
+            assert_ne!(m["counterexample"].as_str(), Some("-"), "no schedule: {m}");
+        }
+    }
+
+    #[test]
+    fn f9_combining_beats_lockfree_at_scale_but_not_at_low_counts() {
+        let r = run_experiment("F9-combining", &quick_ctx()).unwrap();
+        let means = r.json["geomeans"].as_array().unwrap();
+        let speedups = r.json["combining_vs_lockfree"].as_array().unwrap();
+        assert_eq!(means.len(), 3);
+        let at_1 = means[0].as_f64().unwrap();
+        let at_64 = means[2].as_f64().unwrap();
+        assert!(
+            (0.9..=1.1).contains(&at_1),
+            "no contention at one core: combining should be near parity, got {at_1}"
+        );
+        assert!(
+            at_64 < 1.0,
+            "combining must beat raw fetch_add at 64 cores, got {at_64}"
+        );
+        assert!(
+            speedups[2].as_f64().unwrap() > 1.0,
+            "combining_vs_lockfree speedup must exceed 1.0 at the top core count"
+        );
+        assert!(
+            !r.json["crossover_cores"].is_null(),
+            "the sweep must find a crossover core count"
+        );
+    }
+
+    #[test]
+    fn c1_combining_verifies_every_port_and_catches_every_mutant() {
+        let r = run_experiment("C1-combining", &quick_ctx()).unwrap();
+        let constructs = r.json["constructs"].as_array().unwrap();
+        assert_eq!(constructs.len(), 5, "every combining-ported construct");
+        for row in constructs {
+            assert_eq!(
+                row["verdict"].as_str().unwrap(),
+                "pass",
+                "combining scenario failed: {row}"
+            );
+            assert!(
+                row["schedules"].as_f64().unwrap() >= 1000.0,
+                "too few schedules: {row}"
+            );
+        }
+        let muts = r.json["mutants"].as_array().unwrap();
+        assert_eq!(muts.len(), 4, "the full combining mutant catalog");
+        for m in muts {
             assert_eq!(m["detected"].as_bool(), Some(true), "mutant escaped: {m}");
             assert_ne!(m["counterexample"].as_str(), Some("-"), "no schedule: {m}");
         }

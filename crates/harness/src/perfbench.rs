@@ -10,10 +10,13 @@
 //! instead of merely archiving numbers (`DESIGN.md` §11).
 //!
 //! Covered surfaces, per `DESIGN.md` §10:
-//! - reducer ops/sec for both back-ends (lock-based vs CAS-loop), plus the
-//!   host-normalized lock-free/lock-based ratio,
-//! - `GETSUB` counter grabs/sec for both back-ends, plus the ratio,
-//! - barrier crossings/sec for both back-ends, plus the ratio,
+//! - reducer ops/sec for every sync generation (lock-based, CAS-loop,
+//!   flat-combining), plus the host-normalized lock-free/lock-based and
+//!   combining/lock-free ratios,
+//! - `GETSUB` counter grabs/sec per generation, plus the ratios and a
+//!   *paired* splash4x/splash4 drain ratio (the `combining` group's
+//!   headline),
+//! - barrier crossings/sec per generation, plus the ratios,
 //! - simulator events/sec for the indexed [`Engine`] against the preserved
 //!   binary-heap reference ([`engine::run_reference`]) on identical
 //!   programs, with the speedup summarized from *paired per-repetition
@@ -111,48 +114,100 @@ impl BenchConfig {
 }
 
 /// Reducer `add` throughput under full contention, one summary per back-end.
-fn bench_reducers(cfg: &BenchConfig) -> [(SyncMode, Summary); 2] {
-    SyncMode::ALL.map(|mode| {
-        let env = SyncEnv::new(mode, cfg.threads);
-        let r = env.reducer_f64();
-        let secs = time_adaptive(&cfg.measure, || {
-            Team::new(cfg.threads).run(|_| {
-                for i in 0..cfg.sync_ops {
-                    r.add(i as f64);
-                }
+fn bench_reducers(cfg: &BenchConfig) -> Vec<(SyncMode, Summary)> {
+    SyncMode::ALL
+        .map(|mode| {
+            let env = SyncEnv::new(mode, cfg.threads);
+            let r = env.reducer_f64();
+            let secs = time_adaptive(&cfg.measure, || {
+                Team::new(cfg.threads).run(|_| {
+                    for i in 0..cfg.sync_ops {
+                        r.add(i as f64);
+                    }
+                });
             });
-        });
-        (mode, secs.to_rate((cfg.threads * cfg.sync_ops) as u64))
-    })
+            (mode, secs.to_rate((cfg.threads * cfg.sync_ops) as u64))
+        })
+        .to_vec()
 }
 
 /// `GETSUB` grab throughput: the team drains a shared index range.
-fn bench_counters(cfg: &BenchConfig) -> [(SyncMode, Summary); 2] {
-    SyncMode::ALL.map(|mode| {
-        let env = SyncEnv::new(mode, cfg.threads);
-        let total = cfg.threads * cfg.sync_ops;
-        let c = env.counter("bench", 0..total);
-        let secs = time_adaptive(&cfg.measure, || {
-            c.reset();
-            Team::new(cfg.threads).run(|_| while c.next().is_some() {});
-        });
-        (mode, secs.to_rate(total as u64))
-    })
+fn bench_counters(cfg: &BenchConfig) -> Vec<(SyncMode, Summary)> {
+    SyncMode::ALL
+        .map(|mode| {
+            let env = SyncEnv::new(mode, cfg.threads);
+            let total = cfg.threads * cfg.sync_ops;
+            let c = env.counter("bench", 0..total);
+            let secs = time_adaptive(&cfg.measure, || {
+                c.reset();
+                Team::new(cfg.threads).run(|_| while c.next().is_some() {});
+            });
+            (mode, secs.to_rate(total as u64))
+        })
+        .to_vec()
 }
 
 /// Barrier crossing throughput (whole-team crossings per second).
-fn bench_barriers(cfg: &BenchConfig) -> [(SyncMode, Summary); 2] {
-    SyncMode::ALL.map(|mode| {
-        let env = SyncEnv::new(mode, cfg.threads);
-        let b = env.barrier();
-        let secs = time_adaptive(&cfg.measure, || {
-            Team::new(cfg.threads).run(|ctx| {
-                for _ in 0..cfg.barrier_crossings {
-                    b.wait(ctx.tid);
-                }
+fn bench_barriers(cfg: &BenchConfig) -> Vec<(SyncMode, Summary)> {
+    SyncMode::ALL
+        .map(|mode| {
+            let env = SyncEnv::new(mode, cfg.threads);
+            let b = env.barrier();
+            let secs = time_adaptive(&cfg.measure, || {
+                Team::new(cfg.threads).run(|ctx| {
+                    for _ in 0..cfg.barrier_crossings {
+                        b.wait(ctx.tid);
+                    }
+                });
             });
-        });
-        (mode, secs.to_rate(cfg.barrier_crossings as u64))
+            (mode, secs.to_rate(cfg.barrier_crossings as u64))
+        })
+        .to_vec()
+}
+
+/// The summary measured for one sync generation in a per-mode group, looked
+/// up by mode rather than by position so callers name their baseline
+/// explicitly instead of assuming a two-element layout.
+fn mode_summary(pairs: &[(SyncMode, Summary)], mode: SyncMode) -> &Summary {
+    &pairs
+        .iter()
+        .find(|(m, _)| *m == mode)
+        .unwrap_or_else(|| panic!("mode {} was not measured in this group", mode.label()))
+        .1
+}
+
+/// Host-normalized ratio of generation `num` over the explicit baseline
+/// generation `base` within one per-mode group.
+fn group_ratio(pairs: &[(SyncMode, Summary)], num: SyncMode, base: SyncMode) -> Summary {
+    mode_summary(pairs, num).ratio_vs(mode_summary(pairs, base))
+}
+
+/// The combining generation's headline metric: the paired per-repetition
+/// ratio of the splash4x combining counter against splash4's `fetch_add`
+/// counter on the same fully contended `GETSUB` drain. The two drains are
+/// interleaved within each repetition and the adaptive stopping rule watches
+/// the ratio's CI, so host frequency drift shifts both halves of a pair
+/// together and cancels — the same trick the sim-engine speedup uses. At
+/// bench thread counts combining usually *loses* to raw `fetch_add` (one
+/// uncontended RMW is hard to beat); the sim-backed F9 experiment is where
+/// the high-`p` crossover shows. The gate's job here is to keep the native
+/// ratio from collapsing, not to prove it exceeds 1.
+fn bench_combining_paired(cfg: &BenchConfig) -> Summary {
+    let total = cfg.threads * cfg.sync_ops;
+    let combining_env = SyncEnv::new(SyncMode::Combining, cfg.threads);
+    let lockfree_env = SyncEnv::new(SyncMode::LockFree, cfg.threads);
+    let combining = combining_env.counter("paired", 0..total);
+    let lockfree = lockfree_env.counter("paired", 0..total);
+    measure_adaptive(&cfg.measure, || {
+        let t0 = Instant::now();
+        combining.reset();
+        Team::new(cfg.threads).run(|_| while combining.next().is_some() {});
+        let combining_secs = t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        lockfree.reset();
+        Team::new(cfg.threads).run(|_| while lockfree.next().is_some() {});
+        let lockfree_secs = t0.elapsed().as_secs_f64();
+        lockfree_secs / combining_secs.max(1e-12)
     })
 }
 
@@ -517,25 +572,40 @@ pub fn run_bench(cfg: &BenchConfig) -> (String, Json) {
         epoch_vs_hazard_ratio,
     ) = bench_reclaim(cfg);
 
-    // Host-normalized lock-free/lock-based ratios, one per primitive group.
-    // `SyncMode::ALL` orders lock-based (splash3) first.
-    let group_ratio = |pairs: &[(SyncMode, Summary); 2]| pairs[1].1.ratio_vs(&pairs[0].1);
-    let reducer_ratio = group_ratio(&reducers);
-    let counter_ratio = group_ratio(&counters);
-    let barrier_ratio = group_ratio(&barriers);
+    // Host-normalized generation ratios, per primitive group: the classic
+    // lock-free/lock-based (splash4/splash3) pair the v2 schema has always
+    // carried under `ratio`, plus combining/lock-free (splash4x/splash4) for
+    // the third generation.
+    let reducer_ratio = group_ratio(&reducers, SyncMode::LockFree, SyncMode::LockBased);
+    let counter_ratio = group_ratio(&counters, SyncMode::LockFree, SyncMode::LockBased);
+    let barrier_ratio = group_ratio(&barriers, SyncMode::LockFree, SyncMode::LockBased);
+    let reducer_combining = group_ratio(&reducers, SyncMode::Combining, SyncMode::LockFree);
+    let counter_combining = group_ratio(&counters, SyncMode::Combining, SyncMode::LockFree);
+    let barrier_combining = group_ratio(&barriers, SyncMode::Combining, SyncMode::LockFree);
+    let combining_paired = bench_combining_paired(cfg);
 
     let mut t = Table::new(vec!["metric", "backend", "median [95% CI]"]);
-    for (label, pairs, ratio) in [
-        ("reducer add", &reducers, &reducer_ratio),
-        ("counter grab", &counters, &counter_ratio),
-        ("barrier crossing", &barriers, &barrier_ratio),
+    for (label, pairs, ratio, combining) in [
+        ("reducer add", &reducers, &reducer_ratio, &reducer_combining),
+        (
+            "counter grab",
+            &counters,
+            &counter_ratio,
+            &counter_combining,
+        ),
+        (
+            "barrier crossing",
+            &barriers,
+            &barrier_ratio,
+            &barrier_combining,
+        ),
     ] {
         let (scale, unit) = if label == "barrier crossing" {
             (1e3, "k/s")
         } else {
             (1e6, "Mops/s")
         };
-        for (mode, s) in pairs {
+        for (mode, s) in pairs.iter() {
             t.row(vec![
                 label.into(),
                 mode.label().into(),
@@ -547,7 +617,17 @@ pub fn run_bench(cfg: &BenchConfig) -> (String, Json) {
             "lockfree/lock ratio".into(),
             fmt_summary(ratio, 1.0, "x"),
         ]);
+        t.row(vec![
+            label.into(),
+            "combining/lockfree ratio".into(),
+            fmt_summary(combining, 1.0, "x"),
+        ]);
     }
+    t.row(vec![
+        "combining crossover".into(),
+        "splash4x/splash4 counter drain (paired)".into(),
+        fmt_summary(&combining_paired, 1.0, "x"),
+    ]);
     t.row(vec![
         "sim events".into(),
         "indexed engine".into(),
@@ -605,13 +685,11 @@ pub fn run_bench(cfg: &BenchConfig) -> (String, Json) {
         fmt_summary(&epoch_vs_hazard_ratio, 1.0, "x"),
     ]);
 
-    let throughput_geomean = geomean(&[
-        reducers[0].1.median,
-        reducers[1].1.median,
-        counters[0].1.median,
-        counters[1].1.median,
-        barriers[0].1.median,
-        barriers[1].1.median,
+    let mut throughputs: Vec<f64> = [&reducers, &counters, &barriers]
+        .iter()
+        .flat_map(|pairs| pairs.iter().map(|(_, s)| s.median))
+        .collect();
+    throughputs.extend([
         engine_eps.median,
         reference_eps.median,
         serve_rps.median,
@@ -620,17 +698,22 @@ pub fn run_bench(cfg: &BenchConfig) -> (String, Json) {
         reclaim_epoch.median,
         reclaim_hazard.median,
     ]);
+    let throughput_geomean = geomean(&throughputs);
     let ratio_geomean = geomean(&[
         reducer_ratio.median,
         counter_ratio.median,
         barrier_ratio.median,
+        reducer_combining.median,
+        counter_combining.median,
+        barrier_combining.median,
+        combining_paired.median,
         speedup.median,
         serve_retime.median,
         epoch_vs_index_ratio.median,
         epoch_vs_hazard_ratio.median,
     ]);
 
-    let group = |pairs: &[(SyncMode, Summary); 2], ratio: &Summary| {
+    let group = |pairs: &[(SyncMode, Summary)], ratio: &Summary| {
         Json::Object(
             pairs
                 .iter()
@@ -680,6 +763,12 @@ pub fn run_bench(cfg: &BenchConfig) -> (String, Json) {
                 "hazard_pool_ops_per_sec": reclaim_hazard.to_json(),
                 "epoch_vs_index_ratio": epoch_vs_index_ratio.to_json(),
                 "epoch_vs_hazard_ratio": epoch_vs_hazard_ratio.to_json(),
+            }),
+            "combining": json!({
+                "reducer_vs_lockfree_ratio": reducer_combining.to_json(),
+                "counter_vs_lockfree_ratio": counter_combining.to_json(),
+                "barrier_vs_lockfree_ratio": barrier_combining.to_json(),
+                "combining_vs_lockfree_ratio": combining_paired.to_json(),
             }),
         }),
         "aggregate": json!({

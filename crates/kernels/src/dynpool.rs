@@ -31,7 +31,10 @@ pub fn dynamic_task_queue<T: Send + 'static>(
 ) -> Arc<dyn TaskQueue<T>> {
     match env.mode_for(ConstructClass::Queue) {
         SyncMode::LockBased => env.task_queue(),
-        SyncMode::LockFree => Arc::new(TaskPool::new(
+        // Combining batches the static contended constructs (counters,
+        // reductions, barriers); dynamic queues keep the lock-free
+        // reclaiming pool, same as `SyncEnv::task_queue`.
+        SyncMode::LockFree | SyncMode::Combining => Arc::new(TaskPool::new(
             shape,
             kind,
             env.nthreads() + 1,

@@ -7,6 +7,7 @@
 //! "as Splash-3" and "as Splash-4" — the algorithmic code is byte-identical.
 
 use crate::barrier::{Barrier, CondvarBarrier, SenseBarrier};
+use crate::combining::{CombiningBarrier, CombiningCounter, CombiningDispenser, CombiningReducer};
 use crate::counter::{AtomicCounter, IndexCounter, LockedCounter};
 use crate::flag::{AtomicFlag, CondvarFlag, PauseVar};
 use crate::lock::{RawLock, SleepLock};
@@ -125,6 +126,7 @@ impl SyncEnv {
         match self.mode_for(ConstructClass::Barrier) {
             SyncMode::LockBased => Arc::new(CondvarBarrier::new(n, Arc::clone(&self.stats))),
             SyncMode::LockFree => Arc::new(SenseBarrier::new(n, Arc::clone(&self.stats))),
+            SyncMode::Combining => Arc::new(CombiningBarrier::new(n, Arc::clone(&self.stats))),
         }
     }
 
@@ -147,6 +149,11 @@ impl SyncEnv {
         match self.mode_for(ConstructClass::Counter) {
             SyncMode::LockBased => Arc::new(LockedCounter::new(range, Arc::clone(&self.stats))),
             SyncMode::LockFree => Arc::new(AtomicCounter::new(range, Arc::clone(&self.stats))),
+            SyncMode::Combining => Arc::new(CombiningCounter::new(
+                range,
+                self.nthreads,
+                Arc::clone(&self.stats),
+            )),
         }
     }
 
@@ -155,6 +162,10 @@ impl SyncEnv {
         match self.mode_for(ConstructClass::Reduction) {
             SyncMode::LockBased => Arc::new(LockedReducer::new(Arc::clone(&self.stats))),
             SyncMode::LockFree => Arc::new(AtomicReducer::new(Arc::clone(&self.stats))),
+            SyncMode::Combining => Arc::new(CombiningReducer::new(
+                self.nthreads,
+                Arc::clone(&self.stats),
+            )),
         }
     }
 
@@ -163,14 +174,22 @@ impl SyncEnv {
         match self.mode_for(ConstructClass::Reduction) {
             SyncMode::LockBased => Arc::new(LockedReducer::new(Arc::clone(&self.stats))),
             SyncMode::LockFree => Arc::new(AtomicReducer::new(Arc::clone(&self.stats))),
+            SyncMode::Combining => Arc::new(CombiningReducer::new(
+                self.nthreads,
+                Arc::clone(&self.stats),
+            )),
         }
     }
 
-    /// A pause/flag variable, per the flag-class policy.
+    /// A pause/flag variable, per the flag-class policy. Combining mode
+    /// reuses the atomic flag: a pause variable is a single store/load edge
+    /// with nothing to batch, so flat combining would only add latency.
     pub fn flag(&self) -> Arc<dyn PauseVar> {
         match self.mode_for(ConstructClass::Flag) {
             SyncMode::LockBased => Arc::new(CondvarFlag::new(Arc::clone(&self.stats))),
-            SyncMode::LockFree => Arc::new(AtomicFlag::new(Arc::clone(&self.stats))),
+            SyncMode::LockFree | SyncMode::Combining => {
+                Arc::new(AtomicFlag::new(Arc::clone(&self.stats)))
+            }
         }
     }
 
@@ -179,11 +198,16 @@ impl SyncEnv {
         (0..n).map(|_| self.flag()).collect()
     }
 
-    /// A dynamic MPMC task pool, per the queue-class policy.
+    /// A dynamic MPMC task pool, per the queue-class policy. Combining mode
+    /// reuses the Treiber stack: combining targets the *static* contended
+    /// constructs (counters, reductions, barrier arrival, ticket pools);
+    /// dynamic push/pop traffic keeps the lock-free structure.
     pub fn task_queue<T: Send + 'static>(&self) -> Arc<dyn TaskQueue<T>> {
         match self.mode_for(ConstructClass::Queue) {
             SyncMode::LockBased => Arc::new(LockedQueue::new(Arc::clone(&self.stats))),
-            SyncMode::LockFree => Arc::new(TreiberStack::new(Arc::clone(&self.stats))),
+            SyncMode::LockFree | SyncMode::Combining => {
+                Arc::new(TreiberStack::new(Arc::clone(&self.stats)))
+            }
         }
     }
 
@@ -208,6 +232,11 @@ impl SyncEnv {
             SyncMode::LockFree => {
                 WorkPool::Ticket(TicketDispenser::new(tasks, Arc::clone(&self.stats)))
             }
+            SyncMode::Combining => WorkPool::Combined(Box::new(CombiningDispenser::new(
+                tasks,
+                self.nthreads,
+                Arc::clone(&self.stats),
+            ))),
         }
     }
 }
@@ -228,6 +257,10 @@ pub enum WorkPool<T> {
     Locked(LockedQueue<T>),
     /// Lock-free back-end: atomic ticket over the shared task array.
     Ticket(TicketDispenser<T>),
+    /// Combining back-end: claims batched through a flat-combining core
+    /// (boxed: the core's per-thread record array dwarfs the other
+    /// variants).
+    Combined(Box<CombiningDispenser<T>>),
 }
 
 impl<T: Send + Sync + Clone> WorkPool<T> {
@@ -236,15 +269,17 @@ impl<T: Send + Sync + Clone> WorkPool<T> {
         match self {
             WorkPool::Locked(q) => q.pop(),
             WorkPool::Ticket(d) => d.claim().cloned(),
+            WorkPool::Combined(d) => d.claim().cloned(),
         }
     }
 
-    /// Total number of tasks the pool was built with (ticket back-end) or
-    /// currently holds (locked back-end).
+    /// Total number of tasks the pool was built with (ticket/combining
+    /// back-ends) or currently holds (locked back-end).
     pub fn len(&self) -> usize {
         match self {
             WorkPool::Locked(q) => q.len(),
             WorkPool::Ticket(d) => d.len(),
+            WorkPool::Combined(d) => d.len(),
         }
     }
 
@@ -289,6 +324,27 @@ mod tests {
         let p = env.profile();
         assert_eq!(p.lock_acquires, 0, "lock-free mode must not acquire locks");
         assert!(p.atomic_rmws > 0);
+    }
+
+    #[test]
+    fn combining_env_takes_no_locks_and_batches() {
+        let env = SyncEnv::new(SyncMode::Combining, 2);
+        let c = env.counter("x", 0..5);
+        while c.next().is_some() {}
+        let b = env.barrier();
+        Team::new(2).run(|ctx| b.wait(ctx.tid));
+        let r = env.reducer_f64();
+        r.add(1.0);
+        let p = env.profile();
+        assert_eq!(p.lock_acquires, 0, "combining mode must not take locks");
+        assert!(p.combine_ops > 0, "requests must route through the core");
+        assert!(p.combine_batches >= 1);
+        assert!(p.atomic_rmws > 0);
+        // Logical class tallies are identical to the other generations.
+        assert_eq!(p.getsub_calls, 6);
+        assert_eq!(p.barrier_waits, 2);
+        assert_eq!(p.reduce_ops, 1);
+        assert!(!env.data_locks());
     }
 
     #[test]

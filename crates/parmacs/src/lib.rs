@@ -7,17 +7,19 @@
 //! atomic (lock-free) constructs** without touching the algorithms.
 //!
 //! This crate is that macro layer as a library. Every synchronization class the
-//! suite uses has two interchangeable back-ends selected by [`SyncMode`]
-//! (or per-construct by [`SyncPolicy`] for ablation studies):
+//! suite uses has interchangeable back-ends selected by [`SyncMode`]
+//! (or per-construct by [`SyncPolicy`] for ablation studies). A third
+//! generation, `splash4x` ([`SyncMode::Combining`]), batches the contended
+//! constructs through a flat-combining/CC-Synch core instead of CAS-storming:
 //!
-//! | construct | lock-based (≙ Splash-3) | lock-free (≙ Splash-4) |
-//! |---|---|---|
-//! | barrier | mutex + condvar generation barrier | sense-reversing atomic barrier |
-//! | lock | sleeping mutex (futex-style) | — (locks are what gets removed) |
-//! | `GETSUB` index counter | lock-protected counter | `fetch_add` |
-//! | f64/u64 reduction | lock-protected accumulator | CAS-loop on atomic word |
-//! | pause/flag variable | mutex + condvar | atomic flag, acquire/release |
-//! | task queue | mutex + `VecDeque` | Treiber stack / atomic ticket |
+//! | construct | lock-based (≙ Splash-3) | lock-free (≙ Splash-4) | combining (splash4x) |
+//! |---|---|---|---|
+//! | barrier | mutex + condvar generation barrier | sense-reversing atomic barrier | combining arrival + sense release |
+//! | lock | sleeping mutex (futex-style) | — (locks are what gets removed) | — |
+//! | `GETSUB` index counter | lock-protected counter | `fetch_add` | combined batch grab |
+//! | f64/u64 reduction | lock-protected accumulator | CAS-loop on atomic word | combined batch fold |
+//! | pause/flag variable | mutex + condvar | atomic flag, acquire/release | atomic flag (nothing to batch) |
+//! | task queue | mutex + `VecDeque` | Treiber stack / atomic ticket | Treiber stack / combined ticket |
 //!
 //! All primitives are instrumented: dynamic operation counts and (for the
 //! sleep-prone classes) nanoseconds are recorded into a shared
@@ -53,6 +55,7 @@
 
 pub mod backoff;
 pub mod barrier;
+pub mod combining;
 pub mod counter;
 pub mod env;
 pub mod flag;
@@ -73,6 +76,9 @@ pub mod workload;
 
 pub use backoff::Backoff;
 pub use barrier::{Barrier, CondvarBarrier, SenseBarrier, TreeBarrier};
+pub use combining::{
+    CombiningBarrier, CombiningCore, CombiningCounter, CombiningDispenser, CombiningReducer,
+};
 pub use counter::{AtomicCounter, IndexCounter, LockedCounter};
 pub use env::{SyncEnv, WorkPool};
 pub use flag::{AtomicFlag, CondvarFlag, PauseVar};
@@ -86,8 +92,8 @@ pub use queue::{
 pub use reduce::{AtomicF64, AtomicReducer, LockedReducer, ReduceF64, ReduceU64};
 pub use rng::SmallRng;
 pub use spec::{
-    CasF64Spec, EliminationSpec, EpochSpec, FlagSpec, HazardSpec, MsQueueSpec, SenseBarrierSpec,
-    TicketSpec, TreiberSpec,
+    CasF64Spec, CombiningSpec, EliminationSpec, EpochSpec, FlagSpec, HazardSpec, MsQueueSpec,
+    SenseBarrierSpec, TicketSpec, TreiberSpec,
 };
 pub use stats::{Counter, SyncCounters, SyncProfile};
 pub use team::{chunk_range, current_tid, Team, TeamCtx};

@@ -15,26 +15,36 @@ pub enum SyncMode {
     /// Splash-4 style: C11-atomic equivalents — sense-reversing barriers,
     /// `fetch_add` counters, CAS-loop reductions, lock-free queues.
     LockFree,
+    /// Splash-4x style: flat-combining/CC-Synch back-ends for the contended
+    /// constructs — threads publish requests into per-thread records and one
+    /// combiner applies the whole batch, instead of every thread CAS-storming
+    /// the same line.
+    Combining,
 }
 
 impl SyncMode {
-    /// All modes, in presentation order (lock-based first, as the baseline).
-    pub const ALL: [SyncMode; 2] = [SyncMode::LockBased, SyncMode::LockFree];
+    /// All modes, in presentation order (lock-based first, as the baseline,
+    /// then each successive modernization generation).
+    pub const ALL: [SyncMode; 3] = [SyncMode::LockBased, SyncMode::LockFree, SyncMode::Combining];
 
     /// Short stable label used in tables, CSV headers and CLI arguments.
     pub fn label(self) -> &'static str {
         match self {
             SyncMode::LockBased => "splash3",
             SyncMode::LockFree => "splash4",
+            SyncMode::Combining => "splash4x",
         }
     }
 
     /// Parse a label produced by [`SyncMode::label`] (case-insensitive; also
-    /// accepts `lock-based`/`lock-free`).
+    /// accepts `lock-based`/`lock-free`/`combining` style names).
     pub fn from_label(s: &str) -> Option<SyncMode> {
         match s.to_ascii_lowercase().as_str() {
             "splash3" | "lock-based" | "lockbased" | "locked" => Some(SyncMode::LockBased),
             "splash4" | "lock-free" | "lockfree" | "atomic" => Some(SyncMode::LockFree),
+            "splash4x" | "combining" | "flat-combining" | "flatcombining" | "cc-synch" => {
+                Some(SyncMode::Combining)
+            }
             _ => None,
         }
     }
@@ -179,31 +189,44 @@ impl SyncPolicy {
     }
 
     /// Human-readable summary, e.g. `splash3+lockfree{barrier}`.
+    ///
+    /// The majority back-end becomes the base label; every minority back-end
+    /// appends a `+name{classes}` segment. Ties go to the earlier generation
+    /// in [`SyncMode::ALL`] so two-mode outputs are stable across releases.
     pub fn describe(self) -> String {
         if let Some(m) = self.uniform_mode() {
             return m.label().to_string();
         }
-        let (base, flipped) = {
-            let lf: Vec<_> = ConstructClass::ALL
-                .iter()
-                .filter(|&&c| self.mode_for(c) == SyncMode::LockFree)
-                .collect();
-            let lb: Vec<_> = ConstructClass::ALL
-                .iter()
-                .filter(|&&c| self.mode_for(c) == SyncMode::LockBased)
-                .collect();
-            if lf.len() <= lb.len() {
-                (SyncMode::LockBased, lf)
-            } else {
-                (SyncMode::LockFree, lb)
+        let classes_of = |m: SyncMode| -> Vec<ConstructClass> {
+            ConstructClass::ALL
+                .into_iter()
+                .filter(|&c| self.mode_for(c) == m)
+                .collect()
+        };
+        let mut base = SyncMode::ALL[0];
+        for m in SyncMode::ALL {
+            if classes_of(m).len() > classes_of(base).len() {
+                base = m;
             }
-        };
-        let other = match base {
-            SyncMode::LockBased => "lockfree",
-            SyncMode::LockFree => "lockbased",
-        };
-        let names: Vec<_> = flipped.iter().map(|c| c.label()).collect();
-        format!("{}+{}{{{}}}", base.label(), other, names.join(","))
+        }
+        let mut out = base.label().to_string();
+        for m in SyncMode::ALL {
+            if m == base {
+                continue;
+            }
+            let flipped = classes_of(m);
+            if flipped.is_empty() {
+                continue;
+            }
+            let adjective = match m {
+                SyncMode::LockBased => "lockbased",
+                SyncMode::LockFree => "lockfree",
+                SyncMode::Combining => "combining",
+            };
+            let names: Vec<_> = flipped.iter().map(|c| c.label()).collect();
+            out.push_str(&format!("+{}{{{}}}", adjective, names.join(",")));
+        }
+        out
     }
 }
 
@@ -231,6 +254,29 @@ mod tests {
         }
         assert_eq!(SyncMode::from_label("Lock-Free"), Some(SyncMode::LockFree));
         assert_eq!(SyncMode::from_label("bogus"), None);
+    }
+
+    #[test]
+    fn combining_aliases_parse() {
+        for alias in ["splash4x", "combining", "flat-combining", "Flat-Combining"] {
+            assert_eq!(SyncMode::from_label(alias), Some(SyncMode::Combining));
+        }
+        assert_eq!(SyncMode::Combining.label(), "splash4x");
+    }
+
+    #[test]
+    fn mode_count_is_pinned() {
+        // Tables, JSON schemas and the bench/compare gate all iterate
+        // SyncMode::ALL; a fourth generation must consciously revisit every
+        // consumer (perfbench groups, sim cost model, suite parity tests)
+        // rather than silently growing their arrays.
+        assert_eq!(SyncMode::ALL.len(), 3);
+        assert_eq!(
+            SyncMode::ALL,
+            [SyncMode::LockBased, SyncMode::LockFree, SyncMode::Combining]
+        );
+        let labels: Vec<_> = SyncMode::ALL.iter().map(|m| m.label()).collect();
+        assert_eq!(labels, ["splash3", "splash4", "splash4x"]);
     }
 
     #[test]
@@ -264,6 +310,24 @@ mod tests {
         let mut p = SyncPolicy::uniform(SyncMode::LockFree);
         p = p.with(ConstructClass::Barrier, SyncMode::LockBased);
         assert_eq!(p.describe(), "splash4+lockbased{barrier}");
+    }
+
+    #[test]
+    fn describe_handles_three_mode_mixes() {
+        let p = SyncPolicy::uniform(SyncMode::LockFree)
+            .with(ConstructClass::Reduction, SyncMode::Combining)
+            .with(ConstructClass::Counter, SyncMode::Combining);
+        assert_eq!(p.describe(), "splash4+combining{counter,reduction}");
+        let p3 = SyncPolicy::uniform(SyncMode::LockBased)
+            .with(ConstructClass::Barrier, SyncMode::LockFree)
+            .with(ConstructClass::Reduction, SyncMode::Combining);
+        assert_eq!(
+            p3.describe(),
+            "splash3+lockfree{barrier}+combining{reduction}"
+        );
+        let uniform = SyncPolicy::uniform(SyncMode::Combining);
+        assert_eq!(uniform.describe(), "splash4x");
+        assert_eq!(uniform.uniform_mode(), Some(SyncMode::Combining));
     }
 
     #[test]

@@ -280,9 +280,86 @@ impl EliminationSpec {
     };
 }
 
+/// Orderings used by the flat-combining core (`combining::CombiningCore`)
+/// that backs the Splash-4x (`SyncMode::Combining`) counters, reductions,
+/// dispensers and barrier arrival phase.
+///
+/// The protocol has two publication edges the orderings must keep intact:
+///
+/// 1. *Request publication*: a thread stores its argument into its record
+///    (plain for the checker's race model, relaxed-atomic in the real core)
+///    and then publishes the opcode with [`CombiningSpec::publish_store`];
+///    the combiner's [`CombiningSpec::scan_load`] acquires it before reading
+///    the argument. Weakening either side is the "lost publication record"
+///    family of bugs.
+/// 2. *Result handoff*: the combiner stores the result, then marks the
+///    record complete with [`CombiningSpec::complete_store`]; the waiter's
+///    [`CombiningSpec::wait_load`] acquires the completion before reading
+///    the result. Weakening either side is the "stale result handoff"
+///    family.
+#[derive(Debug, Clone, Copy)]
+pub struct CombiningSpec {
+    /// Success ordering of the combiner-lock CAS. `Acquire`: the new
+    /// combiner reads the protected state the previous combiner wrote.
+    pub lock_cas_ok: Ordering,
+    /// Failure ordering of the combiner-lock CAS (the loser just spins).
+    pub lock_cas_fail: Ordering,
+    /// Store of the request argument into the publication record (validated
+    /// by the publish/scan edge, so `Relaxed`).
+    pub arg_store: Ordering,
+    /// The opcode store that publishes the record to the combiner.
+    pub publish_store: Ordering,
+    /// The combiner's scan load of each record's opcode.
+    pub scan_load: Ordering,
+    /// The combiner's store of the operation result into the record.
+    pub result_store: Ordering,
+    /// The combiner's completion store (opcode back to empty) that releases
+    /// the result to the waiting thread.
+    pub complete_store: Ordering,
+    /// The waiter's spin load on its record's opcode.
+    pub wait_load: Ordering,
+    /// The waiter's read of the result after observing completion.
+    pub result_load: Ordering,
+    /// The combiner's release store of the combiner lock.
+    pub lock_release: Ordering,
+}
+
+impl CombiningSpec {
+    /// The orderings the Splash-4x combining core ships with.
+    pub const SPLASH4X: CombiningSpec = CombiningSpec {
+        lock_cas_ok: Ordering::Acquire,
+        lock_cas_fail: Ordering::Relaxed,
+        arg_store: Ordering::Relaxed,
+        publish_store: Ordering::Release,
+        scan_load: Ordering::Acquire,
+        result_store: Ordering::Relaxed,
+        complete_store: Ordering::Release,
+        wait_load: Ordering::Acquire,
+        result_load: Ordering::Relaxed,
+        lock_release: Ordering::Release,
+    };
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn shipped_combining_spec_keeps_both_publication_edges() {
+        // Request publication: publish must release the argument write and
+        // the scan must acquire it, or the combiner reads a half-built
+        // record (the lost-publication mutant).
+        assert_eq!(CombiningSpec::SPLASH4X.publish_store, Ordering::Release);
+        assert_eq!(CombiningSpec::SPLASH4X.scan_load, Ordering::Acquire);
+        // Result handoff: completion must release the result store and the
+        // waiter must acquire it (the stale-result mutant).
+        assert_eq!(CombiningSpec::SPLASH4X.complete_store, Ordering::Release);
+        assert_eq!(CombiningSpec::SPLASH4X.wait_load, Ordering::Acquire);
+        // Combiner handoff: state written by the previous combiner must be
+        // visible to the next.
+        assert_eq!(CombiningSpec::SPLASH4X.lock_cas_ok, Ordering::Acquire);
+        assert_eq!(CombiningSpec::SPLASH4X.lock_release, Ordering::Release);
+    }
 
     #[test]
     fn shipped_specs_have_safe_cas_orderings() {

@@ -82,13 +82,19 @@ pub enum Counter {
     ReclaimScans = 16,
     /// Retired nodes actually freed by a reclaimer.
     ReclaimFrees = 17,
+    /// Operations routed through a flat-combining core (each request a
+    /// thread publishes, whether self-served or applied by a combiner).
+    CombineOps = 18,
+    /// Combiner lock acquisitions: each counts one batch drain. The mean
+    /// batch size is `combine_ops / combine_batches`.
+    CombineBatches = 19,
 }
 
 /// Number of distinct counters per lane.
-pub const NUM_COUNTERS: usize = 18;
+pub const NUM_COUNTERS: usize = 20;
 
-/// One striping lane: all eighteen counters for one thread, padded so
-/// adjacent lanes never share a cache line. 18 × 8 = 144 bytes of payload
+/// One striping lane: all twenty counters for one thread, padded so
+/// adjacent lanes never share a cache line. 20 × 8 = 160 bytes of payload
 /// spans two 128-byte padding granules; the padding rounds the lane up so
 /// adjacent lanes still start on their own aligned slot.
 type Lane = CachePadded<[AtomicU64; NUM_COUNTERS]>;
@@ -237,6 +243,8 @@ impl SyncCounters {
             reclaim_retires: self.fold(Counter::ReclaimRetires),
             reclaim_scans: self.fold(Counter::ReclaimScans),
             reclaim_frees: self.fold(Counter::ReclaimFrees),
+            combine_ops: self.fold(Counter::CombineOps),
+            combine_batches: self.fold(Counter::CombineBatches),
         }
     }
 }
@@ -267,6 +275,8 @@ pub struct SyncProfile {
     pub reclaim_retires: u64,
     pub reclaim_scans: u64,
     pub reclaim_frees: u64,
+    pub combine_ops: u64,
+    pub combine_batches: u64,
 }
 
 impl SyncProfile {
@@ -292,6 +302,8 @@ impl SyncProfile {
             reclaim_retires: self.reclaim_retires + other.reclaim_retires,
             reclaim_scans: self.reclaim_scans + other.reclaim_scans,
             reclaim_frees: self.reclaim_frees + other.reclaim_frees,
+            combine_ops: self.combine_ops + other.combine_ops,
+            combine_batches: self.combine_batches + other.combine_batches,
         }
     }
 
@@ -317,14 +329,20 @@ impl SyncProfile {
             reclaim_retires: self.reclaim_retires.saturating_sub(other.reclaim_retires),
             reclaim_scans: self.reclaim_scans.saturating_sub(other.reclaim_scans),
             reclaim_frees: self.reclaim_frees.saturating_sub(other.reclaim_frees),
+            combine_ops: self.combine_ops.saturating_sub(other.combine_ops),
+            combine_batches: self.combine_batches.saturating_sub(other.combine_batches),
         }
     }
 
     /// Total dynamic synchronization operations (all classes, excluding the
-    /// nanosecond fields, the cache-outcome tallies, and the reclamation
-    /// bookkeeping — a cache hit or a deferred free is a runtime-service
-    /// event, not an algorithmic sync op, so the paper's `T3-syncops` totals
-    /// are unaffected by serving or by which reclaimer backs a pool).
+    /// nanosecond fields, the cache-outcome tallies, the reclamation
+    /// bookkeeping, and the combining-mechanism tallies — a cache hit or a
+    /// deferred free is a runtime-service event, not an algorithmic sync op,
+    /// so the paper's `T3-syncops` totals are unaffected by serving or by
+    /// which reclaimer backs a pool; likewise every combining request is
+    /// already counted under its logical class (getsub/reduce/barrier/queue),
+    /// so `combine_ops`/`combine_batches` describe the *mechanism* and
+    /// counting them here would double-book splash4x runs).
     pub fn total_ops(&self) -> u64 {
         self.lock_acquires
             + self.barrier_waits
@@ -403,6 +421,14 @@ impl ToJson for SyncProfile {
             (
                 "reclaim_frees".to_string(),
                 Json::Num(self.reclaim_frees as f64),
+            ),
+            (
+                "combine_ops".to_string(),
+                Json::Num(self.combine_ops as f64),
+            ),
+            (
+                "combine_batches".to_string(),
+                Json::Num(self.combine_batches as f64),
             ),
         ])
     }
@@ -508,6 +534,24 @@ mod tests {
         let m = p.merged(&p);
         assert_eq!((m.reclaim_retires, m.reclaim_frees), (10, 8));
         assert_eq!(m.delta(&p).reclaim_scans, 1);
+    }
+
+    #[test]
+    fn combining_counters_fold_but_stay_out_of_sync_totals() {
+        let c = SyncCounters::new();
+        c.add(Counter::CombineOps, 12);
+        c.bump(Counter::CombineBatches);
+        c.bump(Counter::CombineBatches);
+        let p = c.snapshot();
+        assert_eq!(p.combine_ops, 12);
+        assert_eq!(p.combine_batches, 2);
+        // Combining requests are already tallied under their logical class
+        // (getsub/reduce/barrier/queue); the mechanism counters must not
+        // double-book T3-syncops totals.
+        assert_eq!(p.total_ops(), 0);
+        let m = p.merged(&p);
+        assert_eq!((m.combine_ops, m.combine_batches), (24, 4));
+        assert_eq!(m.delta(&p).combine_ops, 12);
     }
 
     #[test]

@@ -75,6 +75,26 @@ pub fn class_cost(mode: SyncMode, m: &MachineParams, p: usize, hold_ns: u64) -> 
             local_ns: 0,
             contended_ns: 0,
         },
+        SyncMode::Combining => OpCost {
+            // A combined op costs one record handoff plus the combiner's
+            // apply against combiner-cached state — not p serialized line
+            // transfers. The combiner streams through a batch of publication
+            // records with overlapping fetches, so the per-op share of the
+            // record-transfer traffic shrinks as batches grow with
+            // contention (about half the waiters republish per drain pass).
+            // At small p the batch degenerates and the extra record round
+            // trip makes combining *lose* to a raw fetch_add — the crossover
+            // the F9 experiment measures. With no contention (p == 1) the
+            // publish/self-combine round trip is just local work.
+            service_ns: if p > 1 {
+                let batch = (p as u64 / 2).clamp(1, 16);
+                m.rmw_local_ns + (2 * m.line_transfer_ns).div_ceil(batch)
+            } else {
+                m.rmw_local_ns
+            } + hold_ns,
+            local_ns: 0,
+            contended_ns: 0,
+        },
     }
 }
 
@@ -83,9 +103,11 @@ pub fn expand(model: &WorkModel, policy: SyncPolicy, p: usize, machine: &Machine
     assert!(p > 0, "need at least one core");
     let mut alloc = ServerAlloc { next: 0 };
     let mut barriers = Vec::new();
+    // Combining barriers release through the same generation spin a sense
+    // barrier uses; only the arrival phase differs, which class_cost prices.
     let barrier_kind = match policy.mode_for(ConstructClass::Barrier) {
         SyncMode::LockBased => BarrierKind::Condvar,
-        SyncMode::LockFree => BarrierKind::Sense,
+        SyncMode::LockFree | SyncMode::Combining => BarrierKind::Sense,
     };
     let mut cores: Vec<Vec<Op>> = vec![Vec::new(); p];
 
@@ -202,7 +224,10 @@ fn expand_phase(
                             ns: local
                                 * match policy.mode_for(ConstructClass::DataLock) {
                                     SyncMode::LockBased => 2 * m.rmw_local_ns,
-                                    SyncMode::LockFree => m.rmw_local_ns,
+                                    // Combining leaves scattered data updates
+                                    // as direct atomics (nothing to batch on
+                                    // uncontended lines).
+                                    SyncMode::LockFree | SyncMode::Combining => m.rmw_local_ns,
                                 },
                         });
                     }

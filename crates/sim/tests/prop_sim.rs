@@ -104,7 +104,7 @@ mod std_fallback {
         for _ in 0..CASES {
             let work = arb_model(&mut rng);
             let cores = rng.gen_range(1usize..64);
-            let mode = SyncMode::ALL[rng.gen_range(0usize..2)];
+            let mode = SyncMode::ALL[rng.gen_range(0usize..SyncMode::ALL.len())];
             check_expansion_validates(&work, cores, mode, &arb_machine(&mut rng));
         }
     }
@@ -195,7 +195,7 @@ mod proptest_suite {
         fn expansion_always_validates(
             work in arb_model(),
             cores in 1usize..64,
-            mode in prop::sample::select(vec![SyncMode::LockBased, SyncMode::LockFree]),
+            mode in prop::sample::select(SyncMode::ALL.to_vec()),
             machine in arb_machine(),
         ) {
             check_expansion_validates(&work, cores, mode, &machine);

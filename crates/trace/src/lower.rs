@@ -112,7 +112,9 @@ pub fn lower(
     let segments = pool_segments(trace);
     let barrier_kind = match policy.mode_for(ConstructClass::Barrier) {
         SyncMode::LockBased => BarrierKind::Condvar,
-        SyncMode::LockFree => BarrierKind::Sense,
+        // Combining arrival funnels through one combiner but the release wave
+        // is the same sense-reversing broadcast, so it replays as Sense.
+        SyncMode::LockFree | SyncMode::Combining => BarrierKind::Sense,
     };
     let episodes = segments.len() - 1;
     let barriers = vec![barrier_kind; episodes];

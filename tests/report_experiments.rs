@@ -24,12 +24,13 @@ fn every_experiment_renders() {
         assert!(!r.json.is_null());
         // Every benchmark appears in every per-benchmark artifact
         // (T1 lists inputs; S1 aggregates to geomeans only; V1,
-        // V2-kernel-check, and R1-reclaim are per-construct tables, not
-        // per-benchmark).
+        // V2-kernel-check, C1-combining, and R1-reclaim are per-construct
+        // tables, not per-benchmark).
         if id != "T1-inputs"
             && id != "S1-sensitivity"
             && id != "V1-check"
             && id != "V2-kernel-check"
+            && id != "C1-combining"
             && id != "R1-reclaim"
         {
             for b in Benchmark::ALL {
@@ -68,8 +69,11 @@ fn ablation_reports_every_construct_class() {
 }
 
 #[test]
-fn sync_op_table_has_both_modes_per_benchmark() {
+fn sync_op_table_has_one_row_per_benchmark_per_mode() {
     let r = run_experiment("T3-syncops", &quick_ctx()).unwrap();
     let rows = r.json["rows"].as_array().unwrap();
-    assert_eq!(rows.len(), Benchmark::ALL.len() * 2);
+    assert_eq!(
+        rows.len(),
+        Benchmark::ALL.len() * splash4::SyncMode::ALL.len()
+    );
 }

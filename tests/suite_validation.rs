@@ -35,12 +35,12 @@ fn checksums_agree_across_generations() {
 
 /// Table-driven parity over the trait object table itself: every entry in
 /// [`SUITE`] — not the registry enum — validates and produces the same
-/// checksum under both suite generations. A 15th workload added to the
-/// table is covered here with no test edit.
+/// checksum under all three suite generations. A 15th workload added to the
+/// table is covered here with no test edit, as is a fourth sync generation.
 #[test]
 fn suite_table_parity_across_generations() {
     for w in SUITE {
-        let [lock_based, lock_free] = SyncMode::ALL.map(|mode| {
+        let [lock_based, lock_free, combining] = SyncMode::ALL.map(|mode| {
             let env = SyncEnv::new(mode, 2);
             let r = w.run(InputClass::Test, &env);
             assert!(r.validated, "{} invalid under {mode}", w.name());
@@ -54,6 +54,57 @@ fn suite_table_parity_across_generations() {
             lock_based.checksum,
             lock_free.checksum
         );
+        assert!(
+            close(lock_free.checksum, combining.checksum, 1e-6),
+            "{}: lock-free={} combining={}",
+            w.name(),
+            lock_free.checksum,
+            combining.checksum
+        );
+    }
+}
+
+/// Mixed three-generation policies are answer-preserving too: every
+/// workload run under per-construct mixes of all three back-ends — the
+/// ablation shapes the characterization sweeps use — produces the uniform
+/// lock-free checksum.
+#[test]
+fn mixed_three_mode_policies_preserve_checksums() {
+    use splash4::{ConstructClass, SyncPolicy};
+    let mixes = [
+        // Combining hot constructs, lock-free elsewhere.
+        SyncPolicy::uniform(SyncMode::LockFree)
+            .with(ConstructClass::Counter, SyncMode::Combining)
+            .with(ConstructClass::Reduction, SyncMode::Combining),
+        // All three generations live in one policy.
+        SyncPolicy::uniform(SyncMode::Combining)
+            .with(ConstructClass::Barrier, SyncMode::LockFree)
+            .with(ConstructClass::DataLock, SyncMode::LockBased)
+            .with(ConstructClass::Queue, SyncMode::LockBased),
+        // Combining barriers over an otherwise lock-based suite.
+        SyncPolicy::uniform(SyncMode::LockBased).with(ConstructClass::Barrier, SyncMode::Combining),
+        // Uniform splash4x.
+        SyncPolicy::uniform(SyncMode::Combining),
+    ];
+    for w in SUITE {
+        let baseline = w.run(InputClass::Test, &SyncEnv::new(SyncMode::LockFree, 3));
+        for policy in mixes {
+            let r = w.run(InputClass::Test, &SyncEnv::new(policy, 3));
+            assert!(
+                r.validated,
+                "{} invalid under {}",
+                w.name(),
+                policy.describe()
+            );
+            assert!(
+                close(baseline.checksum, r.checksum, 1e-6),
+                "{} under {}: lock-free={} mixed={}",
+                w.name(),
+                policy.describe(),
+                baseline.checksum,
+                r.checksum
+            );
+        }
     }
 }
 
