@@ -24,6 +24,26 @@
 //! parked the controller reports a **deadlock** (which is also how lost
 //! wakeups surface, since a wakeup that never comes leaves its waiter
 //! parked forever).
+//!
+//! # Weak-memory exploration
+//!
+//! Under [`MemoryModel::Sc`] (the default) values are sequentially
+//! consistent: every load returns the latest store, and ordering bugs
+//! surface only as the data races they cause on *plain* data. Under
+//! [`MemoryModel::Weak`] the engine additionally explores the stale values
+//! the C11 orderings permit on the **atomics themselves**: every atomic
+//! keeps its store history, and a non-`SeqCst` load may read any record the
+//! happens-before relation and per-thread coherence admit — the choice is a
+//! recorded [`Decision`] like a thread choice, so DFS/PCT enumerate value
+//! outcomes exactly as they enumerate interleavings and a failing schedule
+//! replays bit for bit. An acquire load that reads a release store joins
+//! that *record's* published clock (not the location's latest), which is
+//! what makes an `Acquire → Relaxed` downgrade observable even when the
+//! sequentially consistent interleavings all pass: the stale read the
+//! weakened ordering newly admits drives the scenario into an invariant
+//! violation no SC schedule can reach. `SeqCst` loads and all RMWs still
+//! read the latest record, and a per-execution stale-read budget keeps spin
+//! loops terminating.
 
 use crate::clock::VClock;
 use crate::linearize::{Op, OpRecord, RetVal, SpecModel};
@@ -108,6 +128,56 @@ enum Status {
     Finished,
 }
 
+/// Memory model the engine explores atomic values under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MemoryModel {
+    /// Sequentially consistent values: every load returns the latest store.
+    /// Ordering bugs surface only as data races on plain data.
+    #[default]
+    Sc,
+    /// C11-style weak values: a non-`SeqCst` load may additionally read any
+    /// stale store record that happens-before and per-thread coherence
+    /// admit. Each admissible-value choice is a recorded [`Decision`], so
+    /// weak executions replay exactly like interleavings do.
+    Weak {
+        /// Stale-read budget per execution: once spent, loads return the
+        /// latest record again (keeps spin loops terminating).
+        stale_reads: u32,
+    },
+}
+
+impl MemoryModel {
+    fn is_weak(self) -> bool {
+        matches!(self, MemoryModel::Weak { .. })
+    }
+
+    fn stale_budget(self) -> u32 {
+        match self {
+            MemoryModel::Sc => 0,
+            MemoryModel::Weak { stale_reads } => stale_reads,
+        }
+    }
+}
+
+/// Oldest-reachable cap on the admissible window of a weak load: a load may
+/// look at most this many records back in the modification order. Bounds the
+/// per-load branching factor the explorer has to enumerate.
+const STALE_WINDOW: usize = 4;
+
+/// One store in an atomic location's modification order (weak mode only).
+#[derive(Debug)]
+struct StoreRecord {
+    value: u64,
+    /// Release clock published with this store (empty after a relaxed store
+    /// that broke the release chain).
+    release: VClock,
+    /// Writing thread, or `usize::MAX` for the initial value.
+    writer: usize,
+    /// Writer's own clock component at the write (pairs with `writer` to
+    /// decide whether a reader already happens-after this record).
+    at: u32,
+}
+
 /// Metadata for one shadow atomic location.
 #[derive(Debug)]
 struct AtomicMeta {
@@ -115,6 +185,33 @@ struct AtomicMeta {
     value: u64,
     /// Clock published by the last release store / joined by release RMWs.
     release: VClock,
+    /// Modification order, oldest first. Maintained only in weak mode; the
+    /// last record always mirrors `value`/`release`.
+    history: Vec<StoreRecord>,
+    /// Per-thread coherence floor: index of the newest record each thread
+    /// has read or written here (reads never go backwards). Lazily sized.
+    read_floor: Vec<usize>,
+}
+
+impl AtomicMeta {
+    fn new(name: &'static str, init: u64, memory: MemoryModel) -> AtomicMeta {
+        AtomicMeta {
+            name,
+            value: init,
+            release: VClock::default(),
+            history: if memory.is_weak() {
+                vec![StoreRecord {
+                    value: init,
+                    release: VClock::default(),
+                    writer: usize::MAX,
+                    at: 0,
+                }]
+            } else {
+                Vec::new()
+            },
+            read_floor: Vec::new(),
+        }
+    }
 }
 
 /// Metadata for one plain-data location.
@@ -148,6 +245,14 @@ struct EngineState {
     steps: u64,
     max_steps: u64,
     history: Vec<HistEvent>,
+    memory: MemoryModel,
+    /// Remaining stale reads this execution (weak mode only).
+    stale_budget: u32,
+    /// A weak load asking the controller to pick among `window` admissible
+    /// records: `(tid, window)`. Served before any thread scheduling.
+    value_request: Option<(usize, usize)>,
+    /// The controller's answer: offset from the latest record (0 = latest).
+    value_reply: Option<usize>,
 }
 
 /// Shared engine handle: state mutex plus the single condition variable all
@@ -163,7 +268,7 @@ pub(crate) struct Shared {
 struct AbortToken;
 
 impl Shared {
-    fn new(max_steps: u64) -> Shared {
+    fn new(max_steps: u64, memory: MemoryModel) -> Shared {
         Shared {
             state: Mutex::new(EngineState {
                 status: Vec::new(),
@@ -176,6 +281,10 @@ impl Shared {
                 steps: 0,
                 max_steps,
                 history: Vec::new(),
+                memory,
+                stale_budget: memory.stale_budget(),
+                value_request: None,
+                value_reply: None,
             }),
             cv: Condvar::new(),
         }
@@ -253,11 +362,8 @@ impl Sandbox {
 
     pub(crate) fn alloc_atomic(&self, name: &'static str, init: u64) -> usize {
         let mut st = self.shared.lock();
-        st.atomics.push(AtomicMeta {
-            name,
-            value: init,
-            release: VClock::default(),
-        });
+        let meta = AtomicMeta::new(name, init, st.memory);
+        st.atomics.push(meta);
         st.atomics.len() - 1
     }
 
@@ -381,9 +487,120 @@ impl ThreadCtx {
         }
     }
 
+    /// Advance this thread's coherence floor on `loc` to `idx`.
+    fn raise_floor(&self, st: &mut EngineState, loc: usize, idx: usize) {
+        let floors = &mut st.atomics[loc].read_floor;
+        if floors.len() <= self.tid {
+            floors.resize(self.tid + 1, 0);
+        }
+        floors[self.tid] = floors[self.tid].max(idx);
+    }
+
+    /// Append the just-performed store to `loc`'s modification order (weak
+    /// mode only) and pin the writer's floor to it: a thread never reads
+    /// older than its own latest write.
+    fn push_record(&self, st: &mut EngineState, loc: usize) {
+        if !st.memory.is_weak() {
+            return;
+        }
+        let rec = StoreRecord {
+            value: st.atomics[loc].value,
+            release: st.atomics[loc].release.clone(),
+            writer: self.tid,
+            at: st.clocks[self.tid].get(self.tid),
+        };
+        st.atomics[loc].history.push(rec);
+        let latest = st.atomics[loc].history.len() - 1;
+        self.raise_floor(st, loc, latest);
+    }
+
+    /// Ask the controller to pick among `window` admissible records. The
+    /// choice is recorded as an ordinary [`Decision`] whose "enabled" set is
+    /// the offsets `0..window` (0 = latest record), so every driver —
+    /// DFS, PCT, replay prefixes — branches over values exactly as it
+    /// branches over threads. Returns the chosen offset.
+    fn choose_value<'a>(
+        &'a self,
+        mut st: MutexGuard<'a, EngineState>,
+        window: usize,
+    ) -> (MutexGuard<'a, EngineState>, usize) {
+        st.value_request = Some((self.tid, window));
+        st.active = None;
+        self.shared.cv.notify_all();
+        while !st.aborting && st.value_reply.is_none() {
+            st = self
+                .shared
+                .cv
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        if st.aborting {
+            drop(st);
+            resume_unwind(Box::new(AbortToken));
+        }
+        let off = st.value_reply.take().expect("reply checked above");
+        (st, off)
+    }
+
+    /// Weak-memory load: pick a record from the admissible window.
+    ///
+    /// The window runs from the newest record the reader is already bound to
+    /// — the later of its coherence floor and its happens-before floor (the
+    /// newest record whose writer's clock the reader has joined) — up to the
+    /// latest, capped at [`STALE_WINDOW`]. `SeqCst` loads and an exhausted
+    /// stale budget collapse the window to the latest record.
+    fn weak_load<'a>(
+        &'a self,
+        mut st: MutexGuard<'a, EngineState>,
+        loc: usize,
+        ord: Ordering,
+    ) -> u64 {
+        let tid = self.tid;
+        let latest = st.atomics[loc].history.len() - 1;
+        let floor_coh = st.atomics[loc].read_floor.get(tid).copied().unwrap_or(0);
+        let mut floor_hb = 0;
+        for (i, rec) in st.atomics[loc].history.iter().enumerate().rev() {
+            if rec.writer == usize::MAX
+                || rec.writer == tid
+                || st.clocks[tid].get(rec.writer) >= rec.at
+            {
+                floor_hb = i;
+                break;
+            }
+        }
+        let mut lo = floor_coh
+            .max(floor_hb)
+            .max(latest.saturating_sub(STALE_WINDOW - 1));
+        if ord == Ordering::SeqCst || st.stale_budget == 0 {
+            lo = latest;
+        }
+        let window = latest - lo + 1;
+        let offset = if window > 1 {
+            let (guard, off) = self.choose_value(st, window);
+            st = guard;
+            off
+        } else {
+            0
+        };
+        let idx = latest - offset;
+        if offset > 0 {
+            st.stale_budget -= 1;
+        }
+        if is_acquire(ord) {
+            let release = st.atomics[loc].history[idx].release.clone();
+            st.clocks[tid].join(&release);
+        }
+        let value = st.atomics[loc].history[idx].value;
+        self.raise_floor(&mut st, loc, idx);
+        value
+    }
+
     /// Atomic load with `ord` semantics.
     pub(crate) fn op_load(&self, loc: usize, ord: Ordering) -> u64 {
         let mut st = self.begin_op();
+        if st.memory.is_weak() {
+            return self.weak_load(st, loc, ord);
+        }
         if is_acquire(ord) {
             let release = st.atomics[loc].release.clone();
             st.clocks[self.tid].join(&release);
@@ -402,10 +619,13 @@ impl ThreadCtx {
             // previous release chain.
             st.atomics[loc].release.clear();
         }
+        self.push_record(&mut st, loc);
         self.wake_blocked_on(&mut st, loc);
     }
 
-    /// Atomic read-modify-write; returns the previous value.
+    /// Atomic read-modify-write; returns the previous value. RMWs always
+    /// read the latest record (they act on the tail of the modification
+    /// order, even under weak memory).
     pub(crate) fn op_rmw(&self, loc: usize, ord: Ordering, f: impl FnOnce(u64) -> u64) -> u64 {
         let mut st = self.begin_op();
         if is_acquire(ord) {
@@ -419,6 +639,7 @@ impl ThreadCtx {
             let clock = st.clocks[self.tid].clone();
             st.atomics[loc].release.join(&clock);
         }
+        self.push_record(&mut st, loc);
         self.wake_blocked_on(&mut st, loc);
         old
     }
@@ -445,12 +666,19 @@ impl ThreadCtx {
                 let clock = st.clocks[self.tid].clone();
                 st.atomics[loc].release.join(&clock);
             }
+            self.push_record(&mut st, loc);
             self.wake_blocked_on(&mut st, loc);
             Ok(cur)
         } else {
             if is_acquire(fail) {
                 let release = st.atomics[loc].release.clone();
                 st.clocks[self.tid].join(&release);
+            }
+            // A failed CAS still observed the tail of the modification
+            // order: pin the reader's coherence floor there (weak mode).
+            if st.memory.is_weak() {
+                let latest = st.atomics[loc].history.len() - 1;
+                self.raise_floor(&mut st, loc, latest);
             }
             Err(cur)
         }
@@ -460,6 +688,22 @@ impl ThreadCtx {
     /// re-checks its predicate after waking.
     pub(crate) fn block_on(&self, loc: usize) {
         let mut st = self.shared.lock();
+        if st.memory.is_weak() {
+            let latest = st.atomics[loc].history.len() - 1;
+            let floor = st.atomics[loc]
+                .read_floor
+                .get(self.tid)
+                .copied()
+                .unwrap_or(0);
+            if latest > floor {
+                // A store this thread has not observed exists, so its last
+                // (possibly stale) read does not justify parking: model a
+                // spurious wake and let the caller re-check its predicate.
+                // The stale budget guarantees the re-read eventually returns
+                // the latest record, so this cannot spin forever.
+                return;
+            }
+        }
         st.status[self.tid] = Status::Blocked(loc);
         st.active = None;
         self.shared.cv.notify_all();
@@ -545,11 +789,8 @@ impl ThreadCtx {
     /// of a dynamically allocated queue node). Not a schedule point.
     pub(crate) fn alloc_atomic(&self, name: &'static str, init: u64) -> usize {
         let mut st = self.shared.lock();
-        st.atomics.push(AtomicMeta {
-            name,
-            value: init,
-            release: VClock::default(),
-        });
+        let meta = AtomicMeta::new(name, init, st.memory);
+        st.atomics.push(meta);
         st.atomics.len() - 1
     }
 
@@ -614,8 +855,9 @@ pub(crate) fn run_one(
     factory: &(dyn Fn(&mut Sandbox) + Sync),
     driver: &mut dyn Driver,
     max_steps: u64,
+    memory: MemoryModel,
 ) -> RunOutcome {
-    let shared = Arc::new(Shared::new(max_steps));
+    let shared = Arc::new(Shared::new(max_steps, memory));
     let mut sandbox = Sandbox {
         shared: Arc::clone(&shared),
         threads: Vec::new(),
@@ -688,6 +930,23 @@ pub(crate) fn run_one(
             }
             if st.aborting {
                 break;
+            }
+            if let Some((tid, window)) = st.value_request.take() {
+                // Serve a weak load's value choice before any scheduling:
+                // the requesting thread still holds its turn, it just needs
+                // a branch taken. Offsets count back from the latest record.
+                let choices: Vec<usize> = (0..window).collect();
+                let c = driver.choose(decisions.len(), &choices, prev);
+                debug_assert!(c < window, "driver chose an inadmissible record");
+                decisions.push(Decision {
+                    enabled: choices,
+                    prev,
+                    chosen: c,
+                });
+                st.value_reply = Some(c);
+                st.active = Some(tid);
+                shared.cv.notify_all();
+                continue;
             }
             let enabled: Vec<usize> = st
                 .status
@@ -798,6 +1057,7 @@ mod tests {
             },
             &mut Sticky,
             1000,
+            MemoryModel::Sc,
         );
         assert!(out.failure.is_none(), "{:?}", out.failure);
         assert_eq!(out.steps, 2);
@@ -822,6 +1082,7 @@ mod tests {
             },
             &mut Sticky,
             1000,
+            MemoryModel::Sc,
         );
         assert!(
             matches!(out.failure, Some(Failure::DataRace { .. })),
@@ -850,6 +1111,7 @@ mod tests {
             },
             &mut Sticky,
             1000,
+            MemoryModel::Sc,
         );
         assert!(out.failure.is_none(), "{:?}", out.failure);
     }
@@ -867,6 +1129,7 @@ mod tests {
             },
             &mut Sticky,
             1000,
+            MemoryModel::Sc,
         );
         assert!(
             matches!(out.failure, Some(Failure::Deadlock { .. })),

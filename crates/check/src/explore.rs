@@ -22,7 +22,7 @@
 //! [`CounterExample`] whose rendered form (`"0*3,1*2,0"`) can be parsed back
 //! and replayed.
 
-use crate::engine::{run_one, Driver, Failure, RunOutcome, Sandbox};
+use crate::engine::{run_one, Driver, Failure, MemoryModel, RunOutcome, Sandbox};
 use splash4_parmacs::SmallRng;
 use std::collections::HashSet;
 use std::fmt;
@@ -50,6 +50,9 @@ pub struct Budget {
     pub pct_depth: u32,
     /// Horizon (in branching decisions) change points are drawn from.
     pub pct_len: u32,
+    /// Memory model executions run under. [`MemoryModel::Weak`] adds
+    /// admissible-value branching points to the search space.
+    pub memory: MemoryModel,
 }
 
 impl Default for Budget {
@@ -63,6 +66,7 @@ impl Default for Budget {
             seed: 0xC0FF_EE00,
             pct_depth: 3,
             pct_len: 64,
+            memory: MemoryModel::Sc,
         }
     }
 }
@@ -306,7 +310,12 @@ impl<'a> Explorer<'a> {
 
     fn run(&mut self, driver: &mut dyn Driver) -> RunOutcome {
         self.executions += 1;
-        let out = run_one(self.factory, driver, self.budget.max_steps);
+        let out = run_one(
+            self.factory,
+            driver,
+            self.budget.max_steps,
+            self.budget.memory,
+        );
         self.record(&out);
         out
     }
@@ -404,7 +413,7 @@ pub fn explore(factory: &Scenario, budget: &Budget) -> ExploreReport {
     let counterexample = ex
         .failing
         .take()
-        .map(|(sched, failure)| minimize(factory, sched, failure, budget.max_steps));
+        .map(|(sched, failure)| minimize(factory, sched, failure, budget.max_steps, budget.memory));
 
     ExploreReport {
         distinct_schedules: ex.seen.len(),
@@ -414,12 +423,25 @@ pub fn explore(factory: &Scenario, budget: &Budget) -> ExploreReport {
     }
 }
 
-/// Replay `schedule` against the scenario deterministically.
+/// Replay `schedule` against the scenario deterministically under
+/// sequentially consistent values. For schedules produced by a weak-memory
+/// exploration use [`replay_under`] with the same model — the decision
+/// indices only line up when the memory model matches.
 pub fn replay(factory: &Scenario, schedule: &Schedule, max_steps: u64) -> Replayed {
+    replay_under(factory, schedule, max_steps, MemoryModel::Sc)
+}
+
+/// Replay `schedule` under an explicit memory model.
+pub fn replay_under(
+    factory: &Scenario,
+    schedule: &Schedule,
+    max_steps: u64,
+    memory: MemoryModel,
+) -> Replayed {
     let mut driver = PrefixDriver {
         prefix: schedule.0.clone(),
     };
-    let out = run_one(factory, &mut driver, max_steps);
+    let out = run_one(factory, &mut driver, max_steps, memory);
     Replayed {
         failure: out.failure,
         schedule: Schedule(out.decisions.iter().map(|d| d.chosen as u32).collect()),
@@ -436,12 +458,13 @@ fn minimize(
     initial: Vec<u32>,
     failure: Failure,
     max_steps: u64,
+    memory: MemoryModel,
 ) -> CounterExample {
     let want = failure.kind();
     let metric = |s: &Schedule| (s.switches(), s.0.len());
 
     // Canonicalize to the full decision sequence of a replay.
-    let first = replay(factory, &Schedule(initial.clone()), max_steps);
+    let first = replay_under(factory, &Schedule(initial.clone()), max_steps, memory);
     let (mut best, mut best_failure) = match first.failure {
         Some(f) if f.kind() == want => (first.schedule, f),
         _ => (Schedule(initial), failure),
@@ -452,7 +475,7 @@ fn minimize(
         // Truncation: drop the tail, let the default policy finish.
         for i in 0..best.0.len() {
             let cand = Schedule(best.0[..i].to_vec());
-            let re = replay(factory, &cand, max_steps);
+            let re = replay_under(factory, &cand, max_steps, memory);
             if let Some(f) = re.failure {
                 if f.kind() == want && metric(&re.schedule) < metric(&best) {
                     best = re.schedule;
@@ -470,7 +493,7 @@ fn minimize(
                 }
                 let mut cand = best.0.clone();
                 cand[i] = cand[i - 1];
-                let re = replay(factory, &Schedule(cand), max_steps);
+                let re = replay_under(factory, &Schedule(cand), max_steps, memory);
                 if let Some(f) = re.failure {
                     if f.kind() == want && metric(&re.schedule) < metric(&best) {
                         best = re.schedule;

@@ -35,6 +35,12 @@
 //!   [`splash4_kernels::InputClass::Check`] scale — radix's fetch-add rank
 //!   dispensing and water-nsquared's CAS-loop energy reduction — for the
 //!   `V2-kernel-check` experiment.
+//! * [`weakmem`] goes beyond sequentially consistent values: under
+//!   [`engine::MemoryModel::Weak`] the engine also branches over the stale
+//!   reads the C11 orderings admit on the atomics themselves, catching
+//!   ordering downgrades (e.g. a `SeqCst → Acquire` store-buffering window)
+//!   that cause no data race and are invisible to interleaving-only search —
+//!   the `W1-weakmem` experiment table.
 //!
 //! ```
 //! use splash4_check::{explore, Budget, treiber_scenario};
@@ -58,6 +64,7 @@ pub mod linearize;
 pub mod reclaim;
 pub mod shadow;
 pub mod suite;
+pub mod weakmem;
 
 pub use clock::VClock;
 pub use combining::{
@@ -66,8 +73,10 @@ pub use combining::{
     combining_reduce_scenario, combining_ticket_scenario, ShadowCombiningBarrier,
     ShadowCombiningCounter, ShadowCombiningDispenser, ShadowCombiningF64, ShadowCombiningReducer,
 };
-pub use engine::{Failure, Peek, Sandbox, ThreadCtx};
-pub use explore::{explore, replay, Budget, CounterExample, ExploreReport, Replayed, Schedule};
+pub use engine::{Failure, MemoryModel, Peek, Sandbox, ThreadCtx};
+pub use explore::{
+    explore, replay, replay_under, Budget, CounterExample, ExploreReport, Replayed, Schedule,
+};
 pub use kernel::{
     check_kernel_mutants, check_kernels, kernel_mutants, radix_rank_scenario, water_energy_scenario,
 };
@@ -86,4 +95,8 @@ pub use suite::{
     reduce_f64_scenario, reduce_u64_scenario, sense_barrier_scenario, ticket_reset_misuse_scenario,
     ticket_reset_scenario, ticket_scenario, treiber_scenario, CheckBudget, ConstructReport,
     MutantReport, Verdict,
+};
+pub use weakmem::{
+    barrier_handshake_scenario, check_weakmem, check_weakmem_mutants, mp_flag_scenario,
+    sb_epoch_scenario, sb_hazard_scenario, weakmem_mutants, WeakMutantReport, WEAK_STALE_READS,
 };

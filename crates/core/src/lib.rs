@@ -80,12 +80,14 @@
 
 pub use splash4_check as check;
 pub use splash4_check::{
-    check_kernel_mutants, check_kernels, check_mutants, check_suite, CheckBudget,
+    check_kernel_mutants, check_kernels, check_mutants, check_suite, check_weakmem,
+    check_weakmem_mutants, CheckBudget, MemoryModel,
 };
 pub use splash4_harness::{
     compare_texts as compare_bench_docs, geomean, pct_change, record_trace, run_bench,
-    run_experiment, validate as validate_bench_doc, BenchConfig, BenchDoc, CompareReport,
-    ExperimentCtx, MeasureConfig, MetricClass, ModelCache, Report, Summary, Table, ALL_EXPERIMENTS,
+    run_bench_atomics, run_experiment, validate as validate_bench_doc, BenchConfig, BenchDoc,
+    CompareReport, ExperimentCtx, MeasureConfig, MetricClass, ModelCache, Report, Summary, Table,
+    ALL_EXPERIMENTS,
 };
 // The experiment service's network-free core (DESIGN.md §13); the
 // `splash4-serve` crate wraps this in the JSON-over-TCP front end.
@@ -109,7 +111,8 @@ pub use splash4_reclaim::{
     ReclaimStats, Reclaimer, TaskPool,
 };
 pub use splash4_sim::{
-    engine, simulate, BarrierKind, Engine, MachineParams, Program, SimResult, Simulator,
+    calibrate, engine, simulate, synthesize_bench, BarrierKind, Engine, MachineParams, Program,
+    SimResult, Simulator,
 };
 pub use splash4_trace as trace;
 pub use splash4_trace::{lower::lower as lower_trace, RingRecorder, Trace, TraceSummary};

@@ -8,8 +8,11 @@
 //! splash4-report --all --only fft,radix
 //! splash4-report --all --csv-dir results/csv
 //! splash4-report --bench [--quick] [--bench-out BENCH_results.json] [--force]
+//! splash4-report --bench atomics [--quick] [--bench-out atomics.json]
 //! splash4-report --validate BENCH_results.json
 //! splash4-report --compare results/BENCH_results.json BENCH_results.json
+//! splash4-report --calibrate atomics.json [--profile-base epyc] [--profile-out host-profile.json]
+//! splash4-report --experiment F2-sim-epyc --machine host-profile.json
 //! ```
 //!
 //! `--validate` checks a bench document's schema and statistical invariants
@@ -18,6 +21,13 @@
 //! the same binary serves local perf work and CI gating, with no Python on
 //! the runners.
 //!
+//! `--bench atomics` runs only the atomic cost matrix (CAS/FAA/SWP/load/
+//! store across contention levels and cache-line padding) and emits a subset
+//! bench document; `--calibrate` lowers such a document's measured medians
+//! into a simulator machine profile, and `--machine` points any
+//! simulation-driven experiment at a preset name, inline profile JSON, or a
+//! profile file (see `splash4_sim::MachineParams::resolve`).
+//!
 //! `--only` narrows the per-workload experiments (and the `--bench`
 //! end-to-end wall benchmark) to a comma list of workload names, resolved
 //! leniently through the registry (`FFT`, `water-nsquared`, and
@@ -25,21 +35,23 @@
 //! the workload names those filters accept.
 
 use splash4_harness::{
-    compare_texts, run_bench, run_experiment, validate, write_guarded, BenchConfig, BenchmarkId,
-    ExperimentCtx, ALL_EXPERIMENTS,
+    compare_texts, run_bench, run_bench_atomics, run_experiment, validate, write_guarded,
+    BenchConfig, BenchmarkId, ExperimentCtx, ALL_EXPERIMENTS,
 };
 use splash4_kernels::InputClass;
-use splash4_parmacs::json;
+use splash4_parmacs::{json, Json};
+use splash4_sim::MachineParams;
 use std::path::Path;
 use std::process::ExitCode;
 
 fn usage() -> &'static str {
-    "usage: splash4-report (--list | --all | --experiment <id> | --bench \
-     | --validate <file> | --compare <baseline> <candidate>) \
+    "usage: splash4-report (--list | --all | --experiment <id> | --bench [atomics] \
+     | --validate <file> | --compare <baseline> <candidate> | --calibrate <bench.json>) \
      [--only bench[,bench...]] [--class test|small|native] \
-     [--threads a,b,c] [--sim-threads a,b,c] \
+     [--threads a,b,c] [--sim-threads a,b,c] [--machine <preset|file|json>] \
      [--snapshot-cores N] [--json-out FILE] [--csv-dir DIR] \
-     [--quick] [--bench-out FILE] [--force]"
+     [--quick] [--bench-out FILE] [--force] \
+     [--profile-base <preset>] [--profile-out FILE]"
 }
 
 fn main() -> ExitCode {
@@ -48,8 +60,12 @@ fn main() -> ExitCode {
     let mut all = false;
     let mut list = false;
     let mut bench = false;
+    let mut bench_atomics = false;
     let mut quick = false;
     let mut force = false;
+    let mut calibrate_path: Option<String> = None;
+    let mut profile_out = "host-profile.json".to_string();
+    let mut profile_base = "epyc".to_string();
     let mut validate_path: Option<String> = None;
     let mut compare_paths: Option<(String, String)> = None;
     let mut bench_out = "BENCH_results.json".to_string();
@@ -91,9 +107,55 @@ fn main() -> ExitCode {
                 only = Some(picked);
             }
             "--all" => all = true,
-            "--bench" => bench = true,
+            "--bench" => {
+                bench = true;
+                // `--bench atomics` narrows the run to the atomic cost
+                // matrix; the optional group name is peeked so a following
+                // flag is left for the main loop.
+                if it.clone().next().map(String::as_str) == Some("atomics") {
+                    it.next();
+                    bench_atomics = true;
+                }
+            }
             "--quick" => quick = true,
             "--force" => force = true,
+            "--calibrate" => {
+                let Some(path) = it.next() else {
+                    eprintln!("--calibrate needs a bench JSON path\n{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                calibrate_path = Some(path.clone());
+            }
+            "--profile-out" => {
+                let Some(path) = it.next() else {
+                    eprintln!("--profile-out needs a path\n{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                profile_out = path.clone();
+            }
+            "--profile-base" => {
+                let Some(spec) = it.next() else {
+                    eprintln!("--profile-base needs a machine preset\n{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                profile_base = spec.clone();
+            }
+            "--machine" => {
+                let Some(spec) = it.next() else {
+                    eprintln!(
+                        "--machine needs a preset name, profile file, or inline JSON\n{}",
+                        usage()
+                    );
+                    return ExitCode::FAILURE;
+                };
+                match MachineParams::resolve(spec) {
+                    Ok(m) => ctx.machine = Some(m),
+                    Err(e) => {
+                        eprintln!("--machine {spec}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--validate" => {
                 let Some(path) = it.next() else {
                     eprintln!("--validate needs a path\n{}", usage());
@@ -245,6 +307,75 @@ fn main() -> ExitCode {
         };
     }
 
+    if let Some(path) = calibrate_path {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("failed to read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let doc = match Json::parse(&text) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("{path}: not valid JSON: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let base = match MachineParams::resolve(&profile_base) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("--profile-base {profile_base}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let profile = match splash4_sim::calibrate(&doc, &base) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("calibration from {path} failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!(
+            "calibrated machine profile '{}' (base preset '{}'):",
+            profile.name, base.name
+        );
+        println!(
+            "  {:<18} {:>10} {:>10}",
+            "parameter", base.name, profile.name
+        );
+        let rows: [(&str, u64, u64); 5] = [
+            ("rmw_local_ns", base.rmw_local_ns, profile.rmw_local_ns),
+            (
+                "rmw_service_ns",
+                base.rmw_service_ns,
+                profile.rmw_service_ns,
+            ),
+            ("lock_pair_ns", base.lock_pair_ns, profile.lock_pair_ns),
+            (
+                "line_transfer_ns",
+                base.line_transfer_ns,
+                profile.line_transfer_ns,
+            ),
+            ("futex_wake_ns", base.futex_wake_ns, profile.futex_wake_ns),
+        ];
+        for (label, was, now) in rows {
+            println!("  {label:<18} {was:>10} {now:>10}");
+        }
+        let source = format!("calibrated from {path} (base {})", base.name);
+        let profile_doc = profile.to_profile_json(&source);
+        if let Err(e) = write_guarded(
+            Path::new(&profile_out),
+            &profile_doc.to_string_pretty(),
+            force,
+        ) {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {profile_out}");
+        return ExitCode::SUCCESS;
+    }
+
     if bench {
         let mut cfg = if quick {
             BenchConfig::quick()
@@ -261,13 +392,18 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         eprintln!(
-            "running perf bench ({} mode, {}-{} adaptive reps, CI target ±{:.0}%)...",
+            "running perf bench ({}{} mode, {}-{} adaptive reps, CI target ±{:.0}%)...",
+            if bench_atomics { "atomics group, " } else { "" },
             if quick { "quick" } else { "full" },
             cfg.measure.min_reps,
             cfg.measure.max_reps,
             cfg.measure.target_rci * 100.0
         );
-        let (text, doc) = run_bench(&cfg);
+        let (text, doc) = if bench_atomics {
+            run_bench_atomics(&cfg)
+        } else {
+            run_bench(&cfg)
+        };
         print!("{text}");
         if let Err(e) = write_guarded(Path::new(&bench_out), &doc.to_string_pretty(), force) {
             eprintln!("{e}");

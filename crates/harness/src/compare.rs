@@ -183,68 +183,80 @@ impl BenchDoc {
             Ok(s)
         };
 
-        let mut metrics = Vec::new();
-        for group in BACKEND_METRICS {
-            let g = &metrics_json[group];
-            if g.as_object().is_none() {
-                return Err(format!("missing metric group `{group}`"));
-            }
-            let mut per_backend = Vec::new();
-            for backend in BACKENDS {
-                let name = format!("{group}/{backend}");
-                let s = read(&g[backend], &name)?;
-                per_backend.push(s.clone());
-                metrics.push(Metric {
-                    name,
-                    class: MetricClass::Throughput,
-                    summary: s,
-                });
-            }
-            // The combining generation, when the document carries it.
-            if !g[OPTIONAL_BACKEND].is_null() {
-                let name = format!("{group}/{OPTIONAL_BACKEND}");
-                metrics.push(Metric {
-                    name: name.clone(),
-                    class: MetricClass::Throughput,
-                    summary: read(&g[OPTIONAL_BACKEND], &name)?,
-                });
-            }
-            // Lock-free over lock-based: the host-normalized form of the
-            // group. v2 documents carry it; for v1 we derive it from the two
-            // (already widened) point estimates.
-            let ratio = match &g["ratio"] {
-                Json::Null if version == 1 => per_backend[1].ratio_vs(&per_backend[0]),
-                Json::Null => return Err(format!("metric group `{group}` missing `ratio`")),
-                v => read(v, &format!("{group}/ratio"))?,
-            };
-            metrics.push(Metric {
-                name: format!("{group}/ratio"),
-                class: MetricClass::Ratio,
-                summary: ratio,
-            });
-        }
+        // The core groups (per-backend sync throughput, sim engine rates,
+        // report wall) are all-or-nothing: a full bench document must carry
+        // every one of them, so a run that silently lost a group still fails
+        // validation. Subset documents (`--bench atomics` writes config +
+        // the `atomics` matrix only, as calibration input) carry *none* of
+        // the core groups and decode to just the groups they have.
+        let has_core = BACKEND_METRICS.iter().any(|g| !metrics_json[*g].is_null())
+            || !metrics_json["sim_events_per_sec"].is_null()
+            || !metrics_json["report_wall_secs"].is_null();
 
-        let sim = &metrics_json["sim_events_per_sec"];
-        if sim.as_object().is_none() {
-            return Err("missing metric group `sim_events_per_sec`".into());
-        }
-        for part in ["engine", "reference"] {
+        let mut metrics = Vec::new();
+        if has_core {
+            for group in BACKEND_METRICS {
+                let g = &metrics_json[group];
+                if g.as_object().is_none() {
+                    return Err(format!("missing metric group `{group}`"));
+                }
+                let mut per_backend = Vec::new();
+                for backend in BACKENDS {
+                    let name = format!("{group}/{backend}");
+                    let s = read(&g[backend], &name)?;
+                    per_backend.push(s.clone());
+                    metrics.push(Metric {
+                        name,
+                        class: MetricClass::Throughput,
+                        summary: s,
+                    });
+                }
+                // The combining generation, when the document carries it.
+                if !g[OPTIONAL_BACKEND].is_null() {
+                    let name = format!("{group}/{OPTIONAL_BACKEND}");
+                    metrics.push(Metric {
+                        name: name.clone(),
+                        class: MetricClass::Throughput,
+                        summary: read(&g[OPTIONAL_BACKEND], &name)?,
+                    });
+                }
+                // Lock-free over lock-based: the host-normalized form of the
+                // group. v2 documents carry it; for v1 we derive it from the two
+                // (already widened) point estimates.
+                let ratio = match &g["ratio"] {
+                    Json::Null if version == 1 => per_backend[1].ratio_vs(&per_backend[0]),
+                    Json::Null => return Err(format!("metric group `{group}` missing `ratio`")),
+                    v => read(v, &format!("{group}/ratio"))?,
+                };
+                metrics.push(Metric {
+                    name: format!("{group}/ratio"),
+                    class: MetricClass::Ratio,
+                    summary: ratio,
+                });
+            }
+
+            let sim = &metrics_json["sim_events_per_sec"];
+            if sim.as_object().is_none() {
+                return Err("missing metric group `sim_events_per_sec`".into());
+            }
+            for part in ["engine", "reference"] {
+                metrics.push(Metric {
+                    name: format!("sim_events_per_sec/{part}"),
+                    class: MetricClass::Throughput,
+                    summary: read(&sim[part], &format!("sim_events_per_sec/{part}"))?,
+                });
+            }
             metrics.push(Metric {
-                name: format!("sim_events_per_sec/{part}"),
-                class: MetricClass::Throughput,
-                summary: read(&sim[part], &format!("sim_events_per_sec/{part}"))?,
+                name: "sim_events_per_sec/speedup".into(),
+                class: MetricClass::Ratio,
+                summary: read(&sim["speedup"], "sim_events_per_sec/speedup")?,
+            });
+            metrics.push(Metric {
+                name: "report_wall_secs".into(),
+                class: MetricClass::Wall,
+                summary: read(&metrics_json["report_wall_secs"], "report_wall_secs")?,
             });
         }
-        metrics.push(Metric {
-            name: "sim_events_per_sec/speedup".into(),
-            class: MetricClass::Ratio,
-            summary: read(&sim["speedup"], "sim_events_per_sec/speedup")?,
-        });
-        metrics.push(Metric {
-            name: "report_wall_secs".into(),
-            class: MetricClass::Wall,
-            summary: read(&metrics_json["report_wall_secs"], "report_wall_secs")?,
-        });
 
         // The serve group (experiment-service throughput and the many-core
         // barrier-release retime ratio) arrived after v2 shipped; it is
@@ -314,6 +326,37 @@ impl BenchDoc {
             return Err("`combining` metric group must be an object when present".into());
         }
 
+        // The atomic cost matrix (`--bench atomics`). Unlike every group
+        // above, its cell set is open-ended — contention levels depend on
+        // the measured thread count — so the decode is dynamic: every entry
+        // must be a summary, and every cell is host-absolute nanoseconds
+        // per op (`Wall`: lower is better, gate-eligible only between
+        // matching configs, informational otherwise). Deliberately no
+        // ratio-class atomics: per the paper, contended-atomic costs *are*
+        // host properties — they feed `sim::calibrate`, not a cross-host
+        // gate.
+        let atomics = &metrics_json["atomics"];
+        if let Some(entries) = atomics.as_object() {
+            if entries.is_empty() {
+                return Err("`atomics` metric group is empty".into());
+            }
+            for (cell, v) in entries {
+                let name = format!("atomics/{cell}");
+                let summary = read(v, &name)?;
+                metrics.push(Metric {
+                    name,
+                    class: MetricClass::Wall,
+                    summary,
+                });
+            }
+        } else if !atomics.is_null() {
+            return Err("`atomics` metric group must be an object when present".into());
+        }
+
+        if metrics.is_empty() {
+            return Err("document carries no metric groups".into());
+        }
+
         for m in &metrics {
             m.summary
                 .check()
@@ -376,6 +419,10 @@ pub enum Verdict {
     Regressed,
     /// Absolute metric under mismatched configs: reported, never gated.
     Informational,
+    /// Metric present only in the candidate (the baseline predates the
+    /// group): reported for visibility, never gated — a baseline cannot
+    /// regress on a number it never recorded.
+    New,
 }
 
 impl Verdict {
@@ -385,6 +432,7 @@ impl Verdict {
             Verdict::Improved => "improved",
             Verdict::Regressed => "REGRESSED",
             Verdict::Informational => "info-only",
+            Verdict::New => "new (info-only)",
         }
     }
 }
@@ -448,13 +496,28 @@ impl CompareReport {
             "verdict",
         ]);
         for d in &self.deltas {
+            let is_new = d.verdict == Verdict::New;
             t.row(vec![
                 d.name.clone(),
                 d.class.label().into(),
-                fmt_value(d.base.median),
+                if is_new {
+                    "-".into()
+                } else {
+                    fmt_value(d.base.median)
+                },
                 fmt_value(d.cand.median),
-                format!("{:+.1}%", (d.ratio - 1.0) * 100.0),
-                if d.resolvable { "disjoint" } else { "overlap" }.into(),
+                if is_new {
+                    "-".into()
+                } else {
+                    format!("{:+.1}%", (d.ratio - 1.0) * 100.0)
+                },
+                if is_new {
+                    "-".into()
+                } else if d.resolvable {
+                    "disjoint".into()
+                } else {
+                    "overlap".into()
+                },
                 d.verdict.label().into(),
             ]);
         }
@@ -501,6 +564,12 @@ fn fmt_value(v: f64) -> String {
 /// state, (b) the two intervals are disjoint in the regressing direction,
 /// and (c) the median effect exceeds the class minimum. Disjoint
 /// improvements are labeled, everything else is within-noise.
+///
+/// Metrics only the *candidate* carries — a baseline written before a bench
+/// group existed — are appended as [`Verdict::New`]: visible in the table,
+/// excluded from the speedup geomean, and never gating. (Metrics only the
+/// baseline carries are dropped: the candidate checkout no longer measures
+/// them, so there is nothing to compare.)
 pub fn compare(base: &BenchDoc, cand: &BenchDoc) -> CompareReport {
     let configs_match = base.config_matches(cand);
     let mut deltas = Vec::new();
@@ -554,6 +623,22 @@ pub fn compare(base: &BenchDoc, cand: &BenchDoc) -> CompareReport {
             resolvable: cand_worse_resolved || cand_better_resolved,
             verdict,
         });
+    }
+    for cm in &cand.metrics {
+        if base.metric(&cm.name).is_none() {
+            deltas.push(Delta {
+                name: cm.name.clone(),
+                class: cm.class,
+                // No baseline exists; carry the candidate on both sides so
+                // the row renders (the table prints `-` for the base and
+                // delta columns of a `New` verdict).
+                base: cm.summary.clone(),
+                cand: cm.summary.clone(),
+                ratio: 1.0,
+                resolvable: false,
+                verdict: Verdict::New,
+            });
+        }
     }
     CompareReport {
         deltas,
@@ -892,6 +977,98 @@ mod tests {
         let cand = synth_v2_serve(1.0, 0.02, true, 30.0 / 17.0, 1.0);
         let r = compare_texts(&base, &cand).expect("compares");
         assert!(r.regressions().contains(&"serve/retime_speedup"));
+    }
+
+    /// `doc` with an `atomics` group of two cells spliced into `metrics`.
+    fn with_atomics(text: &str) -> String {
+        let doc = Json::parse(text).unwrap();
+        let s = |median: f64| -> Json {
+            Summary {
+                median,
+                ci_lo: median * 0.98,
+                ci_hi: median * 1.02,
+                reps: 5,
+                cv: 0.02,
+                samples: vec![median; 5],
+            }
+            .to_json()
+        };
+        let mut metrics = doc["metrics"].as_object().unwrap().to_vec();
+        metrics.push((
+            "atomics".into(),
+            json!({"faa_c1_ns": s(14.0), "faa_c4_ns": s(92.0)}),
+        ));
+        json!({
+            "schema": "splash4-bench-v2",
+            "config": doc["config"].clone(),
+            "metrics": Json::Object(metrics),
+        })
+        .to_string_pretty()
+    }
+
+    #[test]
+    fn candidate_only_groups_report_as_new_and_never_gate() {
+        // Baseline predates the atomics matrix; candidate carries it. The
+        // extra group must not error, must not gate, and must show up as
+        // `new` rows in the rendered table.
+        let base = synth_v2(1.0, 0.02, false);
+        let cand = with_atomics(&synth_v2(1.0, 0.02, false));
+        let r = compare_texts(&base, &cand).expect("old baseline vs new candidate");
+        assert!(r.configs_match, "atomics adds no shape keys");
+        assert!(r.pass(), "regressions: {:?}", r.regressions());
+        let news: Vec<&str> = r
+            .deltas
+            .iter()
+            .filter(|d| d.verdict == Verdict::New)
+            .map(|d| d.name.as_str())
+            .collect();
+        assert_eq!(news, ["atomics/faa_c1_ns", "atomics/faa_c4_ns"]);
+        let text = r.to_text();
+        assert!(text.contains("new (info-only)"), "{text}");
+        // New rows do not perturb the geomean over shared metrics.
+        assert!((r.geomean_speedup - 1.0).abs() < 1e-9);
+        // Both sides carrying the group compares it normally again.
+        let r = compare_texts(&cand, &cand).expect("self compare");
+        assert!(r.deltas.iter().all(|d| d.verdict == Verdict::WithinNoise));
+    }
+
+    #[test]
+    fn atomics_only_subset_documents_validate_and_decode() {
+        // The `--bench atomics` shape: config + the atomics group, no core
+        // groups at all. It must validate (it is the calibration input CI
+        // uploads) while a document with *some* core groups but not all of
+        // them must still be rejected.
+        let full = Json::parse(&with_atomics(&synth_v2(1.0, 0.02, false))).unwrap();
+        let subset = json!({
+            "schema": "splash4-bench-v2",
+            "config": full["config"].clone(),
+            "metrics": json!({"atomics": full["metrics"]["atomics"].clone()}),
+        })
+        .to_string_pretty();
+        let doc = BenchDoc::parse(&subset).expect("atomics-only subset decodes");
+        assert_eq!(doc.metrics.len(), 2);
+        assert_eq!(
+            doc.metric("atomics/faa_c1_ns").unwrap().class,
+            MetricClass::Wall
+        );
+        // Empty metrics: rejected.
+        let empty = json!({
+            "schema": "splash4-bench-v2",
+            "config": full["config"].clone(),
+            "metrics": json!({}),
+        })
+        .to_string_pretty();
+        assert!(BenchDoc::parse(&empty)
+            .unwrap_err()
+            .contains("no metric groups"));
+        // A malformed atomics group (not an object) is rejected.
+        let bad = json!({
+            "schema": "splash4-bench-v2",
+            "config": full["config"].clone(),
+            "metrics": json!({"atomics": 3.0}),
+        })
+        .to_string_pretty();
+        assert!(BenchDoc::parse(&bad).unwrap_err().contains("atomics"));
     }
 
     #[test]

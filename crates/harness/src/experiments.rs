@@ -79,6 +79,11 @@ pub struct ExperimentCtx {
     pub snapshot_cores: usize,
     /// Calibrated-model cache shared across experiments (see [`ModelCache`]).
     pub models: ModelCache,
+    /// Machine override for simulation-driven experiments (`--machine`):
+    /// a preset or a calibrated host profile resolved via
+    /// [`MachineParams::resolve`]. `None` keeps each experiment's default
+    /// preset (e.g. `F2` on epyc-like, `F3` on icelake-like).
+    pub machine: Option<MachineParams>,
 }
 
 impl Default for ExperimentCtx {
@@ -90,6 +95,7 @@ impl Default for ExperimentCtx {
             sim_threads: vec![1, 2, 4, 8, 16, 32, 64],
             snapshot_cores: 32,
             models: ModelCache::default(),
+            machine: None,
         }
     }
 }
@@ -109,7 +115,7 @@ impl ExperimentCtx {
 }
 
 /// All known experiment ids, in presentation order.
-pub const ALL_EXPERIMENTS: [&str; 16] = [
+pub const ALL_EXPERIMENTS: [&str; 17] = [
     "T1-inputs",
     "T2-changes",
     "T3-syncops",
@@ -126,6 +132,7 @@ pub const ALL_EXPERIMENTS: [&str; 16] = [
     "V2-kernel-check",
     "C1-combining",
     "R1-reclaim",
+    "W1-weakmem",
 ];
 
 /// Dispatch an experiment by id.
@@ -140,12 +147,12 @@ pub fn run_experiment(id: &str, ctx: &ExperimentCtx) -> Result<Report, String> {
         "F1-native" => Ok(f1_native(ctx)),
         "F2-sim-epyc" => Ok(sim_normalized(
             "F2-sim-epyc",
-            MachineParams::epyc_like(),
+            ctx.machine.unwrap_or_else(MachineParams::epyc_like),
             ctx,
         )),
         "F3-sim-icelake" => Ok(sim_normalized(
             "F3-sim-icelake",
-            MachineParams::icelake_like(),
+            ctx.machine.unwrap_or_else(MachineParams::icelake_like),
             ctx,
         )),
         "F4-scalability" => Ok(f4_scalability(ctx)),
@@ -158,6 +165,7 @@ pub fn run_experiment(id: &str, ctx: &ExperimentCtx) -> Result<Report, String> {
         "V2-kernel-check" => Ok(v2_kernel_check(ctx)),
         "C1-combining" => Ok(c1_combining(ctx)),
         "R1-reclaim" => Ok(r1_reclaim(ctx)),
+        "W1-weakmem" => Ok(w1_weakmem(ctx)),
         _ => Err(format!(
             "unknown experiment '{id}'; known: {}",
             ALL_EXPERIMENTS.join(", ")
@@ -423,7 +431,7 @@ fn sim_normalized(id: &str, machine: MachineParams, ctx: &ExperimentCtx) -> Repo
 
 /// `F4-scalability`: self-relative simulated speedup curves.
 fn f4_scalability(ctx: &ExperimentCtx) -> Report {
-    let machine = MachineParams::epyc_like();
+    let machine = ctx.machine.unwrap_or_else(MachineParams::epyc_like);
     let mut header = vec!["benchmark".to_string(), "suite".to_string()];
     for &p in &ctx.sim_threads {
         header.push(format!("p={p}"));
@@ -459,7 +467,7 @@ fn f4_scalability(ctx: &ExperimentCtx) -> Report {
 /// `F5-sync-breakdown`: where simulated core-time goes at the snapshot core
 /// count.
 fn f5_breakdown(ctx: &ExperimentCtx) -> Report {
-    let machine = MachineParams::epyc_like();
+    let machine = ctx.machine.unwrap_or_else(MachineParams::epyc_like);
     let p = ctx.snapshot_cores;
     let mut t = Table::new(vec![
         "benchmark",
@@ -565,7 +573,10 @@ fn f8_trace_replay(ctx: &ExperimentCtx) -> Report {
     /// Simulated core counts for the replay sweep.
     const REPLAY_CORES: [usize; 4] = [1, 8, 32, 64];
 
-    let machines = [MachineParams::epyc_like(), MachineParams::icelake_like()];
+    let machines: Vec<MachineParams> = match ctx.machine {
+        Some(m) => vec![m],
+        None => vec![MachineParams::epyc_like(), MachineParams::icelake_like()],
+    };
     let mut header = vec!["benchmark".to_string(), "machine".to_string()];
     for &p in &REPLAY_CORES {
         header.push(format!("trace p={p}"));
@@ -910,6 +921,112 @@ fn r1_reclaim(_ctx: &ExperimentCtx) -> Report {
     )
 }
 
+/// `W1-weakmem` (extension): weak-memory value exploration in the checker.
+///
+/// The V1/V2/C1/R1 suites explore *interleavings* under sequentially
+/// consistent values, so an ordering bug only surfaces through the data race
+/// it causes on plain data. This experiment runs the checker's weak-memory
+/// mode: every atomic keeps its store history and non-`SeqCst` loads branch
+/// over the stale records the C11 orderings admit. The first table verifies
+/// the shipped Splash-4 annotations pass under weak memory; the mutant table
+/// seeds one-ordering downgrades (relaxed flag waits, `SeqCst → Acquire`
+/// store-buffering windows, a relaxed barrier spin) and reports, per mutant,
+/// both the weak-memory detection *and* whether SC-only exploration missed
+/// the bug — `sc-missed = yes` on every row is the point: these are exactly
+/// the bugs interleaving-only search cannot find.
+fn w1_weakmem(_ctx: &ExperimentCtx) -> Report {
+    let budget = splash4_check::CheckBudget::default();
+    let rows = splash4_check::check_weakmem(&budget);
+    let muts = splash4_check::check_weakmem_mutants(&budget);
+
+    let mut t = Table::new(vec![
+        "construct",
+        "property",
+        "schedules",
+        "executions",
+        "verdict",
+    ]);
+    let mut jrows = Vec::new();
+    for r in &rows {
+        t.row(vec![
+            r.construct.to_string(),
+            r.property.to_string(),
+            r.schedules.to_string(),
+            r.executions.to_string(),
+            format!("{}", r.verdict),
+        ]);
+        jrows.push(json!({
+            "construct": r.construct,
+            "property": r.property,
+            "schedules": r.schedules as u64,
+            "executions": r.executions as u64,
+            "verdict": format!("{}", r.verdict),
+            "counterexample": r.counterexample.clone(),
+        }));
+    }
+
+    let mut mt = Table::new(vec![
+        "mutant",
+        "schedules",
+        "detected",
+        "sc-missed",
+        "counterexample",
+    ]);
+    let mut jmuts = Vec::new();
+    for m in &muts {
+        let r = &m.report;
+        mt.row(vec![
+            r.name.to_string(),
+            r.schedules.to_string(),
+            if r.detected {
+                "yes".into()
+            } else {
+                "NO".into()
+            },
+            if m.sc_missed {
+                "yes".into()
+            } else {
+                "NO".into()
+            },
+            r.counterexample.clone(),
+        ]);
+        jmuts.push(json!({
+            "mutant": r.name,
+            "description": r.description,
+            "schedules": r.schedules as u64,
+            "executions": r.executions as u64,
+            "detected": r.detected,
+            "sc_missed": m.sc_missed,
+            "counterexample": r.counterexample.clone(),
+        }));
+    }
+
+    let text = format!(
+        "{}\nordering mutants (caught only by weak-memory value exploration):\n{}",
+        t.render(),
+        mt.render()
+    );
+    Report {
+        id: "W1-weakmem".into(),
+        title: format!(
+            "Weak-memory exploration: stale-read windows the C11 orderings admit \
+             ({} schedules/scenario minimum, stale budget {}, seed {:#x})",
+            budget.min_schedules,
+            splash4_check::WEAK_STALE_READS,
+            budget.seed
+        ),
+        text,
+        json: json!({
+            "min_schedules": budget.min_schedules as u64,
+            "stale_reads": splash4_check::WEAK_STALE_READS as u64,
+            "seed": budget.seed,
+            "constructs": jrows,
+            "mutants": jmuts,
+        }),
+        csv: t.to_csv(),
+    }
+}
+
 /// Render a construct + mutant checker run as a [`Report`] (shared by
 /// `V1-check`, `V2-kernel-check`, and `R1-reclaim`).
 fn check_report(
@@ -1111,6 +1228,50 @@ mod tests {
             assert_eq!(m["detected"].as_bool(), Some(true), "mutant escaped: {m}");
             assert_ne!(m["counterexample"].as_str(), Some("-"), "no schedule: {m}");
         }
+    }
+
+    #[test]
+    fn machine_override_flows_into_sim_experiments() {
+        let mut ctx = quick_ctx();
+        ctx.machine = Some(MachineParams::icelake_like());
+        ctx.benchmarks = BenchmarkId::ALL[..2].to_vec();
+        let r = run_experiment("F2-sim-epyc", &ctx).unwrap();
+        assert_eq!(
+            r.json["machine"].as_str(),
+            Some("icelake-gem5-like"),
+            "F2 must simulate the overridden machine"
+        );
+        let f8 = run_experiment("F8-trace-replay", &ctx).unwrap();
+        assert!(
+            !f8.text.contains("epyc-7002-like"),
+            "F8 must replay only the overridden machine"
+        );
+    }
+
+    #[test]
+    fn w1_weakmem_catches_ordering_mutants_sc_misses() {
+        let r = run_experiment("W1-weakmem", &quick_ctx()).unwrap();
+        let constructs = r.json["constructs"].as_array().unwrap();
+        assert_eq!(constructs.len(), 4, "every weak-memory scenario");
+        for row in constructs {
+            assert_eq!(
+                row["verdict"].as_str().unwrap(),
+                "pass",
+                "shipped orderings failed under weak memory: {row}"
+            );
+        }
+        let muts = r.json["mutants"].as_array().unwrap();
+        assert_eq!(muts.len(), 6, "the full ordering-mutant catalog");
+        for m in muts {
+            assert_eq!(m["detected"].as_bool(), Some(true), "mutant escaped: {m}");
+            assert_eq!(
+                m["sc_missed"].as_bool(),
+                Some(true),
+                "SC found a weak-only bug — scenario not SC-invisible: {m}"
+            );
+            assert_ne!(m["counterexample"].as_str(), Some("-"), "no schedule: {m}");
+        }
+        assert!(r.text.contains("sc-missed"), "table carries the SC column");
     }
 
     #[test]

@@ -24,7 +24,7 @@ pub use experiments::{
     record_trace, run_experiment, work_model, ExperimentCtx, ModelCache, ALL_EXPERIMENTS,
 };
 pub use measure::{bootstrap_ci, measure_adaptive, time_adaptive, MeasureConfig, Summary};
-pub use perfbench::{run_bench, synthetic_program, BenchConfig};
+pub use perfbench::{run_bench, run_bench_atomics, synthetic_program, BenchConfig};
 pub use registry::BenchmarkId;
 pub use service::{
     dispatch, drain_events, run_loadgen, JobCtl, JobEvent, LoadgenReport, Request, RequestKind,

@@ -157,6 +157,25 @@ impl Summary {
         }
     }
 
+    /// Linearly rescale into a different unit (e.g. seconds per timed pass
+    /// into nanoseconds per operation): median, interval endpoints, and the
+    /// recorded samples all multiply by `k`. The factor must be positive so
+    /// the interval orientation is preserved.
+    ///
+    /// # Panics
+    /// Panics on a non-positive or non-finite factor.
+    pub fn scale(&self, k: f64) -> Summary {
+        assert!(k.is_finite() && k > 0.0, "scale factor must be positive");
+        Summary {
+            median: self.median * k,
+            ci_lo: self.ci_lo * k,
+            ci_hi: self.ci_hi * k,
+            reps: self.reps,
+            cv: self.cv,
+            samples: self.samples.iter().map(|&s| s * k).collect(),
+        }
+    }
+
     /// Ratio of two summaries (`self / denom`) with a conservative interval:
     /// the ratio CI spans the extreme quotients of the two input CIs. Not as
     /// tight as a paired per-repetition ratio (use [`Summary::from_samples`]
@@ -397,6 +416,17 @@ mod tests {
         });
         assert!(Summary::from_json(&bad).is_err());
         assert!(Summary::from_json(&json!({"median": 1.0})).is_err());
+    }
+
+    #[test]
+    fn scale_preserves_shape() {
+        let secs = Summary::from_samples(&[0.5, 0.55, 0.45, 0.5, 0.52], 300);
+        let ns = secs.scale(1e9 / 1000.0); // 1000 ops per pass, ns/op
+        assert!((ns.median - secs.median * 1e6).abs() < 1e-3);
+        assert!(ns.ci_lo <= ns.median && ns.median <= ns.ci_hi);
+        assert_eq!(ns.reps, secs.reps);
+        assert_eq!(ns.cv, secs.cv);
+        ns.check().expect("scaled summary valid");
     }
 
     #[test]

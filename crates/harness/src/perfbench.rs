@@ -43,6 +43,9 @@ pub struct BenchConfig {
     pub threads: usize,
     /// Per-thread operations in the reducer / counter microbenchmarks.
     pub sync_ops: usize,
+    /// Per-thread operations in each atomic cost-matrix cell (`--bench
+    /// atomics`).
+    pub atomic_ops: usize,
     /// Barrier crossings per thread.
     pub barrier_crossings: usize,
     /// Cores in the synthetic simulator program.
@@ -71,6 +74,7 @@ impl BenchConfig {
             measure: MeasureConfig::full(),
             threads: 4,
             sync_ops: 100_000,
+            atomic_ops: 200_000,
             barrier_crossings: 10_000,
             sim_cores: 32,
             sim_ops_per_core: 4_000,
@@ -91,6 +95,7 @@ impl BenchConfig {
             measure: MeasureConfig::quick(),
             threads: 4,
             sync_ops: 10_000,
+            atomic_ops: 20_000,
             barrier_crossings: 1_000,
             sim_cores: 16,
             sim_ops_per_core: 800,
@@ -163,6 +168,109 @@ fn bench_barriers(cfg: &BenchConfig) -> Vec<(SyncMode, Summary)> {
             (mode, secs.to_rate(cfg.barrier_crossings as u64))
         })
         .to_vec()
+}
+
+/// The atomic ops the cost matrix times, in emission order.
+const ATOMIC_OPS: [&str; 5] = ["cas", "faa", "swp", "load", "store"];
+
+/// One timed pass of `n` back-to-back atomic ops on `x` by the calling
+/// thread. Every iteration is exactly one hardware atomic (the CAS variant
+/// feeds each attempt's observed value into the next, so failures retry
+/// without an extra load); `Relaxed` ordering keeps the measurement at the
+/// instruction's hardware cost — on the measured ISAs, stronger orderings
+/// change fencing, which the simulator does not model separately.
+fn atomic_pass(op: &str, x: &std::sync::atomic::AtomicU64, n: usize) {
+    use std::hint::black_box;
+    use std::sync::atomic::Ordering::Relaxed;
+    match op {
+        "cas" => {
+            let mut prev = x.load(Relaxed);
+            for _ in 0..n {
+                prev = match x.compare_exchange_weak(prev, prev.wrapping_add(1), Relaxed, Relaxed) {
+                    Ok(seen) => seen.wrapping_add(1),
+                    Err(seen) => seen,
+                };
+            }
+            black_box(prev);
+        }
+        "faa" => {
+            let mut acc = 0u64;
+            for _ in 0..n {
+                acc ^= x.fetch_add(1, Relaxed);
+            }
+            black_box(acc);
+        }
+        "swp" => {
+            let mut acc = 0u64;
+            for i in 0..n {
+                acc ^= x.swap(i as u64, Relaxed);
+            }
+            black_box(acc);
+        }
+        "load" => {
+            let mut acc = 0u64;
+            for _ in 0..n {
+                acc ^= x.load(Relaxed);
+            }
+            black_box(acc);
+        }
+        "store" => {
+            for i in 0..n {
+                x.store(i as u64, Relaxed);
+            }
+        }
+        other => unreachable!("unknown atomic op {other}"),
+    }
+}
+
+/// The measured atomic cost matrix (`--bench atomics`): every op in
+/// [`ATOMIC_OPS`] timed across contention levels (1, 2, and `cfg.threads`
+/// threads hammering *one* cache-padded location — true sharing) and across
+/// the padding pair (`cfg.threads` threads on *per-thread* slots, packed
+/// into one cache line vs `CachePadded` — false sharing vs none). Cells are
+/// nanoseconds per operation:
+///
+/// - contended cells report the *aggregate* cost `elapsed / (c · n)` — at
+///   c=1 that is the local latency, at c=p the serialized service time of
+///   the shared line, which is exactly what `sim::calibrate` lowers into
+///   `rmw_local_ns` / `rmw_service_ns`;
+/// - padding cells report the per-thread latency `elapsed / n`, since the
+///   threads proceed in parallel on distinct locations.
+///
+/// Every cell is host-absolute (classified `Wall` by the compare layer:
+/// gate-eligible only between matching configs on the same host,
+/// informational otherwise) — per Schweizer/Besta/Hoefler these costs *are*
+/// host properties, which is the reason they feed calibration instead of a
+/// cross-host gate.
+fn bench_atomics(cfg: &BenchConfig) -> Vec<(String, Summary)> {
+    use splash4_parmacs::CachePadded;
+    use std::sync::atomic::AtomicU64;
+    let n = cfg.atomic_ops;
+    let mut cells: Vec<(String, Summary)> = Vec::new();
+    for op in ATOMIC_OPS {
+        // True sharing: c threads on one padded location.
+        for c in splash4_sim::contention_levels(cfg.threads) {
+            let shared = CachePadded::new(AtomicU64::new(0));
+            let secs = time_adaptive(&cfg.measure, || {
+                Team::new(c).run(|_| atomic_pass(op, &shared, n));
+            });
+            cells.push((format!("{op}_c{c}_ns"), secs.scale(1e9 / (c * n) as f64)));
+        }
+        // False sharing vs padded: per-thread slots, one line vs one line each.
+        let packed: Vec<AtomicU64> = (0..cfg.threads).map(|_| AtomicU64::new(0)).collect();
+        let secs = time_adaptive(&cfg.measure, || {
+            Team::new(cfg.threads).run(|ctx| atomic_pass(op, &packed[ctx.tid], n));
+        });
+        cells.push((format!("{op}_falseshare_ns"), secs.scale(1e9 / n as f64)));
+        let padded: Vec<CachePadded<AtomicU64>> = (0..cfg.threads)
+            .map(|_| CachePadded::new(AtomicU64::new(0)))
+            .collect();
+        let secs = time_adaptive(&cfg.measure, || {
+            Team::new(cfg.threads).run(|ctx| atomic_pass(op, &padded[ctx.tid], n));
+        });
+        cells.push((format!("{op}_padded_ns"), secs.scale(1e9 / n as f64)));
+    }
+    cells
 }
 
 /// The summary measured for one sync generation in a per-mode group, looked
@@ -553,12 +661,72 @@ fn fmt_summary(s: &Summary, scale: f64, unit: &str) -> String {
     )
 }
 
+/// Append the atomic cost-matrix cells to the bench table, one row per
+/// cell, labeled `atomic <op>` / `<cell>` (e.g. `c1`, `c4`, `falseshare`,
+/// `padded`).
+fn atomics_rows(t: &mut Table, cells: &[(String, Summary)]) {
+    for (name, s) in cells {
+        let trimmed = name.strip_suffix("_ns").unwrap_or(name);
+        let (op, cell) = trimmed.split_once('_').unwrap_or((trimmed, ""));
+        t.row(vec![
+            format!("atomic {op}"),
+            cell.into(),
+            fmt_summary(s, 1.0, "ns/op"),
+        ]);
+    }
+}
+
+/// The `atomics` metric group: every cost-matrix cell as a summary object,
+/// keyed by its flat cell name (`faa_c2_ns`, `store_padded_ns`, …).
+fn atomics_group(cells: &[(String, Summary)]) -> Json {
+    Json::Object(
+        cells
+            .iter()
+            .map(|(name, s)| (name.clone(), s.to_json()))
+            .collect(),
+    )
+}
+
+/// Run only the atomic cost matrix (`--bench atomics`) and render the
+/// results.
+///
+/// The returned document is a *subset* `splash4-bench-v2`: the same config
+/// block as a full run, but only the `atomics` metric group. It validates
+/// and compares like any other bench document, and it is the input
+/// `splash4-report --calibrate` lowers into a host machine profile — the
+/// point of the subset form is that CI can measure the matrix in seconds
+/// without paying for the full suite.
+pub fn run_bench_atomics(cfg: &BenchConfig) -> (String, Json) {
+    let atomics = bench_atomics(cfg);
+    let mut t = Table::new(vec!["metric", "backend", "median [95% CI]"]);
+    atomics_rows(&mut t, &atomics);
+    let doc = json!({
+        "schema": "splash4-bench-v2",
+        "config": json!({
+            "quick": cfg.quick,
+            "threads": cfg.threads as u64,
+            "atomic_ops": cfg.atomic_ops as u64,
+            "measure": json!({
+                "min_reps": cfg.measure.min_reps as u64,
+                "max_reps": cfg.measure.max_reps as u64,
+                "target_rci": cfg.measure.target_rci,
+                "resamples": cfg.measure.resamples as u64,
+            }),
+        }),
+        "metrics": json!({
+            "atomics": atomics_group(&atomics),
+        }),
+    });
+    (t.render(), doc)
+}
+
 /// Run every microbenchmark and render the results.
 ///
 /// The returned `(text, json)` pair is what `splash4-report --bench` prints
 /// and writes: the JSON document is the `splash4-bench-v2` schema that
 /// `splash4-report --validate` checks and `--compare` gates on.
 pub fn run_bench(cfg: &BenchConfig) -> (String, Json) {
+    let atomics = bench_atomics(cfg);
     let reducers = bench_reducers(cfg);
     let counters = bench_counters(cfg);
     let barriers = bench_barriers(cfg);
@@ -684,6 +852,7 @@ pub fn run_bench(cfg: &BenchConfig) -> (String, Json) {
         "epoch/hazard ratio".into(),
         fmt_summary(&epoch_vs_hazard_ratio, 1.0, "x"),
     ]);
+    atomics_rows(&mut t, &atomics);
 
     let mut throughputs: Vec<f64> = [&reducers, &counters, &barriers]
         .iter()
@@ -731,6 +900,7 @@ pub fn run_bench(cfg: &BenchConfig) -> (String, Json) {
             "barrier_crossings": cfg.barrier_crossings as u64,
             "sim_cores": cfg.sim_cores as u64,
             "sim_ops_per_core": cfg.sim_ops_per_core as u64,
+            "atomic_ops": cfg.atomic_ops as u64,
             "serve_sim_cores": cfg.serve_sim_cores as u64,
             "serve_requests": cfg.serve_requests as u64,
             "serve_ops_per_core": cfg.serve_ops_per_core as u64,
@@ -770,6 +940,7 @@ pub fn run_bench(cfg: &BenchConfig) -> (String, Json) {
                 "barrier_vs_lockfree_ratio": barrier_combining.to_json(),
                 "combining_vs_lockfree_ratio": combining_paired.to_json(),
             }),
+            "atomics": atomics_group(&atomics),
         }),
         "aggregate": json!({
             "throughput_geomean_ops_per_sec": throughput_geomean,
@@ -785,7 +956,7 @@ pub fn run_bench(cfg: &BenchConfig) -> (String, Json) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::compare::{compare_texts, validate, BenchDoc};
+    use crate::compare::{compare_texts, validate, BenchDoc, MetricClass};
 
     fn tiny() -> BenchConfig {
         BenchConfig {
@@ -797,6 +968,7 @@ mod tests {
             },
             threads: 2,
             sync_ops: 500,
+            atomic_ops: 400,
             barrier_crossings: 50,
             sim_cores: 4,
             sim_ops_per_core: 120,
@@ -851,6 +1023,15 @@ mod tests {
                 m.name
             );
         }
+        // The atomic cost matrix rides along in every full document: all 5
+        // ops × (contention levels {1, threads} at threads=2, plus the
+        // falseshare/padded pair), classified host-absolute.
+        let cas_c1 = decoded.metric("atomics/cas_c1_ns").expect("cas c1 cell");
+        assert_eq!(cas_c1.class, MetricClass::Wall);
+        assert!(decoded.metric("atomics/faa_c2_ns").is_some());
+        assert!(decoded.metric("atomics/store_padded_ns").is_some());
+        assert!(decoded.metric("atomics/load_falseshare_ns").is_some());
+        assert_eq!(doc["config"]["atomic_ops"].as_u64(), Some(400));
         // Self-comparison of a fresh document can never gate.
         let report = compare_texts(&rendered, &rendered).expect("self compare");
         assert!(report.pass());
@@ -861,5 +1042,31 @@ mod tests {
         assert!(doc["aggregate"]["ratio_geomean"]
             .as_f64()
             .is_some_and(|v| v > 0.0));
+    }
+
+    #[test]
+    fn atomics_subset_document_validates_and_calibrates() {
+        let (text, doc) = run_bench_atomics(&tiny());
+        assert!(text.contains("atomic cas"), "{text}");
+        assert!(text.contains("falseshare"), "{text}");
+        let rendered = doc.to_string_pretty();
+        validate(&rendered).expect("atomics-only subset document validates");
+        let decoded = BenchDoc::parse(&rendered).expect("decodes");
+        assert!(decoded
+            .metrics
+            .iter()
+            .all(|m| m.name.starts_with("atomics/")));
+        // 5 ops × (contention levels {1, 2} at threads=2 + falseshare + padded).
+        assert_eq!(decoded.metrics.len(), 5 * 4);
+        // Subset self-comparison cannot gate (everything is Wall-class and
+        // the configs match).
+        let r = compare_texts(&rendered, &rendered).expect("self compare");
+        assert!(r.configs_match && r.pass());
+        // The subset document is exactly what `--calibrate` lowers.
+        let base = MachineParams::epyc_like();
+        let cal = splash4_sim::calibrate(&doc, &base).unwrap();
+        assert!(cal.rmw_local_ns >= 1);
+        assert!(cal.rmw_service_ns >= cal.rmw_local_ns);
+        assert_eq!(cal.ghz, base.ghz);
     }
 }

@@ -60,6 +60,11 @@ pub enum RequestKind {
         barrier: String,
         /// Program seed (content-hashes into the cache key).
         seed: u64,
+        /// Optional machine spec resolved via [`MachineParams::resolve`]
+        /// (preset name, profile file, or inline JSON). `None` keeps the
+        /// many-core preset sized to `cores`. Part of the cache key: the
+        /// same program on a different machine is a different result.
+        machine: Option<String>,
     },
 }
 
@@ -97,7 +102,16 @@ impl Request {
                 ops_per_core,
                 barrier,
                 seed,
-            } => format!("sim/c{cores}/n{ops_per_core}/{barrier}/s{seed}"),
+                machine,
+            } => {
+                // Requests without an override keep their pre-override
+                // canonical form, so cached results stay addressable.
+                let suffix = match machine {
+                    Some(m) => format!("/m{m}"),
+                    None => String::new(),
+                };
+                format!("sim/c{cores}/n{ops_per_core}/{barrier}/s{seed}{suffix}")
+            }
         }
     }
 
@@ -123,13 +137,20 @@ impl Request {
                 ops_per_core,
                 barrier,
                 seed,
-            } => vec![
-                ("type".to_string(), Json::Str("sim".into())),
-                ("cores".to_string(), Json::Num(*cores as f64)),
-                ("ops_per_core".to_string(), Json::Num(*ops_per_core as f64)),
-                ("barrier".to_string(), Json::Str(barrier.clone())),
-                ("seed".to_string(), Json::Num(*seed as f64)),
-            ],
+                machine,
+            } => {
+                let mut fields = vec![
+                    ("type".to_string(), Json::Str("sim".into())),
+                    ("cores".to_string(), Json::Num(*cores as f64)),
+                    ("ops_per_core".to_string(), Json::Num(*ops_per_core as f64)),
+                    ("barrier".to_string(), Json::Str(barrier.clone())),
+                    ("seed".to_string(), Json::Num(*seed as f64)),
+                ];
+                if let Some(m) = machine {
+                    fields.push(("machine".to_string(), Json::Str(m.clone())));
+                }
+                fields
+            }
         };
         if let Some(ms) = self.timeout_ms {
             obj.push(("timeout_ms".to_string(), Json::Num(ms as f64)));
@@ -167,6 +188,7 @@ impl Request {
                 ops_per_core: num_field("ops_per_core")? as usize,
                 barrier: str_field("barrier")?,
                 seed: num_field("seed")?,
+                machine: v.get("machine").and_then(Json::as_str).map(str::to_string),
             },
             other => return Err(format!("unknown request type '{other}'")),
         };
@@ -393,12 +415,16 @@ pub fn dispatch(req: &Request, ctx: &ExperimentCtx, ctl: &JobCtl) -> Result<Json
             ops_per_core,
             barrier,
             seed,
+            machine,
         } => {
             let kind = barrier_kind(barrier)?;
             if *cores == 0 || *ops_per_core == 0 {
                 return Err("sim request needs cores >= 1 and ops_per_core >= 1".to_string());
             }
-            let machine = MachineParams::manycore(*cores);
+            let machine = match machine {
+                Some(spec) => MachineParams::resolve(spec)?,
+                None => MachineParams::manycore(*cores),
+            };
             let program = synthetic_program(*cores, *ops_per_core, kind, *seed);
             ctl.tick(40)?;
             let events = program.total_ops() as u64;
@@ -746,6 +772,7 @@ pub fn run_loadgen(
                 ops_per_core,
                 barrier: kinds[variant % kinds.len()].to_string(),
                 seed: 0x10ad + variant as u64,
+                machine: None,
             })
         })
         .collect();
@@ -840,6 +867,7 @@ mod tests {
             ops_per_core: 40,
             barrier: "sense".to_string(),
             seed,
+            machine: None,
         })
     }
 
@@ -862,6 +890,14 @@ mod tests {
                 ops_per_core: 100,
                 barrier: "tree".into(),
                 seed: 7,
+                machine: None,
+            }),
+            Request::new(RequestKind::Sim {
+                cores: 64,
+                ops_per_core: 10,
+                barrier: "sense".into(),
+                seed: 9,
+                machine: Some("icelake".into()),
             }),
         ];
         for r in reqs {
@@ -903,6 +939,34 @@ mod tests {
         b.timeout_ms = Some(10);
         assert_eq!(a.canonical(), b.canonical());
         assert_ne!(a.canonical(), sim_request(2).canonical());
+    }
+
+    #[test]
+    fn sim_machine_override_is_part_of_the_cache_key_and_resolves() {
+        let base = sim_request(1);
+        let mut on_icelake = sim_request(1);
+        let RequestKind::Sim { machine, .. } = &mut on_icelake.kind else {
+            unreachable!();
+        };
+        *machine = Some("icelake".into());
+        // Same program on a different machine must not share a cache slot,
+        // and a machine-less request keeps its pre-override canonical form.
+        assert_ne!(base.canonical(), on_icelake.canonical());
+        assert!(base.canonical().ends_with("/s1"));
+
+        let ctx = tiny_ctx();
+        let result = dispatch(&on_icelake, &ctx, &JobCtl::unlimited()).unwrap();
+        assert_eq!(
+            result.get("machine").and_then(Json::as_str),
+            Some("icelake-gem5-like")
+        );
+
+        let mut bogus = sim_request(1);
+        let RequestKind::Sim { machine, .. } = &mut bogus.kind else {
+            unreachable!();
+        };
+        *machine = Some("not-a-machine".into());
+        assert!(dispatch(&bogus, &ctx, &JobCtl::unlimited()).is_err());
     }
 
     #[test]

@@ -210,6 +210,139 @@ fn compare_reads_legacy_v1_documents() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// `text` with an `atomics` cost-matrix group spliced into `metrics`, as a
+/// candidate produced after the matrix landed would carry.
+fn with_atomics(text: &str) -> String {
+    let Json::Object(mut top) = Json::parse(text).unwrap() else {
+        panic!("synth doc is an object");
+    };
+    let s = |median: f64| -> Json {
+        Summary {
+            median,
+            ci_lo: median * 0.98,
+            ci_hi: median * 1.02,
+            reps: 5,
+            cv: 0.02,
+            samples: vec![median; 5],
+        }
+        .to_json()
+    };
+    let metrics = top
+        .iter_mut()
+        .find(|(k, _)| k == "metrics")
+        .expect("metrics key");
+    let Json::Object(m) = &mut metrics.1 else {
+        panic!("metrics is an object");
+    };
+    m.push((
+        "atomics".into(),
+        json!({
+            "cas_c1_ns": s(9.0),
+            "faa_c1_ns": s(6.5),
+            "faa_c4_ns": s(41.0),
+        }),
+    ));
+    Json::Object(top).to_string_pretty()
+}
+
+#[test]
+fn compare_reports_candidate_only_atomics_as_new_info_only() {
+    let dir = tmp_dir("newgroup");
+    let base = dir.join("base.json");
+    let cand = dir.join("cand.json");
+    // The baseline predates the atomic cost matrix entirely; the candidate
+    // carries it. That is new coverage, not a regression: the gate must
+    // pass and label the extra rows instead of erroring on the mismatch.
+    std::fs::write(&base, synth_v2(1.0, 0.03)).unwrap();
+    std::fs::write(&cand, with_atomics(&synth_v2(1.0, 0.03))).unwrap();
+    let out = report_bin()
+        .args(["--compare", base.to_str().unwrap(), cand.to_str().unwrap()])
+        .output()
+        .expect("runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "candidate-only atomics group must not gate:\n{stdout}\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("PASS"), "{stdout}");
+    assert!(stdout.contains("new (info-only)"), "{stdout}");
+    assert!(stdout.contains("atomics/cas_c1_ns"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn calibrate_cli_lowers_a_bench_run_into_a_loadable_profile() {
+    let dir = tmp_dir("calibrate");
+    let bench = dir.join("atomics.json");
+    let profile = dir.join("host-profile.json");
+    // Fastest real matrix the binary can produce: quick mode.
+    let out = report_bin()
+        .args([
+            "--bench",
+            "atomics",
+            "--quick",
+            "--bench-out",
+            bench.to_str().unwrap(),
+        ])
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "--bench atomics must succeed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // The subset document must pass the same validator CI runs.
+    let out = report_bin()
+        .args(["--validate", bench.to_str().unwrap()])
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "atomics subset must validate:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let out = report_bin()
+        .args([
+            "--calibrate",
+            bench.to_str().unwrap(),
+            "--profile-out",
+            profile.to_str().unwrap(),
+        ])
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "--calibrate must succeed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // The written profile must load back through --machine and drive a
+    // simulation-backed experiment end to end.
+    let doc = std::fs::read_to_string(&profile).unwrap();
+    assert!(Json::parse(&doc).is_ok(), "profile is JSON: {doc}");
+    let out = report_bin()
+        .args([
+            "--experiment",
+            "F2-sim-epyc",
+            "--class",
+            "test",
+            "--only",
+            "fft",
+            "--machine",
+            profile.to_str().unwrap(),
+        ])
+        .output()
+        .expect("runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "sim experiment on the calibrated profile must run:\n{stdout}\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("host-"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn bench_out_refuses_to_overwrite_without_force() {
     let dir = tmp_dir("benchout");

@@ -15,6 +15,17 @@
 //!
 //! The structs are plain `Copy` data so a checker scenario can take a spec,
 //! tweak one field, and hand it to a shadow construct.
+//!
+//! Not every ordering downgrade surfaces as a data race: weakening a
+//! `SeqCst` fence-pair to `Acquire`/`Release`, or an `Acquire` spin to
+//! `Relaxed`, changes only which *values* a load on the atomic itself may
+//! return — no plain data becomes unordered, so interleaving search over
+//! sequentially consistent executions cannot tell the difference. The
+//! checker's `W1-weakmem` experiment covers that blind spot: under its weak
+//! memory model the engine also branches over the stale reads the shipped
+//! orderings admit, so spec fields documented as "`SeqCst` because ..." or
+//! "`Acquire` because ..." below are pinned by a second, value-level line
+//! of defense.
 
 use std::sync::atomic::Ordering;
 
@@ -60,7 +71,10 @@ pub struct SenseBarrierSpec {
     pub arrived_reset: Ordering,
     /// The winner's generation bump that releases the episode.
     pub generation_bump: Ordering,
-    /// The waiters' spin load on the generation.
+    /// The waiters' spin load on the generation. Must be `Acquire` to pair
+    /// with the bump: a `Relaxed` spin may observe the bump yet read
+    /// pre-episode data — caught only by `W1-weakmem`'s stale-value search
+    /// (`barrier-spin-relaxed`), not by interleaving-only exploration.
     pub spin_load: Ordering,
 }
 
@@ -99,9 +113,12 @@ impl CasF64Spec {
 #[derive(Debug, Clone, Copy)]
 pub struct FlagSpec {
     /// The producer's `set` store. Must be `Release`: data written before
-    /// `set` must be visible to a waiter after `wait`.
+    /// `set` must be visible to a waiter after `wait`. The `W1-weakmem`
+    /// mutant `flag-set-relaxed` demonstrates the stale-payload window a
+    /// `Relaxed` store opens.
     pub set_store: Ordering,
-    /// The consumer's `wait`/`is_set` load.
+    /// The consumer's `wait`/`is_set` load. Must be `Acquire` to pair with
+    /// `set_store` (`W1-weakmem` mutant `flag-wait-relaxed`).
     pub wait_load: Ordering,
 }
 
@@ -150,6 +167,10 @@ impl TicketSpec {
 pub struct EpochSpec {
     /// A pinning thread's read of the global epoch. `SeqCst`: the
     /// announcement below must not appear to predate a concurrent advance.
+    /// Downgrading it to `Acquire` opens a store-buffering window between
+    /// the announcement and the collector's scan — no data race, invisible
+    /// to SC interleaving search, caught by the `W1-weakmem` mutant
+    /// `epoch-pin-load-acquire`.
     pub global_load: Ordering,
     /// The pin announcement store into the thread's epoch slot. `SeqCst`
     /// orders it against the collector's slot scan — with anything weaker
@@ -157,7 +178,9 @@ pub struct EpochSpec {
     pub announce_store: Ordering,
     /// The unpin store of the quiescent sentinel.
     pub quiesce_store: Ordering,
-    /// The collector's scan load of each announcement slot.
+    /// The collector's scan load of each announcement slot. `SeqCst` for
+    /// the same store-buffering reason as `global_load` (`W1-weakmem`
+    /// mutant `epoch-scan-acquire`).
     pub scan_load: Ordering,
     /// The CAS that advances the global epoch.
     pub advance_cas_ok: Ordering,
@@ -188,6 +211,9 @@ pub struct HazardSpec {
     /// The hazard publication store. `SeqCst` — see the struct docs.
     pub publish_store: Ordering,
     /// The re-read that validates the protected pointer is still reachable.
+    /// `SeqCst`: an `Acquire` validate may be satisfied by a stale
+    /// pre-retirement value, letting use and free overlap (`W1-weakmem`
+    /// mutant `hazard-validate-acquire`).
     pub validate_load: Ordering,
     /// The hazard clear after the protected region ends.
     pub clear_store: Ordering,

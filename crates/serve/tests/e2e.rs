@@ -47,6 +47,7 @@ fn sim_request(seed: u64) -> Request {
         ops_per_core: 40,
         barrier: "sense".to_string(),
         seed,
+        machine: None,
     })
 }
 
@@ -254,6 +255,7 @@ fn shutdown_drains_in_flight_and_rejects_new_submissions() {
                 ops_per_core: 200,
                 barrier: "tree".to_string(),
                 seed: 0xd2a1,
+                machine: None,
             }))
         })
     };

@@ -17,6 +17,12 @@
 //!    ([`machine::MachineParams`]) and reports completion time plus a
 //!    compute/sync breakdown.
 //!
+//! Machine parameters come from hand-set presets (`epyc_like`,
+//! `icelake_like`, `manycore`) or from *host-calibrated profiles*: the
+//! [`calibrate`] module lowers a measured `--bench atomics` document into a
+//! parameter table, and [`MachineParams::resolve`] loads such a profile
+//! anywhere a preset name is accepted.
+//!
 //! # Example
 //!
 //! ```
@@ -36,13 +42,15 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod calibrate;
 pub mod engine;
 pub mod machine;
 pub mod model;
 pub mod program;
 
+pub use calibrate::{calibrate, contention_levels, synthesize_bench};
 pub use engine::{CoreBreakdown, Engine, SimResult};
-pub use machine::MachineParams;
+pub use machine::{MachineParams, PROFILE_SCHEMA};
 pub use model::{class_cost, OpCost};
 pub use program::{BarrierKind, Op, Program};
 

@@ -1,4 +1,4 @@
-//! Machine parameter presets.
+//! Machine parameter presets and loadable host profiles.
 //!
 //! The paper characterizes the suites on two platforms: a real 64-core AMD
 //! EPYC 7002-series machine and an Intel Ice Lake configuration of gem5-20.
@@ -7,6 +7,40 @@
 //! from public microbenchmark literature for the respective platform
 //! families; the *ratios* (futex wake ≫ cache-line transfer ≫ local RMW) are
 //! what drive the reproduced result shapes, not the absolute values.
+//!
+//! Beyond the three hand-set presets, a [`MachineParams`] can round-trip
+//! through the `splash4-machine-profile-v1` JSON schema ([`MachineParams::
+//! to_profile_json`] / [`MachineParams::from_profile_json`]) and be resolved
+//! from a free-form spec string ([`MachineParams::resolve`]): a preset
+//! alias, a path to a profile file, or inline profile JSON. The
+//! `sim::calibrate` module generates such profiles from measured
+//! `--bench atomics` documents, turning the fixed tables into
+//! host-calibrated profiles.
+
+use splash4_parmacs::{json, Json};
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+/// Schema tag of a serialized machine profile.
+pub const PROFILE_SCHEMA: &str = "splash4-machine-profile-v1";
+
+/// Intern a profile name so loaded profiles can satisfy the `&'static str`
+/// name field of the `Copy` [`MachineParams`] struct. Each distinct name
+/// leaks exactly once per process, no matter how many profiles a long-lived
+/// server loads.
+fn intern_name(name: &str) -> &'static str {
+    static POOL: OnceLock<Mutex<HashMap<String, &'static str>>> = OnceLock::new();
+    let pool = POOL.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = pool
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    if let Some(&s) = map.get(name) {
+        return s;
+    }
+    let leaked: &'static str = Box::leak(name.to_string().into_boxed_str());
+    map.insert(name.to_string(), leaked);
+    leaked
+}
 
 /// Synchronization-relevant timing parameters of a simulated multicore.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -106,6 +140,125 @@ impl MachineParams {
     pub fn cycles_to_ns(&self, cycles: u64) -> u64 {
         (cycles as f64 / self.ghz).round() as u64
     }
+
+    /// Encode as a `splash4-machine-profile-v1` document. `source` records
+    /// provenance (e.g. the bench document a calibration lowered, or
+    /// `"preset"` for a hand-set table).
+    pub fn to_profile_json(&self, source: &str) -> Json {
+        json!({
+            "schema": PROFILE_SCHEMA,
+            "name": self.name,
+            "source": source,
+            "ghz": self.ghz,
+            "max_cores": self.max_cores as u64,
+            "rmw_local_ns": self.rmw_local_ns,
+            "rmw_service_ns": self.rmw_service_ns,
+            "lock_pair_ns": self.lock_pair_ns,
+            "futex_wake_ns": self.futex_wake_ns,
+            "condvar_wake_ns": self.condvar_wake_ns,
+            "line_transfer_ns": self.line_transfer_ns,
+            "data_collision": self.data_collision,
+            "convoy_fraction": self.convoy_fraction,
+        })
+    }
+
+    /// Decode a `splash4-machine-profile-v1` document, validating field
+    /// presence and basic sanity (positive latencies, fractions in [0, 1]).
+    ///
+    /// # Errors
+    /// Returns a message naming the first malformed field.
+    pub fn from_profile_json(doc: &Json) -> Result<MachineParams, String> {
+        if doc["schema"].as_str() != Some(PROFILE_SCHEMA) {
+            return Err(format!(
+                "machine profile schema must be `{PROFILE_SCHEMA}`, got {}",
+                doc["schema"]
+            ));
+        }
+        let name = doc["name"]
+            .as_str()
+            .ok_or("profile field `name` missing or not a string")?;
+        let num = |key: &str| {
+            doc[key]
+                .as_f64()
+                .ok_or_else(|| format!("profile field `{key}` missing or not a number"))
+        };
+        let ns = |key: &str| -> Result<u64, String> {
+            let v = num(key)?;
+            if !(v.is_finite() && v >= 1.0) {
+                return Err(format!("profile field `{key}` must be >= 1 ns, got {v}"));
+            }
+            Ok(v.round() as u64)
+        };
+        let frac = |key: &str| -> Result<f64, String> {
+            let v = num(key)?;
+            if !(v.is_finite() && (0.0..=1.0).contains(&v)) {
+                return Err(format!("profile field `{key}` must be in [0, 1], got {v}"));
+            }
+            Ok(v)
+        };
+        let ghz = num("ghz")?;
+        if !(ghz.is_finite() && ghz > 0.0) {
+            return Err(format!("profile field `ghz` must be positive, got {ghz}"));
+        }
+        let max_cores = doc["max_cores"]
+            .as_u64()
+            .ok_or("profile field `max_cores` missing or not a count")?
+            as usize;
+        if max_cores == 0 {
+            return Err("profile field `max_cores` must be nonzero".into());
+        }
+        Ok(MachineParams {
+            name: intern_name(name),
+            ghz,
+            max_cores,
+            rmw_local_ns: ns("rmw_local_ns")?,
+            rmw_service_ns: ns("rmw_service_ns")?,
+            lock_pair_ns: ns("lock_pair_ns")?,
+            futex_wake_ns: ns("futex_wake_ns")?,
+            condvar_wake_ns: ns("condvar_wake_ns")?,
+            line_transfer_ns: ns("line_transfer_ns")?,
+            data_collision: frac("data_collision")?,
+            convoy_fraction: frac("convoy_fraction")?,
+        })
+    }
+
+    /// Resolve a machine spec string: a preset alias (`epyc`, `icelake`,
+    /// `manycore`, `manycore:N`, or any preset's full name), inline profile
+    /// JSON (starts with `{`), or a path to a profile file. This is the one
+    /// entry point the report CLI and the serve protocol use, so a generated
+    /// host profile is accepted anywhere a named preset is.
+    ///
+    /// # Errors
+    /// Returns a message for unknown aliases, unreadable paths, or malformed
+    /// profile documents.
+    pub fn resolve(spec: &str) -> Result<MachineParams, String> {
+        let spec = spec.trim();
+        match spec {
+            "epyc" | "epyc-like" | "epyc-7002-like" => return Ok(MachineParams::epyc_like()),
+            "icelake" | "icelake-like" | "icelake-gem5-like" => {
+                return Ok(MachineParams::icelake_like())
+            }
+            "manycore" | "manycore-t3-like" => return Ok(MachineParams::manycore(256)),
+            _ => {}
+        }
+        if let Some(n) = spec.strip_prefix("manycore:") {
+            let cores: usize = n
+                .parse()
+                .map_err(|_| format!("manycore core count `{n}` is not a number"))?;
+            return Ok(MachineParams::manycore(cores));
+        }
+        if spec.starts_with('{') {
+            let doc = Json::parse(spec).map_err(|e| format!("inline machine profile: {e}"))?;
+            return MachineParams::from_profile_json(&doc);
+        }
+        let text = std::fs::read_to_string(spec).map_err(|e| {
+            format!(
+                "machine spec `{spec}` is neither a preset alias nor a readable profile file: {e}"
+            )
+        })?;
+        let doc = Json::parse(&text).map_err(|e| format!("machine profile `{spec}`: {e}"))?;
+        MachineParams::from_profile_json(&doc)
+    }
 }
 
 #[cfg(test)]
@@ -149,5 +302,87 @@ mod tests {
     fn cycle_conversion() {
         let m = MachineParams::icelake_like(); // 2 GHz
         assert_eq!(m.cycles_to_ns(2000), 1000);
+    }
+
+    #[test]
+    fn profile_round_trips_through_json() {
+        for m in [
+            MachineParams::epyc_like(),
+            MachineParams::icelake_like(),
+            MachineParams::manycore(512),
+        ] {
+            let doc = m.to_profile_json("preset");
+            let back = MachineParams::from_profile_json(&doc).expect("decodes");
+            assert_eq!(back, m, "{}", m.name);
+        }
+    }
+
+    #[test]
+    fn profile_decode_rejects_malformed_documents() {
+        let good = MachineParams::epyc_like().to_profile_json("preset");
+        let with = |key: &str, v: Json| {
+            let mut entries = good.as_object().unwrap().to_vec();
+            for e in entries.iter_mut() {
+                if e.0 == key {
+                    e.1 = v.clone();
+                }
+            }
+            Json::Object(entries)
+        };
+        // Wrong schema tag.
+        let bad = with("schema", Json::Str("splash4-bench-v2".into()));
+        assert!(MachineParams::from_profile_json(&bad).is_err());
+        // Zero latency.
+        let bad = with("rmw_local_ns", Json::Num(0.0));
+        assert!(MachineParams::from_profile_json(&bad).is_err());
+        // Fraction out of range.
+        let bad = with("convoy_fraction", Json::Num(1.5));
+        assert!(MachineParams::from_profile_json(&bad).is_err());
+        // Missing field.
+        assert!(MachineParams::from_profile_json(&json!({"schema": PROFILE_SCHEMA})).is_err());
+    }
+
+    #[test]
+    fn resolve_accepts_aliases_inline_json_and_files() {
+        assert_eq!(
+            MachineParams::resolve("epyc").unwrap(),
+            MachineParams::epyc_like()
+        );
+        assert_eq!(
+            MachineParams::resolve("icelake-gem5-like").unwrap(),
+            MachineParams::icelake_like()
+        );
+        assert_eq!(
+            MachineParams::resolve("manycore:1024").unwrap().max_cores,
+            1024
+        );
+        // Inline JSON.
+        let inline = MachineParams::icelake_like()
+            .to_profile_json("preset")
+            .to_string_pretty();
+        assert_eq!(
+            MachineParams::resolve(&inline).unwrap(),
+            MachineParams::icelake_like()
+        );
+        // Profile file.
+        let path = std::env::temp_dir().join(format!("s4-profile-{}.json", std::process::id()));
+        std::fs::write(&path, &inline).unwrap();
+        assert_eq!(
+            MachineParams::resolve(path.to_str().unwrap()).unwrap(),
+            MachineParams::icelake_like()
+        );
+        let _ = std::fs::remove_file(&path);
+        // Garbage.
+        assert!(MachineParams::resolve("no-such-preset").is_err());
+        assert!(MachineParams::resolve("manycore:lots").is_err());
+    }
+
+    #[test]
+    fn interned_names_are_stable_across_loads() {
+        let doc = MachineParams::epyc_like().to_profile_json("preset");
+        let a = MachineParams::from_profile_json(&doc).unwrap();
+        let b = MachineParams::from_profile_json(&doc).unwrap();
+        // Same pointer: the intern pool leaks each distinct name only once.
+        assert!(std::ptr::eq(a.name, b.name));
     }
 }

@@ -24,14 +24,15 @@ fn every_experiment_renders() {
         assert!(!r.json.is_null());
         // Every benchmark appears in every per-benchmark artifact
         // (T1 lists inputs; S1 aggregates to geomeans only; V1,
-        // V2-kernel-check, C1-combining, and R1-reclaim are per-construct
-        // tables, not per-benchmark).
+        // V2-kernel-check, C1-combining, R1-reclaim, and W1-weakmem are
+        // per-construct tables, not per-benchmark).
         if id != "T1-inputs"
             && id != "S1-sensitivity"
             && id != "V1-check"
             && id != "V2-kernel-check"
             && id != "C1-combining"
             && id != "R1-reclaim"
+            && id != "W1-weakmem"
         {
             for b in Benchmark::ALL {
                 assert!(r.text.contains(b.name()), "{id} missing row for {b}");
