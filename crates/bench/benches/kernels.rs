@@ -7,7 +7,7 @@ use splash4_core::{Benchmark, BenchmarkExt as _, InputClass, SyncMode};
 fn bench_kernels(c: &mut Criterion) {
     let threads = 2;
     let mut g = c.benchmark_group("kernels");
-    for b in Benchmark::ALL {
+    for b in Benchmark::all() {
         for mode in SyncMode::ALL {
             g.bench_with_input(
                 BenchmarkId::new(b.name(), mode.label()),

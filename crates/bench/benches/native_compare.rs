@@ -11,7 +11,7 @@ use splash4_core::{Benchmark, BenchmarkExt as _, InputClass, SyncMode};
 
 fn bench_native_compare(c: &mut Criterion) {
     let mut g = c.benchmark_group("F1");
-    for b in Benchmark::ALL {
+    for b in Benchmark::all() {
         for mode in SyncMode::ALL {
             for &t in NATIVE_THREADS {
                 g.bench_with_input(

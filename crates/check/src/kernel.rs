@@ -16,19 +16,28 @@
 //!   (cyclic pair ownership, exactly as `ctx.cyclic` splits them) flow into
 //!   the **CAS-loop `AtomicF64`** with a concurrent reader, and the finale
 //!   demands the sequential sum.
+//! * [`cmap_chain_scenario`] re-enacts one bucket of the `cmap` workload's
+//!   **Harris–Michael chain**: a remover marks-then-snips a node while an
+//!   inserter links a new node into the same region and a reader chases the
+//!   published payload; the finale demands the exact surviving key set and
+//!   a single physical snip.
+//! * [`stream_ring_scenario`] re-enacts one stage queue of the `stream`
+//!   pipeline: the kernel's **bounded Vyukov ring** carries plainly-written
+//!   payloads between two producers and a consumer purely on the
+//!   `publish_store`/`seq_load` handoff.
 //!
 //! Both read their orderings from the same `splash4_parmacs::spec` structs
 //! the native kernels consume, so mutating one spec field — or swapping the
 //! CAS loop for a blind store — turns a scenario into a kernel-shaped
 //! mutation test ([`kernel_mutants`]).
 
-use crate::engine::Sandbox;
+use crate::engine::{Sandbox, ThreadCtx};
 use crate::explore::Scenario;
 use crate::linearize::SpecModel;
 use crate::shadow::{ShadowAtomicF64, ShadowCounter, ShadowSenseBarrier};
 use crate::suite::{run_construct, run_mutant_catalog, CheckBudget, ConstructReport, MutantReport};
-use splash4_kernels::{radix, water_nsq, InputClass};
-use splash4_parmacs::{CasF64Spec, SenseBarrierSpec, TicketSpec};
+use splash4_kernels::{radix, stream, water_nsq, InputClass};
+use splash4_parmacs::{CMapSpec, CasF64Spec, RingSpec, SenseBarrierSpec, TicketSpec};
 use std::sync::atomic::Ordering;
 
 /// Number of scheduler threads the kernel scenarios run (mirrors the
@@ -203,6 +212,342 @@ pub fn water_energy_scenario(lost_update: bool) -> impl Fn(&mut Sandbox) + Sync 
     }
 }
 
+// ---------------------------------------------------------------------------
+// cmap: one bucket's Harris–Michael chain under concurrent insert/remove.
+// ---------------------------------------------------------------------------
+
+/// Pointer encoding for the shadow chain: node `id` ⇒ `(id + 1) << 1`,
+/// mark bit in bit 0 (exactly the kernel's low-bit tag on `next`).
+fn nptr(id: usize) -> u64 {
+    ((id + 1) as u64) << 1
+}
+fn nid(p: u64) -> usize {
+    ((p >> 1) - 1) as usize
+}
+fn nmarked(p: u64) -> bool {
+    p & 1 == 1
+}
+fn nunmark(p: u64) -> u64 {
+    p & !1
+}
+
+/// Sorted keys of the shadow chain's three nodes (A, B, C). A and B start
+/// linked (`head → A(2) → B(4)`); C(3) is inserted between them while A is
+/// removed. Keys live inside the `cmap` kernel's `Check`-scale universe.
+const CHAIN_KEYS: [u64; 3] = [2, 4, 3];
+
+/// The shadow chain's shared cells: the bucket head plus one `next` word
+/// and one plain payload cell per node.
+#[derive(Clone, Copy)]
+struct ChainCells {
+    head: usize,
+    next: [usize; 3],
+    val: [usize; 3],
+}
+
+/// The kernel's `find`: walk from the head, snipping marked nodes via the
+/// unmarked-expected-value CAS (restarting from the head when the CAS
+/// loses), and stop at the first key `>= key`. Returns
+/// `(prev_cell, cur_ptr, cur_next)` with `cur_ptr == 0` at the tail.
+/// Successful snips are counted into `snips` (the kernel retires there).
+fn chain_find(
+    ctx: &mut ThreadCtx,
+    ch: &ChainCells,
+    spec: CMapSpec,
+    key: u64,
+    snips: &mut u64,
+) -> (usize, u64, u64) {
+    'retry: loop {
+        let mut prev_cell = ch.head;
+        let mut raw = ctx.op_load(ch.head, spec.head_load);
+        loop {
+            if nmarked(raw) {
+                // The node owning `prev_cell` was logically deleted under
+                // us; its successor pointer is tainted — restart.
+                continue 'retry;
+            }
+            if raw == 0 {
+                return (prev_cell, 0, 0);
+            }
+            let id = nid(raw);
+            let nxt = ctx.op_load(ch.next[id], spec.next_load);
+            if nmarked(nxt) {
+                // `raw` is deleted: snip it. The expected value carries no
+                // mark bit, so this CAS fails if `prev`'s owner was itself
+                // marked — unmarked nodes are never unlinked.
+                match ctx.op_cas(
+                    prev_cell,
+                    raw,
+                    nunmark(nxt),
+                    spec.unlink_cas_ok,
+                    spec.unlink_cas_fail,
+                ) {
+                    Ok(_) => {
+                        *snips += 1;
+                        raw = nunmark(nxt);
+                        continue;
+                    }
+                    Err(_) => continue 'retry,
+                }
+            }
+            if CHAIN_KEYS[id] >= key {
+                return (prev_cell, raw, nxt);
+            }
+            prev_cell = ch.next[id];
+            raw = nxt;
+        }
+    }
+}
+
+/// One bucket of the `cmap` kernel at `Check` scale: a remover marks then
+/// snips node A while an inserter links node C into the same chain region
+/// and a reader looks C up, reading its plainly-written payload through
+/// the link CAS's publication edge. Orderings come from [`CMapSpec`]
+/// exactly as `cmap.rs` consumes them.
+///
+/// With `blind_mark`, the remover's mark-CAS degrades to a load/store pair
+/// — the lost-update window that can overwrite a concurrent insert — which
+/// the finale catches as a lost key.
+pub fn cmap_chain_scenario(spec: CMapSpec, blind_mark: bool) -> impl Fn(&mut Sandbox) + Sync {
+    move |sb: &mut Sandbox| {
+        let ch = ChainCells {
+            head: sb.alloc_atomic("cmap.head", nptr(0)),
+            next: [
+                sb.alloc_atomic("cmap.next.a", nptr(1)),
+                sb.alloc_atomic("cmap.next.b", 0),
+                sb.alloc_atomic("cmap.next.c", 0),
+            ],
+            val: [
+                sb.alloc_data("cmap.val.a", 20),
+                sb.alloc_data("cmap.val.b", 40),
+                sb.alloc_data("cmap.val.c", 0),
+            ],
+        };
+        let snip_counts: Vec<usize> = (0..NTHREADS)
+            .map(|_| sb.alloc_data("cmap.snips", 0))
+            .collect();
+
+        // Thread 0 — remover of key 2 (node A): mark, then re-find so the
+        // marked node is physically snipped (by this thread or a helper).
+        let snips0 = snip_counts[0];
+        sb.thread(move |ctx| {
+            let mut my_snips = 0u64;
+            loop {
+                let (_, cur, nxt) = chain_find(ctx, &ch, spec, 2, &mut my_snips);
+                if cur == 0 || CHAIN_KEYS[nid(cur)] != 2 {
+                    break; // already removed and snipped
+                }
+                let id = nid(cur);
+                if blind_mark {
+                    // Seeded bug: mark without the CAS — a stale `nxt` here
+                    // silently unlinks a concurrently inserted node.
+                    ctx.op_store(ch.next[id], nxt | 1, spec.mark_cas_ok);
+                    break;
+                }
+                match ctx.op_cas(
+                    ch.next[id],
+                    nxt,
+                    nxt | 1,
+                    spec.mark_cas_ok,
+                    spec.mark_cas_fail,
+                ) {
+                    Ok(_) => break,
+                    Err(_) => continue, // an insert moved A.next: re-find
+                }
+            }
+            // Snip pass: traverse until key 2 is physically gone.
+            loop {
+                let (_, cur, _) = chain_find(ctx, &ch, spec, 2, &mut my_snips);
+                if cur == 0 || CHAIN_KEYS[nid(cur)] != 2 {
+                    break;
+                }
+            }
+            ctx.data_write(snips0, my_snips);
+        });
+
+        // Thread 1 — inserter of key 3 (node C): plain payload write, then
+        // the link CAS publishes the node (cmap's insert path).
+        let snips1 = snip_counts[1];
+        sb.thread(move |ctx| {
+            let mut my_snips = 0u64;
+            let mut wrote = false;
+            loop {
+                let (prev, cur, _) = chain_find(ctx, &ch, spec, 3, &mut my_snips);
+                ctx.check(
+                    cur == 0 || CHAIN_KEYS[nid(cur)] != 3,
+                    "cmap: key 3 already present mid-insert",
+                );
+                if !wrote {
+                    ctx.data_write(ch.val[2], 30);
+                    wrote = true;
+                }
+                ctx.op_store(ch.next[2], cur, Ordering::Relaxed);
+                match ctx.op_cas(prev, cur, nptr(2), spec.link_cas_ok, spec.link_cas_fail) {
+                    Ok(_) => break,
+                    Err(_) => continue,
+                }
+            }
+            ctx.data_write(snips1, my_snips);
+        });
+
+        // Thread 2 — reader: look key 3 up; if found, the payload read must
+        // be ordered after the inserter's plain write by the link edge.
+        let snips2 = snip_counts[2];
+        sb.thread(move |ctx| {
+            let mut my_snips = 0u64;
+            let (_, cur, nxt) = chain_find(ctx, &ch, spec, 3, &mut my_snips);
+            if cur != 0 && CHAIN_KEYS[nid(cur)] == 3 && !nmarked(nxt) {
+                let v = ctx.data_read(ch.val[2]);
+                ctx.check(v == 30, "cmap: lookup sees the inserted value");
+            }
+            ctx.data_write(snips2, my_snips);
+        });
+
+        let peek = sb.peek();
+        sb.finale(move || {
+            // Walk the final chain: exactly keys [3, 4], sorted, unmarked.
+            let mut got = Vec::new();
+            let mut p = peek.atomic(ch.head);
+            while p != 0 {
+                if nmarked(p) {
+                    return Err("cmap: a marked pointer is reachable from the head".into());
+                }
+                got.push(CHAIN_KEYS[nid(p)]);
+                p = peek.atomic(ch.next[nid(p)]);
+            }
+            if got != [3, 4] {
+                return Err(format!(
+                    "cmap: final chain holds keys {got:?}, want [3, 4] \
+                     (a lost insert or lost remove)"
+                ));
+            }
+            let total: u64 = snip_counts.iter().map(|&c| peek.data(c)).sum();
+            if total != 1 {
+                return Err(format!(
+                    "cmap: node A snipped {total} times, want exactly 1 (double retire)"
+                ));
+            }
+            Ok(())
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// stream: one bounded ring stage under two producers and a consumer.
+// ---------------------------------------------------------------------------
+
+/// One stage queue of the `stream` pipeline at `Check` scale: a
+/// two-slot Vyukov ring (the kernel's `BoundedMpmcQueue`) carrying
+/// plainly-written payloads from two producers to a consumer, with every
+/// ordering taken from [`RingSpec`] as `queue.rs` consumes it. The seq
+/// handoff (`publish_store` release → `seq_load` acquire) is the only
+/// thing keeping the payload reads race-free, so any weakening falls out
+/// as a vector-clock data race; the finale checks the consumer drained
+/// each producer's items in FIFO order with nothing lost or duplicated.
+pub fn stream_ring_scenario(spec: RingSpec) -> impl Fn(&mut Sandbox) + Sync {
+    const CAP: u64 = 2;
+    // Per-producer item values from the kernel's own stage transform.
+    let feeds: [[u64; 2]; 2] = [
+        [stream::transform(1, 0), stream::transform(2, 0)],
+        [stream::transform(3, 0), stream::transform(4, 0)],
+    ];
+    move |sb: &mut Sandbox| {
+        let seqs = [
+            sb.alloc_atomic("ring.seq0", 0),
+            sb.alloc_atomic("ring.seq1", 1),
+        ];
+        let slots = [
+            sb.alloc_data("ring.slot0", 0),
+            sb.alloc_data("ring.slot1", 0),
+        ];
+        let enq = sb.alloc_atomic("ring.enq", 0);
+        let deq = sb.alloc_atomic("ring.deq", 0);
+        let rec: Vec<usize> = (0..4)
+            .map(|_| sb.alloc_data("ring.rec", u64::MAX))
+            .collect();
+
+        for feed in feeds {
+            sb.thread(move |ctx| {
+                for v in feed {
+                    loop {
+                        let pos = ctx.op_load(enq, spec.cursor_load);
+                        let slot = (pos % CAP) as usize;
+                        let seq = ctx.op_load(seqs[slot], spec.seq_load);
+                        if seq == pos {
+                            if ctx
+                                .op_cas(enq, pos, pos + 1, spec.cursor_cas_ok, spec.cursor_cas_fail)
+                                .is_ok()
+                            {
+                                ctx.data_write(slots[slot], v);
+                                ctx.op_store(seqs[slot], pos + 1, spec.publish_store);
+                                break;
+                            }
+                        } else if seq < pos {
+                            // Slot not yet recycled (ring full): wait for
+                            // the consumer's publish on this slot. seq > pos
+                            // instead means `pos` is stale — reload the
+                            // cursor, exactly like queue.rs's diff > 0 arm.
+                            ctx.block_on(seqs[slot]);
+                        }
+                    }
+                }
+            });
+        }
+
+        let rec_cells = rec.clone();
+        sb.thread(move |ctx| {
+            for r in rec_cells {
+                loop {
+                    let pos = ctx.op_load(deq, spec.cursor_load);
+                    let slot = (pos % CAP) as usize;
+                    let seq = ctx.op_load(seqs[slot], spec.seq_load);
+                    if seq == pos + 1 {
+                        if ctx
+                            .op_cas(deq, pos, pos + 1, spec.cursor_cas_ok, spec.cursor_cas_fail)
+                            .is_ok()
+                        {
+                            let v = ctx.data_read(slots[slot]);
+                            ctx.data_write(r, v);
+                            ctx.op_store(seqs[slot], pos + CAP, spec.publish_store);
+                            break;
+                        }
+                    } else if seq < pos + 1 {
+                        // Slot not yet published (ring empty): wait for a
+                        // producer. seq > pos + 1 means `pos` is stale.
+                        ctx.block_on(seqs[slot]);
+                    }
+                }
+            }
+        });
+
+        let peek = sb.peek();
+        sb.finale(move || {
+            let got: Vec<u64> = rec.iter().map(|&c| peek.data(c)).collect();
+            if got.contains(&u64::MAX) {
+                return Err("stream: the consumer lost an item".into());
+            }
+            for feed in feeds {
+                let a = got.iter().position(|&v| v == feed[0]);
+                let b = got.iter().position(|&v| v == feed[1]);
+                match (a, b) {
+                    (Some(a), Some(b)) if a < b => {}
+                    (Some(_), Some(_)) => {
+                        return Err("stream: a producer's items arrived out of order".into())
+                    }
+                    _ => return Err("stream: an item vanished from the ring".into()),
+                }
+            }
+            let mut sorted = got;
+            sorted.sort_unstable();
+            sorted.dedup();
+            if sorted.len() != 4 {
+                return Err("stream: an item was consumed twice".into());
+            }
+            Ok(())
+        });
+    }
+}
+
 /// Check the kernel-body scenarios (the `V2-kernel-check` table).
 /// Deterministic for a fixed budget, like [`crate::check_suite`].
 pub fn check_kernels(budget: &CheckBudget) -> Vec<ConstructReport> {
@@ -216,6 +561,16 @@ pub fn check_kernels(budget: &CheckBudget) -> Vec<ConstructReport> {
             "kernel/water-energy",
             "linearizable energy sum, no lost updates",
             Box::new(water_energy_scenario(false)),
+        ),
+        (
+            "kernel/cmap-chain",
+            "HM bucket: no lost insert, single snip, published payloads",
+            Box::new(cmap_chain_scenario(CMapSpec::SPLASH4, false)),
+        ),
+        (
+            "kernel/stream-ring",
+            "ring stage: FIFO per producer, race-free payload handoff",
+            Box::new(stream_ring_scenario(RingSpec::SPLASH4)),
         ),
     ];
     rows.into_iter()
@@ -251,6 +606,42 @@ pub fn kernel_mutants() -> Vec<(
             "water energy CAS loop drops the retry: load/compute/store",
             &["invariant", "not-linearizable"] as &[_],
             Box::new(water_energy_scenario(true)),
+        ),
+        (
+            "cmap-blind-mark",
+            "cmap remove marks via load/store: overwrites a racing insert",
+            &["invariant"] as &[_],
+            Box::new(cmap_chain_scenario(CMapSpec::SPLASH4, true)),
+        ),
+        (
+            "cmap-link-relaxed",
+            "cmap insert link CAS AcqRel -> Relaxed: payload unpublished",
+            &["data-race"] as &[_],
+            Box::new(cmap_chain_scenario(
+                CMapSpec {
+                    link_cas_ok: Ordering::Relaxed,
+                    ..CMapSpec::SPLASH4
+                },
+                false,
+            )),
+        ),
+        (
+            "stream-publish-relaxed",
+            "ring publish store Release -> Relaxed: slot payload races",
+            &["data-race"] as &[_],
+            Box::new(stream_ring_scenario(RingSpec {
+                publish_store: Ordering::Relaxed,
+                ..RingSpec::SPLASH4
+            })),
+        ),
+        (
+            "stream-seq-relaxed",
+            "ring seq load Acquire -> Relaxed: consumer reads unacquired slot",
+            &["data-race"] as &[_],
+            Box::new(stream_ring_scenario(RingSpec {
+                seq_load: Ordering::Relaxed,
+                ..RingSpec::SPLASH4
+            })),
         ),
     ]
 }

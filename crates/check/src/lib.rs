@@ -78,7 +78,8 @@ pub use explore::{
     explore, replay, replay_under, Budget, CounterExample, ExploreReport, Replayed, Schedule,
 };
 pub use kernel::{
-    check_kernel_mutants, check_kernels, kernel_mutants, radix_rank_scenario, water_energy_scenario,
+    check_kernel_mutants, check_kernels, cmap_chain_scenario, kernel_mutants, radix_rank_scenario,
+    stream_ring_scenario, water_energy_scenario,
 };
 pub use linearize::{check_history, Op, OpRecord, RetVal, SpecModel};
 pub use reclaim::{
@@ -97,6 +98,7 @@ pub use suite::{
     MutantReport, Verdict,
 };
 pub use weakmem::{
-    barrier_handshake_scenario, check_weakmem, check_weakmem_mutants, mp_flag_scenario,
-    sb_epoch_scenario, sb_hazard_scenario, weakmem_mutants, WeakMutantReport, WEAK_STALE_READS,
+    barrier_handshake_scenario, check_weakmem, check_weakmem_mutants, cmap_pin_scan_scenario,
+    mp_flag_scenario, sb_epoch_scenario, sb_hazard_scenario, weakmem_mutants, WeakMutantReport,
+    WEAK_STALE_READS,
 };

@@ -23,7 +23,7 @@
 use crate::engine::{MemoryModel, Sandbox};
 use crate::explore::{explore, Budget, Scenario};
 use crate::suite::{run_construct, CheckBudget, ConstructReport, MutantReport};
-use splash4_parmacs::{EpochSpec, FlagSpec, HazardSpec, SenseBarrierSpec};
+use splash4_parmacs::{CMapSpec, EpochSpec, FlagSpec, HazardSpec, SenseBarrierSpec};
 use std::sync::atomic::Ordering;
 
 /// Per-execution stale-read budget the W1 suite explores with. Two stale
@@ -136,6 +136,47 @@ pub fn sb_hazard_scenario(spec: HazardSpec) -> impl Fn(&mut Sandbox) + Sync {
     }
 }
 
+/// The `cmap` reader's epoch pin as the kernel composes it: announce the
+/// pin, **revalidate** that no retire intervened (the epoch pin's global
+/// load), then read the node's value cell through [`CMapSpec::value_load`];
+/// meanwhile the reclaimer retires the snipped node, scans the pin slots,
+/// and — seeing none — poisons the value (frees the node). The reclaim
+/// shadows in [`crate::reclaim`] explore this protocol under SC only;
+/// here the announce/revalidate pair runs under weak memory, where both
+/// sides reading stale (the store-buffering outcome) is exactly "the
+/// collector frees under a pinned reader". The shipped `SeqCst`
+/// revalidation forbids it; an `Acquire` downgrade (the
+/// `cmap-revalidate-acquire` mutant) admits it with no data race — the
+/// node's value cell is atomic — so only weak-memory value exploration
+/// can catch it.
+pub fn cmap_pin_scan_scenario(spec: EpochSpec) -> impl Fn(&mut Sandbox) + Sync {
+    const POISON: u64 = 0xDEAD;
+    move |sb: &mut Sandbox| {
+        let pin = sb.alloc_atomic("cmap.pin", 0);
+        let retired = sb.alloc_atomic("cmap.retired", 0);
+        let value = sb.alloc_atomic("cmap.value", 30);
+        let cmap = CMapSpec::SPLASH4;
+        sb.thread(move |ctx| {
+            ctx.op_store(pin, 1, spec.announce_store);
+            // Revalidation: the pin must be visible to any scan that could
+            // free what we are about to dereference.
+            let seen_retired = ctx.op_load(retired, spec.global_load);
+            if seen_retired == 0 {
+                let v = ctx.op_load(value, cmap.value_load);
+                ctx.check(v != POISON, "cmap: pinned reader never sees a freed node");
+            }
+            ctx.op_store(pin, 0, spec.quiesce_store);
+        });
+        sb.thread(move |ctx| {
+            ctx.op_store(retired, 1, Ordering::SeqCst);
+            let pinned = ctx.op_load(pin, spec.scan_load);
+            if pinned == 0 {
+                ctx.op_store(value, POISON, Ordering::Relaxed);
+            }
+        });
+    }
+}
+
 /// Two-thread centralized sense barrier with an atomic pre-barrier payload:
 /// thread 0 writes the payload and arrives; the last arriver bumps the
 /// generation, the other spins on it; thread 1 then reads the payload. The
@@ -196,6 +237,11 @@ pub fn check_weakmem(budget: &CheckBudget) -> Vec<ConstructReport> {
             "weakmem/barrier",
             "pre-barrier payload visible after the episode",
             Box::new(barrier_handshake_scenario(SenseBarrierSpec::SPLASH4)),
+        ),
+        (
+            "weakmem/cmap-pin",
+            "pinned cmap reader never observes a freed node",
+            Box::new(cmap_pin_scan_scenario(EpochSpec::SPLASH4)),
         ),
     ];
     rows.into_iter()
@@ -273,6 +319,15 @@ pub fn weakmem_mutants() -> Vec<(
             Box::new(barrier_handshake_scenario(SenseBarrierSpec {
                 spin_load: Ordering::Relaxed,
                 ..SenseBarrierSpec::SPLASH4
+            })),
+        ),
+        (
+            "cmap-revalidate-acquire",
+            "cmap pin revalidation SeqCst -> Acquire: reads a freed node",
+            &["invariant"] as &[_],
+            Box::new(cmap_pin_scan_scenario(EpochSpec {
+                global_load: Ordering::Acquire,
+                ..EpochSpec::SPLASH4
             })),
         ),
     ]

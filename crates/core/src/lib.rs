@@ -2,7 +2,9 @@
 //!
 //! A from-scratch Rust reproduction of *Splash-4: A Modern Benchmark Suite
 //! with Lock-Free Constructs* (Gómez-Hernández, Cebrian, Kaxiras, Ros —
-//! IISWC 2022). The suite's twelve workloads run with either generation's
+//! IISWC 2022). The suite's workloads — the fourteen original kernels plus
+//! the registry-extension families `cmap` and `stream` — run with either
+//! generation's
 //! synchronization constructs — lock-based ([`SyncMode::LockBased`],
 //! ≙ Splash-3) or lock-free ([`SyncMode::LockFree`], ≙ Splash-4) — over the
 //! same algorithmic code, and a deterministic multicore timing simulator
@@ -56,7 +58,7 @@
 //! |---|---|---|
 //! | sync runtime | `splash4-parmacs` | PARMACS constructs, both back-ends, instrumentation |
 //! | reclamation | `splash4-reclaim` | epoch/hazard safe memory reclamation, dynamic task pools |
-//! | workloads | `splash4-kernels` | the twelve ports with oracles |
+//! | workloads | `splash4-kernels` | the suite's workload registry and ports with oracles |
 //! | simulator | `splash4-sim` | machine models, DES engine, model expansion |
 //! | tracing | `splash4-trace` | sync-event recording, codec, replay lowering |
 //! | model checking | `splash4-check` | deterministic schedule exploration + linearizability |
@@ -96,8 +98,9 @@ pub use splash4_harness::{
     ResultCache, ServiceConfig, WorkerPool,
 };
 pub use splash4_kernels::{
-    barnes, cholesky, close, fft, fmm, lu, ocean, radiosity, radix, raytrace, volrend, water_nsq,
-    water_sp, workload, InputClass, KernelResult, SharedAccum, SharedSlice, Workload, SUITE,
+    barnes, cholesky, close, cmap, fft, fmm, lu, ocean, radiosity, radix, raytrace, stream, suite,
+    volrend, water_nsq, water_sp, workload, InputClass, KernelResult, SharedAccum, SharedSlice,
+    Workload,
 };
 pub use splash4_parmacs as parmacs;
 pub use splash4_parmacs::{

@@ -86,7 +86,8 @@ fn main() -> ExitCode {
                 let mut picked: Vec<BenchmarkId> = Vec::new();
                 for name in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
                     let Some(b) = BenchmarkId::from_name(name) else {
-                        let known: Vec<&str> = BenchmarkId::ALL.iter().map(|b| b.name()).collect();
+                        let known: Vec<&str> =
+                            BenchmarkId::all().iter().map(|b| b.name()).collect();
                         eprintln!(
                             "unknown workload '{name}'; known workloads: {}",
                             known.join(", ")
@@ -103,7 +104,7 @@ fn main() -> ExitCode {
                 }
                 // Keep suite order regardless of how the user listed them,
                 // so filtered tables stay aligned with the full ones.
-                picked.sort_by_key(|&b| b as usize);
+                picked.sort_by_key(|&b| b.index());
                 only = Some(picked);
             }
             "--all" => all = true,
@@ -259,7 +260,7 @@ fn main() -> ExitCode {
             println!("  {id}");
         }
         println!("workloads (accepted by --only):");
-        for b in BenchmarkId::ALL {
+        for b in BenchmarkId::all() {
             println!("  {:<16} {}", b.name(), b.input_description(ctx.class));
         }
         return ExitCode::SUCCESS;

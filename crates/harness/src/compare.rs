@@ -121,6 +121,11 @@ const BACKENDS: [&str; 2] = ["splash3", "splash4"];
 /// written before the combining generation keep validating and comparing.
 const OPTIONAL_BACKEND: &str = "splash4x";
 
+/// Per-backend groups for the registry-extension workload families, shaped
+/// exactly like [`BACKEND_METRICS`] but optional: baselines written before
+/// the `cmap`/`stream` families keep validating and comparing.
+const FAMILY_METRICS: [&str; 2] = ["cmap", "stream"];
+
 /// Config keys that define the workload shape; absolute metrics are only
 /// gateable when these match between baseline and candidate. The two serve
 /// keys decode as `Null` in documents predating the serve subsystem, so
@@ -324,6 +329,46 @@ impl BenchDoc {
             }
         } else if !combining.is_null() {
             return Err("`combining` metric group must be an object when present".into());
+        }
+
+        // The registry-extension workload families bench whole-kernel churn
+        // per back-end (`cmap` map operations/sec, `stream` pipeline
+        // items/sec). Optional so pre-extension baselines keep validating;
+        // shape and classes mirror the core per-backend groups, so each
+        // family's lockfree/lockbased ratio gates cross-host and the raw
+        // rates gate between matching hosts.
+        for group in FAMILY_METRICS {
+            let g = &metrics_json[group];
+            if g.as_object().is_none() {
+                if !g.is_null() {
+                    return Err(format!(
+                        "`{group}` metric group must be an object when present"
+                    ));
+                }
+                continue;
+            }
+            for backend in BACKENDS {
+                let name = format!("{group}/{backend}");
+                metrics.push(Metric {
+                    name: name.clone(),
+                    class: MetricClass::Throughput,
+                    summary: read(&g[backend], &name)?,
+                });
+            }
+            if !g[OPTIONAL_BACKEND].is_null() {
+                let name = format!("{group}/{OPTIONAL_BACKEND}");
+                metrics.push(Metric {
+                    name: name.clone(),
+                    class: MetricClass::Throughput,
+                    summary: read(&g[OPTIONAL_BACKEND], &name)?,
+                });
+            }
+            let name = format!("{group}/ratio");
+            metrics.push(Metric {
+                name: name.clone(),
+                class: MetricClass::Ratio,
+                summary: read(&g["ratio"], &name)?,
+            });
         }
 
         // The atomic cost matrix (`--bench atomics`). Unlike every group

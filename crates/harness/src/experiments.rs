@@ -37,7 +37,7 @@ impl Default for ModelCache {
         // see different calibrations of the same kernel.
         ModelCache {
             cache: ResultCache::new(
-                BenchmarkId::ALL.len() * InputClass::ALL.len(),
+                BenchmarkId::all().len() * InputClass::ALL.len(),
                 Arc::new(SyncCounters::new()),
             ),
         }
@@ -90,7 +90,7 @@ impl Default for ExperimentCtx {
     fn default() -> ExperimentCtx {
         ExperimentCtx {
             class: InputClass::Test,
-            benchmarks: BenchmarkId::ALL.to_vec(),
+            benchmarks: BenchmarkId::all(),
             native_threads: vec![1, 2, 4],
             sim_threads: vec![1, 2, 4, 8, 16, 32, 64],
             snapshot_cores: 32,
@@ -115,7 +115,7 @@ impl ExperimentCtx {
 }
 
 /// All known experiment ids, in presentation order.
-pub const ALL_EXPERIMENTS: [&str; 17] = [
+pub const ALL_EXPERIMENTS: [&str; 18] = [
     "T1-inputs",
     "T2-changes",
     "T3-syncops",
@@ -133,6 +133,7 @@ pub const ALL_EXPERIMENTS: [&str; 17] = [
     "C1-combining",
     "R1-reclaim",
     "W1-weakmem",
+    "D1-diversity",
 ];
 
 /// Dispatch an experiment by id.
@@ -166,6 +167,7 @@ pub fn run_experiment(id: &str, ctx: &ExperimentCtx) -> Result<Report, String> {
         "C1-combining" => Ok(c1_combining(ctx)),
         "R1-reclaim" => Ok(r1_reclaim(ctx)),
         "W1-weakmem" => Ok(w1_weakmem(ctx)),
+        "D1-diversity" => Ok(d1_diversity(ctx)),
         _ => Err(format!(
             "unknown experiment '{id}'; known: {}",
             ALL_EXPERIMENTS.join(", ")
@@ -1027,6 +1029,174 @@ fn w1_weakmem(_ctx: &ExperimentCtx) -> Report {
     }
 }
 
+/// The sync-op mix dimensions of the `D1-diversity` vectors, in order.
+pub const D1_MIX_DIMS: [&str; 8] = [
+    "locks", "rmws", "barriers", "getsubs", "reduces", "flags", "queues", "reclaim",
+];
+
+/// One workload's `D1-diversity` characterization: the normalized sync-op
+/// mix plus the normalized contention timeline from `splash4-trace`.
+#[derive(Debug, Clone)]
+pub struct DiversityPoint {
+    /// Workload this point characterizes.
+    pub benchmark: BenchmarkId,
+    /// Normalized sync-op mix over [`D1_MIX_DIMS`] (sums to 1 unless the
+    /// workload performs no sync ops at all).
+    pub mix: [f64; 8],
+    /// Normalized 16-bin sync-event timeline of the traced lock-free run.
+    pub timeline: [f64; 16],
+}
+
+impl DiversityPoint {
+    /// Characterize `b`: one traced lock-free run (mix + timeline) plus
+    /// one lock-based run (the lock dimension only exists under Splash-3).
+    pub fn measure(b: BenchmarkId, class: InputClass, threads: usize) -> DiversityPoint {
+        let (lf, trace) = record_trace(b, class, SyncMode::LockFree, threads);
+        let lb = b.run(class, &SyncEnv::new(SyncMode::LockBased, threads));
+        let summary = TraceSummary::from_trace(&trace);
+        let flag_idx = ConstructClass::ALL
+            .iter()
+            .position(|&c| c == ConstructClass::Flag)
+            .expect("Flag is a construct class");
+        let raw = [
+            lb.profile.lock_acquires as f64,
+            lf.profile.atomic_rmws as f64,
+            lf.profile.barrier_waits as f64,
+            lf.profile.getsub_calls as f64,
+            lf.profile.reduce_ops as f64,
+            // Flag *signals* from the trace: `flag_waits` only counts the
+            // timing-dependent slow path, the trace records every set.
+            summary.rmws[flag_idx] as f64,
+            lf.profile.queue_ops as f64,
+            (lf.profile.reclaim_retires + lf.profile.reclaim_scans + lf.profile.reclaim_frees)
+                as f64,
+        ];
+        let total: f64 = raw.iter().sum();
+        let mut mix = [0.0; 8];
+        if total > 0.0 {
+            for (m, r) in mix.iter_mut().zip(raw) {
+                *m = r / total;
+            }
+        }
+        let tl_total: f64 = summary.timeline.iter().map(|&v| v as f64).sum();
+        let mut timeline = [0.0; 16];
+        if tl_total > 0.0 {
+            for (t, &v) in timeline.iter_mut().zip(summary.timeline.iter()) {
+                *t = v as f64 / tl_total;
+            }
+        }
+        DiversityPoint {
+            benchmark: b,
+            mix,
+            timeline,
+        }
+    }
+
+    /// Distance to `other`: Euclidean over the mix vectors plus a
+    /// half-weighted Euclidean over the contention timelines.
+    pub fn distance(&self, other: &DiversityPoint) -> f64 {
+        let mix: f64 = self
+            .mix
+            .iter()
+            .zip(other.mix)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum();
+        let tl: f64 = self
+            .timeline
+            .iter()
+            .zip(other.timeline)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum();
+        (mix + 0.25 * tl).sqrt()
+    }
+}
+
+/// `D1-diversity`: Renaissance-style redundancy analysis — per-workload
+/// sync-op mix vectors and contention timelines, reduced to a pairwise
+/// distance matrix with nearest-neighbor summaries. The suite-extension
+/// claim: `cmap` and `stream` occupy mix/timeline regions none of the
+/// original kernels do, so each sits farther from its nearest original
+/// than any original sits from its own nearest sibling.
+fn d1_diversity(ctx: &ExperimentCtx) -> Report {
+    let threads = ctx.native_threads.iter().copied().max().unwrap_or(2);
+    let points: Vec<DiversityPoint> = ctx
+        .benchmarks()
+        .map(|b| DiversityPoint::measure(b, ctx.class, threads))
+        .collect();
+
+    let n = points.len();
+    let mut matrix = vec![vec![0.0f64; n]; n];
+    for i in 0..n {
+        for j in 0..n {
+            matrix[i][j] = points[i].distance(&points[j]);
+        }
+    }
+    let nearest = |i: usize| -> (usize, f64) {
+        (0..n)
+            .filter(|&j| j != i)
+            .map(|j| (j, matrix[i][j]))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("at least two workloads")
+    };
+
+    let mut cols = vec!["benchmark"];
+    cols.extend(D1_MIX_DIMS);
+    cols.extend(["nearest", "dist"]);
+    let mut t = Table::new(cols);
+    let mut jrows = Vec::new();
+    for (i, p) in points.iter().enumerate() {
+        let (nj, nd) = nearest(i);
+        let mut row = vec![p.benchmark.name().to_string()];
+        row.extend(p.mix.iter().map(|m| format!("{m:.3}")));
+        row.push(points[nj].benchmark.name().to_string());
+        row.push(format!("{nd:.3}"));
+        t.row(row);
+        jrows.push(json!({
+            "benchmark": p.benchmark.name(),
+            "mix": p.mix.to_vec(),
+            "timeline": p.timeline.to_vec(),
+            "nearest": points[nj].benchmark.name(),
+            "nearest_distance": nd,
+            "distances": matrix[i].clone(),
+        }));
+    }
+
+    let mut mt = Table::new(
+        std::iter::once("×")
+            .chain(points.iter().map(|p| p.benchmark.name()))
+            .collect::<Vec<_>>(),
+    );
+    for (i, p) in points.iter().enumerate() {
+        let mut row = vec![p.benchmark.name().to_string()];
+        row.extend(matrix[i].iter().map(|d| format!("{d:.2}")));
+        mt.row(row);
+    }
+
+    let text = format!(
+        "{}\npairwise distance matrix (sync-op mix × contention timeline):\n{}",
+        t.render(),
+        mt.render()
+    );
+    Report {
+        id: "D1-diversity".into(),
+        title: format!(
+            "Workload diversity: sync-op mix and contention-timeline distances \
+             ({} workloads, {} class, {} threads)",
+            n,
+            ctx.class.label(),
+            threads
+        ),
+        text,
+        json: json!({
+            "dims": D1_MIX_DIMS.iter().map(|d| d.to_string()).collect::<Vec<String>>(),
+            "threads": threads as u64,
+            "class": ctx.class.label(),
+            "rows": jrows,
+        }),
+        csv: t.to_csv(),
+    }
+}
+
 /// Render a construct + mutant checker run as a [`Report`] (shared by
 /// `V1-check`, `V2-kernel-check`, and `R1-reclaim`).
 fn check_report(
@@ -1116,7 +1286,7 @@ mod tests {
     #[test]
     fn model_cache_runs_each_kernel_once_per_class() {
         let ctx = quick_ctx();
-        let b = BenchmarkId::ALL[0];
+        let b = BenchmarkId::all()[0];
         let first = ctx.work_model(b);
         assert_eq!(ctx.models.len(), 1);
         let second = ctx.work_model(b);
@@ -1136,8 +1306,58 @@ mod tests {
     #[test]
     fn t1_lists_all_benchmarks() {
         let r = run_experiment("T1-inputs", &quick_ctx()).unwrap();
-        for b in BenchmarkId::ALL {
+        for b in BenchmarkId::all() {
             assert!(r.text.contains(b.name()), "missing {b}");
+        }
+    }
+
+    #[test]
+    fn d1_new_families_are_nearest_neighbor_distinct() {
+        let r = run_experiment("D1-diversity", &quick_ctx()).unwrap();
+        let rows = r.json["rows"].as_array().unwrap();
+        assert_eq!(rows.len(), BenchmarkId::all().len());
+        let name_of = |row: &splash4_parmacs::Json| row["benchmark"].as_str().unwrap().to_string();
+        // The suite's redundancy scale is set by the known near-duplicate
+        // original pairs (ocean/ocean-noncont, water-nsquared/water-spatial,
+        // lu/lu-noncont): their pairwise distances must be the small ones.
+        let dist = |a: &str, b: &str| -> f64 {
+            let i = rows.iter().position(|r| name_of(r) == a).unwrap();
+            rows[i]["distances"].as_array().unwrap()
+                [rows.iter().position(|r| name_of(r) == b).unwrap()]
+            .as_f64()
+            .unwrap()
+        };
+        let redundancy_scale = [
+            dist("ocean", "ocean-noncont"),
+            dist("water-nsquared", "water-spatial"),
+            dist("lu", "lu-noncont"),
+        ]
+        .into_iter()
+        .fold(0.0f64, f64::max);
+        // The new families must sit outside the redundancy scale relative
+        // to EVERY original kernel, not just on average: their minimum
+        // distance to any original exceeds the scale (with margin).
+        for name in ["cmap", "stream"] {
+            let row = rows.iter().find(|r| name_of(r) == name).unwrap();
+            let dists = row["distances"].as_array().unwrap();
+            let min_to_original = rows
+                .iter()
+                .enumerate()
+                .filter(|(_, other)| {
+                    let n = name_of(other);
+                    n != "cmap" && n != "stream"
+                })
+                .map(|(j, _)| dists[j].as_f64().unwrap())
+                .fold(f64::INFINITY, f64::min);
+            assert!(
+                min_to_original > redundancy_scale.max(0.06) * 1.5,
+                "{name} clusters with an original kernel: min distance \
+                 {min_to_original:.3} vs redundancy scale {redundancy_scale:.3}"
+            );
+            assert!(
+                row["nearest_distance"].as_f64().unwrap() > 0.0,
+                "{name} has a zero-distance twin"
+            );
         }
     }
 
@@ -1234,7 +1454,7 @@ mod tests {
     fn machine_override_flows_into_sim_experiments() {
         let mut ctx = quick_ctx();
         ctx.machine = Some(MachineParams::icelake_like());
-        ctx.benchmarks = BenchmarkId::ALL[..2].to_vec();
+        ctx.benchmarks = BenchmarkId::all()[..2].to_vec();
         let r = run_experiment("F2-sim-epyc", &ctx).unwrap();
         assert_eq!(
             r.json["machine"].as_str(),
@@ -1252,7 +1472,7 @@ mod tests {
     fn w1_weakmem_catches_ordering_mutants_sc_misses() {
         let r = run_experiment("W1-weakmem", &quick_ctx()).unwrap();
         let constructs = r.json["constructs"].as_array().unwrap();
-        assert_eq!(constructs.len(), 4, "every weak-memory scenario");
+        assert_eq!(constructs.len(), 5, "every weak-memory scenario");
         for row in constructs {
             assert_eq!(
                 row["verdict"].as_str().unwrap(),
@@ -1261,7 +1481,7 @@ mod tests {
             );
         }
         let muts = r.json["mutants"].as_array().unwrap();
-        assert_eq!(muts.len(), 6, "the full ordering-mutant catalog");
+        assert_eq!(muts.len(), 7, "the full ordering-mutant catalog");
         for m in muts {
             assert_eq!(m["detected"].as_bool(), Some(true), "mutant escaped: {m}");
             assert_eq!(

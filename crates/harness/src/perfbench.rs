@@ -82,7 +82,7 @@ impl BenchConfig {
             serve_sim_cores: 1024,
             serve_requests: 24,
             serve_ops_per_core: 400,
-            benchmarks: BenchmarkId::ALL.to_vec(),
+            benchmarks: BenchmarkId::all(),
         }
     }
 
@@ -103,7 +103,7 @@ impl BenchConfig {
             serve_sim_cores: 1024,
             serve_requests: 8,
             serve_ops_per_core: 100,
-            benchmarks: BenchmarkId::ALL.to_vec(),
+            benchmarks: BenchmarkId::all(),
         }
     }
 
@@ -720,6 +720,39 @@ pub fn run_bench_atomics(cfg: &BenchConfig) -> (String, Json) {
     (t.render(), doc)
 }
 
+/// One workload-family bench group: family name, per-mode churn summaries,
+/// and the lockfree/lock ratio the compare gate watches.
+type FamilyGroup = (&'static str, Vec<(SyncMode, Summary)>, Summary);
+
+/// End-to-end churn throughput of the registry-extension workload families
+/// — `cmap` in map operations/sec, `stream` in pipeline items/sec — one
+/// summary per back-end. These become the `cmap.*`/`stream.*` v2 groups the
+/// compare gate watches, so a regression in either family's lock-free path
+/// (the Harris–Michael buckets, the Vyukov rings) fails CI like any other
+/// primitive group.
+fn bench_families(cfg: &BenchConfig) -> Vec<(&'static str, Vec<(SyncMode, Summary)>)> {
+    let cmap_ops = splash4_kernels::cmap::CMapConfig::class(InputClass::Test).ops as u64;
+    let stream_items = splash4_kernels::stream::StreamConfig::class(InputClass::Test).items as u64;
+    [
+        (BenchmarkId::Cmap, cmap_ops),
+        (BenchmarkId::Stream, stream_items),
+    ]
+    .map(|(b, ops)| {
+        let pairs = SyncMode::ALL
+            .map(|mode| {
+                let env = SyncEnv::new(mode, cfg.threads);
+                let secs = time_adaptive(&cfg.measure, || {
+                    let r = b.run(InputClass::Test, &env);
+                    assert!(r.validated, "{} invalid during bench", b.name());
+                });
+                (mode, secs.to_rate(ops))
+            })
+            .to_vec();
+        (b.name(), pairs)
+    })
+    .to_vec()
+}
+
 /// Run every microbenchmark and render the results.
 ///
 /// The returned `(text, json)` pair is what `splash4-report --bench` prints
@@ -739,6 +772,13 @@ pub fn run_bench(cfg: &BenchConfig) -> (String, Json) {
         epoch_vs_index_ratio,
         epoch_vs_hazard_ratio,
     ) = bench_reclaim(cfg);
+    let families: Vec<FamilyGroup> = bench_families(cfg)
+        .into_iter()
+        .map(|(name, pairs)| {
+            let ratio = group_ratio(&pairs, SyncMode::LockFree, SyncMode::LockBased);
+            (name, pairs, ratio)
+        })
+        .collect();
 
     // Host-normalized generation ratios, per primitive group: the classic
     // lock-free/lock-based (splash4/splash3) pair the v2 schema has always
@@ -789,6 +829,21 @@ pub fn run_bench(cfg: &BenchConfig) -> (String, Json) {
             label.into(),
             "combining/lockfree ratio".into(),
             fmt_summary(combining, 1.0, "x"),
+        ]);
+    }
+    for (name, pairs, ratio) in &families {
+        let label = format!("{name} churn");
+        for (mode, s) in pairs.iter() {
+            t.row(vec![
+                label.clone(),
+                mode.label().into(),
+                fmt_summary(s, 1e6, "Mops/s"),
+            ]);
+        }
+        t.row(vec![
+            label,
+            "lockfree/lock ratio".into(),
+            fmt_summary(ratio, 1.0, "x"),
         ]);
     }
     t.row(vec![
@@ -867,8 +922,13 @@ pub fn run_bench(cfg: &BenchConfig) -> (String, Json) {
         reclaim_epoch.median,
         reclaim_hazard.median,
     ]);
+    throughputs.extend(
+        families
+            .iter()
+            .flat_map(|(_, pairs, _)| pairs.iter().map(|(_, s)| s.median)),
+    );
     let throughput_geomean = geomean(&throughputs);
-    let ratio_geomean = geomean(&[
+    let mut ratios = vec![
         reducer_ratio.median,
         counter_ratio.median,
         barrier_ratio.median,
@@ -880,7 +940,9 @@ pub fn run_bench(cfg: &BenchConfig) -> (String, Json) {
         serve_retime.median,
         epoch_vs_index_ratio.median,
         epoch_vs_hazard_ratio.median,
-    ]);
+    ];
+    ratios.extend(families.iter().map(|(_, _, r)| r.median));
+    let ratio_geomean = geomean(&ratios);
 
     let group = |pairs: &[(SyncMode, Summary)], ratio: &Summary| {
         Json::Object(
@@ -940,6 +1002,8 @@ pub fn run_bench(cfg: &BenchConfig) -> (String, Json) {
                 "barrier_vs_lockfree_ratio": barrier_combining.to_json(),
                 "combining_vs_lockfree_ratio": combining_paired.to_json(),
             }),
+            "cmap": group(&families[0].1, &families[0].2),
+            "stream": group(&families[1].1, &families[1].2),
             "atomics": atomics_group(&atomics),
         }),
         "aggregate": json!({
@@ -1028,6 +1092,20 @@ mod tests {
         // falseshare/padded pair), classified host-absolute.
         let cas_c1 = decoded.metric("atomics/cas_c1_ns").expect("cas c1 cell");
         assert_eq!(cas_c1.class, MetricClass::Wall);
+        // The registry-extension family groups ride along: every back-end
+        // plus the gate-eligible lockfree/lockbased ratio.
+        for fam in ["cmap", "stream"] {
+            for backend in ["splash3", "splash4", "splash4x"] {
+                assert!(
+                    decoded.metric(&format!("{fam}/{backend}")).is_some(),
+                    "{fam}/{backend} missing"
+                );
+            }
+            let r = decoded
+                .metric(&format!("{fam}/ratio"))
+                .expect("family ratio");
+            assert_eq!(r.class, MetricClass::Ratio);
+        }
         assert!(decoded.metric("atomics/faa_c2_ns").is_some());
         assert!(decoded.metric("atomics/store_padded_ns").is_some());
         assert!(decoded.metric("atomics/load_falseshare_ns").is_some());

@@ -1,60 +1,66 @@
-//! The benchmark registry: one entry per suite workload.
+//! The benchmark registry: one handle per registered suite workload.
 //!
-//! Since the kernels crate grew its own [`Workload`] trait and flat
-//! [`SUITE`] table, the registry is a thin veneer: `BenchmarkId` stays the
-//! harness's copyable handle (enum discriminants index straight into the
-//! table), and every query — name, input description, run — delegates to
-//! the workload object. Adding a 15th workload means appending one enum
-//! variant here and one table line in the kernels crate; there are no
-//! per-workload `match` arms left to keep in sync.
+//! Since the kernels crate grew its own [`Workload`] trait and extensible
+//! [`workload`] registry, the registry is a thin veneer: [`BenchmarkId`]
+//! is the harness's copyable handle — a registry *index*, not a pinned
+//! enum — and every query (name, input description, run) delegates to the
+//! workload object. The suite count appears in exactly one place (the
+//! kernels-crate registry): `BenchmarkId::all()` iterates whatever is
+//! registered, so a new workload — in-tree or registered at startup via
+//! [`workload::register`] — flows through the CLI filters, stats columns,
+//! trace attribution, sim memoization, check scenarios and the serve
+//! dispatcher without touching this file. The named associated constants
+//! below are ergonomic aliases for the built-in suite (`Benchmark::Radix`
+//! keeps compiling), pinned to the registry order by a test.
 
-use splash4_kernels::{workload, InputClass, KernelResult, Workload, SUITE};
+use splash4_kernels::{workload, InputClass, KernelResult, Workload};
 use splash4_parmacs::SyncEnv;
 use std::fmt;
 
-/// Identifier of a suite workload.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[allow(missing_docs)]
-pub enum BenchmarkId {
-    Barnes,
-    Cholesky,
-    Fft,
-    Fmm,
-    Lu,
-    LuNoncont,
-    Ocean,
-    OceanNoncont,
-    Radiosity,
-    Radix,
-    Raytrace,
-    Volrend,
-    WaterNsquared,
-    WaterSpatial,
+/// Identifier of a registered suite workload (a stable registry index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BenchmarkId(usize);
+
+#[allow(non_upper_case_globals, missing_docs)]
+impl BenchmarkId {
+    pub const Barnes: BenchmarkId = BenchmarkId(0);
+    pub const Cholesky: BenchmarkId = BenchmarkId(1);
+    pub const Fft: BenchmarkId = BenchmarkId(2);
+    pub const Fmm: BenchmarkId = BenchmarkId(3);
+    pub const Lu: BenchmarkId = BenchmarkId(4);
+    pub const LuNoncont: BenchmarkId = BenchmarkId(5);
+    pub const Ocean: BenchmarkId = BenchmarkId(6);
+    pub const OceanNoncont: BenchmarkId = BenchmarkId(7);
+    pub const Radiosity: BenchmarkId = BenchmarkId(8);
+    pub const Radix: BenchmarkId = BenchmarkId(9);
+    pub const Raytrace: BenchmarkId = BenchmarkId(10);
+    pub const Volrend: BenchmarkId = BenchmarkId(11);
+    pub const WaterNsquared: BenchmarkId = BenchmarkId(12);
+    pub const WaterSpatial: BenchmarkId = BenchmarkId(13);
+    pub const Cmap: BenchmarkId = BenchmarkId(14);
+    pub const Stream: BenchmarkId = BenchmarkId(15);
 }
 
 impl BenchmarkId {
-    /// All workloads in suite order.
-    pub const ALL: [BenchmarkId; 14] = [
-        BenchmarkId::Barnes,
-        BenchmarkId::Cholesky,
-        BenchmarkId::Fft,
-        BenchmarkId::Fmm,
-        BenchmarkId::Lu,
-        BenchmarkId::LuNoncont,
-        BenchmarkId::Ocean,
-        BenchmarkId::OceanNoncont,
-        BenchmarkId::Radiosity,
-        BenchmarkId::Radix,
-        BenchmarkId::Raytrace,
-        BenchmarkId::Volrend,
-        BenchmarkId::WaterNsquared,
-        BenchmarkId::WaterSpatial,
-    ];
+    /// Every registered workload, in registry order. Unlike the old fixed
+    /// `ALL` array this reflects runtime [`workload::register`] calls.
+    pub fn all() -> Vec<BenchmarkId> {
+        (0..workload::len()).map(BenchmarkId).collect()
+    }
 
-    /// The [`Workload`] object behind this id (discriminants are the
-    /// [`SUITE`] indices; a test pins the correspondence).
+    /// This workload's registry index (stable for the process lifetime).
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// The [`Workload`] object behind this id.
+    ///
+    /// # Panics
+    /// Panics if the id does not come from [`BenchmarkId::all`] /
+    /// [`BenchmarkId::from_name`] (an out-of-range index).
     pub fn workload(self) -> &'static (dyn Workload + Send + Sync) {
-        SUITE[self as usize]
+        workload::get(self.0)
+            .unwrap_or_else(|| panic!("benchmark index {} out of registry range", self.0))
     }
 
     /// Canonical suite name.
@@ -65,11 +71,7 @@ impl BenchmarkId {
     /// Parse a suite name. Matching is lenient: case-insensitive, with `_`
     /// and `-` interchangeable (`water_nsquared` ≡ `WATER-NSQUARED`).
     pub fn from_name(s: &str) -> Option<BenchmarkId> {
-        let w = workload::find(s)?;
-        SUITE
-            .iter()
-            .position(|entry| std::ptr::eq(*entry, w))
-            .map(|i| BenchmarkId::ALL[i])
+        workload::find_index(s).map(BenchmarkId)
     }
 
     /// Human description of the configured input for `class` (the `T1-inputs`
@@ -96,18 +98,44 @@ mod tests {
     use splash4_parmacs::SyncMode;
 
     #[test]
-    fn discriminants_index_the_suite_table() {
-        // `workload()` relies on enum order == SUITE order; pin it.
-        assert_eq!(BenchmarkId::ALL.len(), SUITE.len());
-        for (i, b) in BenchmarkId::ALL.into_iter().enumerate() {
-            assert_eq!(b as usize, i);
-            assert_eq!(b.name(), SUITE[i].name(), "table order drifted at {i}");
+    fn named_constants_match_registry_order() {
+        // The ergonomic aliases must agree with the built-in registration
+        // order; pin it.
+        let pinned = [
+            (BenchmarkId::Barnes, "barnes"),
+            (BenchmarkId::Cholesky, "cholesky"),
+            (BenchmarkId::Fft, "fft"),
+            (BenchmarkId::Fmm, "fmm"),
+            (BenchmarkId::Lu, "lu"),
+            (BenchmarkId::LuNoncont, "lu-noncont"),
+            (BenchmarkId::Ocean, "ocean"),
+            (BenchmarkId::OceanNoncont, "ocean-noncont"),
+            (BenchmarkId::Radiosity, "radiosity"),
+            (BenchmarkId::Radix, "radix"),
+            (BenchmarkId::Raytrace, "raytrace"),
+            (BenchmarkId::Volrend, "volrend"),
+            (BenchmarkId::WaterNsquared, "water-nsquared"),
+            (BenchmarkId::WaterSpatial, "water-spatial"),
+            (BenchmarkId::Cmap, "cmap"),
+            (BenchmarkId::Stream, "stream"),
+        ];
+        for (b, name) in pinned {
+            assert_eq!(b.name(), name, "alias order drifted at index {}", b.index());
+        }
+        assert!(BenchmarkId::all().len() >= pinned.len());
+    }
+
+    #[test]
+    fn ids_index_the_registry() {
+        for (i, b) in BenchmarkId::all().into_iter().enumerate() {
+            assert_eq!(b.index(), i);
+            assert_eq!(b.name(), workload::get(i).unwrap().name());
         }
     }
 
     #[test]
     fn names_round_trip() {
-        for b in BenchmarkId::ALL {
+        for b in BenchmarkId::all() {
             assert_eq!(BenchmarkId::from_name(b.name()), Some(b));
         }
         assert_eq!(BenchmarkId::from_name("doom"), None);
@@ -121,6 +149,8 @@ mod tests {
             ("Lu_Noncont", BenchmarkId::LuNoncont),
             ("FFT", BenchmarkId::Fft),
             ("Ocean-Noncont", BenchmarkId::OceanNoncont),
+            ("CMap", BenchmarkId::Cmap),
+            ("STREAM", BenchmarkId::Stream),
         ] {
             assert_eq!(BenchmarkId::from_name(alias), Some(want), "{alias}");
         }
@@ -128,7 +158,7 @@ mod tests {
 
     #[test]
     fn descriptions_are_nonempty_for_all_classes() {
-        for b in BenchmarkId::ALL {
+        for b in BenchmarkId::all() {
             for c in InputClass::ALL {
                 assert!(!b.input_description(c).is_empty());
             }
@@ -137,7 +167,7 @@ mod tests {
 
     #[test]
     fn every_benchmark_runs_and_validates_at_test_class() {
-        for b in BenchmarkId::ALL {
+        for b in BenchmarkId::all() {
             let env = SyncEnv::new(SyncMode::LockFree, 2);
             let r = b.run(InputClass::Test, &env);
             assert!(r.validated, "{b} failed validation");

@@ -391,8 +391,12 @@ pub fn dispatch(req: &Request, ctx: &ExperimentCtx, ctl: &JobCtl) -> Result<Json
             mode,
             threads,
         } => {
-            let b = BenchmarkId::from_name(benchmark)
-                .ok_or_else(|| format!("unknown benchmark '{benchmark}'"))?;
+            let b = BenchmarkId::from_name(benchmark).ok_or_else(|| {
+                format!(
+                    "unknown benchmark '{benchmark}'; known benchmarks: {}",
+                    splash4_kernels::workload::known_names().join(", ")
+                )
+            })?;
             let m = SyncMode::from_label(mode).ok_or_else(|| format!("unknown mode '{mode}'"))?;
             if *threads == 0 {
                 return Err("bench request needs threads >= 1".to_string());

@@ -17,6 +17,7 @@ pub mod workload;
 
 pub mod barnes;
 pub mod cholesky;
+pub mod cmap;
 pub mod fft;
 pub mod fmm;
 pub mod lu;
@@ -24,6 +25,7 @@ pub mod ocean;
 pub mod radiosity;
 pub mod radix;
 pub mod raytrace;
+pub mod stream;
 pub mod volrend;
 pub mod water_nsq;
 pub mod water_sp;
@@ -31,4 +33,4 @@ pub mod water_sp;
 pub use common::{close, KernelResult, SharedAccum, SharedSlice};
 pub use dynpool::{dynamic_steal_pool, dynamic_task_queue, seeded_task_pool};
 pub use inputs::InputClass;
-pub use workload::{Workload, SUITE};
+pub use workload::{suite, Workload};

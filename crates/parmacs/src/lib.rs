@@ -92,8 +92,8 @@ pub use queue::{
 pub use reduce::{AtomicF64, AtomicReducer, LockedReducer, ReduceF64, ReduceU64};
 pub use rng::SmallRng;
 pub use spec::{
-    CasF64Spec, CombiningSpec, EliminationSpec, EpochSpec, FlagSpec, HazardSpec, MsQueueSpec,
-    SenseBarrierSpec, TicketSpec, TreiberSpec,
+    CMapSpec, CasF64Spec, CombiningSpec, EliminationSpec, EpochSpec, FlagSpec, HazardSpec,
+    MsQueueSpec, RingSpec, SenseBarrierSpec, TicketSpec, TreiberSpec,
 };
 pub use stats::{Counter, SyncCounters, SyncProfile};
 pub use team::{chunk_range, current_tid, Team, TeamCtx};

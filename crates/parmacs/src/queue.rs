@@ -16,7 +16,7 @@
 use crate::backoff::Backoff;
 use crate::lock::{RawLock, SleepLock};
 use crate::pad::CachePadded;
-use crate::spec::{TicketSpec, TreiberSpec};
+use crate::spec::{RingSpec, TicketSpec, TreiberSpec};
 use crate::stats::{Counter, SyncCounters};
 use crate::trace::TraceEvent;
 use std::cell::UnsafeCell;
@@ -391,12 +391,13 @@ impl<T> BoundedMpmcQueue<T> {
     /// (bounded admission: the caller decides whether to reject, retry or
     /// block).
     pub fn try_push(&self, task: T) -> Result<(), T> {
+        const S: RingSpec = RingSpec::SPLASH4;
         self.stats.bump(Counter::QueueOps);
         self.stats.trace(TraceEvent::Enqueue);
-        let mut pos = self.enqueue_pos.load(Ordering::Relaxed);
+        let mut pos = self.enqueue_pos.load(S.cursor_load);
         loop {
             let slot = &self.buf[pos & self.mask];
-            let seq = slot.seq.load(Ordering::Acquire);
+            let seq = slot.seq.load(S.seq_load);
             let diff = seq as isize - pos as isize;
             if diff == 0 {
                 // Slot is writable at this ticket: claim it.
@@ -404,15 +405,15 @@ impl<T> BoundedMpmcQueue<T> {
                 match self.enqueue_pos.compare_exchange_weak(
                     pos,
                     pos.wrapping_add(1),
-                    Ordering::Relaxed,
-                    Ordering::Relaxed,
+                    S.cursor_cas_ok,
+                    S.cursor_cas_fail,
                 ) {
                     Ok(_) => {
                         // SAFETY: the CAS granted this thread exclusive
                         // ownership of the slot for ticket `pos`; the
                         // release store below publishes the write.
                         unsafe { (*slot.value.get()).write(task) };
-                        slot.seq.store(pos.wrapping_add(1), Ordering::Release);
+                        slot.seq.store(pos.wrapping_add(1), S.publish_store);
                         return Ok(());
                     }
                     Err(actual) => {
@@ -425,27 +426,28 @@ impl<T> BoundedMpmcQueue<T> {
                 return Err(task);
             } else {
                 // Another producer claimed this ticket; chase the cursor.
-                pos = self.enqueue_pos.load(Ordering::Relaxed);
+                pos = self.enqueue_pos.load(S.cursor_load);
             }
         }
     }
 
     /// Dequeue some task, or `None` when the ring is currently empty.
     pub fn try_pop(&self) -> Option<T> {
+        const S: RingSpec = RingSpec::SPLASH4;
         self.stats.bump(Counter::QueueOps);
         self.stats.trace(TraceEvent::Dequeue);
-        let mut pos = self.dequeue_pos.load(Ordering::Relaxed);
+        let mut pos = self.dequeue_pos.load(S.cursor_load);
         loop {
             let slot = &self.buf[pos & self.mask];
-            let seq = slot.seq.load(Ordering::Acquire);
+            let seq = slot.seq.load(S.seq_load);
             let diff = seq as isize - pos.wrapping_add(1) as isize;
             if diff == 0 {
                 self.stats.bump(Counter::AtomicRmws);
                 match self.dequeue_pos.compare_exchange_weak(
                     pos,
                     pos.wrapping_add(1),
-                    Ordering::Relaxed,
-                    Ordering::Relaxed,
+                    S.cursor_cas_ok,
+                    S.cursor_cas_fail,
                 ) {
                     Ok(_) => {
                         // SAFETY: the CAS granted exclusive ownership of the
@@ -453,7 +455,7 @@ impl<T> BoundedMpmcQueue<T> {
                         // synchronized with the producer's release store.
                         let value = unsafe { (*slot.value.get()).assume_init_read() };
                         slot.seq
-                            .store(pos.wrapping_add(self.mask + 1), Ordering::Release);
+                            .store(pos.wrapping_add(self.mask + 1), S.publish_store);
                         return Some(value);
                     }
                     Err(actual) => {
@@ -465,7 +467,7 @@ impl<T> BoundedMpmcQueue<T> {
                 // Slot not yet published for this lap: empty.
                 return None;
             } else {
-                pos = self.dequeue_pos.load(Ordering::Relaxed);
+                pos = self.dequeue_pos.load(S.cursor_load);
             }
         }
     }

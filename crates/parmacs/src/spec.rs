@@ -306,6 +306,93 @@ impl EliminationSpec {
     };
 }
 
+/// Orderings used by the concurrent keyed map (`splash4-kernels`' `cmap`
+/// workload): a Harris–Michael bucket list with mark-bit logical deletion
+/// and epoch-protected traversal.
+///
+/// The load-bearing edges: the link CAS publishes the new node's plain
+/// `key` field (so every pointer load that may dereference must acquire),
+/// and the mark CAS must be `AcqRel` so an unlink that observes the mark
+/// also observes everything the remover did before it.
+#[derive(Debug, Clone, Copy)]
+pub struct CMapSpec {
+    /// Load of a bucket head at the top of a traversal. `Acquire`: the
+    /// loaded node's `key` and `next` fields are dereferenced.
+    pub head_load: Ordering,
+    /// Load of a node's `next` pointer while walking a bucket chain.
+    pub next_load: Ordering,
+    /// The insert link CAS (on the head or a predecessor's `next`) — the
+    /// linearization point of `insert`; `AcqRel` publishes the node.
+    pub link_cas_ok: Ordering,
+    /// Failure ordering of the link CAS (the reloaded pointer is chased).
+    pub link_cas_fail: Ordering,
+    /// The logical-delete CAS that sets the mark bit on the victim's
+    /// `next` — the linearization point of `remove`.
+    pub mark_cas_ok: Ordering,
+    /// Failure ordering of the mark CAS.
+    pub mark_cas_fail: Ordering,
+    /// The physical unlink CAS that snips a marked node out of the chain
+    /// (performed by the remover or by any helping traversal).
+    pub unlink_cas_ok: Ordering,
+    /// Failure ordering of the unlink CAS.
+    pub unlink_cas_fail: Ordering,
+    /// Store of a live node's value cell on key update.
+    pub value_store: Ordering,
+    /// Load of a node's value cell on lookup.
+    pub value_load: Ordering,
+}
+
+impl CMapSpec {
+    /// The orderings the Splash-4 concurrent map ships with.
+    pub const SPLASH4: CMapSpec = CMapSpec {
+        head_load: Ordering::Acquire,
+        next_load: Ordering::Acquire,
+        link_cas_ok: Ordering::AcqRel,
+        link_cas_fail: Ordering::Acquire,
+        mark_cas_ok: Ordering::AcqRel,
+        mark_cas_fail: Ordering::Acquire,
+        unlink_cas_ok: Ordering::AcqRel,
+        unlink_cas_fail: Ordering::Acquire,
+        value_store: Ordering::Release,
+        value_load: Ordering::Acquire,
+    };
+}
+
+/// Orderings used by the bounded MPMC ring (`queue::BoundedMpmcQueue`) —
+/// the lock-free stage queue of the `stream` pipeline workload and the
+/// serve subsystem's job queue.
+///
+/// The slot sequence number doubles as the payload's publication fence:
+/// [`RingSpec::publish_store`] must release the payload write and
+/// [`RingSpec::seq_load`] must acquire it, or a consumer can read a slot
+/// before the producer's value lands (and vice versa one lap later).
+#[derive(Debug, Clone, Copy)]
+pub struct RingSpec {
+    /// Load of a slot's sequence number when probing it for this ticket.
+    pub seq_load: Ordering,
+    /// Load of the shared enqueue/dequeue cursor (the CAS validates it).
+    pub cursor_load: Ordering,
+    /// Success ordering of the cursor-claim CAS (slot ownership only; the
+    /// seq handoff carries the payload, so `Relaxed`).
+    pub cursor_cas_ok: Ordering,
+    /// Failure ordering of the cursor-claim CAS.
+    pub cursor_cas_fail: Ordering,
+    /// The sequence-number store that publishes a filled (or recycled)
+    /// slot to the other side.
+    pub publish_store: Ordering,
+}
+
+impl RingSpec {
+    /// The orderings the Splash-4 ring ships with.
+    pub const SPLASH4: RingSpec = RingSpec {
+        seq_load: Ordering::Acquire,
+        cursor_load: Ordering::Relaxed,
+        cursor_cas_ok: Ordering::Relaxed,
+        cursor_cas_fail: Ordering::Relaxed,
+        publish_store: Ordering::Release,
+    };
+}
+
 /// Orderings used by the flat-combining core (`combining::CombiningCore`)
 /// that backs the Splash-4x (`SyncMode::Combining`) counters, reductions,
 /// dispensers and barrier arrival phase.
@@ -419,5 +506,18 @@ mod tests {
         assert_eq!(MsQueueSpec::SPLASH4.next_load, Ordering::Acquire);
         assert_eq!(EliminationSpec::SPLASH4.install_cas_ok, Ordering::AcqRel);
         assert_eq!(EliminationSpec::SPLASH4.take_cas_ok, Ordering::AcqRel);
+    }
+
+    #[test]
+    fn shipped_family_specs_keep_publication_edges() {
+        // cmap: the link CAS publishes the node's plain key field; every
+        // pointer load that may dereference must acquire it.
+        assert_eq!(CMapSpec::SPLASH4.link_cas_ok, Ordering::AcqRel);
+        assert_eq!(CMapSpec::SPLASH4.head_load, Ordering::Acquire);
+        assert_eq!(CMapSpec::SPLASH4.next_load, Ordering::Acquire);
+        assert_eq!(CMapSpec::SPLASH4.mark_cas_ok, Ordering::AcqRel);
+        // stream ring: the seq store/load pair is the payload handoff.
+        assert_eq!(RingSpec::SPLASH4.publish_store, Ordering::Release);
+        assert_eq!(RingSpec::SPLASH4.seq_load, Ordering::Acquire);
     }
 }

@@ -32,7 +32,7 @@ fn main() {
         "atomics added",
     ]);
     let mut ratios = Vec::new();
-    for b in Benchmark::ALL {
+    for b in Benchmark::all() {
         let cmp = b.compare(class, threads);
         assert!(cmp.validated(), "{b} failed validation");
         ratios.push(cmp.ratio());

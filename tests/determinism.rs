@@ -8,7 +8,7 @@ use splash4::{Benchmark, BenchmarkExt as _, InputClass, SyncMode};
 fn repeated_runs_are_bit_identical_single_thread() {
     // With one thread there is no scheduling freedom at all: checksums must
     // match exactly, and so must the dynamic sync-op counts.
-    for b in Benchmark::ALL {
+    for b in Benchmark::all() {
         let a = b.execute(InputClass::Test, SyncMode::LockFree, 1);
         let c = b.execute(InputClass::Test, SyncMode::LockFree, 1);
         assert_eq!(a.checksum.to_bits(), c.checksum.to_bits(), "{b} drifted");
@@ -22,7 +22,7 @@ fn repeated_runs_are_bit_identical_single_thread() {
 fn repeated_runs_agree_multithreaded() {
     // With threads, reduction order may vary; results must still agree to
     // rounding, and the *logical* op counts must be identical.
-    for b in Benchmark::ALL {
+    for b in Benchmark::all() {
         let a = b.execute(InputClass::Test, SyncMode::LockBased, 3);
         let c = b.execute(InputClass::Test, SyncMode::LockBased, 3);
         let scale = a.checksum.abs().max(1.0);

@@ -34,7 +34,7 @@ fn every_experiment_renders() {
             && id != "R1-reclaim"
             && id != "W1-weakmem"
         {
-            for b in Benchmark::ALL {
+            for b in Benchmark::all() {
                 assert!(r.text.contains(b.name()), "{id} missing row for {b}");
             }
         }
@@ -75,6 +75,6 @@ fn sync_op_table_has_one_row_per_benchmark_per_mode() {
     let rows = r.json["rows"].as_array().unwrap();
     assert_eq!(
         rows.len(),
-        Benchmark::ALL.len() * splash4::SyncMode::ALL.len()
+        Benchmark::all().len() * splash4::SyncMode::ALL.len()
     );
 }

@@ -13,7 +13,7 @@ use std::sync::OnceLock;
 fn models() -> &'static [(Benchmark, splash4::WorkModel)] {
     static MODELS: OnceLock<Vec<(Benchmark, splash4::WorkModel)>> = OnceLock::new();
     MODELS.get_or_init(|| {
-        Benchmark::ALL
+        Benchmark::all()
             .into_iter()
             .map(|b| (b, b.work_model(InputClass::Test)))
             .collect()

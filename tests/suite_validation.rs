@@ -1,11 +1,13 @@
 //! Cross-crate integration: every workload validates and produces the same
 //! answer under both suite generations and across thread counts.
 
-use splash4::{close, Benchmark, BenchmarkExt as _, InputClass, SyncEnv, SyncMode, SUITE};
+use splash4::{
+    close, suite, workload, Benchmark, BenchmarkExt as _, InputClass, SyncEnv, SyncMode,
+};
 
 #[test]
 fn every_benchmark_validates_in_both_modes_and_thread_counts() {
-    for b in Benchmark::ALL {
+    for b in Benchmark::all() {
         for mode in SyncMode::ALL {
             for threads in [1, 3] {
                 let r = b.execute(InputClass::Test, mode, threads);
@@ -22,7 +24,7 @@ fn every_benchmark_validates_in_both_modes_and_thread_counts() {
 
 #[test]
 fn checksums_agree_across_generations() {
-    for b in Benchmark::ALL {
+    for b in Benchmark::all() {
         let cmp = b.compare(InputClass::Test, 2);
         assert!(
             cmp.checksums_match(1e-6),
@@ -33,13 +35,14 @@ fn checksums_agree_across_generations() {
     }
 }
 
-/// Table-driven parity over the trait object table itself: every entry in
-/// [`SUITE`] — not the registry enum — validates and produces the same
-/// checksum under all three suite generations. A 15th workload added to the
-/// table is covered here with no test edit, as is a fourth sync generation.
+/// Table-driven parity over the registry itself: every entry in
+/// [`suite`] — not the harness handle — validates and produces the same
+/// checksum under all three suite generations. A workload added to the
+/// registry is covered here with no test edit, as is a fourth sync
+/// generation.
 #[test]
 fn suite_table_parity_across_generations() {
-    for w in SUITE {
+    for w in suite() {
         let [lock_based, lock_free, combining] = SyncMode::ALL.map(|mode| {
             let env = SyncEnv::new(mode, 2);
             let r = w.run(InputClass::Test, &env);
@@ -60,6 +63,35 @@ fn suite_table_parity_across_generations() {
             w.name(),
             lock_free.checksum,
             combining.checksum
+        );
+    }
+}
+
+/// Registry round-trip at the model checker's scale: every registered
+/// workload's name resolves back to itself through [`workload::find`],
+/// and the found object validates on `InputClass::Check` under all three
+/// sync modes with mode-invariant checksums. This is the table the check
+/// scenarios and CI check steps rely on.
+#[test]
+fn registry_round_trips_names_and_validates_at_check_scale() {
+    for (i, w) in suite().into_iter().enumerate() {
+        let found = workload::find(w.name()).expect("registered name must resolve");
+        assert!(
+            std::ptr::eq(found, w),
+            "{} resolved to a different object",
+            w.name()
+        );
+        assert_eq!(workload::find_index(w.name()), Some(i));
+        let mut checksums = Vec::new();
+        for mode in SyncMode::ALL {
+            let r = found.run(InputClass::Check, &SyncEnv::new(mode, 2));
+            assert!(r.validated, "{} invalid at check scale, {mode}", w.name());
+            checksums.push(r.checksum);
+        }
+        assert!(
+            close(checksums[0], checksums[1], 1e-6) && close(checksums[1], checksums[2], 1e-6),
+            "{} check-scale checksums drift across modes: {checksums:?}",
+            w.name()
         );
     }
 }
@@ -86,7 +118,7 @@ fn mixed_three_mode_policies_preserve_checksums() {
         // Uniform splash4x.
         SyncPolicy::uniform(SyncMode::Combining),
     ];
-    for w in SUITE {
+    for w in suite() {
         let baseline = w.run(InputClass::Test, &SyncEnv::new(SyncMode::LockFree, 3));
         for policy in mixes {
             let r = w.run(InputClass::Test, &SyncEnv::new(policy, 3));
@@ -110,7 +142,7 @@ fn mixed_three_mode_policies_preserve_checksums() {
 
 #[test]
 fn work_models_are_exported_and_calibrated() {
-    for b in Benchmark::ALL {
+    for b in Benchmark::all() {
         let w = b.work_model(InputClass::Test);
         assert!(!w.phases.is_empty(), "{b} has no phases");
         assert!(w.total_cycles() > 0, "{b} has zero modeled compute");

@@ -8,7 +8,7 @@ use splash4::{
 
 #[test]
 fn lock_free_suite_never_takes_a_lock() {
-    for b in Benchmark::ALL {
+    for b in Benchmark::all() {
         let r = b.execute(InputClass::Test, SyncMode::LockFree, 2);
         assert_eq!(
             r.profile.lock_acquires, 0,
@@ -20,7 +20,7 @@ fn lock_free_suite_never_takes_a_lock() {
 
 #[test]
 fn lock_based_suite_never_issues_an_rmw() {
-    for b in Benchmark::ALL {
+    for b in Benchmark::all() {
         let r = b.execute(InputClass::Test, SyncMode::LockBased, 2);
         assert_eq!(
             r.profile.atomic_rmws, 0,
@@ -34,7 +34,7 @@ fn lock_based_suite_never_issues_an_rmw() {
 fn logical_sync_structure_is_mode_invariant() {
     // Barrier episodes and GETSUB grabs are algorithmic properties: the
     // back-end must not change how many happen.
-    for b in Benchmark::ALL {
+    for b in Benchmark::all() {
         let lb = b.execute(InputClass::Test, SyncMode::LockBased, 2).profile;
         let lf = b.execute(InputClass::Test, SyncMode::LockFree, 2).profile;
         assert_eq!(
